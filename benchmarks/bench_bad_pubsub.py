@@ -1,0 +1,99 @@
+"""E9 — BAD data pub/sub (paper §IV/§VII, ref [17]).
+
+The Big Active Data extension's value proposition: many subscribers, few
+query executions.  A notification channel with S subscribers drawn from P
+distinct parameter bindings executes P queries per tick, not S — and
+every subscriber still receives exactly the results matching their
+parameters.
+
+Shape assertions: executions per tick == distinct parameter count (not
+subscriber count); deliveries == subscriber count; per-tick work grows
+with P, not S.
+"""
+
+import random
+
+import pytest
+
+from repro import connect
+from repro.bad import BADExtension
+
+from conftest import print_table
+
+N_REPORTS = 400
+AREAS = [f"area{i}" for i in range(8)]
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    instance = connect(str(tmp_path_factory.mktemp("e9")))
+    instance.execute("""
+        CREATE TYPE ReportType AS { id: int, severity: int,
+                                    area: string };
+        CREATE DATASET Reports(ReportType) PRIMARY KEY id;
+    """)
+    rng = random.Random(61)
+    for i in range(N_REPORTS):
+        instance.execute(
+            f'INSERT INTO Reports ({{"id": {i}, '
+            f'"severity": {rng.randint(1, 5)}, '
+            f'"area": "{rng.choice(AREAS)}"}});'
+        )
+    yield instance
+    instance.close()
+
+
+def build_bad(db, subscribers: int, distinct_params: int) -> BADExtension:
+    bad = BADExtension(db)
+    bad.create_broker("app")
+    bad.create_channel(
+        "Nearby", ["area", "minSeverity"],
+        "SELECT VALUE r.id FROM Reports r "
+        "WHERE r.area = $area AND r.severity >= $minSeverity;",
+    )
+    rng = random.Random(67)
+    params = [(AREAS[i % len(AREAS)], 1 + i % 4)
+              for i in range(distinct_params)]
+    for _ in range(subscribers):
+        area, severity = rng.choice(params)
+        bad.subscribe("Nearby", "app", area, severity)
+    return bad
+
+
+def test_shared_execution_scaling(benchmark, db):
+    rows = []
+    for subscribers, distinct in [(4, 4), (32, 4), (256, 4), (256, 16)]:
+        bad = build_bad(db, subscribers, distinct)
+        executions = bad.tick()
+        deliveries = len(bad.brokers["app"].drain())
+        rows.append([subscribers, distinct, executions, deliveries,
+                     f"{subscribers / executions:.0f}x"])
+        assert executions <= distinct
+        assert deliveries == subscribers
+    print_table(
+        "E9: channel executions vs subscriber count (one tick)",
+        ["subscribers", "distinct params", "executions", "deliveries",
+         "sharing factor"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    bad = build_bad(db, 64, 8)
+    benchmark(bad.tick)
+
+
+def test_deliveries_match_parameters(benchmark, db):
+    bad = build_bad(db, 40, 8)
+    bad.tick()
+    checked = 0
+    for delivery in bad.brokers["app"].deliveries:
+        sub = bad.subscriptions[delivery.subscription_id]
+        area, severity = sub.params
+        expected = db.query(
+            f"SELECT VALUE r.id FROM Reports r WHERE r.area = '{area}' "
+            f"AND r.severity >= {severity};"
+        )
+        assert sorted(delivery.results) == sorted(expected)
+        checked += 1
+    assert checked == 40
+    print(f"\nE9b: verified {checked} deliveries against direct queries")
+    benchmark(bad.run_channel, "Nearby")

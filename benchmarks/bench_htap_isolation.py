@@ -1,0 +1,124 @@
+"""E8 — Couchbase Analytics HTAP isolation (paper §VI, Fig. 7).
+
+"The addition of Couchbase Analytics now allows users to conduct near
+real-time data analyses on an up-to-date copy of the data; this provides
+performance isolation, so heavy data analysis queries won't interfere
+with front-end operations and vice versa."
+
+Workload: an order stream hitting the KV front end while analytical
+queries run (a) on the shadow dataset (the Analytics architecture) and
+(b) inline against the data service (the pre-Analytics baseline).
+
+Shape assertions: front-end op latency is unchanged by shadow-side
+analytics but degrades badly under inline scans; the shadow stays fresh
+(bounded lag) while ingesting continuously.
+"""
+
+import pytest
+
+from repro import connect
+from repro.analytics import AnalyticsService, KVStore
+
+from conftest import print_table
+
+N_DOCS = 1500
+ANALYTICS_QUERY = """
+SELECT status, COUNT(*) AS n, SUM(o.total) AS revenue
+FROM orders o GROUP BY o.status AS status ORDER BY status;
+"""
+
+
+@pytest.fixture(scope="module")
+def htap(tmp_path_factory):
+    db = connect(str(tmp_path_factory.mktemp("e8")))
+    kv = KVStore()
+    kv.create_bucket("orders", op_service_time_us=10.0)
+    analytics = AnalyticsService(db, kv)
+    analytics.connect_bucket("orders")
+    yield db, kv, analytics
+    db.close()
+
+
+def write_phase(bucket, start, count, now_us):
+    latencies = []
+    for i in range(start, start + count):
+        latency = bucket.upsert(
+            f"order::{i}",
+            {"customer": f"c{i % 50}", "total": 5 + i % 200,
+             "status": "paid" if i % 6 else "refunded"},
+            now_us=now_us,
+        )
+        latencies.append(latency)
+        now_us += 25.0
+    return latencies, now_us
+
+
+def p99(values):
+    return sorted(values)[int(len(values) * 0.99)]
+
+
+def test_performance_isolation(benchmark, htap):
+    db, kv, analytics = htap
+    bucket = kv.bucket("orders")
+
+    # phase 1: writes alone (baseline latency)
+    base_lat, now = write_phase(bucket, 0, N_DOCS, 0.0)
+    analytics.sync()
+
+    # phase 2: writes while shadow-side analytics runs
+    shadow_answer = analytics.query(ANALYTICS_QUERY)
+    iso_lat, now = write_phase(bucket, N_DOCS, N_DOCS, now)
+
+    # phase 3: writes right after an inline data-service scan
+    bucket.scan_inline(now_us=now, per_doc_us=2.0)
+    inline_lat, now = write_phase(bucket, 2 * N_DOCS, N_DOCS, now)
+
+    rows = [
+        ["writes only", f"{p99(base_lat):.0f}",
+         f"{max(base_lat):.0f}"],
+        ["writes + shadow analytics", f"{p99(iso_lat):.0f}",
+         f"{max(iso_lat):.0f}"],
+        ["writes + inline scan", f"{p99(inline_lat):.0f}",
+         f"{max(inline_lat):.0f}"],
+    ]
+    print_table(
+        "E8a: front-end op latency under analytics (simulated us)",
+        ["phase", "p99 latency", "max latency"],
+        rows,
+    )
+    assert p99(iso_lat) <= p99(base_lat) * 1.05, \
+        "shadow analytics must not perturb the front end"
+    assert p99(inline_lat) > p99(base_lat) * 10, \
+        "the inline baseline should visibly stall the front end"
+    assert shadow_answer  # and the analytics answer is real
+
+    benchmark.extra_info.update({
+        "p99_writes_only_us": round(p99(base_lat)),
+        "p99_with_shadow_analytics_us": round(p99(iso_lat)),
+        "p99_with_inline_scan_us": round(p99(inline_lat)),
+    })
+    benchmark(analytics.query, ANALYTICS_QUERY)
+
+
+def test_shadow_freshness(benchmark, htap):
+    db, kv, analytics = htap
+    bucket = kv.bucket("orders")
+    rows = []
+    max_lag_after_sync = 0
+    now = bucket.busy_until_us
+    for wave in range(4):
+        _, now = write_phase(bucket, 10_000 + wave * 300, 300, now)
+        lag_before = analytics.lag("orders")
+        applied = analytics.sync()
+        lag_after = analytics.lag("orders")
+        max_lag_after_sync = max(max_lag_after_sync, lag_after)
+        rows.append([wave + 1, lag_before, applied, lag_after])
+    print_table(
+        "E8b: shadow-dataset freshness across ingest waves",
+        ["wave", "lag before sync", "mutations applied", "lag after"],
+        rows,
+    )
+    assert max_lag_after_sync == 0
+    total = analytics.query("SELECT VALUE COUNT(*) FROM orders o;")[0]
+    assert total == len(kv.bucket("orders").documents)
+    benchmark(analytics.sync)

@@ -1,0 +1,102 @@
+"""E10 — LSM merge-policy ablation (DESIGN.md's design-choice bench).
+
+The read-vs-write amplification trade-off behind every number in E1: the
+same ingest-then-read workload under no-merge, constant, and prefix
+policies.
+
+Shape assertions: no-merge writes the fewest pages but accumulates the
+most components (and pays the most read I/O per lookup); constant bounds
+components at the cost of rewriting data in merges; prefix lands between;
+all three agree on the data.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.lsm import (
+    ConstantMergePolicy,
+    LSMBTree,
+    NoMergePolicy,
+    PrefixMergePolicy,
+)
+
+from conftest import print_table
+
+N_RECORDS = 8000
+VALUE = b"v" * 60
+
+POLICIES = {
+    "no-merge": NoMergePolicy,
+    "constant(4)": lambda: ConstantMergePolicy(4),
+    "prefix": lambda: PrefixMergePolicy(max_mergable_size=100_000,
+                                        max_tolerance_count=4),
+}
+
+
+def ingest(stack_factory, name, policy_factory):
+    stack = stack_factory(f"e10_{name.replace('(', '_').strip(')')}")
+    lsm = LSMBTree(stack.fm, stack.cache, "t",
+                   memory_budget_bytes=16 * 1024,
+                   merge_policy=policy_factory())
+    order = list(range(N_RECORDS))
+    random.Random(3).shuffle(order)
+    stack.reset_io()
+    for i in order:
+        lsm.upsert((i,), VALUE)
+    lsm.flush()
+    ingest_stats = stack.device.stats.snapshot()
+    return stack, lsm, ingest_stats
+
+
+def lookup_reads(stack, lsm, probes=300):
+    stack.drop_caches()
+    stack.reset_io()
+    rng = random.Random(9)
+    for _ in range(probes):
+        assert lsm.search((rng.randrange(N_RECORDS),)) is not None
+    return stack.device.stats.total_reads / probes
+
+
+def test_merge_policy_tradeoff(benchmark, stack):
+    rows = []
+    measures = {}
+    for name, policy_factory in POLICIES.items():
+        s, lsm, ingest_stats = ingest(stack, name, policy_factory)
+        reads_per_probe = lookup_reads(s, lsm)
+        assert len(lsm) == N_RECORDS
+        measures[name] = {
+            "components": lsm.num_disk_components,
+            "ingest_writes": ingest_stats.total_writes,
+            "merges": lsm.stats.merges,
+            "reads_per_probe": reads_per_probe,
+        }
+        rows.append([
+            name, lsm.num_disk_components, lsm.stats.merges,
+            ingest_stats.total_writes, f"{reads_per_probe:.2f}",
+        ])
+    print_table(
+        f"E10: merge policies, {N_RECORDS} random upserts then point "
+        f"lookups",
+        ["policy", "disk components", "merges", "ingest page writes",
+         "reads / probe"],
+        rows,
+    )
+    no_merge = measures["no-merge"]
+    constant = measures["constant(4)"]
+    prefix = measures["prefix"]
+    # write amplification: merging rewrites data
+    assert no_merge["ingest_writes"] < constant["ingest_writes"]
+    # read amplification: more components -> more probe I/O
+    assert no_merge["components"] > prefix["components"]
+    assert no_merge["reads_per_probe"] > constant["reads_per_probe"]
+    # prefix is the compromise
+    assert (constant["components"]
+            <= prefix["components"]
+            <= no_merge["components"])
+
+    benchmark.extra_info.update({
+        k.replace("(", "_").strip(")"): v for k, v in measures.items()
+    })
+    s, lsm, _ = ingest(stack, "bench", POLICIES["prefix"])
+    benchmark(lookup_reads, s, lsm, 100)

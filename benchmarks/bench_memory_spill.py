@@ -1,0 +1,148 @@
+"""E4 — operating beyond main memory (paper Fig. 2, ref [10]).
+
+"A fundamental assumption from the start of the project has been that the
+portion of data stored on a given node can well exceed the size of its
+main memory, and likewise (at least potentially) for intermediate query
+results."  The budgeted operators must therefore *degrade*, not die:
+external sort and hybrid hash join spill runs/partitions to disk and
+finish correctly at any budget.
+
+Sweep: sort and join a fixed input under memory budgets from
+comfortably-above-data-size down to 1/32 of it.
+
+Shape assertions: results identical at every budget; spill I/O is zero
+above the data size and grows as the budget shrinks; even the tightest
+budget completes.
+"""
+
+import random
+
+import pytest
+
+from repro.common.config import ClusterConfig, NodeConfig
+from repro.hyracks import (
+    ClusterController,
+    HashPartitionConnector,
+    JobSpecification,
+    OneToOneConnector,
+)
+from repro.hyracks.operators import (
+    ExternalSortOp,
+    HybridHashJoinOp,
+    InMemorySourceOp,
+    ResultWriterOp,
+)
+
+from conftest import print_table
+
+N_TUPLES = 20_000
+BUDGET_FRAMES = [2048, 64, 16, 4]      # frames of 16 tuples each
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    config = ClusterConfig(num_nodes=1, partitions_per_node=1,
+                           frame_size=16,
+                           node=NodeConfig(buffer_cache_pages=64))
+    cc = ClusterController(str(tmp_path_factory.mktemp("e4")), config)
+    yield cc
+    cc.close()
+
+
+def sort_job(data, frames):
+    job = JobSpecification()
+    src = job.add_operator(InMemorySourceOp(data))
+    op = ExternalSortOp([0], memory_frames=frames)
+    sort_id = job.add_operator(op)
+    sink = job.add_operator(ResultWriterOp())
+    job.connect(OneToOneConnector(), src, sort_id)
+    job.connect(OneToOneConnector(), sort_id, sink)
+    return job, op
+
+
+def join_job(left, right, frames):
+    job = JobSpecification()
+    l_id = job.add_operator(InMemorySourceOp(left))
+    r_id = job.add_operator(InMemorySourceOp(right))
+    op = HybridHashJoinOp([0], [0], memory_frames=frames)
+    j_id = job.add_operator(op)
+    sink = job.add_operator(ResultWriterOp())
+    job.connect(HashPartitionConnector([0]), l_id, j_id, 0)
+    job.connect(HashPartitionConnector([0]), r_id, j_id, 1)
+    job.connect(OneToOneConnector(), j_id, sink)
+    return job, op
+
+
+def test_external_sort_budget_sweep(benchmark, cluster):
+    rng = random.Random(31)
+    data = [(rng.randrange(10**9), f"pad{i:08d}") for i in range(N_TUPLES)]
+    expected = sorted(t[0] for t in data)
+
+    rows = []
+    spills = {}
+    for frames in BUDGET_FRAMES:
+        job, op = sort_job(data, frames)
+        result = cluster.run_job(job)
+        got = [t[0] for t in result.tuples]
+        assert got == expected, f"wrong order at {frames} frames"
+        runs = max(op.last_run_counts)
+        spills[frames] = result.profile.physical_writes
+        rows.append([
+            frames, frames * 16, runs,
+            result.profile.physical_writes,
+            result.profile.physical_reads,
+            f"{result.profile.simulated_ms:.1f}",
+        ])
+    print_table(
+        f"E4a: external sort of {N_TUPLES} tuples vs memory budget",
+        ["frames", "tuples in memory", "spill runs", "page writes",
+         "page reads", "simulated ms"],
+        rows,
+    )
+    assert spills[2048] == 0, "no spill when everything fits"
+    assert spills[4] > spills[64] > 0, "smaller budget -> more spill I/O"
+
+    benchmark.extra_info.update(
+        {f"frames_{k}_writes": v for k, v in spills.items()}
+    )
+    job, _ = sort_job(data[:4000], 16)
+    benchmark(cluster.run_job, job)
+
+
+def test_hash_join_budget_sweep(benchmark, cluster):
+    rng = random.Random(37)
+    left = [(i, f"l{i}") for i in range(N_TUPLES // 2)]
+    right = [(rng.randrange(N_TUPLES // 2), f"r{i}")
+             for i in range(N_TUPLES // 2)]
+    from collections import Counter
+
+    matches = Counter(t[0] for t in right)
+    expected = sum(matches[t[0]] for t in left)
+
+    rows = []
+    spills = {}
+    for frames in BUDGET_FRAMES:
+        job, op = join_job(left, right, frames)
+        result = cluster.run_job(job)
+        assert len(result.tuples) == expected
+        spills[frames] = result.profile.physical_writes
+        rows.append([
+            frames, op.spill_rounds, result.profile.physical_writes,
+            result.profile.physical_reads,
+            f"{result.profile.simulated_ms:.1f}",
+        ])
+    print_table(
+        f"E4b: hybrid hash join ({N_TUPLES // 2} x {N_TUPLES // 2}) vs "
+        f"memory budget",
+        ["frames", "spill rounds", "page writes", "page reads",
+         "simulated ms"],
+        rows,
+    )
+    assert spills[2048] == 0
+    assert spills[4] > 0
+
+    benchmark.extra_info.update(
+        {f"frames_{k}_writes": v for k, v in spills.items()}
+    )
+    job, _ = join_job(left[:4000], right[:4000], 16)
+    benchmark(cluster.run_job, job)

@@ -1,0 +1,132 @@
+"""E12 (ablation) — the "data-partition-aware" part of feature 3.
+
+Algebricks tracks partitioning properties so exchanges appear only where
+required.  The contrast that shows what the reasoning is worth:
+
+* a primary-key/primary-key join over two pk-partitioned scans compiles
+  with **zero** hash exchanges (the property proves co-location), while
+* the same join on non-key attributes must hash-repartition both inputs,
+  moving ~(P-1)/P of every tuple across the simulated network.
+
+Shape assertions: the pk-join's plan contains no HashPartitionConnector
+and its network traffic is only the final result gather; the attribute
+join's plan contains two and moves more than one full input's worth of
+tuples.
+"""
+
+import pytest
+
+from repro.algebricks import MetadataView, compile_plan, optimize
+from repro.algebricks.logical import (
+    AggCall,
+    Aggregate,
+    Assign,
+    DataSourceScan,
+    DistributeResult,
+    Join,
+)
+from repro.algebricks.expressions import LCall, LConst, LVar
+from repro.common.config import ClusterConfig
+from repro.hyracks import ClusterController, HashPartitionConnector
+
+from conftest import print_table
+
+N_RECORDS = 3000
+
+
+class ClusterMetadata(MetadataView):
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def pk_fields(self, dataset):
+        return self.cluster.datasets[dataset].pk_fields
+
+    def secondary_indexes(self, dataset):
+        return []
+
+    def is_external(self, dataset):
+        return False
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cc = ClusterController(
+        str(tmp_path_factory.mktemp("e12")),
+        ClusterConfig(num_nodes=2, partitions_per_node=2),
+    )
+    cc.create_dataset("A", ("id",))
+    cc.create_dataset("B", ("id",))
+    for i in range(N_RECORDS):
+        cc.insert_record("A", {"id": i, "x": i % 97})
+        cc.insert_record("B", {"id": i, "y": i % 97})
+    yield cc
+    cc.close()
+
+
+def fa(var, name):
+    return LCall("field_access", [LVar(var), LConst(name)])
+
+
+def pk_join_plan():
+    """join on the partitioning key: provably co-located."""
+    left = DataSourceScan("A", [1], 2)
+    right = DataSourceScan("B", [3], 4)
+    join = Join(LCall("eq", [LVar(1), LVar(3)]), inputs=[left, right])
+    count = Aggregate([AggCall(5, "count_star", LConst(1))],
+                      inputs=[join])
+    return DistributeResult(LVar(5), inputs=[count])
+
+
+def attr_join_plan():
+    """join on non-key attributes: repartitioning is unavoidable."""
+    left = Assign(5, fa(2, "x"), inputs=[DataSourceScan("A", [1], 2)])
+    right = Assign(6, fa(4, "y"), inputs=[DataSourceScan("B", [3], 4)])
+    join = Join(LCall("eq", [LVar(5), LVar(6)]), inputs=[left, right])
+    count = Aggregate([AggCall(7, "count_star", LConst(1))],
+                      inputs=[join])
+    return DistributeResult(LVar(7), inputs=[count])
+
+
+def run(cluster, plan_factory):
+    md = ClusterMetadata(cluster)
+    plan = optimize(plan_factory(), md)
+    job, _ = compile_plan(plan, md, cluster.num_partitions)
+    hash_exchanges = sum(
+        isinstance(e.connector, HashPartitionConnector) for e in job.edges
+    )
+    result = cluster.run_job(job)
+    return result.tuples[0][0], result.profile, hash_exchanges
+
+
+def test_exchange_free_pk_join(benchmark, cluster):
+    pk_count, pk_profile, pk_exchanges = run(cluster, pk_join_plan)
+    at_count, at_profile, at_exchanges = run(cluster, attr_join_plan)
+    assert pk_count == N_RECORDS
+    assert at_count > 0
+
+    print_table(
+        f"E12 (ablation): partition-property reasoning, "
+        f"{N_RECORDS} records x 4 partitions",
+        ["query", "hash exchanges", "net tuples", "simulated ms"],
+        [
+            ["pk = pk join (co-located)", pk_exchanges,
+             pk_profile.connector_network_tuples,
+             f"{pk_profile.simulated_ms:.2f}"],
+            ["x = y join (must reshuffle)", at_exchanges,
+             at_profile.connector_network_tuples,
+             f"{at_profile.simulated_ms:.2f}"],
+        ],
+    )
+    # the property reasoning removed every exchange from the pk join
+    assert pk_exchanges == 0
+    assert at_exchanges == 2
+    # pk join network = only the pre-aggregate gather of its own output
+    # (no input ever re-shuffles); the attribute join moves far more
+    assert pk_profile.connector_network_tuples < N_RECORDS
+    assert at_profile.connector_network_tuples > 10 * N_RECORDS
+
+    benchmark.extra_info.update({
+        "pk_join_net_tuples": pk_profile.connector_network_tuples,
+        "attr_join_net_tuples": at_profile.connector_network_tuples,
+    })
+    benchmark(run, cluster, pk_join_plan)

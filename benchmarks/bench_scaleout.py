@@ -1,0 +1,142 @@
+"""E3 — Hyracks partitioned-parallel scale-out (paper §III, ref [13]).
+
+"The runtime engine ... is the Hyracks data-parallel platform ... that at
+one point was scale-tested on a large (180 nodes and 1440 cores) cluster."
+No Yahoo! cluster here (DESIGN.md, Substitutions): the simulated clock —
+elapsed(stage) = max over partitions — reproduces the scale-out *shape*
+on one machine.
+
+Workload: a fixed Gleambook dataset; a join + group-by query (messages
+per user age band) executed on clusters of 1, 2, 4, and 8 nodes.
+
+Shape assertions: simulated time decreases monotonically with nodes, and
+the 8-node speedup over 1 node is substantial (near-linear minus exchange
+overhead), while every configuration returns identical results.
+"""
+
+import pytest
+
+from repro import ClusterConfig, NodeConfig, connect
+from repro.datagen import GleambookGenerator
+
+from conftest import print_table
+
+N_USERS = 400
+N_MESSAGES = 2000
+NODE_COUNTS = [1, 2, 4, 8]
+
+QUERY = """
+SELECT age, COUNT(*) AS messages
+FROM Users u JOIN Messages m ON m.authorId = u.id
+GROUP BY u.age AS age
+ORDER BY age;
+"""
+
+SCHEMA = """
+CREATE TYPE UserType AS { id: int, alias: string, age: int };
+CREATE TYPE MessageType AS { messageId: int, authorId: int,
+                             message: string };
+CREATE DATASET Users(UserType) PRIMARY KEY id;
+CREATE DATASET Messages(MessageType) PRIMARY KEY messageId;
+"""
+
+
+def build_instance(base_dir: str, nodes: int):
+    config = ClusterConfig(
+        num_nodes=nodes, partitions_per_node=2,
+        node=NodeConfig(buffer_cache_pages=256),
+    )
+    db = connect(base_dir, config)
+    db.execute(SCHEMA)
+    gen = GleambookGenerator(seed=23)
+    users = list(gen.users(N_USERS))
+    for i, user in enumerate(users):
+        db.cluster.insert_record("Default.Users", {
+            "id": user["id"], "alias": user["alias"],
+            "age": 18 + i % 40,
+        })
+    for m in gen.messages(N_MESSAGES, num_users=N_USERS):
+        db.cluster.insert_record("Default.Messages", {
+            "messageId": m["messageId"], "authorId": m["authorId"],
+            "message": m["message"],
+        })
+    db.flush_dataset("Users")
+    db.flush_dataset("Messages")
+    return db
+
+
+@pytest.fixture(scope="module")
+def instances(tmp_path_factory):
+    dbs = {
+        n: build_instance(str(tmp_path_factory.mktemp(f"e3_n{n}")), n)
+        for n in NODE_COUNTS
+    }
+    yield dbs
+    for db in dbs.values():
+        db.close()
+
+
+def test_scaleout_shape(benchmark, instances):
+    times = {}
+    answers = {}
+    for n, db in instances.items():
+        result = db.execute(QUERY)
+        times[n] = result.profile.simulated_ms
+        answers[n] = result.rows
+
+    # identical answers at every width
+    baseline = answers[1]
+    for n in NODE_COUNTS[1:]:
+        assert answers[n] == baseline
+
+    rows = []
+    for n in NODE_COUNTS:
+        speedup = times[1] / times[n]
+        rows.append([
+            n, n * 2, f"{times[n]:.2f}", f"{speedup:.2f}x",
+            f"{speedup / n * 100:.0f}%",
+        ])
+    print_table(
+        f"E3: join+group-by over {N_MESSAGES} messages, scaling the "
+        f"simulated cluster",
+        ["nodes", "partitions", "simulated ms", "speedup", "efficiency"],
+        rows,
+    )
+
+    # monotone improvement, substantial at 8 nodes
+    for a, b in zip(NODE_COUNTS, NODE_COUNTS[1:]):
+        assert times[b] < times[a], f"{b} nodes slower than {a}"
+    assert times[1] / times[8] > 3.0
+
+    benchmark.extra_info.update({
+        f"nodes_{n}_ms": round(times[n], 2) for n in NODE_COUNTS
+    })
+    benchmark.extra_info["speedup_8x"] = round(times[1] / times[8], 2)
+    benchmark(instances[8].execute, QUERY)
+
+
+def test_ingest_scales_with_partitions(benchmark, instances):
+    """Paper §III: 'data storage scales linearly through primary key-based
+    hash partitioning' — partitions stay balanced at every width."""
+    rows = []
+    for n, db in instances.items():
+        counts = []
+        for p in range(db.cluster.num_partitions):
+            node = db.cluster.node_of_partition(p)
+            counts.append(
+                node.get_partition("Default.Messages", p).count()
+            )
+        imbalance = max(counts) / (sum(counts) / len(counts))
+        rows.append([n, len(counts), min(counts), max(counts),
+                     f"{imbalance:.2f}"])
+        assert sum(counts) == N_MESSAGES
+        assert imbalance < 1.5
+    print_table(
+        "E3b: hash-partitioned storage balance",
+        ["nodes", "partitions", "min records", "max records",
+         "max/mean"],
+        rows,
+    )
+    benchmark(lambda: sum(
+        1 for _ in instances[8].cluster.scan_dataset("Default.Messages")
+    ))

@@ -1,0 +1,206 @@
+"""E1 — the LSM spatial-index study (paper §V-B, ref [23]).
+
+The paper's most concrete experimental story: a PhD student implemented
+LSM versions of several spatial access methods (R-tree, Hilbert- and
+Z-order-linearized B+ trees, a grid scheme), ran *end-to-end* queries,
+and found that "though some of the differences between them *within*
+their portion of the query times were significant, those index time
+differences were watered down to the ±10% range due to the rest of the
+end-to-end query costs (the eventual data access)" — because once the
+index yields qualifying keys, the records themselves must be fetched
+through the primary index (with the [26] sorted-reference optimization).
+
+This bench rebuilds that experiment: same points in all four indexes, a
+window-query workload at two selectivities, measuring (a) index-only
+simulated I/O time and (b) end-to-end time including the primary fetch.
+
+Shape assertions:
+  * within-index relative spread is large (the interesting differences
+    the senior researchers argued about are real);
+  * end-to-end spread collapses to roughly the paper's ±10% band;
+  * the fetch phase dominates end-to-end cost.
+"""
+
+import random
+
+import pytest
+
+from repro.adm import APoint, ARectangle
+from repro.datagen import GleambookGenerator
+from repro.index import make_spatial_index
+from repro.storage.dataset_storage import PartitionStorage
+from repro.storage.lsm import NoMergePolicy
+
+from conftest import print_table
+
+N_POINTS = 6000
+BOUNDS = (0.0, 0.0, 100.0, 100.0)
+KINDS = ["rtree", "hilbert", "zorder", "grid"]
+WINDOWS_PER_SELECTIVITY = 12
+SELECTIVITIES = {"0.25%": 5.0, "1%": 10.0}     # window side length
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """Messages in a primary store + the same points in all 4 indexes."""
+    from conftest import StorageStack
+
+    stack = StorageStack(str(tmp_path_factory.mktemp("e1")),
+                         cache_pages=96)
+    gen = GleambookGenerator(seed=11, spatial_bounds=BOUNDS)
+    messages = [
+        m for m in gen.messages(int(N_POINTS * 1.2), num_users=500)
+        if "senderLocation" in m
+    ][:N_POINTS]
+    primary = PartitionStorage(stack.fm, stack.cache, "Messages", 0,
+                               ("messageId",),
+                               memory_budget_bytes=64 * 1024,
+                               merge_policy=NoMergePolicy())
+    indexes = {}
+    for kind in KINDS:
+        indexes[kind] = make_spatial_index(
+            kind, stack.fm, stack.cache, f"sp_{kind}", bounds=BOUNDS,
+            memory_budget_bytes=64 * 1024, merge_policy=NoMergePolicy(),
+        )
+    for m in messages:
+        primary.upsert(m)
+        p = m["senderLocation"]
+        for index in indexes.values():
+            index.insert(p, (m["messageId"],))
+    primary.flush_all()
+    for index in indexes.values():
+        index.flush()
+    yield stack, primary, indexes, messages
+    stack.close()
+
+
+def windows(side: float, count: int, seed: int = 3):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x0 = rng.uniform(0, 100 - side)
+        y0 = rng.uniform(0, 100 - side)
+        out.append(ARectangle(APoint(x0, y0),
+                              APoint(x0 + side, y0 + side)))
+    return out
+
+
+def run_queries(stack, primary, index, query_windows, *,
+                fetch: bool, sort_pks: bool = True):
+    """Returns (index_us, fetch_us, result_count) in simulated time."""
+    index_us = fetch_us = 0.0
+    results = 0
+    for window in query_windows:
+        stack.drop_caches()
+        stack.reset_io()
+        pks = index.query(window)
+        index_us += stack.io_cost_us()
+        index_us += len(pks) * 0.5          # per-candidate CPU charge
+        if fetch:
+            stack.reset_io()
+            records = list(primary.fetch_many(pks, sort=sort_pks))
+            fetch_us += stack.io_cost_us()
+            results += len(records)
+        else:
+            results += len(pks)
+    return index_us, fetch_us, results
+
+
+@pytest.mark.parametrize("selectivity", list(SELECTIVITIES))
+def test_spatial_index_shootout(benchmark, workload, selectivity):
+    stack, primary, indexes, _ = workload
+    side = SELECTIVITIES[selectivity]
+    query_windows = windows(side, WINDOWS_PER_SELECTIVITY)
+
+    index_only = {}
+    end_to_end = {}
+    counts = {}
+    for kind in KINDS:
+        idx_us, fetch_us, count = run_queries(
+            stack, primary, indexes[kind], query_windows, fetch=True)
+        index_only[kind] = idx_us
+        end_to_end[kind] = idx_us + fetch_us
+        counts[kind] = count
+
+    # all indexes must agree on the answer
+    assert len(set(counts.values())) == 1
+
+    def spread(d):
+        lo, hi = min(d.values()), max(d.values())
+        return (hi - lo) / ((hi + lo) / 2)
+
+    rows = []
+    for kind in KINDS:
+        rows.append([
+            kind,
+            f"{index_only[kind] / 1000:.2f}",
+            f"{(end_to_end[kind] - index_only[kind]) / 1000:.2f}",
+            f"{end_to_end[kind] / 1000:.2f}",
+            f"{index_only[kind] / end_to_end[kind] * 100:.0f}%",
+        ])
+    print_table(
+        f"E1: spatial index shoot-out, {N_POINTS} points, "
+        f"selectivity {selectivity} "
+        f"({WINDOWS_PER_SELECTIVITY} windows, simulated ms)",
+        ["index", "index-only", "pk fetch", "end-to-end", "index share"],
+        rows,
+    )
+    within_spread = spread(index_only)
+    e2e_spread = spread(end_to_end)
+    print(f"  within-index spread: {within_spread * 100:.0f}%   "
+          f"end-to-end spread: {e2e_spread * 100:.0f}%   (paper: "
+          f"'significant' vs '±10% range')")
+
+    # the paper's punchline, as assertions
+    assert within_spread > e2e_spread, \
+        "end-to-end must compress the differences"
+    assert e2e_spread < 0.35, "end-to-end spread should be modest"
+    fetch_share = 1 - min(
+        index_only[k] / end_to_end[k] for k in KINDS
+    )
+    assert fetch_share > 0.5, "the record fetch should dominate"
+
+    benchmark.extra_info.update({
+        "selectivity": selectivity,
+        "within_index_spread": round(within_spread, 3),
+        "end_to_end_spread": round(e2e_spread, 3),
+        "index_only_ms": {k: round(v / 1000, 2)
+                          for k, v in index_only.items()},
+        "end_to_end_ms": {k: round(v / 1000, 2)
+                          for k, v in end_to_end.items()},
+    })
+
+    # wall-clock: one end-to-end R-tree query round
+    benchmark(
+        run_queries, stack, primary, indexes["rtree"],
+        query_windows[:3], fetch=True,
+    )
+
+
+def test_sorted_pk_fetch_matters(benchmark, workload):
+    """The [26] trick the end-to-end numbers depend on: sorting PKs before
+    fetching beats fetching in index-emission order."""
+    stack, primary, indexes, _ = workload
+    # large windows: enough qualifying keys per primary leaf page that
+    # sorted references turn random probes into near-sequential access
+    query_windows = windows(45.0, 6, seed=5)
+
+    _, sorted_us, _ = run_queries(stack, primary, indexes["rtree"],
+                                  query_windows, fetch=True,
+                                  sort_pks=True)
+    _, unsorted_us, _ = run_queries(stack, primary, indexes["rtree"],
+                                    query_windows, fetch=True,
+                                    sort_pks=False)
+    print_table(
+        "E1b: primary fetch with vs without sorted references ([26])",
+        ["fetch order", "simulated ms"],
+        [["sorted PKs", f"{sorted_us / 1000:.2f}"],
+         ["index order", f"{unsorted_us / 1000:.2f}"]],
+    )
+    assert sorted_us <= unsorted_us * 1.05
+    benchmark.extra_info.update({
+        "sorted_ms": round(sorted_us / 1000, 2),
+        "unsorted_ms": round(unsorted_us / 1000, 2),
+    })
+    benchmark(run_queries, stack, primary, indexes["rtree"],
+              query_windows[:3], fetch=True)

@@ -1,0 +1,104 @@
+"""E6 — linear storage scaling through hash partitioning (paper §III).
+
+"AsterixDB's data storage scales linearly through primary key-based hash
+partitioning of all datasets."  Two axes:
+
+* fixed data, growing partitions: per-partition record counts stay
+  balanced, and ingest's simulated elapsed time (max over partitions)
+  shrinks proportionally;
+* fixed partitions, growing data: total pages grow linearly with records.
+"""
+
+import pytest
+
+from repro.adm import serialize
+from repro.storage.dataset_storage import PartitionStorage
+from repro.storage.lsm import PrefixMergePolicy
+from repro.adm.values import hash_value
+
+from conftest import print_table
+
+N_RECORDS = 8000
+
+
+def record(i):
+    return {"id": i, "alias": f"user{i}", "payload": "x" * 60}
+
+
+def ingest(stack_factory, num_partitions: int, n: int):
+    """Partitioned ingest; returns (parts, per-partition io cost list)."""
+    stack = stack_factory(f"e6_p{num_partitions}_{n}")
+    parts = []
+    costs = []
+    for p in range(num_partitions):
+        parts.append(PartitionStorage(
+            stack.fm, stack.cache, "ds", p, ("id",),
+            memory_budget_bytes=32 * 1024,
+            merge_policy=PrefixMergePolicy(),
+        ))
+    routed = [[] for _ in range(num_partitions)]
+    for i in range(n):
+        routed[hash_value((i,)) % num_partitions].append(record(i))
+    for p, batch in enumerate(routed):
+        stack.reset_io()
+        for r in batch:
+            parts[p].upsert(r)
+        parts[p].flush_all()
+        costs.append(stack.io_cost_us())
+    return stack, parts, costs
+
+
+def test_partition_scaling(benchmark, stack):
+    rows = []
+    elapsed = {}
+    for num_partitions in [1, 2, 4, 8]:
+        _, parts, costs = ingest(stack, num_partitions, N_RECORDS)
+        counts = [p.count() for p in parts]
+        assert sum(counts) == N_RECORDS
+        imbalance = max(counts) / (sum(counts) / len(counts))
+        # parallel elapsed = the slowest partition
+        elapsed[num_partitions] = max(costs) / 1000
+        rows.append([
+            num_partitions, min(counts), max(counts),
+            f"{imbalance:.2f}", f"{elapsed[num_partitions]:.1f}",
+        ])
+        assert imbalance < 1.25
+    print_table(
+        f"E6a: ingesting {N_RECORDS} records across P partitions "
+        f"(elapsed = slowest partition)",
+        ["partitions", "min recs", "max recs", "max/mean",
+         "elapsed ms (simulated)"],
+        rows,
+    )
+    assert elapsed[8] < elapsed[1] / 4, "ingest should parallelize"
+    benchmark.extra_info.update(
+        {f"p{k}_ms": round(v, 1) for k, v in elapsed.items()}
+    )
+    benchmark(lambda: ingest(stack, 4, 1000))
+
+
+def test_data_volume_scaling(benchmark, stack):
+    """Pages used grow linearly with record count (no superlinear blowup
+    from the LSM machinery)."""
+    rows = []
+    pages = {}
+    for n in [2000, 4000, 8000]:
+        s, parts, _ = ingest(stack, 2, n)
+        total_pages = sum(
+            comp.handle.num_pages
+            for part in parts
+            for comp in part.primary.components
+        )
+        pages[n] = total_pages
+        rows.append([n, total_pages, f"{total_pages / n * 1000:.1f}"])
+    print_table(
+        "E6b: storage footprint vs data volume (2 partitions)",
+        ["records", "total pages", "pages per 1000 records"],
+        rows,
+    )
+    per_1k = [pages[n] / n for n in pages]
+    assert max(per_1k) / min(per_1k) < 1.3, "should stay ~linear"
+    benchmark.extra_info.update(
+        {f"n{k}_pages": v for k, v in pages.items()}
+    )
+    benchmark(lambda: ingest(stack, 2, 1000))

@@ -1,0 +1,78 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1-E11).  Absolute numbers are not the point (repro band 2/5; the
+substrate is a simulator) — the *shape* is: who wins, by what factor,
+where behaviour changes.  Each bench asserts its shape claim and records
+the measured figures in ``benchmark.extra_info`` (visible with
+``pytest benchmarks/ --benchmark-only``); EXPERIMENTS.md collects them.
+"""
+
+import shutil
+
+import pytest
+
+from repro.common.config import CostModel
+from repro.storage import BufferCache, FileManager, IODevice
+
+COST = CostModel()
+
+
+class StorageStack:
+    """One-node storage stack used by the storage-level experiments."""
+
+    def __init__(self, root: str, *, page_size: int = 4096,
+                 cache_pages: int = 128):
+        self.device = IODevice(0, root)
+        self.fm = FileManager([self.device], page_size)
+        self.cache = BufferCache(self.fm, cache_pages)
+
+    def reset_io(self):
+        self.device.reset_stats()
+
+    def drop_caches(self):
+        """Flush dirty pages and empty the buffer pool (cold-cache runs)."""
+        self.cache.flush_all()
+        self.cache._pages.clear()
+        self.cache._clock.clear()
+        self.cache._hand = 0
+
+    def io_cost_us(self, stats=None) -> float:
+        s = stats if stats is not None else self.device.stats
+        return (s.reads * COST.page_read_us
+                + s.writes * COST.page_write_us
+                + s.seq_reads * COST.seq_page_read_us
+                + s.seq_writes * COST.seq_page_write_us)
+
+    def close(self):
+        self.fm.close()
+
+
+@pytest.fixture
+def stack(tmp_path_factory):
+    stacks = []
+
+    def make(name: str, **kwargs) -> StorageStack:
+        root = tmp_path_factory.mktemp(name)
+        s = StorageStack(str(root), **kwargs)
+        stacks.append(s)
+        return s
+
+    yield make
+    for s in stacks:
+        s.close()
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render one experiment's table the way the paper would print it."""
+    print(f"\n### {title}")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 3, verbatim.
+
+Runs the exact DDL, external dataset definition, SQL++ SELECT, and SQL++
+UPSERT the paper prints in Fig. 3(a)-(d): the Gleambook social network
+with every index type, an external web access log queried in situ, and
+the "active users by number of friends" analysis.
+
+    python examples/quickstart.py
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro import connect
+from repro.datagen import GleambookGenerator
+
+FIG_3A = """
+CREATE TYPE GleambookUserType AS {
+   id: int,
+   alias: string,
+   name: string,
+   userSince: datetime,
+   friendIds: {{ int }},
+   employment: [EmploymentType]
+};
+
+CREATE TYPE GleambookMessageType AS {
+   messageId: int,
+   authorId: int,
+   inResponseTo: int?,
+   senderLocation: point?,
+   message: string
+};
+
+CREATE TYPE EmploymentType AS {
+   organizationName: string,
+   startDate: date,
+   endDate: date?
+};
+
+CREATE DATASET GleambookUsers(GleambookUserType) PRIMARY KEY id;
+CREATE DATASET GleambookMessages(GleambookMessageType)
+    PRIMARY KEY messageId;
+
+CREATE INDEX gbUserSinceIdx ON GleambookUsers(userSince);
+CREATE INDEX gbAuthorIdx ON GleambookMessages(authorId) TYPE BTREE;
+CREATE INDEX gbSenderLocIndex ON GleambookMessages(senderLocation)
+    TYPE RTREE;
+CREATE INDEX gbMessageIdx ON GleambookMessages(message) TYPE KEYWORD;
+"""
+
+FIG_3B = """
+CREATE TYPE AccessLogType AS CLOSED {{
+    ip: string,
+    time: string,
+    user: string,
+    verb: string,
+    `path`: string,
+    stat: int32,
+    size: int32
+}};
+
+CREATE EXTERNAL DATASET AccessLog(AccessLogType)
+USING localfs
+(("path"="{path}"),
+ ("format"="delimited-text"), ("delimiter"="|"));
+"""
+
+FIG_3C = """
+WITH endTime AS current_datetime(),
+     startTime AS endTime - duration("P30D")
+SELECT nf AS numFriends, COUNT(user) AS activeUsers
+FROM GleambookUsers user
+LET nf = COLL_COUNT(user.friendIds)
+WHERE SOME logrec IN AccessLog SATISFIES
+      user.alias = logrec.user
+  AND datetime(logrec.time) >= startTime
+  AND datetime(logrec.time) <= endTime
+GROUP BY nf;
+"""
+
+FIG_3D = """
+UPSERT INTO GleambookUsers (
+  {"id":667,
+   "alias":"dfrump",
+   "name":"DonaldFrump",
+   "nickname":"Frumpkin",
+   "userSince":datetime("2017-01-01T00:00:00"),
+   "friendIds":{{}},
+   "employment":[{"organizationName":"USA",
+                  "startDate":date("2017-01-20")}],
+   "gender":"M"}
+);
+"""
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="asterix-quickstart-")
+    try:
+        with connect(os.path.join(workdir, "db")) as db:
+            db.set_session_now("2019-04-08T00:00:00")
+
+            print("== Fig. 3(a): types, datasets, and all four index kinds")
+            db.execute(FIG_3A)
+            print("   created: 3 types, 2 datasets, 4 indexes")
+
+            print("== generating the Gleambook social network")
+            gen = GleambookGenerator(seed=42)
+            users = list(gen.users(200))
+            for user in users:
+                db.cluster.insert_record("Default.GleambookUsers", user)
+            for message in gen.messages(400, num_users=200):
+                db.cluster.insert_record("Default.GleambookMessages",
+                                         message)
+            print(f"   loaded {len(users)} users, 400 messages")
+
+            print("== Fig. 3(b): an external access log, queried in situ")
+            log_path = os.path.join(workdir, "accesses.txt")
+            aliases = [u["alias"] for u in users]
+            with open(log_path, "w") as f:
+                for line in gen.access_log_lines(1000, aliases):
+                    f.write(line + "\n")
+            db.execute(FIG_3B.format(path=log_path))
+            total = db.query("SELECT COUNT(*) AS n FROM AccessLog l;")
+            print(f"   access log rows visible via SQL++: {total[0]['n']}")
+
+            print("== Fig. 3(d): UPSERT a (rather famous) user")
+            print("  ", db.execute(FIG_3D).message)
+
+            print("== Fig. 3(c): active users in the last 30 days, "
+                  "grouped by friend count")
+            rows = sorted(db.query(FIG_3C),
+                          key=lambda r: r["numFriends"])
+            print(f"   {'numFriends':>10} | activeUsers")
+            for row in rows[:12]:
+                print(f"   {row['numFriends']:>10} | {row['activeUsers']}")
+            if len(rows) > 12:
+                print(f"   ... {len(rows) - 12} more groups")
+
+            print("== the same data through a secondary index")
+            result = db.execute("""
+                SELECT VALUE u.name FROM GleambookUsers u
+                WHERE u.userSince >= datetime("2018-01-01T00:00:00")
+                LIMIT 5;
+            """)
+            print("   plan uses:", [
+                line.strip().split()[0]
+                for line in result.plan.splitlines()
+            ][-1])
+            for name in result.rows:
+                print("   -", name)
+    finally:
+        shutil.rmtree(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "A Python reproduction of Apache AsterixDB "
+        "(ICDE 2019 'AsterixDB Mid-Flight')"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,27 @@
+"""A Python reproduction of Apache AsterixDB ("AsterixDB Mid-Flight",
+ICDE 2019): ADM + SQL++/AQL + Algebricks + Hyracks + LSM storage.
+
+Quickstart::
+
+    from repro import connect
+
+    with connect("/tmp/mydb") as db:
+        db.execute('CREATE TYPE T AS { id: int };')
+        db.execute('CREATE DATASET Ds(T) PRIMARY KEY id;')
+        db.execute('INSERT INTO Ds ({"id": 1, "x": "hello"});')
+        print(db.query('SELECT VALUE d.x FROM Ds d;'))
+"""
+
+from repro.api import AsterixInstance, Result, connect
+from repro.common.config import ClusterConfig, CostModel, NodeConfig
+
+__all__ = [
+    "AsterixInstance",
+    "ClusterConfig",
+    "CostModel",
+    "NodeConfig",
+    "Result",
+    "connect",
+]
+
+__version__ = "0.1.0"

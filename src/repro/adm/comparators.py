@@ -1,0 +1,108 @@
+"""Total ordering over ADM values.
+
+Index keys (B+ tree, and the PK part of every secondary index entry) and
+ORDER BY need a single total order across *all* ADM values, because ADM is
+schema-optional: an open field indexed by a secondary index may hold a
+different type in every record.  The order is:
+
+1. by :class:`~repro.adm.values.TypeTag` (MISSING < NULL < BOOLEAN < numerics
+   < STRING < ... < OBJECT), except that
+2. all numeric values compare with each other *by value* (``1 < 1.5 < 2``),
+   and
+3. within a tag, by natural value; collections compare lexicographically and
+   objects by sorted (key, value) pairs.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.adm.values import (
+    MISSING,
+    Multiset,
+    TypeTag,
+    is_numeric_tag,
+    tag_of,
+)
+
+_NUMERIC_RANK = TypeTag.TINYINT  # all numerics sort at this rank
+
+
+def compare(a, b) -> int:
+    """Three-way comparison: negative if a < b, 0 if equal, positive if a > b."""
+    ta, tb = tag_of(a), tag_of(b)
+    ra = _NUMERIC_RANK if is_numeric_tag(ta) else ta
+    rb = _NUMERIC_RANK if is_numeric_tag(tb) else tb
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra == _NUMERIC_RANK:
+        return (a > b) - (a < b)
+    if ta in (TypeTag.MISSING, TypeTag.NULL):
+        return 0
+    if ta is TypeTag.BOOLEAN:
+        return (a > b) - (a < b)
+    if ta in (TypeTag.ARRAY, TypeTag.MULTISET):
+        xs = sorted(a, key=sort_key) if ta is TypeTag.MULTISET else a
+        ys = sorted(b, key=sort_key) if ta is TypeTag.MULTISET else b
+        for x, y in zip(xs, ys):
+            c = compare(x, y)
+            if c:
+                return c
+        return (len(xs) > len(ys)) - (len(xs) < len(ys))
+    if ta is TypeTag.OBJECT:
+        ka = sorted(k for k, v in a.items() if v is not MISSING)
+        kb = sorted(k for k, v in b.items() if v is not MISSING)
+        if ka != kb:
+            return -1 if ka < kb else 1
+        for k in ka:
+            c = compare(a[k], b[k])
+            if c:
+                return c
+        return 0
+    if ta is TypeTag.UUID:
+        return (a.bytes > b.bytes) - (a.bytes < b.bytes)
+    # remaining scalar wrappers (temporal, spatial) define dataclass order
+    return (a > b) - (a < b)
+
+
+def eq(a, b) -> bool:
+    """Deep equality under the comparator's total order (1 == 1.0)."""
+    return compare(a, b) == 0
+
+
+@functools.total_ordering
+class _Key:
+    """A wrapper making any ADM value usable as a Python sort key."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return compare(self.value, other.value) < 0
+
+    def __eq__(self, other):
+        return compare(self.value, other.value) == 0
+
+    def __repr__(self):
+        return f"_Key({self.value!r})"
+
+
+def sort_key(value) -> _Key:
+    """Key function for ``sorted``/``bisect`` over ADM values."""
+    return _Key(value)
+
+
+def tuple_key(values) -> tuple:
+    """Key function for composite (multi-field) keys."""
+    return tuple(_Key(v) for v in values)
+
+
+def compare_tuples(a, b) -> int:
+    """Three-way comparison of composite keys (tuples of ADM values)."""
+    for x, y in zip(a, b):
+        c = compare(x, y)
+        if c:
+            return c
+    return (len(a) > len(b)) - (len(a) < len(b))

@@ -1,0 +1,308 @@
+"""Textual ADM parser.
+
+ADM's textual syntax is a JSON superset (paper Fig. 3(d)): besides JSON
+literals it accepts typed constructors — ``datetime("2017-01-01T00:00:00")``,
+``date("...")``, ``time("...")``, ``duration("P30D")``, ``point("1.5,2.5")``,
+``uuid("...")`` and friends — and the multiset constructor ``{{ ... }}``.
+``LOAD DATASET`` and the feed adapters parse records with this module.
+"""
+
+from __future__ import annotations
+
+import uuid as _uuid
+
+from repro.adm.values import (
+    ADate,
+    ADateTime,
+    ADuration,
+    ALine,
+    APoint,
+    APolygon,
+    ARectangle,
+    ACircle,
+    ATime,
+    Multiset,
+)
+from repro.common.errors import SyntaxError_
+
+
+class ADMParser:
+    """Recursive-descent parser over a single ADM text value."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    # -- public API ---------------------------------------------------------
+
+    def parse(self):
+        value = self.parse_value()
+        self._skip_ws()
+        if self.pos != self.n:
+            raise self._err("trailing characters after value")
+        return value
+
+    def parse_value(self):
+        self._skip_ws()
+        if self.pos >= self.n:
+            raise self._err("unexpected end of input")
+        ch = self.text[self.pos]
+        if ch == "{":
+            if self.text.startswith("{{", self.pos):
+                return self._parse_multiset()
+            return self._parse_object()
+        if ch == "[":
+            return self._parse_array()
+        if ch == '"' or ch == "'":
+            return self._parse_string()
+        if ch.isdigit() or ch in "+-.":
+            return self._parse_number()
+        return self._parse_word()
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _parse_object(self) -> dict:
+        self._expect("{")
+        obj = {}
+        self._skip_ws()
+        if self._peek() == "}":
+            self.pos += 1
+            return obj
+        while True:
+            self._skip_ws()
+            key = self._parse_string()
+            self._skip_ws()
+            self._expect(":")
+            obj[key] = self.parse_value()
+            self._skip_ws()
+            ch = self._peek()
+            if ch == ",":
+                self.pos += 1
+                continue
+            if ch == "}":
+                self.pos += 1
+                return obj
+            raise self._err("expected ',' or '}' in object")
+
+    def _parse_array(self) -> list:
+        self._expect("[")
+        return self._parse_items("]", [])
+
+    def _parse_multiset(self) -> Multiset:
+        self._expect("{")
+        self._expect("{")
+        items = Multiset()
+        self._skip_ws()
+        if self.text.startswith("}}", self.pos):
+            self.pos += 2
+            return items
+        while True:
+            items.append(self.parse_value())
+            self._skip_ws()
+            if self._peek() == ",":
+                self.pos += 1
+                continue
+            if self.text.startswith("}}", self.pos):
+                self.pos += 2
+                return items
+            raise self._err("expected ',' or '}}' in multiset")
+
+    def _parse_items(self, close: str, items: list):
+        self._skip_ws()
+        if self._peek() == close:
+            self.pos += 1
+            return items
+        while True:
+            items.append(self.parse_value())
+            self._skip_ws()
+            ch = self._peek()
+            if ch == ",":
+                self.pos += 1
+                continue
+            if ch == close:
+                self.pos += 1
+                return items
+            raise self._err(f"expected ',' or '{close}' in list")
+
+    def _parse_string(self) -> str:
+        quote = self._peek()
+        if quote not in ('"', "'"):
+            raise self._err("expected string")
+        self.pos += 1
+        out = []
+        while self.pos < self.n:
+            ch = self.text[self.pos]
+            if ch == quote:
+                self.pos += 1
+                return "".join(out)
+            if ch == "\\":
+                self.pos += 1
+                esc = self.text[self.pos]
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "b": "\b",
+                           "f": "\f", "/": "/", "\\": "\\", '"': '"',
+                           "'": "'"}
+                if esc == "u":
+                    code = self.text[self.pos + 1:self.pos + 5]
+                    out.append(chr(int(code, 16)))
+                    self.pos += 4
+                elif esc in mapping:
+                    out.append(mapping[esc])
+                else:
+                    raise self._err(f"bad escape \\{esc}")
+                self.pos += 1
+            else:
+                out.append(ch)
+                self.pos += 1
+        raise self._err("unterminated string")
+
+    def _parse_number(self):
+        start = self.pos
+        if self._peek() in "+-":
+            self.pos += 1
+        is_float = False
+        while self.pos < self.n and (self.text[self.pos].isdigit()
+                                     or self.text[self.pos] in ".eE+-"):
+            ch = self.text[self.pos]
+            if ch in ".eE":
+                is_float = True
+            if ch in "+-" and self.text[self.pos - 1] not in "eE":
+                break
+            self.pos += 1
+        token = self.text[start:self.pos]
+        # trailing type suffixes from ADM text (i8/i16/i32/i64/f/d)
+        for suffix in ("i64", "i32", "i16", "i8"):
+            if self.text.startswith(suffix, self.pos):
+                self.pos += len(suffix)
+                return int(token)
+        if self.pos < self.n and self.text[self.pos] in "fFdD":
+            self.pos += 1
+            return float(token)
+        try:
+            return float(token) if is_float else int(token)
+        except ValueError as exc:
+            raise self._err(f"bad number {token!r}") from exc
+
+    _CONSTRUCTORS = {
+        "date": lambda s: ADate.parse(s),
+        "time": lambda s: ATime.parse(s),
+        "datetime": lambda s: ADateTime.parse(s),
+        "duration": lambda s: ADuration.parse(s),
+        "point": lambda s: APoint.parse(s),
+        "uuid": lambda s: _uuid.UUID(s),
+    }
+
+    def _parse_word(self):
+        start = self.pos
+        while self.pos < self.n and (self.text[self.pos].isalnum()
+                                     or self.text[self.pos] in "_-"):
+            self.pos += 1
+        word = self.text[start:self.pos]
+        if word == "true":
+            return True
+        if word == "false":
+            return False
+        if word == "null":
+            return None
+        self._skip_ws()
+        if self._peek() == "(":
+            self.pos += 1
+            self._skip_ws()
+            arg = self._parse_string()
+            self._skip_ws()
+            self._expect(")")
+            return self._construct(word, arg)
+        raise self._err(f"unexpected token {word!r}")
+
+    def _construct(self, name: str, arg: str):
+        name = name.lower()
+        if name in self._CONSTRUCTORS:
+            return self._CONSTRUCTORS[name](arg)
+        if name == "line":
+            a, b = arg.split(" ")
+            return ALine(APoint.parse(a), APoint.parse(b))
+        if name == "rectangle":
+            a, b = arg.split(" ")
+            return ARectangle(APoint.parse(a), APoint.parse(b))
+        if name == "circle":
+            center, radius = arg.rsplit(" ", 1)
+            return ACircle(APoint.parse(center), float(radius))
+        if name == "polygon":
+            pts = tuple(APoint.parse(p) for p in arg.split(" "))
+            return APolygon(pts)
+        raise self._err(f"unknown constructor {name!r}")
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _skip_ws(self):
+        while self.pos < self.n and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.n else ""
+
+    def _expect(self, ch: str):
+        if self._peek() != ch:
+            raise self._err(f"expected {ch!r}")
+        self.pos += 1
+
+    def _err(self, message: str) -> SyntaxError_:
+        line = self.text.count("\n", 0, self.pos) + 1
+        col = self.pos - self.text.rfind("\n", 0, self.pos)
+        return SyntaxError_(message, line=line, column=col)
+
+
+def parse_adm(text: str):
+    """Parse one ADM value from text."""
+    return ADMParser(text).parse()
+
+
+def format_adm(value, indent: int | None = None) -> str:
+    """Render an ADM value back to its textual syntax (inverse of
+    :func:`parse_adm` up to whitespace)."""
+    return _format(value, indent, 0)
+
+
+def _format(value, indent, depth) -> str:
+    from repro.adm.values import MISSING, tag_of, TypeTag
+
+    tag = tag_of(value)
+    if tag is TypeTag.MISSING:
+        return "missing"
+    if tag is TypeTag.NULL:
+        return "null"
+    if tag is TypeTag.BOOLEAN:
+        return "true" if value else "false"
+    if tag is TypeTag.BIGINT:
+        return str(value)
+    if tag is TypeTag.DOUBLE:
+        return repr(value)
+    if tag is TypeTag.STRING:
+        return f'"{_escape(value)}"'
+    if tag is TypeTag.BINARY:
+        return f'hex("{value.hex()}")'
+    if tag is TypeTag.UUID:
+        return f'uuid("{value}")'
+    if tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+        opens, closes = ("[", "]") if tag is TypeTag.ARRAY else ("{{", "}}")
+        inner = ", ".join(_format(v, indent, depth + 1) for v in value)
+        return f"{opens} {inner} {closes}" if inner else f"{opens}{closes}"
+    if tag is TypeTag.OBJECT:
+        items = [
+            f'"{_escape(k)}": {_format(v, indent, depth + 1)}'
+            for k, v in value.items()
+            if v is not MISSING
+        ]
+        if indent is None:
+            return "{" + ", ".join(items) + "}"
+        pad = " " * (indent * (depth + 1))
+        closing = " " * (indent * depth)
+        body = (",\n" + pad).join(items)
+        return "{\n" + pad + body + "\n" + closing + "}"
+    return repr(value)  # temporal & spatial reprs are constructor syntax
+
+
+def _escape(text: str) -> str:
+    out = text.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+    return out.replace("\b", "\\b").replace("\f", "\\f")

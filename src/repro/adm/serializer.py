@@ -1,0 +1,252 @@
+"""Tag-based binary serialization of ADM values.
+
+The storage layer (LSM component pages, WAL records, operator spill files)
+stores *bytes*, not Python objects: each serialized value is a 1-byte
+:class:`~repro.adm.values.TypeTag` followed by a tag-specific payload.  This
+is a simplified version of AsterixDB's physical ADM layout — the important
+property preserved is that pages and log records have a real, measurable
+byte size, so page-count-based experiments (E1, E2, E10) are meaningful.
+
+Variable-length payloads use a u32 length prefix; integers are zig-zag
+varints so small keys stay small.
+"""
+
+from __future__ import annotations
+
+import struct
+import uuid as _uuid
+
+from repro.adm.values import (
+    MISSING,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    ALine,
+    APoint,
+    APolygon,
+    ARectangle,
+    ACircle,
+    ATime,
+    Multiset,
+    TypeTag,
+    tag_of,
+)
+from repro.common.errors import StorageError
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    """Zig-zag varint encoding (small magnitudes -> few bytes)."""
+    z = (n << 1) ^ (n >> 63) if -(1 << 63) <= n < (1 << 63) else None
+    if z is None:
+        raise StorageError(f"integer out of 64-bit range: {n}")
+    z &= 0xFFFFFFFFFFFFFFFF
+    while True:
+        b = z & 0x7F
+        z >>= 7
+        if z:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    z = 0
+    shift = 0
+    while True:
+        b = buf[pos]
+        pos += 1
+        z |= (b & 0x7F) << shift
+        if not b & 0x80:
+            break
+        shift += 7
+    n = (z >> 1) ^ -(z & 1)
+    return n, pos
+
+
+def serialize(value) -> bytes:
+    """Serialize one ADM value to bytes."""
+    out = bytearray()
+    _serialize_into(out, value)
+    return bytes(out)
+
+
+def _serialize_into(out: bytearray, value) -> None:
+    tag = tag_of(value)
+    out.append(tag)
+    if tag in (TypeTag.MISSING, TypeTag.NULL):
+        return
+    if tag is TypeTag.BOOLEAN:
+        out.append(1 if value else 0)
+    elif tag is TypeTag.BIGINT:
+        _write_varint(out, value)
+    elif tag is TypeTag.DOUBLE:
+        out.extend(struct.pack(">d", value))
+    elif tag is TypeTag.STRING:
+        data = value.encode("utf-8")
+        out.extend(struct.pack(">I", len(data)))
+        out.extend(data)
+    elif tag is TypeTag.BINARY:
+        out.extend(struct.pack(">I", len(value)))
+        out.extend(value)
+    elif tag is TypeTag.UUID:
+        out.extend(value.bytes)
+    elif tag is TypeTag.DATE:
+        _write_varint(out, value.days)
+    elif tag in (TypeTag.TIME, TypeTag.DATETIME):
+        _write_varint(out, value.millis)
+    elif tag is TypeTag.DURATION:
+        _write_varint(out, value.months)
+        _write_varint(out, value.millis)
+    elif tag is TypeTag.INTERVAL:
+        out.append(value.tag)
+        _write_varint(out, value.start)
+        _write_varint(out, value.end)
+    elif tag is TypeTag.POINT:
+        out.extend(struct.pack(">dd", value.x, value.y))
+    elif tag is TypeTag.LINE:
+        out.extend(struct.pack(">dddd", value.p1.x, value.p1.y,
+                               value.p2.x, value.p2.y))
+    elif tag is TypeTag.RECTANGLE:
+        bl, tr = value.bottom_left, value.top_right
+        out.extend(struct.pack(">dddd", bl.x, bl.y, tr.x, tr.y))
+    elif tag is TypeTag.CIRCLE:
+        out.extend(struct.pack(">ddd", value.center.x, value.center.y,
+                               value.radius))
+    elif tag is TypeTag.POLYGON:
+        out.extend(struct.pack(">I", len(value.points)))
+        for p in value.points:
+            out.extend(struct.pack(">dd", p.x, p.y))
+    elif tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+        out.extend(struct.pack(">I", len(value)))
+        for item in value:
+            _serialize_into(out, item)
+    elif tag is TypeTag.OBJECT:
+        fields = [(k, v) for k, v in value.items() if v is not MISSING]
+        out.extend(struct.pack(">I", len(fields)))
+        for k, v in fields:
+            kdata = k.encode("utf-8")
+            out.extend(struct.pack(">I", len(kdata)))
+            out.extend(kdata)
+            _serialize_into(out, v)
+    else:
+        raise StorageError(f"cannot serialize tag {tag!r}")
+
+
+def deserialize(buf: bytes, pos: int = 0):
+    """Deserialize one ADM value; returns the value (see
+    :func:`deserialize_at` for streaming use)."""
+    value, _ = deserialize_at(buf, pos)
+    return value
+
+
+def deserialize_at(buf: bytes, pos: int):
+    """Deserialize one ADM value starting at ``pos``; returns
+    ``(value, next_pos)``."""
+    tag = TypeTag(buf[pos])
+    pos += 1
+    if tag is TypeTag.MISSING:
+        return MISSING, pos
+    if tag is TypeTag.NULL:
+        return None, pos
+    if tag is TypeTag.BOOLEAN:
+        return bool(buf[pos]), pos + 1
+    if tag is TypeTag.BIGINT:
+        return _read_varint(buf, pos)
+    if tag is TypeTag.DOUBLE:
+        return struct.unpack_from(">d", buf, pos)[0], pos + 8
+    if tag is TypeTag.STRING:
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        return buf[pos:pos + n].decode("utf-8"), pos + n
+    if tag is TypeTag.BINARY:
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        return bytes(buf[pos:pos + n]), pos + n
+    if tag is TypeTag.UUID:
+        return _uuid.UUID(bytes=bytes(buf[pos:pos + 16])), pos + 16
+    if tag is TypeTag.DATE:
+        days, pos = _read_varint(buf, pos)
+        return ADate(days), pos
+    if tag is TypeTag.TIME:
+        millis, pos = _read_varint(buf, pos)
+        return ATime(millis), pos
+    if tag is TypeTag.DATETIME:
+        millis, pos = _read_varint(buf, pos)
+        return ADateTime(millis), pos
+    if tag is TypeTag.DURATION:
+        months, pos = _read_varint(buf, pos)
+        millis, pos = _read_varint(buf, pos)
+        return ADuration(months, millis), pos
+    if tag is TypeTag.INTERVAL:
+        sub = TypeTag(buf[pos])
+        pos += 1
+        start, pos = _read_varint(buf, pos)
+        end, pos = _read_varint(buf, pos)
+        return AInterval(start, end, sub), pos
+    if tag is TypeTag.POINT:
+        x, y = struct.unpack_from(">dd", buf, pos)
+        return APoint(x, y), pos + 16
+    if tag is TypeTag.LINE:
+        x1, y1, x2, y2 = struct.unpack_from(">dddd", buf, pos)
+        return ALine(APoint(x1, y1), APoint(x2, y2)), pos + 32
+    if tag is TypeTag.RECTANGLE:
+        x1, y1, x2, y2 = struct.unpack_from(">dddd", buf, pos)
+        return ARectangle(APoint(x1, y1), APoint(x2, y2)), pos + 32
+    if tag is TypeTag.CIRCLE:
+        x, y, r = struct.unpack_from(">ddd", buf, pos)
+        return ACircle(APoint(x, y), r), pos + 24
+    if tag is TypeTag.POLYGON:
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        pts = []
+        for _ in range(n):
+            x, y = struct.unpack_from(">dd", buf, pos)
+            pts.append(APoint(x, y))
+            pos += 16
+        return APolygon(tuple(pts)), pos
+    if tag in (TypeTag.ARRAY, TypeTag.MULTISET):
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        items = Multiset() if tag is TypeTag.MULTISET else []
+        for _ in range(n):
+            item, pos = deserialize_at(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag is TypeTag.OBJECT:
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        obj = {}
+        for _ in range(n):
+            (klen,) = struct.unpack_from(">I", buf, pos)
+            pos += 4
+            key = buf[pos:pos + klen].decode("utf-8")
+            pos += klen
+            obj[key], pos = deserialize_at(buf, pos)
+        return obj, pos
+    raise StorageError(f"cannot deserialize tag {tag!r}")
+
+
+def serialize_tuple(values) -> bytes:
+    """Serialize a composite value (e.g. a key, PK pair) as a counted group."""
+    out = bytearray()
+    out.append(len(values))
+    for v in values:
+        _serialize_into(out, v)
+    return bytes(out)
+
+
+def deserialize_tuple(buf: bytes, pos: int = 0) -> tuple:
+    n = buf[pos]
+    pos += 1
+    values = []
+    for _ in range(n):
+        v, pos = deserialize_at(buf, pos)
+        values.append(v)
+    return tuple(values)
+
+
+def serialized_size(value) -> int:
+    """Byte size of ``value`` once serialized (used for budget accounting)."""
+    return len(serialize(value))

@@ -1,0 +1,300 @@
+"""The ADM type system (paper Fig. 3(a)).
+
+ADM types let application developers "choose an essentially schema-free
+world, a highly-specified schema world, or something in between":
+
+* Every named object type is **open** by default: instances may carry
+  additional, undeclared (self-describing) fields.  ``CREATE TYPE ... AS
+  CLOSED`` forbids extra fields (Fig. 3(b)'s ``AccessLogType``).
+* Fields may be declared optional with ``?`` (Fig. 3(a)'s ``inResponseTo:
+  int?``) or omitted from the schema entirely.
+* Constructors compose: objects, ordered lists ``[T]``, and multisets
+  ``{{T}}``.
+
+This module defines the type objects, a registry-aware resolver (named types
+may reference each other, e.g. ``employment: [EmploymentType]``), and
+instance validation used by INSERT/UPSERT/LOAD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adm.values import (
+    MISSING,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    ALine,
+    APoint,
+    APolygon,
+    ARectangle,
+    ACircle,
+    ATime,
+    Multiset,
+    TypeTag,
+)
+from repro.common.errors import TypeError_, UnknownEntityError
+
+import uuid as _uuid
+
+
+class AsterixType:
+    """Base class for all ADM types.
+
+    Subclasses expose a ``name`` attribute or property; it is deliberately
+    not declared here so that dataclass subclasses can declare ``name`` as a
+    required field (a base-class default would leak into them).
+    """
+
+    def validate(self, value, registry: "TypeRegistry | None" = None,
+                 path: str = "$") -> None:
+        """Raise :class:`TypeError_` if ``value`` is not an instance."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.name
+
+
+class AnyType(AsterixType):
+    """The top type: every ADM value (including null) is an instance."""
+
+    name = "any"
+
+    def validate(self, value, registry=None, path="$"):
+        if value is MISSING:
+            raise TypeError_(f"{path}: MISSING is not a storable value")
+
+
+@dataclass(frozen=True, repr=False)
+class PrimitiveType(AsterixType):
+    """A builtin scalar type, with optional integer range enforcement."""
+
+    name: str
+    tag: TypeTag
+    classes: tuple
+    int_bits: int = 0
+
+    def validate(self, value, registry=None, path="$"):
+        if value is None:
+            raise TypeError_(f"{path}: null where {self.name} required")
+        if isinstance(value, bool) and self.tag is not TypeTag.BOOLEAN:
+            raise TypeError_(f"{path}: boolean where {self.name} required")
+        if self.tag is TypeTag.DOUBLE and isinstance(value, int) \
+                and not isinstance(value, bool):
+            return  # ints are acceptable doubles/floats
+        if not isinstance(value, self.classes):
+            raise TypeError_(
+                f"{path}: {type(value).__name__} value {value!r} where "
+                f"{self.name} required"
+            )
+        if self.int_bits:
+            lo = -(1 << (self.int_bits - 1))
+            hi = (1 << (self.int_bits - 1)) - 1
+            if not lo <= value <= hi:
+                raise TypeError_(
+                    f"{path}: {value} out of range for {self.name}"
+                )
+
+
+BOOLEAN = PrimitiveType("boolean", TypeTag.BOOLEAN, (bool,))
+TINYINT = PrimitiveType("tinyint", TypeTag.TINYINT, (int,), 8)
+SMALLINT = PrimitiveType("smallint", TypeTag.SMALLINT, (int,), 16)
+INTEGER = PrimitiveType("integer", TypeTag.INTEGER, (int,), 32)
+BIGINT = PrimitiveType("bigint", TypeTag.BIGINT, (int,), 64)
+FLOAT = PrimitiveType("float", TypeTag.FLOAT, (float,))
+DOUBLE = PrimitiveType("double", TypeTag.DOUBLE, (float,))
+STRING = PrimitiveType("string", TypeTag.STRING, (str,))
+BINARY = PrimitiveType("binary", TypeTag.BINARY, (bytes,))
+UUID = PrimitiveType("uuid", TypeTag.UUID, (_uuid.UUID,))
+DATE = PrimitiveType("date", TypeTag.DATE, (ADate,))
+TIME = PrimitiveType("time", TypeTag.TIME, (ATime,))
+DATETIME = PrimitiveType("datetime", TypeTag.DATETIME, (ADateTime,))
+DURATION = PrimitiveType("duration", TypeTag.DURATION, (ADuration,))
+INTERVAL = PrimitiveType("interval", TypeTag.INTERVAL, (AInterval,))
+POINT = PrimitiveType("point", TypeTag.POINT, (APoint,))
+LINE = PrimitiveType("line", TypeTag.LINE, (ALine,))
+RECTANGLE = PrimitiveType("rectangle", TypeTag.RECTANGLE, (ARectangle,))
+CIRCLE = PrimitiveType("circle", TypeTag.CIRCLE, (ACircle,))
+POLYGON = PrimitiveType("polygon", TypeTag.POLYGON, (APolygon,))
+
+ANY = AnyType()
+
+BUILTIN_TYPES = {
+    t.name: t
+    for t in (
+        BOOLEAN, TINYINT, SMALLINT, INTEGER, BIGINT, FLOAT, DOUBLE, STRING,
+        BINARY, UUID, DATE, TIME, DATETIME, DURATION, INTERVAL, POINT, LINE,
+        RECTANGLE, CIRCLE, POLYGON,
+    )
+}
+# SQL-flavoured aliases accepted by the DDL (AsterixDB supports both).
+BUILTIN_TYPES.update(
+    {
+        "int": BIGINT,
+        "int8": TINYINT,
+        "int16": SMALLINT,
+        "int32": INTEGER,
+        "int64": BIGINT,
+        "any": ANY,
+    }
+)
+
+
+@dataclass(frozen=True)
+class TypeReference(AsterixType):
+    """A by-name reference to a named type, resolved via the registry."""
+
+    ref_name: str
+
+    @property
+    def name(self):
+        return self.ref_name
+
+    def validate(self, value, registry=None, path="$"):
+        if registry is None:
+            raise TypeError_(f"{path}: cannot resolve type {self.ref_name}")
+        registry.resolve(self.ref_name).validate(value, registry, path)
+
+    def __repr__(self):
+        return self.ref_name
+
+
+@dataclass(frozen=True)
+class Field:
+    """One declared field of an object type."""
+
+    name: str
+    type: AsterixType
+    optional: bool = False
+
+    def __repr__(self):
+        opt = "?" if self.optional else ""
+        return f"{self.name}: {self.type!r}{opt}"
+
+
+@dataclass(frozen=True, repr=False)
+class ObjectType(AsterixType):
+    """A (possibly open) object type: Fig. 3(a)'s CREATE TYPE bodies."""
+
+    name: str
+    fields: tuple
+    is_open: bool = True
+
+    def field_map(self) -> dict:
+        return {f.name: f for f in self.fields}
+
+    def field_type(self, name: str) -> AsterixType | None:
+        for f in self.fields:
+            if f.name == name:
+                return f.type
+        return None
+
+    def validate(self, value, registry=None, path="$"):
+        if not isinstance(value, dict):
+            raise TypeError_(
+                f"{path}: {type(value).__name__} where object {self.name} "
+                f"required"
+            )
+        declared = self.field_map()
+        for f in self.fields:
+            v = value.get(f.name, MISSING)
+            if v is MISSING:
+                if not f.optional:
+                    raise TypeError_(
+                        f"{path}.{f.name}: missing required field"
+                    )
+                continue
+            if v is None and f.optional:
+                continue
+            f.type.validate(v, registry, f"{path}.{f.name}")
+        if not self.is_open:
+            extra = [k for k in value if k not in declared
+                     and value[k] is not MISSING]
+            if extra:
+                raise TypeError_(
+                    f"{path}: closed type {self.name} forbids extra "
+                    f"field(s) {sorted(extra)}"
+                )
+
+    def __repr__(self):
+        kind = "" if self.is_open else "CLOSED "
+        body = ", ".join(repr(f) for f in self.fields)
+        return f"{kind}{self.name}{{{body}}}"
+
+
+@dataclass(frozen=True, repr=False)
+class OrderedListType(AsterixType):
+    """``[T]``: an ordered list whose items are instances of T."""
+
+    item: AsterixType
+
+    @property
+    def name(self):
+        return f"[{self.item!r}]"
+
+    def validate(self, value, registry=None, path="$"):
+        if not isinstance(value, list) or isinstance(value, Multiset):
+            raise TypeError_(f"{path}: {type(value).__name__} where "
+                             f"ordered list required")
+        for i, v in enumerate(value):
+            self.item.validate(v, registry, f"{path}[{i}]")
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class MultisetType(AsterixType):
+    """``{{T}}``: an unordered list (bag) whose items are instances of T."""
+
+    item: AsterixType
+
+    @property
+    def name(self):
+        return f"{{{{{self.item!r}}}}}"
+
+    def validate(self, value, registry=None, path="$"):
+        if not isinstance(value, (list, Multiset)):
+            raise TypeError_(f"{path}: {type(value).__name__} where "
+                             f"multiset required")
+        for i, v in enumerate(value):
+            self.item.validate(v, registry, f"{path}{{{i}}}")
+
+    def __repr__(self):
+        return self.name
+
+
+class TypeRegistry:
+    """Named-type namespace for one dataverse.
+
+    Named types may reference each other by name (``employment:
+    [EmploymentType]``); resolution happens lazily at validation time so
+    declaration order does not matter.
+    """
+
+    def __init__(self):
+        self._types: dict[str, AsterixType] = {}
+
+    def add(self, dtype: AsterixType) -> None:
+        self._types[dtype.name] = dtype
+
+    def remove(self, name: str) -> None:
+        self._types.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types or name in BUILTIN_TYPES
+
+    def names(self):
+        return sorted(self._types)
+
+    def resolve(self, name: str) -> AsterixType:
+        if name in self._types:
+            return self._types[name]
+        if name in BUILTIN_TYPES:
+            return BUILTIN_TYPES[name]
+        raise UnknownEntityError(f"unknown type: {name}")
+
+    def validate(self, value, type_name: str) -> None:
+        self.resolve(type_name).validate(value, self)

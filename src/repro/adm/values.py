@@ -1,0 +1,616 @@
+"""The ADM value universe.
+
+ADM (the ASTERIX Data Model) is JSON extended with object-database concepts
+(paper Section III, feature 1): beyond JSON's null/boolean/number/string/
+array/object it adds a MISSING value, fixed-width integers, binary, UUID,
+temporal values (date, time, datetime, duration, interval), simple
+"Google-map style" spatial values (point, line, rectangle, circle, polygon),
+and an unordered-list (multiset) constructor written ``{{ ... }}``.
+
+Representation choices (pragmatic, documented in DESIGN.md):
+
+* ``MISSING`` is a singleton sentinel; SQL++ distinguishes it from ``null``.
+* null is Python ``None``; booleans are Python ``bool``.
+* All integers are Python ``int`` at runtime and tagged ``BIGINT``; declared
+  narrower types (int8/16/32) are enforced as range constraints by the type
+  system rather than distinct runtime classes.
+* floats are Python ``float`` (tagged ``DOUBLE``); strings are ``str``;
+  binary is ``bytes``; UUIDs are :class:`uuid.UUID`.
+* Temporal and spatial values are small frozen dataclasses defined here.
+* Ordered lists are Python ``list``; multisets are :class:`Multiset` (a list
+  subclass with bag equality); objects are Python ``dict`` with string keys.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+import math
+import re
+import uuid as _uuid
+from dataclasses import dataclass
+
+from repro.common.errors import InvalidArgumentError
+
+
+class Missing:
+    """The SQL++ MISSING value: a field access that found no field.
+
+    There is exactly one instance, :data:`MISSING`.  It is distinct from
+    null: ``SELECT r.nosuchfield`` produces an object with *no* field at all,
+    whereas a null field is present with value null.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "MISSING"
+
+    def __bool__(self):
+        return False
+
+    def __reduce__(self):
+        return (Missing, ())
+
+
+MISSING = Missing()
+
+
+class TypeTag(enum.IntEnum):
+    """Serialization/tag order for ADM values.
+
+    The integer order of the tags defines the cross-type total order used by
+    index keys and ORDER BY (see :mod:`repro.adm.comparators`); numeric
+    values compare by value regardless of INT/DOUBLE tag.
+    """
+
+    MISSING = 0
+    NULL = 1
+    BOOLEAN = 2
+    TINYINT = 3
+    SMALLINT = 4
+    INTEGER = 5
+    BIGINT = 6
+    FLOAT = 7
+    DOUBLE = 8
+    STRING = 9
+    BINARY = 10
+    UUID = 11
+    DATE = 12
+    TIME = 13
+    DATETIME = 14
+    DURATION = 15
+    INTERVAL = 16
+    POINT = 17
+    LINE = 18
+    RECTANGLE = 19
+    CIRCLE = 20
+    POLYGON = 21
+    ARRAY = 22
+    MULTISET = 23
+    OBJECT = 24
+
+
+_NUMERIC_TAGS = frozenset(
+    {
+        TypeTag.TINYINT,
+        TypeTag.SMALLINT,
+        TypeTag.INTEGER,
+        TypeTag.BIGINT,
+        TypeTag.FLOAT,
+        TypeTag.DOUBLE,
+    }
+)
+
+
+def is_numeric_tag(tag: TypeTag) -> bool:
+    return tag in _NUMERIC_TAGS
+
+
+# --- temporal values -------------------------------------------------------
+
+_MILLIS_PER_DAY = 86_400_000
+
+
+@dataclass(frozen=True, order=True)
+class ADate:
+    """An ADM date: days since the Unix epoch (1970-01-01)."""
+
+    days: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ADate":
+        try:
+            d = _dt.date.fromisoformat(text.strip())
+        except ValueError as exc:
+            raise InvalidArgumentError(f"invalid date: {text!r}") from exc
+        return cls((d - _dt.date(1970, 1, 1)).days)
+
+    def to_date(self) -> _dt.date:
+        return _dt.date(1970, 1, 1) + _dt.timedelta(days=self.days)
+
+    def __str__(self):
+        return self.to_date().isoformat()
+
+    def __repr__(self):
+        return f'date("{self}")'
+
+
+@dataclass(frozen=True, order=True)
+class ATime:
+    """An ADM time of day: milliseconds since midnight."""
+
+    millis: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ATime":
+        try:
+            t = _dt.time.fromisoformat(text.strip())
+        except ValueError as exc:
+            raise InvalidArgumentError(f"invalid time: {text!r}") from exc
+        millis = ((t.hour * 60 + t.minute) * 60 + t.second) * 1000
+        millis += t.microsecond // 1000
+        return cls(millis)
+
+    def __str__(self):
+        ms = self.millis
+        h, ms = divmod(ms, 3_600_000)
+        m, ms = divmod(ms, 60_000)
+        s, ms = divmod(ms, 1000)
+        base = f"{h:02d}:{m:02d}:{s:02d}"
+        return f"{base}.{ms:03d}" if ms else base
+
+    def __repr__(self):
+        return f'time("{self}")'
+
+
+@dataclass(frozen=True, order=True)
+class ADateTime:
+    """An ADM datetime: milliseconds since the Unix epoch (UTC)."""
+
+    millis: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ADateTime":
+        text = text.strip()
+        if text.endswith("Z"):
+            text = text[:-1]
+        try:
+            dt = _dt.datetime.fromisoformat(text)
+        except ValueError as exc:
+            raise InvalidArgumentError(f"invalid datetime: {text!r}") from exc
+        if dt.tzinfo is not None:
+            dt = dt.astimezone(_dt.timezone.utc).replace(tzinfo=None)
+        delta = dt - _dt.datetime(1970, 1, 1)
+        millis = (delta.days * _MILLIS_PER_DAY + delta.seconds * 1000
+                  + delta.microseconds // 1000)
+        return cls(millis)
+
+    @classmethod
+    def from_parts(cls, date: ADate, time: ATime) -> "ADateTime":
+        return cls(date.days * _MILLIS_PER_DAY + time.millis)
+
+    def date_part(self) -> ADate:
+        return ADate(self.millis // _MILLIS_PER_DAY)
+
+    def time_part(self) -> ATime:
+        return ATime(self.millis % _MILLIS_PER_DAY)
+
+    def __str__(self):
+        return f"{self.date_part()}T{self.time_part()}"
+
+    def __repr__(self):
+        return f'datetime("{self}")'
+
+
+_DURATION_RE = re.compile(
+    r"^(-)?P(?:(\d+)Y)?(?:(\d+)M)?(?:(\d+)D)?"
+    r"(?:T(?:(\d+)H)?(?:(\d+)M)?(?:(\d+(?:\.\d+)?)S)?)?$"
+)
+
+
+@dataclass(frozen=True)
+class ADuration:
+    """An ADM duration: a (months, milliseconds) pair, ISO-8601 style.
+
+    Durations with a month component are not totally ordered against ones
+    with day/time components (how long is a month?), so ADuration compares
+    by the (months, millis) pair lexicographically — the same pragmatic
+    choice AsterixDB makes for its duration ordering.
+    """
+
+    months: int
+    millis: int
+
+    @classmethod
+    def parse(cls, text: str) -> "ADuration":
+        m = _DURATION_RE.match(text.strip())
+        if not m or text.strip() in ("P", "-P"):
+            raise InvalidArgumentError(f"invalid duration: {text!r}")
+        neg, years, months, days, hours, minutes, seconds = m.groups()
+        total_months = int(years or 0) * 12 + int(months or 0)
+        millis = int(days or 0) * _MILLIS_PER_DAY
+        millis += int(hours or 0) * 3_600_000
+        millis += int(minutes or 0) * 60_000
+        millis += int(float(seconds or 0) * 1000)
+        if neg:
+            total_months, millis = -total_months, -millis
+        return cls(total_months, millis)
+
+    def __lt__(self, other: "ADuration"):
+        return (self.months, self.millis) < (other.months, other.millis)
+
+    def __str__(self):
+        months, millis = self.months, self.millis
+        sign = ""
+        if months < 0 or millis < 0:
+            sign, months, millis = "-", abs(months), abs(millis)
+        y, mo = divmod(months, 12)
+        days, rest = divmod(millis, _MILLIS_PER_DAY)
+        h, rest = divmod(rest, 3_600_000)
+        mi, rest = divmod(rest, 60_000)
+        s = rest / 1000
+        out = sign + "P"
+        if y:
+            out += f"{y}Y"
+        if mo:
+            out += f"{mo}M"
+        if days:
+            out += f"{days}D"
+        if h or mi or s:
+            out += "T"
+            if h:
+                out += f"{h}H"
+            if mi:
+                out += f"{mi}M"
+            if s:
+                out += f"{s:g}S"
+        if out in ("P", "-P"):
+            out += "T0S"
+        return out
+
+    def __repr__(self):
+        return f'duration("{self}")'
+
+
+@dataclass(frozen=True, order=True)
+class AInterval:
+    """A half-open interval over date/time/datetime chronons.
+
+    ``tag`` records which temporal type the endpoints came from so interval
+    functions can reconstruct typed endpoints.
+    """
+
+    start: int
+    end: int
+    tag: TypeTag = TypeTag.DATETIME
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise InvalidArgumentError(
+                f"interval end {self.end} before start {self.start}"
+            )
+
+    def overlaps(self, other: "AInterval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self):
+        return f"interval({self.start}, {self.end})"
+
+
+# --- spatial values ---------------------------------------------------------
+
+@dataclass(frozen=True, order=True)
+class APoint:
+    """A 2D point (paper: 'simple (Googlemap style) spatial attributes')."""
+
+    x: float
+    y: float
+
+    @classmethod
+    def parse(cls, text: str) -> "APoint":
+        try:
+            xs, ys = text.split(",")
+            return cls(float(xs), float(ys))
+        except ValueError as exc:
+            raise InvalidArgumentError(f"invalid point: {text!r}") from exc
+
+    def distance(self, other: "APoint") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __repr__(self):
+        return f'point("{self.x:g},{self.y:g}")'
+
+
+@dataclass(frozen=True, order=True)
+class ALine:
+    """A 2D line segment."""
+
+    p1: APoint
+    p2: APoint
+
+    def __repr__(self):
+        return f'line("{self.p1.x:g},{self.p1.y:g} {self.p2.x:g},{self.p2.y:g}")'
+
+
+@dataclass(frozen=True, order=True)
+class ARectangle:
+    """An axis-aligned rectangle given by bottom-left and top-right points."""
+
+    bottom_left: APoint
+    top_right: APoint
+
+    def __post_init__(self):
+        bl, tr = self.bottom_left, self.top_right
+        if tr.x < bl.x or tr.y < bl.y:
+            raise InvalidArgumentError(
+                f"rectangle corners out of order: {bl!r}, {tr!r}"
+            )
+
+    def contains_point(self, p: APoint) -> bool:
+        return (
+            self.bottom_left.x <= p.x <= self.top_right.x
+            and self.bottom_left.y <= p.y <= self.top_right.y
+        )
+
+    def intersects(self, other: "ARectangle") -> bool:
+        return not (
+            other.bottom_left.x > self.top_right.x
+            or other.top_right.x < self.bottom_left.x
+            or other.bottom_left.y > self.top_right.y
+            or other.top_right.y < self.bottom_left.y
+        )
+
+    def __repr__(self):
+        bl, tr = self.bottom_left, self.top_right
+        return f'rectangle("{bl.x:g},{bl.y:g} {tr.x:g},{tr.y:g}")'
+
+
+@dataclass(frozen=True, order=True)
+class ACircle:
+    """A circle given by center point and radius."""
+
+    center: APoint
+    radius: float
+
+    def contains_point(self, p: APoint) -> bool:
+        return self.center.distance(p) <= self.radius
+
+    def mbr(self) -> ARectangle:
+        c, r = self.center, self.radius
+        return ARectangle(APoint(c.x - r, c.y - r), APoint(c.x + r, c.y + r))
+
+    def __repr__(self):
+        return f'circle("{self.center.x:g},{self.center.y:g} {self.radius:g}")'
+
+
+@dataclass(frozen=True)
+class APolygon:
+    """A simple polygon given by its vertices (at least three)."""
+
+    points: tuple
+
+    def __post_init__(self):
+        if len(self.points) < 3:
+            raise InvalidArgumentError("polygon needs at least 3 points")
+
+    def mbr(self) -> ARectangle:
+        xs = [p.x for p in self.points]
+        ys = [p.y for p in self.points]
+        return ARectangle(APoint(min(xs), min(ys)), APoint(max(xs), max(ys)))
+
+    def contains_point(self, p: APoint) -> bool:
+        """Ray-casting point-in-polygon test (boundary counts as inside)."""
+        inside = False
+        pts = self.points
+        n = len(pts)
+        for i in range(n):
+            a, b = pts[i], pts[(i + 1) % n]
+            if _on_segment(a, b, p):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def __lt__(self, other: "APolygon"):
+        return self.points < other.points
+
+    def __repr__(self):
+        coords = " ".join(f"{p.x:g},{p.y:g}" for p in self.points)
+        return f'polygon("{coords}")'
+
+
+def _on_segment(a: APoint, b: APoint, p: APoint) -> bool:
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if abs(cross) > 1e-9:
+        return False
+    return (
+        min(a.x, b.x) - 1e-9 <= p.x <= max(a.x, b.x) + 1e-9
+        and min(a.y, b.y) - 1e-9 <= p.y <= max(a.y, b.y) + 1e-9
+    )
+
+
+# --- collections -------------------------------------------------------------
+
+class Multiset(list):
+    """An ADM unordered list (``{{ ... }}``): a bag with order-insensitive
+    equality.  Fig. 3(a)'s ``friendIds: {{ int }}`` is one of these."""
+
+    def __eq__(self, other):
+        if isinstance(other, Multiset):
+            return _bag_key(self) == _bag_key(other)
+        if isinstance(other, list):
+            return False  # a bag is never equal to an ordered list
+        return NotImplemented
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    __hash__ = None
+
+    def __repr__(self):
+        return "{{" + ", ".join(repr(x) for x in self) + "}}"
+
+
+def _bag_key(items) -> list:
+    from repro.adm.comparators import sort_key
+
+    return sorted((sort_key(x) for x in items))
+
+
+# --- tagging and hashing ------------------------------------------------------
+
+_TAG_BY_CLASS = {
+    bool: TypeTag.BOOLEAN,
+    int: TypeTag.BIGINT,
+    float: TypeTag.DOUBLE,
+    str: TypeTag.STRING,
+    bytes: TypeTag.BINARY,
+    _uuid.UUID: TypeTag.UUID,
+    ADate: TypeTag.DATE,
+    ATime: TypeTag.TIME,
+    ADateTime: TypeTag.DATETIME,
+    ADuration: TypeTag.DURATION,
+    AInterval: TypeTag.INTERVAL,
+    APoint: TypeTag.POINT,
+    ALine: TypeTag.LINE,
+    ARectangle: TypeTag.RECTANGLE,
+    ACircle: TypeTag.CIRCLE,
+    APolygon: TypeTag.POLYGON,
+    Multiset: TypeTag.MULTISET,
+    list: TypeTag.ARRAY,
+    dict: TypeTag.OBJECT,
+}
+
+
+def tag_of(value) -> TypeTag:
+    """Return the :class:`TypeTag` of a runtime ADM value."""
+    if value is MISSING:
+        return TypeTag.MISSING
+    if value is None:
+        return TypeTag.NULL
+    # bool must be checked before int (bool is an int subclass); Multiset
+    # before list for the same reason.
+    if isinstance(value, bool):
+        return TypeTag.BOOLEAN
+    if isinstance(value, Multiset):
+        return TypeTag.MULTISET
+    tag = _TAG_BY_CLASS.get(type(value))
+    if tag is not None:
+        return tag
+    if isinstance(value, int):
+        return TypeTag.BIGINT
+    if isinstance(value, float):
+        return TypeTag.DOUBLE
+    if isinstance(value, list):
+        return TypeTag.ARRAY
+    if isinstance(value, dict):
+        return TypeTag.OBJECT
+    raise InvalidArgumentError(f"not an ADM value: {value!r} ({type(value)})")
+
+
+def hash_value(value, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of an ADM value, used for hash partitioning
+    (paper: 'primary key-based hash partitioning of all datasets') and hash
+    joins/aggregation.  FNV-1a over the value's canonical byte string so it
+    is stable across processes and runs.
+    """
+    h = (0xCBF29CE484222325 ^ seed) & 0xFFFFFFFFFFFFFFFF
+    for b in _canonical_bytes(value):
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def canonical_bytes(value) -> bytes:
+    """A byte string equal for ADM-equal values (1 and 1.0 agree; multiset
+    order is normalized; MISSING fields are dropped).  The basis for
+    hashing and for value-identity sets (DISTINCT, array_distinct)."""
+    return _canonical_bytes(value)
+
+
+def _canonical_bytes(value) -> bytes:
+    if isinstance(value, tuple):
+        # composite keys (PKs, connector keys) hash as field sequences
+        return b"\xfe" + b"\x00".join(_canonical_bytes(v) for v in value)
+    tag = tag_of(value)
+    head = bytes([tag])
+    if tag in (TypeTag.MISSING, TypeTag.NULL):
+        return head
+    if tag is TypeTag.BOOLEAN:
+        return head + (b"\x01" if value else b"\x00")
+    if is_numeric_tag(tag):
+        # ints and equal-valued floats hash identically (1 == 1.0 in ADM)
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if isinstance(value, int):
+            return b"\x06" + value.to_bytes(16, "big", signed=True)
+        import struct
+
+        return b"\x08" + struct.pack(">d", value)
+    if tag is TypeTag.STRING:
+        return head + value.encode("utf-8")
+    if tag is TypeTag.BINARY:
+        return head + value
+    if tag is TypeTag.UUID:
+        return head + value.bytes
+    if tag in (TypeTag.DATE, TypeTag.TIME, TypeTag.DATETIME):
+        chronon = getattr(value, "days", None)
+        if chronon is None:
+            chronon = value.millis
+        return head + chronon.to_bytes(8, "big", signed=True)
+    if tag is TypeTag.DURATION:
+        return (
+            head
+            + value.months.to_bytes(8, "big", signed=True)
+            + value.millis.to_bytes(8, "big", signed=True)
+        )
+    if tag is TypeTag.INTERVAL:
+        return (
+            head
+            + value.start.to_bytes(8, "big", signed=True)
+            + value.end.to_bytes(8, "big", signed=True)
+        )
+    if tag in (
+        TypeTag.POINT,
+        TypeTag.LINE,
+        TypeTag.RECTANGLE,
+        TypeTag.CIRCLE,
+        TypeTag.POLYGON,
+    ):
+        return head + repr(value).encode("utf-8")
+    if tag is TypeTag.ARRAY:
+        out = [head]
+        out.extend(_canonical_bytes(x) + b"\x00" for x in value)
+        return b"".join(out)
+    if tag is TypeTag.MULTISET:
+        parts = sorted(_canonical_bytes(x) for x in value)
+        return head + b"\x00".join(parts)
+    if tag is TypeTag.OBJECT:
+        out = [head]
+        for k in sorted(value):
+            v = value[k]
+            if v is MISSING:
+                continue
+            out.append(k.encode("utf-8") + b"\x01" + _canonical_bytes(v))
+        return b"\x00".join(out)
+    raise InvalidArgumentError(f"unhashable ADM value: {value!r}")
+
+
+def deep_copy(value):
+    """Structural copy of an ADM value (scalars are immutable and shared)."""
+    if isinstance(value, Multiset):
+        return Multiset(deep_copy(x) for x in value)
+    if isinstance(value, list):
+        return [deep_copy(x) for x in value]
+    if isinstance(value, dict):
+        return {k: deep_copy(v) for k, v in value.items()}
+    return value

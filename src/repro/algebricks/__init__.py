@@ -1,0 +1,57 @@
+"""Algebricks: the rule-based, data-partition-aware compiler framework."""
+
+from repro.algebricks import logical
+from repro.algebricks.expressions import (
+    LCall,
+    LCase,
+    LCollCtor,
+    LConst,
+    LExpr,
+    LLambdaVar,
+    LObjCtor,
+    LQuant,
+    LVar,
+    conjuncts,
+    fold_constants,
+    free_vars,
+    make_conjunction,
+    substitute,
+    to_runtime,
+    transform,
+)
+from repro.algebricks.jobgen import JobGenerator, Stream, compile_plan
+from repro.algebricks.rules import (
+    MetadataView,
+    OptimizerContext,
+    explain,
+    optimize,
+    plan_signature,
+)
+
+__all__ = [
+    "JobGenerator",
+    "LCall",
+    "LCase",
+    "LCollCtor",
+    "LConst",
+    "LExpr",
+    "LLambdaVar",
+    "LObjCtor",
+    "LQuant",
+    "LVar",
+    "MetadataView",
+    "OptimizerContext",
+    "Stream",
+    "compile_plan",
+    "conjuncts",
+    "explain",
+    "fold_constants",
+    "free_vars",
+    "logical",
+    "make_conjunction",
+    "optimize",
+    "plan_signature",
+    "substitute",
+    "to_runtime",
+    "transform",
+]

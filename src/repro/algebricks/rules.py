@@ -1,0 +1,636 @@
+"""The rule-based rewriter (paper Fig. 5: "rewrite rules" boxes).
+
+Rules are functions ``(op, ctx) -> (op, changed)`` applied bottom-up to a
+fixpoint.  The headline rewrites:
+
+* constant folding (Fig. 3(c)'s WITH clause becomes two constants),
+* conjunction splitting + select pushdown (filters sink toward sources,
+  through assigns, unnests, and into join branches),
+* join-condition extraction (cross joins + equality selects become
+  equi-joins the physical layer can hash),
+* access-method introduction (select-over-scan becomes a primary-index
+  range search or a secondary B+ tree / R-tree / inverted index search —
+  the paper's feature 8 meeting its feature 3),
+* limit-into-order pushdown (top-K sort),
+* dead-assign removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebricks.expressions import (
+    LCall,
+    LConst,
+    LVar,
+    conjuncts,
+    fold_constants,
+    free_vars,
+    make_conjunction,
+)
+from repro.algebricks.logical import (
+    Assign,
+    DataSourceScan,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalOp,
+    Order,
+    PrimaryIndexSearch,
+    SecondaryIndexSearch,
+    Select,
+    Unnest,
+    walk,
+)
+
+
+@dataclass
+class OptimizerContext:
+    """What rules may consult: the catalog view and feature switches."""
+
+    metadata: object                  # MetadataView protocol (see below)
+    enable_index_access: bool = True
+    next_var: object = None           # callable allocating fresh variables
+
+
+class MetadataView:
+    """The catalog interface rules consult.
+
+    ``pk_fields(dataset)``, ``secondary_indexes(dataset)`` (list of
+    SecondaryIndexSpec), ``is_external(dataset)``."""
+
+    def pk_fields(self, dataset: str) -> tuple:
+        raise NotImplementedError
+
+    def secondary_indexes(self, dataset: str) -> list:
+        raise NotImplementedError
+
+    def is_external(self, dataset: str) -> bool:
+        raise NotImplementedError
+
+
+# --- rule helpers -------------------------------------------------------------
+
+def _replace_inputs(op: LogicalOp, new_inputs: list) -> LogicalOp:
+    op.inputs = new_inputs
+    return op
+
+
+# --- individual rules ------------------------------------------------------------
+
+def rule_fold_constants(op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
+    changed = False
+    if isinstance(op, Select):
+        folded = fold_constants(op.condition)
+        changed = repr(folded) != repr(op.condition)
+        op.condition = folded
+    elif isinstance(op, Assign):
+        folded = fold_constants(op.expr)
+        changed = repr(folded) != repr(op.expr)
+        op.expr = folded
+    elif isinstance(op, Join):
+        folded = fold_constants(op.condition)
+        changed = repr(folded) != repr(op.condition)
+        op.condition = folded
+    return op, changed
+
+
+def rule_break_select_conjunctions(op, ctx):
+    if not isinstance(op, Select):
+        return op, False
+    parts = conjuncts(op.condition)
+    if len(parts) <= 1:
+        return op, False
+    child = op.inputs[0]
+    for part in reversed(parts):
+        child = Select(part, inputs=[child])
+    return child, True
+
+
+def rule_remove_true_selects(op, ctx):
+    if isinstance(op, Select) and isinstance(op.condition, LConst) \
+            and op.condition.value is True:
+        return op.inputs[0], True
+    return op, False
+
+
+def rule_push_select_down(op, ctx):
+    """Push one Select one step down when legal."""
+    if not isinstance(op, Select):
+        return op, False
+    child = op.inputs[0]
+    needed = free_vars(op.condition)
+    if isinstance(child, Assign) and child.var not in needed:
+        # select(assign(x)) -> assign(select(x))
+        op.inputs = child.inputs
+        child.inputs = [op]
+        return child, True
+    if isinstance(child, Unnest):
+        produced = {child.var}
+        if child.positional_var is not None:
+            produced.add(child.positional_var)
+        if not needed & produced:
+            op.inputs = child.inputs
+            child.inputs = [op]
+            return child, True
+    if isinstance(child, Order) and child.topk is None:
+        op.inputs = child.inputs
+        child.inputs = [op]
+        return child, True
+    if isinstance(child, Join):
+        left_schema = set(child.child_schema(0))
+        right_schema = set(child.child_schema(1))
+        if needed <= left_schema:
+            op.inputs = [child.inputs[0]]
+            child.inputs[0] = op
+            return child, True
+        if needed <= right_schema and child.kind == "inner":
+            op.inputs = [child.inputs[1]]
+            child.inputs[1] = op
+            return child, True
+    return op, False
+
+
+def rule_selects_into_join_condition(op, ctx):
+    """A Select stuck above a join (references both sides) becomes part of
+    the join condition, enabling equi-join detection in the physical
+    layer."""
+    if not isinstance(op, Select):
+        return op, False
+    child = op.inputs[0]
+    if not isinstance(child, Join) or child.kind not in ("inner",):
+        return op, False
+    needed = free_vars(op.condition)
+    left = set(child.child_schema(0))
+    right = set(child.child_schema(1))
+    if needed <= left or needed <= right:
+        return op, False  # pushdown rule will handle it
+    if not needed <= (left | right):
+        return op, False
+    parts = conjuncts(child.condition)
+    if len(parts) == 1 and isinstance(parts[0], LConst) \
+            and parts[0].value is True:
+        parts = []
+    parts.append(op.condition)
+    child.condition = make_conjunction(parts)
+    return child, True
+
+
+def rule_push_limit_into_order(op, ctx):
+    if not isinstance(op, Limit) or op.count is None:
+        return op, False
+    child = op.inputs[0]
+    if isinstance(child, Order) and child.topk is None:
+        child.topk = op.count + op.offset
+        return op, True
+    return op, False
+
+
+# --- access-method rules -------------------------------------------------------
+
+def _field_env(op: LogicalOp) -> tuple[LogicalOp, dict]:
+    """Descend through Assigns, building var -> defining-expr; returns the
+    operator below the assign chain and the environment."""
+    env: dict = {}
+    while isinstance(op, Assign):
+        env[op.var] = op.expr
+        op = op.inputs[0]
+    return op, env
+
+
+def _resolve(expr, env, depth=0):
+    """Chase variables through the assign environment (bounded)."""
+    while isinstance(expr, LVar) and expr.var in env and depth < 16:
+        expr = env[expr.var]
+        depth += 1
+    return expr
+
+
+def _as_field_access(expr, env, record_var: int):
+    """If expr is record.field (possibly via assigns), return field name."""
+    expr = _resolve(expr, env)
+    if (isinstance(expr, LCall) and expr.name == "field_access"
+            and len(expr.args) == 2):
+        base = _resolve(expr.args[0], env)
+        name = expr.args[1]
+        if isinstance(base, LVar) and base.var == record_var \
+                and isinstance(name, LConst):
+            return name.value
+    return None
+
+
+_CMP_BOUNDS = {
+    "eq": ("lo", "hi", True, True),
+    "lt": (None, "hi", True, False),
+    "le": (None, "hi", True, True),
+    "gt": ("lo", None, False, True),
+    "ge": ("lo", None, True, True),
+}
+
+_CMP_SWAP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq"}
+
+
+def _sargable(cond, env, record_var):
+    """Match field CMP const (either side); returns (field, cmp, const)."""
+    cond = _resolve(cond, env)
+    if not isinstance(cond, LCall) or cond.name not in _CMP_BOUNDS:
+        return None
+    a, b = cond.args
+    fa = _as_field_access(a, env, record_var)
+    rb = _resolve(b, env)
+    if fa is not None and isinstance(rb, LConst):
+        return fa, cond.name, rb.value
+    fb = _as_field_access(b, env, record_var)
+    ra = _resolve(a, env)
+    if fb is not None and isinstance(ra, LConst):
+        return fb, _CMP_SWAP[cond.name], ra.value
+    return None
+
+
+def rule_introduce_secondary_index(op, ctx):
+    """Select chain over (assigns over) a DataSourceScan with a matching
+    secondary index -> SecondaryIndexSearch (+ residual selects)."""
+    if not ctx.enable_index_access or not isinstance(op, Select):
+        return op, False
+    # gather the select chain
+    selects = []
+    cursor = op
+    while isinstance(cursor, Select):
+        selects.append(cursor)
+        cursor = cursor.inputs[0]
+    below, env = _field_env(cursor)
+    if not isinstance(below, DataSourceScan):
+        return op, False
+    scan = below
+    specs = ctx.metadata.secondary_indexes(scan.dataset)
+    if not specs:
+        return op, False
+
+    # 1) B+ tree indexes: accumulate bounds per indexed field, always
+    # keeping the *tightest* bound (multiple predicates on one field
+    # intersect: age >= 27 AND age = 55 is the point [55, 55])
+    from repro.adm.comparators import compare as _cmp
+
+    bounds: dict = {}
+    consumed: dict = {}
+    for sel in selects:
+        hit = _sargable(sel.condition, env, scan.record_var)
+        if hit is None:
+            continue
+        f, cmp_name, const = hit
+        lo_k, hi_k, _, _ = _CMP_BOUNDS[cmp_name]
+        entry = bounds.setdefault(
+            f, {"lo": None, "hi": None, "lo_inc": True, "hi_inc": True}
+        )
+        if lo_k:
+            inclusive = cmp_name != "gt"
+            if (entry["lo"] is None
+                    or _cmp(const, entry["lo"]) > 0
+                    or (_cmp(const, entry["lo"]) == 0
+                        and not inclusive)):
+                entry["lo"] = const
+                entry["lo_inc"] = inclusive
+        if hi_k:
+            inclusive = cmp_name != "lt"
+            if (entry["hi"] is None
+                    or _cmp(const, entry["hi"]) < 0
+                    or (_cmp(const, entry["hi"]) == 0
+                        and not inclusive)):
+                entry["hi"] = const
+                entry["hi_inc"] = inclusive
+        consumed.setdefault(f, []).append(sel)
+
+    # Prefer the index that consumes the most predicates (composite-key
+    # indexes match an equality prefix plus one trailing range).
+    best = None
+    for spec in specs:
+        if spec.kind != "btree":
+            continue
+        lo_vals, hi_vals = [], []
+        lo_inc = hi_inc = True
+        used_fields = []
+        for f in spec.fields:
+            b = bounds.get(f)
+            if b is None or (b["lo"] is None and b["hi"] is None):
+                break
+            is_eq = (b["lo"] is not None and b["hi"] is not None
+                     and _cmp(b["lo"], b["hi"]) == 0
+                     and b["lo_inc"] and b["hi_inc"])
+            if is_eq:
+                lo_vals.append(b["lo"])
+                hi_vals.append(b["hi"])
+                used_fields.append(f)
+                continue
+            # a range component ends the match (later fields can't bound)
+            if b["lo"] is not None:
+                lo_vals.append(b["lo"])
+                lo_inc = b["lo_inc"]
+            if b["hi"] is not None:
+                hi_vals.append(b["hi"])
+                hi_inc = b["hi_inc"]
+            used_fields.append(f)
+            break
+        if not used_fields:
+            continue
+        if best is None or len(used_fields) > len(best[1]):
+            best = (spec, used_fields, lo_vals, hi_vals, lo_inc, hi_inc)
+    if best is not None:
+        spec, used_fields, lo_vals, hi_vals, lo_inc, hi_inc = best
+        search = SecondaryIndexSearch(
+            dataset=scan.dataset, index_name=spec.name,
+            index_kind="btree", pk_vars=list(scan.pk_vars),
+            record_var=scan.record_var,
+            lo=[LConst(v) for v in lo_vals] or None,
+            hi=[LConst(v) for v in hi_vals] or None,
+            lo_inclusive=lo_inc, hi_inclusive=hi_inc,
+        )
+        all_consumed = []
+        for f in used_fields:
+            all_consumed.extend(consumed.get(f, ()))
+        return _rebuild_chain(op, selects, all_consumed, cursor,
+                              scan, search), True
+
+    # 2) R-tree: spatial_intersect(record.field, const window)
+    for sel in selects:
+        cond = _resolve(sel.condition, env)
+        if not (isinstance(cond, LCall)
+                and cond.name == "spatial_intersect"):
+            continue
+        for a, b in ((cond.args[0], cond.args[1]),
+                     (cond.args[1], cond.args[0])):
+            f = _as_field_access(a, env, scan.record_var)
+            w = _resolve(b, env)
+            if f is None or not isinstance(w, LConst):
+                continue
+            for spec in specs:
+                if spec.kind == "rtree" and spec.fields == (f,):
+                    search = SecondaryIndexSearch(
+                        dataset=scan.dataset, index_name=spec.name,
+                        index_kind="rtree", pk_vars=list(scan.pk_vars),
+                        record_var=scan.record_var, window=w,
+                    )
+                    # keep the predicate as residual: exact geometry may
+                    # be finer than the index's window test
+                    return _rebuild_chain(op, selects, [], cursor, scan,
+                                          search), True
+
+    # 3) inverted: ftcontains(record.field, const text)
+    for sel in selects:
+        cond = _resolve(sel.condition, env)
+        if not (isinstance(cond, LCall) and cond.name == "ftcontains"):
+            continue
+        f = _as_field_access(cond.args[0], env, scan.record_var)
+        text = _resolve(cond.args[1], env)
+        if f is None or not isinstance(text, LConst):
+            continue
+        for spec in specs:
+            if spec.kind in ("keyword", "ngram") and spec.fields == (f,):
+                search = SecondaryIndexSearch(
+                    dataset=scan.dataset, index_name=spec.name,
+                    index_kind=spec.kind, pk_vars=list(scan.pk_vars),
+                    record_var=scan.record_var, text=text,
+                )
+                return _rebuild_chain(op, selects, [sel], cursor, scan,
+                                      search), True
+
+    return op, False
+
+
+def rule_introduce_primary_index(op, ctx):
+    """Selects on primary-key variables over a scan -> bounded primary
+    search."""
+    if not ctx.enable_index_access or not isinstance(op, Select):
+        return op, False
+    selects = []
+    cursor = op
+    while isinstance(cursor, Select):
+        selects.append(cursor)
+        cursor = cursor.inputs[0]
+    below, env = _field_env(cursor)
+    if not isinstance(below, DataSourceScan) or len(below.pk_vars) != 1:
+        return op, False
+    scan = below
+    pk_var = scan.pk_vars[0]
+    pk_field = ctx.metadata.pk_fields(scan.dataset)[0]
+    lo = hi = None
+    lo_inc = hi_inc = True
+    consumed = []
+    for sel in selects:
+        cond = _resolve(sel.condition, env)
+        if not isinstance(cond, LCall) or cond.name not in _CMP_BOUNDS:
+            continue
+        a, b = cond.args
+        ra, rb = _resolve(a, env), _resolve(b, env)
+
+        def matches_pk(e):
+            if isinstance(e, LVar) and e.var == pk_var:
+                return True
+            return _as_field_access(e, env, scan.record_var) == pk_field
+
+        name = cond.name
+        if matches_pk(ra) and isinstance(rb, LConst):
+            const = rb.value
+        elif matches_pk(rb) and isinstance(ra, LConst):
+            const, name = ra.value, _CMP_SWAP[cond.name]
+        else:
+            continue
+        from repro.adm.comparators import compare as _cmp
+
+        if name in ("eq", "ge", "gt"):
+            inclusive = name != "gt"
+            if (lo is None or _cmp(const, lo) > 0
+                    or (_cmp(const, lo) == 0 and not inclusive)):
+                lo, lo_inc = const, inclusive
+        if name in ("eq", "le", "lt"):
+            inclusive = name != "lt"
+            if (hi is None or _cmp(const, hi) < 0
+                    or (_cmp(const, hi) == 0 and not inclusive)):
+                hi, hi_inc = const, inclusive
+        consumed.append(sel)
+    if lo is None and hi is None:
+        return op, False
+    search = PrimaryIndexSearch(
+        dataset=scan.dataset, pk_vars=list(scan.pk_vars),
+        record_var=scan.record_var,
+        lo=None if lo is None else [LConst(lo)],
+        hi=None if hi is None else [LConst(hi)],
+        lo_inclusive=lo_inc, hi_inclusive=hi_inc,
+    )
+    return _rebuild_chain(op, selects, consumed, cursor, scan, search), True
+
+
+def _rebuild_chain(top, selects, consumed, assign_top, scan, search):
+    """Replace the scan with the index search and drop consumed selects.
+
+    ``assign_top`` is the node just below the select chain (the top of the
+    assign chain, or the scan itself)."""
+    # swap scan -> search at the bottom of the assign chain
+    node = assign_top
+    if node is scan:
+        new_bottom = search
+    else:
+        cursor = node
+        while cursor.inputs[0] is not scan:
+            cursor = cursor.inputs[0]
+        cursor.inputs[0] = search
+        new_bottom = node
+    # rebuild the select chain minus consumed ones
+    consumed_ids = {id(s) for s in consumed}
+    rebuilt = new_bottom
+    for sel in reversed(selects):
+        if id(sel) in consumed_ids:
+            continue
+        sel.inputs = [rebuilt]
+        rebuilt = sel
+    return rebuilt
+
+
+def rule_inline_constant_assigns(op, ctx):
+    """Substitute variables assigned a constant into the operators above
+    and let dead-assign removal drop the assign.  This is what makes the
+    Fig. 3(c) WITH clause (endTime := current_datetime(), startTime :=
+    endTime - P30D) disappear into the comparison predicates."""
+    from repro.algebricks.expressions import substitute
+
+    consts: dict[int, LConst] = {}
+    for node in walk(op):
+        if isinstance(node, Assign) and isinstance(node.expr, LConst):
+            consts[node.var] = node.expr
+    if not consts:
+        return op, False
+    changed = [False]
+
+    def sub_expr(expr):
+        new = substitute(expr, consts)
+        if repr(new) != repr(expr):
+            changed[0] = True
+        return new
+
+    for node in walk(op):
+        if isinstance(node, Select):
+            node.condition = sub_expr(node.condition)
+        elif isinstance(node, Assign) and not isinstance(node.expr, LConst):
+            node.expr = sub_expr(node.expr)
+        elif isinstance(node, Join):
+            node.condition = sub_expr(node.condition)
+        elif isinstance(node, Order):
+            node.pairs = [(sub_expr(e), d) for e, d in node.pairs]
+        elif isinstance(node, GroupBy):
+            node.keys = [(v, sub_expr(e)) for v, e in node.keys]
+            for agg in node.aggregates:
+                agg.argument = sub_expr(agg.argument)
+        elif hasattr(node, "expr") and node.expr is not None \
+                and not isinstance(node, Assign):
+            node.expr = sub_expr(node.expr)
+        elif hasattr(node, "record_expr") and node.record_expr is not None:
+            node.record_expr = sub_expr(node.record_expr)
+        elif hasattr(node, "collection"):
+            node.collection = sub_expr(node.collection)
+    return op, changed[0]
+
+
+def rule_remove_dead_assigns(op, ctx):
+    """Drop Assigns whose variable no operator above uses (one pass from
+    the root; invoked on the root only)."""
+    needed: set[int] = set()
+    changed = [False]
+
+    def visit(node: LogicalOp, needed_above: set[int]) -> LogicalOp:
+        while isinstance(node, Assign) and node.var not in needed_above \
+                and not _assign_needed(node, needed_above):
+            changed[0] = True
+            node = node.inputs[0]
+        here = set(needed_above) | node.used_vars()
+        node.inputs = [visit(child, here) for child in node.inputs]
+        return node
+
+    def _assign_needed(node, needed_above):
+        return node.var in needed_above
+
+    new_root = visit(op, needed)
+    return new_root, changed[0]
+
+
+# --- the driver -----------------------------------------------------------------
+
+# Rule *sets*, applied in sequence like real Algebricks: normalization
+# and pushdown must reach fixpoint before the access-method rules fire —
+# otherwise an index rewrite can trigger while only part of a predicate
+# has sunk to the scan, and the remaining conjuncts lose their chance to
+# become index bounds.
+_NORMALIZE_RULES = [
+    rule_fold_constants,
+    rule_break_select_conjunctions,
+    rule_remove_true_selects,
+    rule_push_select_down,
+    rule_selects_into_join_condition,
+    rule_push_limit_into_order,
+]
+
+# Access-method rules match a *maximal* chain of selects over a scan, so
+# they must be applied top-down (a bottom-up pass would fire on the
+# innermost select first and strand the outer conjuncts as residuals).
+_ACCESS_RULES = [
+    rule_introduce_primary_index,
+    rule_introduce_secondary_index,
+]
+
+
+def optimize(root: LogicalOp, metadata: MetadataView, *,
+             enable_index_access: bool = True,
+             max_passes: int = 12) -> LogicalOp:
+    """Apply the rule sets to fixpoint; returns the rewritten plan."""
+    ctx = OptimizerContext(metadata=metadata,
+                           enable_index_access=enable_index_access)
+    for _ in range(max_passes):
+        for _ in range(max_passes):
+            root, changed = _apply_bottom_up(root, ctx, _NORMALIZE_RULES)
+            root, inlined = rule_inline_constant_assigns(root, ctx)
+            root, dead_changed = rule_remove_dead_assigns(root, ctx)
+            if not (changed or inlined or dead_changed):
+                break
+        root, access_changed = _apply_access_top_down(root, ctx)
+        if not access_changed:
+            break
+    return root
+
+
+def _apply_access_top_down(op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
+    changed = False
+    for rule in _ACCESS_RULES:
+        op, c = rule(op, ctx)
+        changed |= c
+    if changed:
+        # the subtree was restructured; don't descend into stale nodes
+        return op, True
+    new_inputs = []
+    for child in op.inputs:
+        new_child, c = _apply_access_top_down(child, ctx)
+        new_inputs.append(new_child)
+        changed |= c
+    op.inputs = new_inputs
+    return op, changed
+
+
+def _apply_bottom_up(op: LogicalOp, ctx, rules) -> tuple[LogicalOp, bool]:
+    changed = False
+    new_inputs = []
+    for child in op.inputs:
+        new_child, c = _apply_bottom_up(child, ctx, rules)
+        new_inputs.append(new_child)
+        changed |= c
+    op.inputs = new_inputs
+    for rule in rules:
+        op, c = rule(op, ctx)
+        changed |= c
+    return op, changed
+
+
+def explain(root: LogicalOp) -> str:
+    """Readable plan tree (the EXPLAIN output)."""
+    return root.pretty()
+
+
+def plan_signature(root: LogicalOp) -> list[str]:
+    """Operator labels top-down (tests compare plans with this)."""
+    return [type(op).__name__ for op in walk(root)]

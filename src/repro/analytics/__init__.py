@@ -1,0 +1,19 @@
+"""Couchbase Analytics simulation: KV front end + shadow datasets."""
+
+from repro.analytics.kv_store import (
+    Bucket,
+    KVStore,
+    Mutation,
+    MutationKind,
+)
+from repro.analytics.service import KEY_FIELD, AnalyticsService, Link
+
+__all__ = [
+    "AnalyticsService",
+    "Bucket",
+    "KEY_FIELD",
+    "KVStore",
+    "Link",
+    "Mutation",
+    "MutationKind",
+]

@@ -1,0 +1,111 @@
+"""The operational front end of the Couchbase simulation (paper §VI).
+
+Fig. 7: "data and data changes in the Couchbase front-end data store are
+streamed in real time into the Couchbase Analytics backend".  This module
+is the front end: a key-value document store ("Data Service") whose
+buckets assign every mutation a monotone sequence number and expose a
+DCP-like change stream — exactly what shadow datasets consume.
+
+The store also keeps a tiny queueing model (a simulated service time per
+operation) so the HTAP-isolation experiment (E8) can show what the paper's
+architecture buys: analytics running against the *shadow* copy adds zero
+load here, whereas a hypothetical scan-the-data-service analytics query
+(the pre-Analytics world) stalls front-end operations behind it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import UnknownEntityError
+
+
+class MutationKind(enum.Enum):
+    UPSERT = "upsert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    seqno: int
+    kind: MutationKind
+    key: str
+    document: dict | None = None
+
+
+@dataclass
+class Bucket:
+    """One KV bucket: documents + its mutation log (the DCP source)."""
+
+    name: str
+    op_service_time_us: float = 10.0
+    documents: dict = field(default_factory=dict)
+    mutations: list = field(default_factory=list)
+    busy_until_us: float = 0.0
+    op_latencies_us: list = field(default_factory=list)
+
+    @property
+    def high_seqno(self) -> int:
+        return len(self.mutations)
+
+    def _serve(self, now_us: float, service_us: float) -> float:
+        """FIFO queueing: returns the op's latency."""
+        start = max(now_us, self.busy_until_us)
+        self.busy_until_us = start + service_us
+        latency = self.busy_until_us - now_us
+        self.op_latencies_us.append(latency)
+        return latency
+
+    def upsert(self, key: str, document: dict,
+               now_us: float = 0.0) -> float:
+        latency = self._serve(now_us, self.op_service_time_us)
+        self.documents[key] = document
+        self.mutations.append(
+            Mutation(self.high_seqno + 1, MutationKind.UPSERT, key,
+                     dict(document))
+        )
+        return latency
+
+    def delete(self, key: str, now_us: float = 0.0) -> float:
+        latency = self._serve(now_us, self.op_service_time_us)
+        self.documents.pop(key, None)
+        self.mutations.append(
+            Mutation(self.high_seqno + 1, MutationKind.DELETE, key)
+        )
+        return latency
+
+    def get(self, key: str, now_us: float = 0.0):
+        self._serve(now_us, self.op_service_time_us)
+        return self.documents.get(key)
+
+    def scan_inline(self, now_us: float = 0.0,
+                    per_doc_us: float = 1.0) -> list:
+        """The pre-Analytics baseline: an analytical scan executed BY the
+        data service, occupying it for the whole duration."""
+        self._serve(now_us, per_doc_us * max(1, len(self.documents)))
+        return list(self.documents.values())
+
+    def dcp_stream(self, from_seqno: int = 0) -> list:
+        """Mutations with seqno > from_seqno (the DCP protocol's resume
+        semantics)."""
+        return [m for m in self.mutations if m.seqno > from_seqno]
+
+
+class KVStore:
+    """The Data Service: named buckets of JSON documents."""
+
+    def __init__(self):
+        self.buckets: dict[str, Bucket] = {}
+
+    def create_bucket(self, name: str,
+                      op_service_time_us: float = 10.0) -> Bucket:
+        bucket = Bucket(name, op_service_time_us)
+        self.buckets[name] = bucket
+        return bucket
+
+    def bucket(self, name: str) -> Bucket:
+        try:
+            return self.buckets[name]
+        except KeyError:
+            raise UnknownEntityError(f"no such bucket {name}") from None

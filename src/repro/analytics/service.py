@@ -1,0 +1,113 @@
+"""The Couchbase Analytics service simulation (paper §VI, Fig. 7).
+
+"Under the hood, the Analytics service is based on the query processing
+and storage technology of Apache AsterixDB": a *shadow dataset* on the
+analytical side receives the bucket's mutation stream, so users "conduct
+near real-time data analyses on an up-to-date copy of the data" with
+performance isolation from the front end.
+
+:class:`AnalyticsService` links buckets to shadow datasets in an
+:class:`~repro.api.AsterixInstance`, ingests DCP mutations (resumable by
+sequence number), reports per-link lag, and serves SQL++ over the shadows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.kv_store import KVStore, MutationKind
+from repro.common.errors import DuplicateError, UnknownEntityError
+
+KEY_FIELD = "_key"
+
+
+@dataclass
+class Link:
+    bucket: str
+    dataset: str                  # qualified shadow dataset name
+    last_seqno: int = 0
+    mutations_applied: int = 0
+
+
+class AnalyticsService:
+    """Shadow datasets + SQL++ over them."""
+
+    def __init__(self, instance, kv: KVStore):
+        self.instance = instance
+        self.kv = kv
+        self.links: dict[str, Link] = {}
+
+    # -- linking ------------------------------------------------------------------
+
+    def connect_bucket(self, bucket: str, dataset: str | None = None):
+        """Create a shadow dataset for a bucket and start tracking it.
+
+        Shadow documents carry the KV key in ``_key`` (their primary key);
+        the document body is otherwise stored as-is, in its "natural
+        (application schema) form" — no schema needs declaring."""
+        if bucket in self.links:
+            raise DuplicateError(f"bucket {bucket} already connected")
+        self.kv.bucket(bucket)    # must exist
+        dataset = dataset or bucket
+        self.instance.execute(f"""
+            CREATE TYPE {dataset}ShadowType AS {{ {KEY_FIELD}: string }};
+            CREATE DATASET {dataset}({dataset}ShadowType)
+            PRIMARY KEY {KEY_FIELD};
+        """)
+        entry = self.instance.metadata.dataset_entry(dataset)
+        link = Link(bucket, entry.name)
+        self.links[bucket] = link
+        return link
+
+    def disconnect_bucket(self, bucket: str) -> None:
+        link = self._link(bucket)
+        del self.links[bucket]
+
+    def _link(self, bucket: str) -> Link:
+        try:
+            return self.links[bucket]
+        except KeyError:
+            raise UnknownEntityError(
+                f"bucket {bucket} is not connected"
+            ) from None
+
+    # -- ingestion -------------------------------------------------------------------
+
+    def sync(self, bucket: str | None = None, *,
+             max_mutations: int | None = None) -> int:
+        """Pull pending mutations into the shadow dataset(s); returns how
+        many were applied."""
+        links = ([self._link(bucket)] if bucket is not None
+                 else list(self.links.values()))
+        applied = 0
+        for link in links:
+            stream = self.kv.bucket(link.bucket).dcp_stream(link.last_seqno)
+            if max_mutations is not None:
+                stream = stream[:max_mutations]
+            for mutation in stream:
+                if mutation.kind is MutationKind.UPSERT:
+                    shadow = dict(mutation.document)
+                    shadow[KEY_FIELD] = mutation.key
+                    self.instance.cluster.insert_record(
+                        link.dataset, shadow, upsert=True
+                    )
+                else:
+                    self.instance.cluster.delete_record(
+                        link.dataset, (mutation.key,)
+                    )
+                link.last_seqno = mutation.seqno
+                link.mutations_applied += 1
+                applied += 1
+        return applied
+
+    def lag(self, bucket: str) -> int:
+        """Mutations not yet reflected in the shadow dataset."""
+        link = self._link(bucket)
+        return self.kv.bucket(bucket).high_seqno - link.last_seqno
+
+    # -- queries ----------------------------------------------------------------------
+
+    def query(self, text: str) -> list:
+        """SQL++ over the shadow datasets — running here, not on the Data
+        Service (the performance-isolation point of Fig. 7)."""
+        return self.instance.query(text)

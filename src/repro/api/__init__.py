@@ -1,0 +1,5 @@
+"""Public API: the embedded AsterixDB-like instance."""
+
+from repro.api.instance import AsterixInstance, Result, connect
+
+__all__ = ["AsterixInstance", "Result", "connect"]

@@ -1,0 +1,291 @@
+"""The public face of the system: one embedded AsterixDB-like instance.
+
+``AsterixInstance`` owns a simulated cluster, the metadata catalog, and
+the full compile chain (parse -> translate -> optimize -> jobgen -> run).
+Both query languages are served; AQL is accepted but flagged deprecated,
+matching the paper ("We have now deprecated AQL in favor of SQL++").
+
+    >>> db = AsterixInstance(tmpdir)
+    >>> db.execute('CREATE TYPE UserType AS { id: int };')
+    >>> db.execute('CREATE DATASET Users(UserType) PRIMARY KEY id;')
+    >>> db.execute('INSERT INTO Users ({"id": 1, "name": "ann"});')
+    >>> db.query('SELECT VALUE u.name FROM Users u;')
+    ['ann']
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.adm.values import ADateTime
+from repro.algebricks import compile_plan, explain as explain_plan, optimize
+from repro.common.config import ClusterConfig
+from repro.common.errors import AsterixError, MetadataError
+from repro.external import HDFSAdapter, LocalFSAdapter, SimulatedHDFS
+from repro.functions import set_session_now
+from repro.hyracks import ClusterController
+from repro.lang import core_ast as ast
+from repro.lang.aql.parser import parse_aql
+from repro.lang.sqlpp.parser import parse_sqlpp
+from repro.lang.translator import Translator
+from repro.metadata.catalog import MetadataManager
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    kind: str                      # query | dml | ddl | explain
+    rows: list = field(default_factory=list)
+    message: str = ""
+    profile: object = None         # JobProfile for query/dml
+    plan: str = ""                 # optimized logical plan (explain)
+    warnings: list = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class AsterixInstance:
+    """An embedded Big Data Management System instance."""
+
+    def __init__(self, base_dir: str, config: ClusterConfig | None = None):
+        self.base_dir = base_dir
+        self._hdfs: SimulatedHDFS | None = None
+        marker = os.path.join(base_dir, "instance.json")
+        reopening = os.path.exists(marker)
+        if reopening:
+            config = self._load_config(marker)
+        self.cluster = ClusterController(os.path.join(base_dir, "cluster"),
+                                         config)
+        if reopening:
+            self.metadata = MetadataManager.reopen(
+                self.cluster, self._reopen_adapter)
+        else:
+            self.metadata = MetadataManager(self.cluster)
+            self._save_config(marker)
+
+    @staticmethod
+    def _load_config(marker: str) -> ClusterConfig:
+        import json
+
+        from repro.common.config import CostModel, NodeConfig
+
+        with open(marker) as f:
+            data = json.load(f)
+        return ClusterConfig(
+            num_nodes=data["num_nodes"],
+            partitions_per_node=data["partitions_per_node"],
+            page_size=data["page_size"],
+            frame_size=data["frame_size"],
+            node=NodeConfig(**data["node"]),
+            cost=CostModel(**data["cost"]),
+        )
+
+    def _save_config(self, marker: str) -> None:
+        import dataclasses
+        import json
+
+        os.makedirs(self.base_dir, exist_ok=True)
+        with open(marker, "w") as f:
+            json.dump(dataclasses.asdict(self.cluster.config), f, indent=2)
+
+    def _reopen_adapter(self, adapter_name: str, props: dict,
+                        type_name: str, registry):
+        """Rebuild an external-dataset adapter from its catalog record."""
+        common = dict(
+            format=props.get("format", "adm"),
+            delimiter=props.get("delimiter", "|"),
+            dataset_type=registry.resolve(type_name),
+            type_registry=registry,
+        )
+        if adapter_name == "localfs":
+            return LocalFSAdapter(props["path"], **common)
+        if adapter_name == "hdfs":
+            return HDFSAdapter(self.hdfs, props["path"], **common)
+        raise MetadataError(f"unknown adapter {adapter_name}")
+
+    # -- infrastructure -----------------------------------------------------------
+
+    @property
+    def hdfs(self) -> SimulatedHDFS:
+        """The simulated HDFS namespace for external datasets."""
+        if self._hdfs is None:
+            self._hdfs = SimulatedHDFS(os.path.join(self.base_dir, "hdfs"))
+        return self._hdfs
+
+    def set_session_now(self, iso_datetime: str) -> None:
+        """Pin current_datetime() (deterministic benchmarking)."""
+        set_session_now(ADateTime.parse(iso_datetime))
+
+    def close(self) -> None:
+        self.cluster.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, text: str, *, language: str = "sqlpp",
+                explain: bool = False,
+                enable_index_access: bool = True) -> Result:
+        """Execute a script; returns the LAST statement's result (the
+        common REPL convention).  Use :meth:`execute_all` for all of them.
+        """
+        results = self.execute_all(text, language=language,
+                                   explain=explain,
+                                   enable_index_access=enable_index_access)
+        return results[-1] if results else Result("ddl", message="empty")
+
+    def query(self, text: str, **kwargs) -> list:
+        """Execute and return the last statement's rows."""
+        return self.execute(text, **kwargs).rows
+
+    def execute_all(self, text: str, *, language: str = "sqlpp",
+                    explain: bool = False,
+                    enable_index_access: bool = True) -> list:
+        if language == "sqlpp":
+            statements = parse_sqlpp(text)
+            warnings = []
+        elif language == "aql":
+            statements = parse_aql(text)
+            warnings = ["AQL is deprecated in favor of SQL++"]
+        else:
+            raise AsterixError(f"unknown language {language!r}")
+        results = []
+        for stmt in statements:
+            result = self._execute_one(stmt, explain, enable_index_access)
+            result.warnings.extend(warnings)
+            results.append(result)
+        return results
+
+    # -- per-statement dispatch ---------------------------------------------------------
+
+    def _execute_one(self, stmt, explain: bool,
+                     enable_index_access: bool) -> Result:
+        if isinstance(stmt, ast.CreateDataverse):
+            self.metadata.create_dataverse(stmt.name, stmt.if_not_exists)
+            return Result("ddl", message=f"dataverse {stmt.name} created")
+        if isinstance(stmt, ast.UseDataverse):
+            self.metadata.use_dataverse(stmt.name)
+            return Result("ddl", message=f"using {stmt.name}")
+        if isinstance(stmt, ast.CreateType):
+            self.metadata.create_type(stmt)
+            return Result("ddl", message=f"type {stmt.name} created")
+        if isinstance(stmt, ast.CreateDataset):
+            self.metadata.create_dataset(stmt)
+            return Result("ddl", message=f"dataset {stmt.name} created")
+        if isinstance(stmt, ast.CreateExternalDataset):
+            adapter = self._make_adapter(stmt.adapter, stmt.properties,
+                                         stmt.type_name)
+            self.metadata.create_external_dataset(stmt, adapter)
+            return Result("ddl",
+                          message=f"external dataset {stmt.name} created")
+        if isinstance(stmt, ast.CreateIndex):
+            self.metadata.create_index(stmt)
+            return Result("ddl", message=f"index {stmt.name} created")
+        if isinstance(stmt, ast.DropStatement):
+            self._drop(stmt)
+            return Result("ddl", message=f"{stmt.kind} {stmt.name} dropped")
+        if isinstance(stmt, ast.LoadStatement):
+            return self._run_load(stmt)
+        if isinstance(stmt, ast.InsertStatement):
+            return self._run_plan(
+                Translator(self.metadata).translate_insert(stmt),
+                "dml", explain, enable_index_access,
+            )
+        if isinstance(stmt, ast.DeleteStatement):
+            return self._run_plan(
+                Translator(self.metadata).translate_delete(stmt),
+                "dml", explain, enable_index_access,
+            )
+        if isinstance(stmt, ast.QueryStatement):
+            return self._run_plan(
+                Translator(self.metadata).translate_query(stmt.query),
+                "query", explain, enable_index_access,
+            )
+        raise AsterixError(f"unhandled statement {type(stmt).__name__}")
+
+    def _drop(self, stmt: ast.DropStatement) -> None:
+        if stmt.kind == "dataverse":
+            self.metadata.drop_dataverse(stmt.name, stmt.if_exists)
+        elif stmt.kind == "type":
+            self.metadata.drop_type(stmt.name, stmt.if_exists)
+        elif stmt.kind == "dataset":
+            self.metadata.drop_dataset(stmt.name, stmt.if_exists)
+        elif stmt.kind == "index":
+            self.metadata.drop_index(stmt.dataset, stmt.name,
+                                     stmt.if_exists)
+        else:
+            raise MetadataError(f"cannot drop {stmt.kind}")
+
+    def _make_adapter(self, adapter_name: str, props: dict,
+                      type_name: str):
+        entry_type = None
+        registry = self.metadata.type_registry(self.metadata.current)
+        if type_name:
+            entry_type = registry.resolve(type_name)
+        common = dict(
+            format=props.get("format", "adm"),
+            delimiter=props.get("delimiter", "|"),
+            dataset_type=entry_type,
+            type_registry=registry,
+        )
+        if adapter_name == "localfs":
+            return LocalFSAdapter(props["path"], **common)
+        if adapter_name == "hdfs":
+            return HDFSAdapter(self.hdfs, props["path"], **common)
+        raise MetadataError(f"unknown adapter {adapter_name}")
+
+    def _run_load(self, stmt: ast.LoadStatement) -> Result:
+        entry = self.metadata.dataset_entry(stmt.dataset)
+        registry = self.metadata.type_registry(entry.dataverse)
+        adapter = LocalFSAdapter(
+            stmt.path, format=stmt.format,
+            delimiter=stmt.properties.get("delimiter", "|"),
+            dataset_type=registry.resolve(entry.type_name),
+            type_registry=registry,
+        )
+        plan = Translator(self.metadata).translate_load(stmt, adapter)
+        return self._run_plan(plan, "dml", False, True)
+
+    def _run_plan(self, plan, kind: str, explain: bool,
+                  enable_index_access: bool) -> Result:
+        optimized = optimize(plan, self.metadata,
+                             enable_index_access=enable_index_access)
+        plan_text = explain_plan(optimized)
+        if explain:
+            return Result("explain", plan=plan_text)
+        job, _ = compile_plan(optimized, self.metadata,
+                              self.cluster.num_partitions)
+        job_result = self.cluster.run_job(job)
+        # MISSING results are not serialized (SQL++ result semantics)
+        from repro.adm import MISSING
+
+        rows = [t[0] for t in job_result.tuples if t[0] is not MISSING]
+        if kind == "dml":
+            count = rows[0] if rows else 0
+            return Result("dml", rows=rows, profile=job_result.profile,
+                          plan=plan_text,
+                          message=f"{count} record(s) processed")
+        return Result("query", rows=rows, profile=job_result.profile,
+                      plan=plan_text)
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def flush_dataset(self, name: str) -> None:
+        entry = self.metadata.dataset_entry(name)
+        self.cluster.flush_dataset(entry.name)
+
+    def checkpoint(self) -> None:
+        self.cluster.checkpoint()
+
+
+def connect(base_dir: str,
+            config: ClusterConfig | None = None) -> AsterixInstance:
+    """Create (or open) an embedded instance under ``base_dir``."""
+    return AsterixInstance(base_dir, config)

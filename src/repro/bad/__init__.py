@@ -1,0 +1,17 @@
+"""Big Active Data: repetitive channels, brokers, subscriptions."""
+
+from repro.bad.channels import (
+    BADExtension,
+    Broker,
+    Channel,
+    Delivery,
+    Subscription,
+)
+
+__all__ = [
+    "BADExtension",
+    "Broker",
+    "Channel",
+    "Delivery",
+    "Subscription",
+]

@@ -1,0 +1,183 @@
+"""BAD — Big Active Data: "data pub/sub" (paper §IV, §VII, ref [17]).
+
+The BAD project extended AsterixDB "with features that might be roughly
+characterized as 'data pub/sub'": *repetitive channels* are parameterized
+queries re-executed on a schedule, with results delivered to *brokers* on
+behalf of *subscribers*.  This module is that extension over the
+reproduction's query engine:
+
+* ``CREATE BROKER`` -> :meth:`BADExtension.create_broker`
+* ``CREATE REPETITIVE CHANNEL ch(params) { query }`` ->
+  :meth:`BADExtension.create_channel`
+* ``SUBSCRIBE TO ch(args) ON broker`` -> :meth:`BADExtension.subscribe`
+
+Time is simulated: :meth:`BADExtension.tick` advances one period and
+executes every due channel once per *distinct* parameter binding (the BAD
+papers' key optimization — N subscribers with the same parameters share
+one execution), delivering fresh results to each subscription's broker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.adm.parser import format_adm
+from repro.common.errors import AsterixError, DuplicateError, UnknownEntityError
+
+
+@dataclass
+class Delivery:
+    """One result delivery to a broker."""
+
+    channel: str
+    subscription_id: int
+    execution_time: int           # tick number
+    results: list
+
+
+@dataclass
+class Broker:
+    """A result-delivery endpoint (in real BAD, an HTTP callback)."""
+
+    name: str
+    deliveries: list = field(default_factory=list)
+
+    def deliver(self, delivery: Delivery) -> None:
+        self.deliveries.append(delivery)
+
+    def drain(self) -> list:
+        out, self.deliveries = self.deliveries, []
+        return out
+
+
+@dataclass
+class Subscription:
+    subscription_id: int
+    channel: str
+    broker: str
+    params: tuple
+
+
+@dataclass
+class Channel:
+    """A repetitive channel: a parameterized query run every ``period``
+    ticks."""
+
+    name: str
+    param_names: tuple
+    query_template: str           # SQL++ with $param placeholders
+    period: int = 1
+    executions: int = 0
+    last_run_tick: int = -1
+
+    def bind(self, params: tuple) -> str:
+        if len(params) != len(self.param_names):
+            raise AsterixError(
+                f"channel {self.name} takes {len(self.param_names)} "
+                f"parameter(s), got {len(params)}"
+            )
+        text = self.query_template
+        for name, value in zip(self.param_names, params):
+            text = text.replace(f"${name}", _literal(value))
+        return text
+
+
+def _literal(value) -> str:
+    """Render a parameter value as a SQL++ literal."""
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    return format_adm(value)
+
+
+class BADExtension:
+    """The Big Active Data layer over an AsterixInstance."""
+
+    def __init__(self, instance):
+        self.instance = instance
+        self.brokers: dict[str, Broker] = {}
+        self.channels: dict[str, Channel] = {}
+        self.subscriptions: dict[int, Subscription] = {}
+        self._sub_ids = itertools.count(1)
+        self.clock = 0
+        self.shared_executions_saved = 0
+
+    # -- DDL-ish API ---------------------------------------------------------
+
+    def create_broker(self, name: str) -> Broker:
+        if name in self.brokers:
+            raise DuplicateError(f"broker {name} exists")
+        broker = Broker(name)
+        self.brokers[name] = broker
+        return broker
+
+    def create_channel(self, name: str, param_names, query_template: str,
+                       period: int = 1) -> Channel:
+        if name in self.channels:
+            raise DuplicateError(f"channel {name} exists")
+        channel = Channel(name, tuple(param_names), query_template, period)
+        self.channels[name] = channel
+        return channel
+
+    def drop_channel(self, name: str) -> None:
+        if name not in self.channels:
+            raise UnknownEntityError(f"no such channel {name}")
+        del self.channels[name]
+        for sid in [s for s, sub in self.subscriptions.items()
+                    if sub.channel == name]:
+            del self.subscriptions[sid]
+
+    def subscribe(self, channel: str, broker: str, *params) -> int:
+        if channel not in self.channels:
+            raise UnknownEntityError(f"no such channel {channel}")
+        if broker not in self.brokers:
+            raise UnknownEntityError(f"no such broker {broker}")
+        self.channels[channel].bind(params)   # arity check
+        sid = next(self._sub_ids)
+        self.subscriptions[sid] = Subscription(sid, channel, broker,
+                                               tuple(params))
+        return sid
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        self.subscriptions.pop(subscription_id, None)
+
+    # -- execution -------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the clock one tick; run every due channel.  Returns the
+        number of channel executions performed."""
+        self.clock += 1
+        executions = 0
+        for channel in self.channels.values():
+            due = (self.clock - max(channel.last_run_tick, 0)) >= \
+                channel.period or channel.last_run_tick < 0
+            if due:
+                executions += self.run_channel(channel.name)
+        return executions
+
+    def run_channel(self, name: str) -> int:
+        """Execute one channel now: one query per distinct parameter
+        binding, fanned out to all subscriptions sharing it."""
+        channel = self.channels[name]
+        subs = [s for s in self.subscriptions.values()
+                if s.channel == name]
+        by_params: dict[tuple, list] = {}
+        for sub in subs:
+            by_params.setdefault(sub.params, []).append(sub)
+        executions = 0
+        for params, sharing in by_params.items():
+            rows = self.instance.query(channel.bind(params))
+            executions += 1
+            self.shared_executions_saved += len(sharing) - 1
+            for sub in sharing:
+                self.brokers[sub.broker].deliver(
+                    Delivery(name, sub.subscription_id, self.clock, rows)
+                )
+        channel.executions += executions
+        channel.last_run_tick = self.clock
+        return executions

@@ -1,0 +1,41 @@
+"""Shared infrastructure: error taxonomy and configuration."""
+
+from repro.common.config import ClusterConfig, CostModel, NodeConfig
+from repro.common.errors import (
+    AsterixError,
+    BufferCacheError,
+    CompilationError,
+    DuplicateError,
+    DuplicateKeyError,
+    IdentifierError,
+    InvalidArgumentError,
+    MetadataError,
+    OverflowError_,
+    RuntimeError_,
+    StorageError,
+    SyntaxError_,
+    TransactionError,
+    TypeError_,
+    UnknownEntityError,
+)
+
+__all__ = [
+    "AsterixError",
+    "BufferCacheError",
+    "ClusterConfig",
+    "CompilationError",
+    "CostModel",
+    "DuplicateError",
+    "DuplicateKeyError",
+    "IdentifierError",
+    "InvalidArgumentError",
+    "MetadataError",
+    "NodeConfig",
+    "OverflowError_",
+    "RuntimeError_",
+    "StorageError",
+    "SyntaxError_",
+    "TransactionError",
+    "TypeError_",
+    "UnknownEntityError",
+]

@@ -1,0 +1,63 @@
+"""Cluster and node configuration.
+
+The paper's Figure 2 describes how each node in an AsterixDB cluster divides
+its memory among ingestion buffering (LSM memory components), the buffer
+cache, and working memory for memory-intensive operators.  This module holds
+those knobs plus the simulated-I/O cost model used by the in-process cluster
+(see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+DEFAULT_PAGE_SIZE = 4096
+DEFAULT_FRAME_SIZE = 128          # tuples per runtime frame
+
+
+@dataclass
+class CostModel:
+    """Simulated time costs, in microseconds.
+
+    The in-process cluster charges these per event; elapsed time for a
+    parallel stage is the max over partitions of accumulated charges, which
+    is what lets a single-threaded simulation show scale-out shape.
+    """
+
+    page_read_us: float = 100.0       # random page read from "disk"
+    page_write_us: float = 100.0
+    seq_page_read_us: float = 30.0    # sequential read (scans, merges)
+    seq_page_write_us: float = 30.0
+    tuple_cpu_us: float = 0.5         # per-tuple operator processing
+    network_tuple_us: float = 1.0     # per-tuple cost over a connector
+    hash_us: float = 0.2              # per hash computation
+    compare_us: float = 0.1           # per key comparison
+
+
+@dataclass
+class NodeConfig:
+    """Per-node resource budgets (Figure 2)."""
+
+    num_io_devices: int = 1
+    buffer_cache_pages: int = 256
+    memory_component_pages: int = 64   # LSM memory-component budget/dataset
+    sort_memory_frames: int = 32       # working memory per sort
+    join_memory_frames: int = 32       # working memory per join
+    group_memory_frames: int = 32      # working memory per group-by
+
+
+@dataclass
+class ClusterConfig:
+    """Whole-cluster configuration: topology plus per-node budgets."""
+
+    num_nodes: int = 2
+    partitions_per_node: int = 2
+    page_size: int = DEFAULT_PAGE_SIZE
+    frame_size: int = DEFAULT_FRAME_SIZE
+    node: NodeConfig = field(default_factory=NodeConfig)
+    cost: CostModel = field(default_factory=CostModel)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.num_nodes * self.partitions_per_node

@@ -1,0 +1,126 @@
+"""Error taxonomy for the AsterixDB reproduction.
+
+Apache AsterixDB reports errors with stable ``ASX####`` codes; the Couchbase
+adoption (paper Section VII) forced a "major makeover in terms of error
+handling and feedback" because research prototypes tend to cover only the
+happy path.  This module is that makeover applied from day one: every
+subsystem raises a subclass of :class:`AsterixError` carrying a numeric code
+and a formatted message, so callers (and tests) can match on either.
+"""
+
+from __future__ import annotations
+
+
+class AsterixError(Exception):
+    """Base class for all errors raised by this system.
+
+    Attributes:
+        code: stable numeric error code (rendered as ``ASX####``).
+        message: human-readable description.
+    """
+
+    code = 0
+
+    def __init__(self, message: str, *, code: int | None = None):
+        if code is not None:
+            self.code = code
+        self.message = message
+        super().__init__(f"ASX{self.code:04d}: {message}")
+
+
+# --- compilation-time errors (1xxx) -------------------------------------
+
+class SyntaxError_(AsterixError):
+    """Query text failed to lex or parse."""
+
+    code = 1001
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        where = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"Syntax error{where}: {message}")
+
+
+class IdentifierError(AsterixError):
+    """An identifier (dataset, type, index, variable...) cannot be resolved."""
+
+    code = 1073
+
+
+class TypeError_(AsterixError):
+    """A value or expression violates the ADM type system."""
+
+    code = 1002
+
+
+class CompilationError(AsterixError):
+    """The query is well-formed but cannot be compiled."""
+
+    code = 1079
+
+
+# --- metadata errors (11xx) ----------------------------------------------
+
+class MetadataError(AsterixError):
+    """Catalog inconsistency or invalid DDL."""
+
+    code = 1100
+
+
+class DuplicateError(MetadataError):
+    """CREATE of an entity that already exists (without IF NOT EXISTS)."""
+
+    code = 1101
+
+
+class UnknownEntityError(MetadataError):
+    """Reference to a dataverse/dataset/type/index that does not exist."""
+
+    code = 1102
+
+
+# --- runtime errors (2xxx) -----------------------------------------------
+
+class RuntimeError_(AsterixError):
+    """An error raised while evaluating a query plan."""
+
+    code = 2000
+
+
+class InvalidArgumentError(RuntimeError_):
+    """A builtin function received an argument outside its domain."""
+
+    code = 2001
+
+
+class OverflowError_(RuntimeError_):
+    """Numeric overflow in a fixed-width ADM numeric type."""
+
+    code = 2002
+
+
+class DuplicateKeyError(RuntimeError_):
+    """INSERT of a primary key that already exists in the dataset."""
+
+    code = 2011
+
+
+# --- storage errors (3xxx) -----------------------------------------------
+
+class StorageError(AsterixError):
+    """Low-level storage failure (page, file, component lifecycle)."""
+
+    code = 3000
+
+
+class BufferCacheError(StorageError):
+    """Buffer cache misuse: over-pinning, unpinning an unpinned page, ..."""
+
+    code = 3001
+
+
+class TransactionError(AsterixError):
+    """Transaction subsystem failure (lock timeout, aborted txn reuse...)."""
+
+    code = 3100

@@ -1,0 +1,6 @@
+"""Seeded synthetic data generators (Gleambook social network, access
+logs, multitasking-study activity logs)."""
+
+from repro.datagen.gleambook import GleambookGenerator, activity_log
+
+__all__ = ["GleambookGenerator", "activity_log"]

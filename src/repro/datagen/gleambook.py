@@ -1,0 +1,153 @@
+"""Deterministic synthetic data: the Gleambook social network of Fig. 3.
+
+DESIGN.md (Substitutions): the paper's motivating use cases are "web data
+warehousing and social media data analysis"; with no production traces
+available, this generator produces the same *shape* — users with skewed
+friend counts and employment histories, messages with free text and
+spatial sender locations, and web-access-log lines — all seeded, so every
+test and benchmark run sees identical data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adm.values import ADate, ADateTime, APoint, Multiset
+
+_FIRST = ["Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace",
+          "Heidi", "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy",
+          "Rupert", "Sybil", "Trent", "Victor", "Walter", "Wendy"]
+_LAST = ["Smith", "Jones", "Nguyen", "Garcia", "Kim", "Chen", "Patel",
+         "Mueller", "Rossi", "Sato", "Okafor", "Silva", "Novak", "Haddad"]
+_ORGS = ["UC Irvine", "UC Riverside", "Couchbase", "Yahoo Research",
+         "Oracle Labs", "BEA Systems", "Gleambook", "Chirp", "InsightCo",
+         "DataWorks"]
+_WORDS = ("love hate like the a verizon at t sprint motorola samsung "
+          "iphone platform speed customer service signal network plan "
+          "shortcut wireless battery reachability voice clarity big data "
+          "asterix hyracks query storage index lsm parallel cluster").split()
+
+EPOCH_2005 = ADateTime.parse("2005-01-01T00:00:00").millis
+EPOCH_2019 = ADateTime.parse("2019-04-08T00:00:00").millis
+
+
+class GleambookGenerator:
+    """Seeded generator for users, messages, and access-log lines."""
+
+    def __init__(self, seed: int = 42, *,
+                 spatial_bounds: tuple = (0.0, 0.0, 100.0, 100.0)):
+        self.seed = seed
+        self.bounds = spatial_bounds
+
+    def users(self, count: int):
+        """Yield GleambookUserType records (Fig. 3(a) schema)."""
+        rng = random.Random(self.seed)
+        for i in range(count):
+            first = rng.choice(_FIRST)
+            last = rng.choice(_LAST)
+            # skewed friend counts: most users have few, a head has many
+            n_friends = min(count - 1,
+                            int(rng.paretovariate(1.5)) - 1)
+            friends = Multiset(
+                sorted(rng.sample(range(count), n_friends))
+            ) if n_friends else Multiset()
+            n_jobs = rng.choice([0, 1, 1, 1, 2])
+            employment = []
+            for _ in range(n_jobs):
+                start_days = rng.randint(10_000, 17_000)
+                job = {
+                    "organizationName": rng.choice(_ORGS),
+                    "startDate": ADate(start_days),
+                }
+                if rng.random() < 0.5:
+                    job["endDate"] = ADate(start_days
+                                           + rng.randint(100, 3000))
+                employment.append(job)
+            user = {
+                "id": i,
+                "alias": f"{first.lower()}{i}",
+                "name": f"{first} {last}",
+                "userSince": ADateTime(
+                    rng.randint(EPOCH_2005, EPOCH_2019)
+                ),
+                "friendIds": friends,
+                "employment": employment,
+            }
+            if rng.random() < 0.3:   # open-type extra field
+                user["nickname"] = f"{first[:3]}ster"
+            yield user
+
+    def messages(self, count: int, num_users: int):
+        """Yield GleambookMessageType records with spatial locations."""
+        rng = random.Random(self.seed + 1)
+        x0, y0, x1, y1 = self.bounds
+        for m in range(count):
+            text = " ".join(rng.choice(_WORDS)
+                            for _ in range(rng.randint(4, 12)))
+            record = {
+                "messageId": m,
+                "authorId": rng.randrange(num_users),
+                "message": text,
+                "sendTime": ADateTime(
+                    rng.randint(EPOCH_2005, EPOCH_2019)
+                ),
+            }
+            if rng.random() < 0.9:
+                record["senderLocation"] = APoint(
+                    rng.uniform(x0, x1), rng.uniform(y0, y1)
+                )
+            if rng.random() < 0.3:
+                record["inResponseTo"] = rng.randrange(max(1, m or 1))
+            yield record
+
+    def access_log_lines(self, count: int, aliases: list, *,
+                         days_back: int = 60,
+                         now_millis: int = EPOCH_2019):
+        """Yield Fig. 3(b)-format delimited lines for the given user
+        aliases (pass ``[u["alias"] for u in users]``); recent activity
+        skews toward a subset of users (the 'active users' the Fig. 3(c)
+        query finds)."""
+        rng = random.Random(self.seed + 2)
+        verbs = ["GET", "GET", "GET", "POST", "PUT"]
+        paths = ["/home", "/feed", "/msg", "/profile", "/search"]
+        day_ms = 86_400_000
+        for _ in range(count):
+            alias = rng.choice(aliases)
+            age_days = rng.uniform(0, days_back)
+            t = ADateTime(int(now_millis - age_days * day_ms))
+            ip = ".".join(str(rng.randint(1, 254)) for _ in range(4))
+            yield (f"{ip}|{t}|{alias}|"
+                   f"{rng.choice(verbs)}|{rng.choice(paths)}|"
+                   f"{rng.choice([200, 200, 200, 404, 500])}|"
+                   f"{rng.randint(100, 9000)}")
+
+
+def activity_log(count: int, seed: int = 7, *,
+                 num_students: int = 20,
+                 start: str = "2014-02-03T08:00:00"):
+    """Synthetic multitasking-study activities (§V-D, [27]): each record
+    is one computer activity with a start/end time that may span time
+    bins, plus the app category and a stress self-report."""
+    from repro.adm.values import AInterval
+
+    rng = random.Random(seed)
+    categories = ["email", "facebook", "writing", "browsing", "coding",
+                  "video", "reading"]
+    base = ADateTime.parse(start).millis
+    records = []
+    clock = {s: base for s in range(num_students)}
+    for i in range(count):
+        student = rng.randrange(num_students)
+        gap = rng.randint(0, 15 * 60_000)
+        duration = int(rng.expovariate(1 / (20 * 60_000))) + 30_000
+        s = clock[student] + gap
+        e = s + duration
+        clock[student] = e
+        records.append({
+            "activityId": i,
+            "student": student,
+            "category": rng.choice(categories),
+            "activity": AInterval(s, e),
+            "stress": round(rng.uniform(1, 5), 1),
+        })
+    return records

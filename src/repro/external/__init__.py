@@ -1,0 +1,14 @@
+"""External data: localfs/HDFS adapters, simulated HDFS, CSV round-trip."""
+
+from repro.external.adapters import HDFSAdapter, LocalFSAdapter
+from repro.external.csv_io import export_csv, import_csv
+from repro.external.hdfs import BlockInfo, SimulatedHDFS
+
+__all__ = [
+    "BlockInfo",
+    "HDFSAdapter",
+    "LocalFSAdapter",
+    "SimulatedHDFS",
+    "export_csv",
+    "import_csv",
+]

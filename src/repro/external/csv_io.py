@@ -1,0 +1,105 @@
+"""CSV import/export round-tripping (paper §V-D).
+
+The Gloria Mark multitasking study needed "export support, in addition, to
+round-trip their data in and out of the system in order to move it between
+analysis tools" — a feature AsterixDB added for them.  These helpers
+convert between CSV files and ADM records: scalars round-trip losslessly
+via the ADM textual constructors; nested values are serialized as ADM text
+in their cell.
+"""
+
+from __future__ import annotations
+
+import csv
+
+from repro.adm.parser import format_adm, parse_adm
+from repro.adm.values import (
+    MISSING,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    APoint,
+    ATime,
+    TypeTag,
+)
+
+
+def _cell_to_text(value) -> str:
+    if value is None:
+        return "null"
+    if value is MISSING:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (ADate, ATime, ADateTime, ADuration, APoint)):
+        return repr(value)          # constructor syntax
+    if isinstance(value, AInterval):
+        return f"interval:{value.start}:{value.end}:{int(value.tag)}"
+    return format_adm(value)
+
+
+def _text_to_cell(text: str):
+    if text == "":
+        return MISSING
+    if text == "null":
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.startswith("interval:"):
+        _, start, end, tag = text.split(":")
+        return AInterval(int(start), int(end), TypeTag(int(tag)))
+    if any(text.startswith(c + '("') for c in
+           ("date", "time", "datetime", "duration", "point", "uuid")) or \
+            text.startswith(("{", "[")):
+        try:
+            return parse_adm(text)
+        except Exception:
+            return text
+    return text
+
+
+def export_csv(path: str, records, fields: list[str]) -> int:
+    """Write records to CSV with the given column order; returns count."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(fields)
+        for record in records:
+            writer.writerow(
+                [_cell_to_text(record.get(field, MISSING))
+                 for field in fields]
+            )
+            count += 1
+    return count
+
+
+def import_csv(path: str) -> list[dict]:
+    """Read a CSV written by :func:`export_csv` (or any headered CSV)
+    back into ADM records; MISSING cells are dropped from their record."""
+    records = []
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        for row in reader:
+            record = {}
+            for field, cell in zip(header, row):
+                value = _text_to_cell(cell)
+                if value is not MISSING:
+                    record[field] = value
+            records.append(record)
+    return records

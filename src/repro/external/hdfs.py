@@ -1,0 +1,95 @@
+"""A simulated HDFS (DESIGN.md, Substitutions).
+
+The paper's external-data story is HDFS-centric ("data in HDFS files can
+be made accessible for querying in situ").  With no Hadoop available, this
+module provides the smallest HDFS-shaped thing that exercises the same
+code path: a namenode mapping paths to fixed-size blocks, block data on
+local disk, and line-boundary-respecting splits so parallel readers see
+whole records (the classic InputFormat behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.common.errors import StorageError
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    block_id: int
+    length: int
+
+
+class SimulatedHDFS:
+    """An in-process namenode + on-disk blocks."""
+
+    def __init__(self, root: str, block_size: int = DEFAULT_BLOCK_SIZE):
+        self.root = root
+        self.block_size = block_size
+        self._namenode: dict[str, list[BlockInfo]] = {}
+        os.makedirs(root, exist_ok=True)
+        self.reads = 0
+        self.writes = 0
+
+    def _block_path(self, path: str, block_id: int) -> str:
+        safe = path.strip("/").replace("/", "__")
+        return os.path.join(self.root, f"{safe}.blk{block_id}")
+
+    # -- client API ----------------------------------------------------------
+
+    def put(self, path: str, data: bytes) -> None:
+        """Write a file, splitting into blocks at line boundaries (each
+        block holds whole lines so splits are independently parseable)."""
+        if path in self._namenode:
+            raise StorageError(f"hdfs file exists: {path}")
+        blocks = []
+        start = 0
+        block_id = 0
+        while start < len(data):
+            end = min(start + self.block_size, len(data))
+            if end < len(data):
+                # back off to the last newline so lines don't straddle
+                nl = data.rfind(b"\n", start, end)
+                if nl > start:
+                    end = nl + 1
+            chunk = data[start:end]
+            with open(self._block_path(path, block_id), "wb") as f:
+                f.write(chunk)
+            self.writes += 1
+            blocks.append(BlockInfo(block_id, len(chunk)))
+            block_id += 1
+            start = end
+        self._namenode[path] = blocks
+
+    def put_lines(self, path: str, lines) -> None:
+        self.put(path, "".join(line + "\n" for line in lines).encode())
+
+    def exists(self, path: str) -> bool:
+        return path in self._namenode
+
+    def blocks_of(self, path: str) -> list[BlockInfo]:
+        try:
+            return self._namenode[path]
+        except KeyError:
+            raise StorageError(f"no such hdfs file: {path}") from None
+
+    def read_block(self, path: str, block_id: int) -> bytes:
+        if path not in self._namenode:
+            raise StorageError(f"no such hdfs file: {path}")
+        self.reads += 1
+        with open(self._block_path(path, block_id), "rb") as f:
+            return f.read()
+
+    def delete(self, path: str) -> None:
+        for block in self._namenode.pop(path, ()):
+            try:
+                os.remove(self._block_path(path, block.block_id))
+            except FileNotFoundError:
+                pass
+
+    def file_size(self, path: str) -> int:
+        return sum(b.length for b in self.blocks_of(path))

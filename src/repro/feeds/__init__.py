@@ -1,0 +1,19 @@
+"""Data feeds: continuous ingestion into datasets."""
+
+from repro.feeds.feed import (
+    Feed,
+    FeedManager,
+    FeedSource,
+    FeedStats,
+    FileTailSource,
+    GeneratorSource,
+)
+
+__all__ = [
+    "Feed",
+    "FeedManager",
+    "FeedSource",
+    "FeedStats",
+    "FileTailSource",
+    "GeneratorSource",
+]

@@ -1,0 +1,32 @@
+"""Builtin function library: scalar, temporal, spatial, and aggregates.
+
+Importing this package populates the registry.
+"""
+
+from repro.functions import aggregates as _aggregates  # noqa: F401
+from repro.functions import scalar as _scalar          # noqa: F401
+from repro.functions import spatial as _spatial        # noqa: F401
+from repro.functions import temporal as _temporal      # noqa: F401
+from repro.functions.aggregates import AggregateState
+from repro.functions.registry import (
+    all_aggregate_names,
+    all_function_names,
+    call,
+    is_aggregate,
+    is_scalar,
+    resolve,
+    resolve_aggregate,
+)
+from repro.functions.temporal import set_session_now
+
+__all__ = [
+    "AggregateState",
+    "all_aggregate_names",
+    "all_function_names",
+    "call",
+    "is_aggregate",
+    "is_scalar",
+    "resolve",
+    "resolve_aggregate",
+    "set_session_now",
+]

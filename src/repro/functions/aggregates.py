@@ -1,0 +1,113 @@
+"""Aggregate functions for GROUP BY / global aggregation.
+
+SQL-92 semantics (what SQL++'s SELECT-clause COUNT/SUM/... mean after the
+implicit group rewriting): nulls and missings are skipped; an empty or
+all-unknown input yields null — except COUNT, which yields 0.  ``listify``
+is the special aggregate behind GROUP AS and subquery collection: it gathers
+the group's items into an ordered list.
+"""
+
+from __future__ import annotations
+
+from repro.adm.comparators import sort_key
+from repro.adm.values import MISSING
+from repro.functions.registry import register_aggregate
+
+
+def _count_init():
+    return 0
+
+
+def _count_step(state, value):
+    return state + 1
+
+
+register_aggregate("count", _count_init, _count_step, lambda s: s,
+                   aliases=("sql_count",))
+
+
+def _sum_init():
+    return None
+
+
+def _sum_step(state, value):
+    return value if state is None else state + value
+
+
+register_aggregate("sum", _sum_init, _sum_step, lambda s: s,
+                   aliases=("sql_sum", "agg_sum"))
+
+
+def _avg_init():
+    return (0, 0)
+
+
+def _avg_step(state, value):
+    total, n = state
+    return (total + value, n + 1)
+
+
+def _avg_finish(state):
+    total, n = state
+    return total / n if n else None
+
+
+register_aggregate("avg", _avg_init, _avg_step, _avg_finish,
+                   aliases=("sql_avg", "agg_avg"))
+
+
+def _min_step(state, value):
+    if state is None:
+        return value
+    return min(state, value, key=sort_key)
+
+
+register_aggregate("min", lambda: None, _min_step, lambda s: s,
+                   aliases=("sql_min", "agg_min"))
+
+
+def _max_step(state, value):
+    if state is None:
+        return value
+    return max(state, value, key=sort_key)
+
+
+register_aggregate("max", lambda: None, _max_step, lambda s: s,
+                   aliases=("sql_max", "agg_max"))
+
+
+def _listify_step(state, value):
+    state.append(value)
+    return state
+
+
+# listify keeps unknowns: a group's contents are whatever they are
+register_aggregate("listify", list, _listify_step, lambda s: s,
+                   skip_unknowns=False)
+
+
+def _count_star_step(state, value):
+    return state + 1
+
+
+# count(*) counts tuples regardless of value
+register_aggregate("count_star", _count_init, _count_star_step,
+                   lambda s: s, skip_unknowns=False)
+
+
+class AggregateState:
+    """Runtime helper: one aggregate call's accumulating state."""
+
+    __slots__ = ("func", "state")
+
+    def __init__(self, func):
+        self.func = func
+        self.state = func.init()
+
+    def step(self, value) -> None:
+        if self.func.skip_unknowns and (value is None or value is MISSING):
+            return
+        self.state = self.func.step(self.state, value)
+
+    def finish(self):
+        return self.func.finish(self.state)

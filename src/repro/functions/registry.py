@@ -1,0 +1,126 @@
+"""The builtin function registry.
+
+SQL++ and AQL compile every operator and builtin call down to named
+functions (paper feature 7 is mostly delivered here: "rich data type
+support, including numeric, textual, temporal, and simple spatial data").
+Each scalar function is registered with its null/missing behaviour:
+
+* by default MISSING arguments make the result MISSING and null arguments
+  make it null (SQL++'s propagation rule);
+* functions registered with ``handles_unknowns=True`` see raw MISSING/null
+  values (type predicates, if_missing, three-valued AND/OR, ...).
+
+Aggregate functions live in a separate registry keyed the same way; they
+are (init, step, finish) triples used by the group-by and aggregate
+runtime operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adm.values import MISSING
+from repro.common.errors import IdentifierError
+
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    name: str
+    impl: object              # callable(*args)
+    arity: object             # int or (min, max) with max=None for varargs
+    handles_unknowns: bool = False
+
+    def check_arity(self, n: int) -> bool:
+        if isinstance(self.arity, int):
+            return n == self.arity
+        lo, hi = self.arity
+        return n >= lo and (hi is None or n <= hi)
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """(init, step, finish) with SQL semantics: nulls are skipped, an
+    all-null/empty input yields null (except count, which yields 0)."""
+
+    name: str
+    init: object
+    step: object              # callable(state, value) -> state
+    finish: object            # callable(state) -> value
+    skip_unknowns: bool = True
+
+
+_SCALARS: dict[str, ScalarFunction] = {}
+_AGGREGATES: dict[str, AggregateFunction] = {}
+
+
+def register(name: str, arity, *, handles_unknowns: bool = False,
+             aliases: tuple = ()):
+    """Decorator registering a scalar function under ``name`` (and
+    aliases).  Names are case-insensitive; both '-' and '_' spellings are
+    accepted (AsterixDB's historical names use dashes, SQL++ underscores)."""
+
+    def wrap(fn):
+        func = ScalarFunction(name, fn, arity, handles_unknowns)
+        for alias in (name, *aliases):
+            _SCALARS[_canonical(alias)] = func
+        return fn
+
+    return wrap
+
+
+def register_aggregate(name: str, init, step, finish, *,
+                       skip_unknowns: bool = True, aliases: tuple = ()):
+    agg = AggregateFunction(name, init, step, finish, skip_unknowns)
+    for alias in (name, *aliases):
+        _AGGREGATES[_canonical(alias)] = agg
+    return agg
+
+
+def _canonical(name: str) -> str:
+    return name.lower().replace("-", "_")
+
+
+def resolve(name: str) -> ScalarFunction:
+    func = _SCALARS.get(_canonical(name))
+    if func is None:
+        raise IdentifierError(f"unknown function: {name}")
+    return func
+
+
+def resolve_aggregate(name: str) -> AggregateFunction:
+    agg = _AGGREGATES.get(_canonical(name))
+    if agg is None:
+        raise IdentifierError(f"unknown aggregate function: {name}")
+    return agg
+
+
+def is_aggregate(name: str) -> bool:
+    return _canonical(name) in _AGGREGATES
+
+
+def is_scalar(name: str) -> bool:
+    return _canonical(name) in _SCALARS
+
+
+def call(name: str, *args):
+    """Resolve and invoke a scalar function with SQL++ unknown
+    propagation."""
+    func = resolve(name)
+    if not func.check_arity(len(args)):
+        raise IdentifierError(
+            f"wrong number of arguments for {name}: {len(args)}"
+        )
+    if not func.handles_unknowns:
+        if any(a is MISSING for a in args):
+            return MISSING
+        if any(a is None for a in args):
+            return None
+    return func.impl(*args)
+
+
+def all_function_names() -> list[str]:
+    return sorted(_SCALARS)
+
+
+def all_aggregate_names() -> list[str]:
+    return sorted(_AGGREGATES)

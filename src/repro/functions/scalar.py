@@ -1,0 +1,768 @@
+"""Scalar builtin functions: numeric, comparison, logic, string, object,
+collection, and type functions.
+
+Importing this module populates the registry (see
+:mod:`repro.functions.registry`); temporal and spatial families live in
+their own modules.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.adm.comparators import compare, eq as deep_eq
+from repro.adm.values import (
+    MISSING,
+    Multiset,
+    TypeTag,
+    is_numeric_tag,
+    tag_of,
+)
+from repro.common.errors import InvalidArgumentError, TypeError_
+from repro.functions.registry import register
+
+
+# --- arithmetic ------------------------------------------------------------
+
+def _require_numeric(name, *values):
+    for v in values:
+        if not is_numeric_tag(tag_of(v)):
+            raise TypeError_(
+                f"{name}: expected a number, got {type(v).__name__} "
+                f"({v!r})"
+            )
+
+
+@register("numeric_add", 2, aliases=("add",))
+def numeric_add(a, b):
+    # '+' is also datetime/date + duration (temporal module re-dispatches)
+    from repro.functions.temporal import try_temporal_add
+
+    result = try_temporal_add(a, b)
+    if result is not NotImplemented:
+        return result
+    _require_numeric("+", a, b)
+    return a + b
+
+
+@register("numeric_subtract", 2, aliases=("subtract",))
+def numeric_subtract(a, b):
+    from repro.functions.temporal import try_temporal_subtract
+
+    result = try_temporal_subtract(a, b)
+    if result is not NotImplemented:
+        return result
+    _require_numeric("-", a, b)
+    return a - b
+
+
+@register("numeric_multiply", 2, aliases=("multiply",))
+def numeric_multiply(a, b):
+    _require_numeric("*", a, b)
+    return a * b
+
+
+@register("numeric_divide", 2, aliases=("divide",))
+def numeric_divide(a, b):
+    """SQL++ '/': true division; divide-by-zero yields null (the hardened
+    error behaviour Section VII required, not a crash)."""
+    _require_numeric("/", a, b)
+    if b == 0:
+        return None
+    result = a / b
+    return result
+
+
+@register("numeric_idiv", 2, aliases=("idiv", "div"))
+def numeric_idiv(a, b):
+    _require_numeric("div", a, b)
+    if b == 0:
+        return None
+    return int(a // b)
+
+
+@register("numeric_mod", 2, aliases=("mod",))
+def numeric_mod(a, b):
+    _require_numeric("mod", a, b)
+    if b == 0:
+        return None
+    return a % b
+
+@register("numeric_unary_minus", 1, aliases=("neg",))
+def numeric_unary_minus(a):
+    _require_numeric("unary -", a)
+    return -a
+
+
+@register("abs", 1)
+def abs_(a):
+    _require_numeric("abs", a)
+    return abs(a)
+
+
+@register("ceiling", 1, aliases=("ceil",))
+def ceiling(a):
+    _require_numeric("ceiling", a)
+    return math.ceil(a)
+
+
+@register("floor", 1)
+def floor(a):
+    _require_numeric("floor", a)
+    return math.floor(a)
+
+
+@register("round", (1, 2))
+def round_(a, digits=0):
+    _require_numeric("round", a, digits)
+    return round(a, int(digits)) if digits else float(round(a)) \
+        if isinstance(a, float) else round(a)
+
+
+@register("sqrt", 1)
+def sqrt(a):
+    _require_numeric("sqrt", a)
+    if a < 0:
+        return None
+    return math.sqrt(a)
+
+
+@register("power", 2, aliases=("pow",))
+def power(a, b):
+    _require_numeric("power", a, b)
+    return a ** b
+
+
+@register("sign", 1)
+def sign(a):
+    _require_numeric("sign", a)
+    return (a > 0) - (a < 0)
+
+
+# --- comparison -----------------------------------------------------------------
+
+def _comparable(a, b) -> bool:
+    ta, tb = tag_of(a), tag_of(b)
+    if is_numeric_tag(ta) and is_numeric_tag(tb):
+        return True
+    return ta == tb
+
+
+def _compare_or_null(a, b):
+    if not _comparable(a, b):
+        return None  # incomparable types -> unknown (SQL++ null)
+    return compare(a, b)
+
+
+@register("eq", 2)
+def eq(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c == 0
+
+
+@register("neq", 2, aliases=("ne",))
+def neq(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c != 0
+
+
+@register("lt", 2)
+def lt(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c < 0
+
+
+@register("le", 2, aliases=("lte",))
+def le(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c <= 0
+
+
+@register("gt", 2)
+def gt(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c > 0
+
+
+@register("ge", 2, aliases=("gte",))
+def ge(a, b):
+    c = _compare_or_null(a, b)
+    return None if c is None else c >= 0
+
+
+@register("deep_equal", 2)
+def deep_equal(a, b):
+    return deep_eq(a, b)
+
+
+@register("between", 3)
+def between(v, lo, hi):
+    left = ge(v, lo)
+    right = le(v, hi)
+    return and_(left, right)
+
+
+# --- three-valued logic ------------------------------------------------------------
+
+@register("and", (2, None), handles_unknowns=True)
+def and_(*args):
+    saw_unknown = False
+    for a in args:
+        if a is False:
+            return False
+        if a is MISSING or a is None:
+            saw_unknown = True
+        elif not isinstance(a, bool):
+            return None  # non-boolean in a logical context -> unknown
+    return None if saw_unknown else True
+
+
+@register("or", (2, None), handles_unknowns=True)
+def or_(*args):
+    saw_unknown = False
+    for a in args:
+        if a is True:
+            return True
+        if a is MISSING or a is None:
+            saw_unknown = True
+        elif not isinstance(a, bool):
+            return None
+    return None if saw_unknown else False
+
+
+@register("not", 1)
+def not_(a):
+    if not isinstance(a, bool):
+        return None
+    return not a
+
+
+# --- string functions -----------------------------------------------------------------
+
+def _require_string(name, *values):
+    for v in values:
+        if not isinstance(v, str):
+            raise TypeError_(
+                f"{name}: expected a string, got {type(v).__name__}"
+            )
+
+
+@register("string_length", 1, aliases=("length", "len"))
+def string_length(s):
+    _require_string("length", s)
+    return len(s)
+
+
+@register("lowercase", 1, aliases=("lower",))
+def lowercase(s):
+    _require_string("lower", s)
+    return s.lower()
+
+
+@register("uppercase", 1, aliases=("upper",))
+def uppercase(s):
+    _require_string("upper", s)
+    return s.upper()
+
+
+@register("trim", (1, 2))
+def trim(s, chars=None):
+    _require_string("trim", s)
+    return s.strip(chars)
+
+
+@register("ltrim", (1, 2))
+def ltrim(s, chars=None):
+    _require_string("ltrim", s)
+    return s.lstrip(chars)
+
+
+@register("rtrim", (1, 2))
+def rtrim(s, chars=None):
+    _require_string("rtrim", s)
+    return s.rstrip(chars)
+
+
+@register("substr", (2, 3), aliases=("substring",))
+def substr(s, start, length=None):
+    """SQL++ substr: 0-based start (negative counts from the end)."""
+    _require_string("substr", s)
+    start = int(start)
+    if start < 0:
+        start += len(s)
+    if start < 0 or start > len(s):
+        return None
+    if length is None:
+        return s[start:]
+    if length < 0:
+        return None
+    return s[start:start + int(length)]
+
+
+@register("contains", 2)
+def contains(s, needle):
+    _require_string("contains", s, needle)
+    return needle in s
+
+
+@register("starts_with", 2)
+def starts_with(s, prefix):
+    _require_string("starts_with", s, prefix)
+    return s.startswith(prefix)
+
+
+@register("ends_with", 2)
+def ends_with(s, suffix):
+    _require_string("ends_with", s, suffix)
+    return s.endswith(suffix)
+
+
+@register("string_concat", (1, None), aliases=("concat",))
+def string_concat(*parts):
+    for p in parts:
+        _require_string("||", p)
+    return "".join(parts)
+
+
+@register("split", 2)
+def split(s, sep):
+    _require_string("split", s, sep)
+    return s.split(sep)
+
+
+@register("string_join", 2)
+def string_join(items, sep):
+    _require_string("string_join", sep)
+    return sep.join(items)
+
+
+@register("repeat", 2)
+def repeat(s, n):
+    _require_string("repeat", s)
+    return s * int(n)
+
+
+@register("replace", 3)
+def replace(s, old, new):
+    _require_string("replace", s, old, new)
+    return s.replace(old, new)
+
+
+@register("like", 2)
+def like(s, pattern):
+    """SQL LIKE: % matches any run, _ any single character."""
+    _require_string("like", s, pattern)
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, s, flags=re.DOTALL) is not None
+
+
+@register("regexp_contains", 2)
+def regexp_contains(s, pattern):
+    _require_string("regexp_contains", s, pattern)
+    return re.search(pattern, s) is not None
+
+
+@register("codepoint", 1)
+def codepoint(s):
+    _require_string("codepoint", s)
+    return [ord(ch) for ch in s]
+
+
+# --- collection functions --------------------------------------------------------------
+
+def _require_collection(name, v):
+    if not isinstance(v, (list, Multiset)):
+        raise TypeError_(
+            f"{name}: expected a collection, got {type(v).__name__}"
+        )
+
+
+@register("coll_count", 1, aliases=("array_count",))
+def coll_count(xs):
+    """Collection count: counts all items (Fig. 3(c)'s COLL_COUNT)."""
+    _require_collection("coll_count", xs)
+    return len(xs)
+
+
+@register("coll_sum", 1, aliases=("array_sum",))
+def coll_sum(xs):
+    _require_collection("coll_sum", xs)
+    vals = [x for x in xs if x is not None and x is not MISSING]
+    return sum(vals) if vals else None
+
+
+@register("coll_avg", 1, aliases=("array_avg",))
+def coll_avg(xs):
+    _require_collection("coll_avg", xs)
+    vals = [x for x in xs if x is not None and x is not MISSING]
+    return sum(vals) / len(vals) if vals else None
+
+
+@register("coll_min", 1, aliases=("array_min",))
+def coll_min(xs):
+    from repro.adm.comparators import sort_key
+
+    _require_collection("coll_min", xs)
+    vals = [x for x in xs if x is not None and x is not MISSING]
+    return min(vals, key=sort_key) if vals else None
+
+
+@register("coll_max", 1, aliases=("array_max",))
+def coll_max(xs):
+    from repro.adm.comparators import sort_key
+
+    _require_collection("coll_max", xs)
+    vals = [x for x in xs if x is not None and x is not MISSING]
+    return max(vals, key=sort_key) if vals else None
+
+
+@register("array_contains", 2)
+def array_contains(xs, v):
+    _require_collection("array_contains", xs)
+    return any(deep_eq(x, v) for x in xs)
+
+
+@register("array_distinct", 1)
+def array_distinct(xs):
+    from repro.adm.values import canonical_bytes
+
+    _require_collection("array_distinct", xs)
+    seen = set()
+    out = []
+    for x in xs:
+        k = canonical_bytes(x)
+        if k not in seen:
+            seen.add(k)
+            out.append(x)
+    return out
+
+
+@register("array_sort", 1)
+def array_sort(xs):
+    from repro.adm.comparators import sort_key
+
+    _require_collection("array_sort", xs)
+    return sorted(xs, key=sort_key)
+
+
+@register("array_append", (2, None))
+def array_append(xs, *vs):
+    _require_collection("array_append", xs)
+    return list(xs) + list(vs)
+
+
+@register("array_concat", (2, None))
+def array_concat(*arrays):
+    out = []
+    for xs in arrays:
+        _require_collection("array_concat", xs)
+        out.extend(xs)
+    return out
+
+
+@register("array_flatten", 1)
+def array_flatten(xs):
+    _require_collection("array_flatten", xs)
+    out = []
+    for x in xs:
+        if isinstance(x, (list, Multiset)):
+            out.extend(x)
+        else:
+            out.append(x)
+    return out
+
+
+@register("array_slice", (2, 3))
+def array_slice(xs, start, end=None):
+    _require_collection("array_slice", xs)
+    end = len(xs) if end is None else int(end)
+    return list(xs)[int(start):end]
+
+
+@register("get_item", 2, handles_unknowns=True)
+def get_item(xs, i):
+    """Index access xs[i]: out-of-range is MISSING, as in SQL++."""
+    if xs is MISSING or i is MISSING:
+        return MISSING
+    if xs is None or i is None:
+        return None
+    if not isinstance(xs, (list, Multiset)):
+        return MISSING
+    i = int(i)
+    if i < 0:
+        i += len(xs)
+    if 0 <= i < len(xs):
+        return xs[i]
+    return MISSING
+
+
+@register("range", 2)
+def range_(a, b):
+    """SQL++ range(a, b): integers a..b inclusive."""
+    return list(range(int(a), int(b) + 1))
+
+
+# --- object functions --------------------------------------------------------------------
+
+@register("field_access", 2, handles_unknowns=True)
+def field_access(obj, name):
+    """obj.name — accessing a non-object or absent field yields MISSING."""
+    if obj is MISSING or name is MISSING:
+        return MISSING
+    if obj is None or name is None:
+        return None
+    if not isinstance(obj, dict):
+        return MISSING
+    return obj.get(name, MISSING)
+
+
+@register("object_names", 1)
+def object_names(obj):
+    if not isinstance(obj, dict):
+        raise TypeError_("object_names: not an object")
+    return sorted(k for k, v in obj.items() if v is not MISSING)
+
+
+@register("object_values", 1)
+def object_values(obj):
+    if not isinstance(obj, dict):
+        raise TypeError_("object_values: not an object")
+    return [obj[k] for k in sorted(obj) if obj[k] is not MISSING]
+
+
+@register("object_merge", (2, None))
+def object_merge(*objs):
+    out: dict = {}
+    for obj in objs:
+        if not isinstance(obj, dict):
+            raise TypeError_("object_merge: not an object")
+        out.update(obj)
+    return out
+
+
+@register("object_remove", 2)
+def object_remove(obj, name):
+    if not isinstance(obj, dict):
+        raise TypeError_("object_remove: not an object")
+    return {k: v for k, v in obj.items() if k != name}
+
+
+@register("object_add", 3)
+def object_add(obj, name, value):
+    if not isinstance(obj, dict):
+        raise TypeError_("object_add: not an object")
+    out = dict(obj)
+    out[name] = value
+    return out
+
+
+# --- type predicates & conversion ------------------------------------------------------------
+
+@register("is_null", 1, handles_unknowns=True)
+def is_null(v):
+    return v is None
+
+
+@register("is_missing", 1, handles_unknowns=True)
+def is_missing(v):
+    return v is MISSING
+
+
+@register("is_unknown", 1, handles_unknowns=True)
+def is_unknown(v):
+    return v is None or v is MISSING
+
+
+@register("is_boolean", 1, handles_unknowns=True)
+def is_boolean(v):
+    if v is MISSING:
+        return MISSING
+    if v is None:
+        return None
+    return isinstance(v, bool)
+
+
+@register("is_number", 1, handles_unknowns=True)
+def is_number(v):
+    if v is MISSING:
+        return MISSING
+    if v is None:
+        return None
+    return is_numeric_tag(tag_of(v))
+
+
+@register("is_string", 1, handles_unknowns=True)
+def is_string(v):
+    if v is MISSING:
+        return MISSING
+    if v is None:
+        return None
+    return isinstance(v, str)
+
+
+@register("is_array", 1, handles_unknowns=True)
+def is_array(v):
+    if v is MISSING:
+        return MISSING
+    if v is None:
+        return None
+    return tag_of(v) is TypeTag.ARRAY
+
+
+@register("is_object", 1, handles_unknowns=True)
+def is_object(v):
+    if v is MISSING:
+        return MISSING
+    if v is None:
+        return None
+    return isinstance(v, dict)
+
+
+@register("if_missing", (2, None), handles_unknowns=True)
+def if_missing(*args):
+    for a in args:
+        if a is not MISSING:
+            return a
+    return None
+
+
+@register("if_null", (2, None), handles_unknowns=True)
+def if_null(*args):
+    for a in args:
+        if a is not None and a is not MISSING:
+            return a
+    return None
+
+
+@register("if_missing_or_null", (2, None), handles_unknowns=True,
+          aliases=("coalesce",))
+def if_missing_or_null(*args):
+    for a in args:
+        if a is not None and a is not MISSING:
+            return a
+    return None
+
+
+@register("to_string", 1)
+def to_string(v):
+    from repro.adm.parser import format_adm
+
+    if isinstance(v, str):
+        return v
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, (int, float)):
+        return str(v)
+    return format_adm(v)
+
+
+@register("to_bigint", 1, aliases=("to_int",))
+def to_bigint(v):
+    try:
+        if isinstance(v, str):
+            return int(v.strip())
+        if isinstance(v, (int, float)):
+            return int(v)
+    except ValueError:
+        return None
+    return None
+
+
+@register("to_double", 1)
+def to_double(v):
+    try:
+        if isinstance(v, str):
+            return float(v.strip())
+        if isinstance(v, (int, float)):
+            return float(v)
+    except ValueError:
+        return None
+    return None
+
+
+@register("to_boolean", 1)
+def to_boolean(v):
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, str):
+        if v.lower() == "true":
+            return True
+        if v.lower() == "false":
+            return False
+        return None
+    if isinstance(v, (int, float)):
+        return v != 0
+    return None
+
+
+# --- similarity (powers the ngram index's verify step) -----------------------------------------
+
+@register("edit_distance", 2)
+def edit_distance(a, b):
+    _require_string("edit_distance", a, b)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (ca != cb),
+            ))
+        previous = current
+    return previous[-1]
+
+
+@register("similarity_jaccard", 2)
+def similarity_jaccard(xs, ys):
+    from repro.adm.serializer import serialize
+
+    _require_collection("similarity_jaccard", xs)
+    _require_collection("similarity_jaccard", ys)
+    sa = {serialize(x) for x in xs}
+    sb = {serialize(y) for y in ys}
+    if not sa and not sb:
+        return 1.0
+    return len(sa & sb) / len(sa | sb)
+
+
+@register("word_tokens", 1)
+def word_tokens_fn(s):
+    from repro.storage.lsm import word_tokens
+
+    _require_string("word_tokens", s)
+    return sorted(word_tokens(s))
+
+
+@register("gram_tokens", 2)
+def gram_tokens_fn(s, n):
+    from repro.storage.lsm import ngram_tokens
+
+    _require_string("gram_tokens", s)
+    return sorted(ngram_tokens(s, int(n)))
+
+
+@register("ftcontains", 2)
+def ftcontains(text, query):
+    """Full-text containment: every word token of ``query`` occurs in
+    ``text`` (the predicate KEYWORD indexes accelerate)."""
+    from repro.storage.lsm import word_tokens
+
+    _require_string("ftcontains", text, query)
+    return word_tokens(query) <= word_tokens(text)
+
+
+@register("uuid_str", 1)
+def uuid_str(v):
+    import uuid as _uuid
+
+    if not isinstance(v, _uuid.UUID):
+        raise TypeError_("uuid_str: not a uuid")
+    return str(v)
+
+
+def _raise(msg):
+    raise InvalidArgumentError(msg)

@@ -1,0 +1,147 @@
+"""Spatial builtin functions ("simple (Googlemap style) spatial
+attributes", paper §IV): constructors, accessors, and the predicates the
+R-tree access-method rule recognizes (spatial_intersect against a
+rectangle/circle)."""
+
+from __future__ import annotations
+
+from repro.adm.values import (
+    ACircle,
+    ALine,
+    APoint,
+    APolygon,
+    ARectangle,
+)
+from repro.common.errors import TypeError_
+from repro.functions.registry import register
+
+
+@register("create_point", 2)
+def create_point(x, y):
+    return APoint(float(x), float(y))
+
+
+@register("create_rectangle", 2)
+def create_rectangle(bottom_left, top_right):
+    if not (isinstance(bottom_left, APoint) and isinstance(top_right, APoint)):
+        raise TypeError_("create_rectangle: corners must be points")
+    return ARectangle(bottom_left, top_right)
+
+
+@register("create_circle", 2)
+def create_circle(center, radius):
+    if not isinstance(center, APoint):
+        raise TypeError_("create_circle: center must be a point")
+    return ACircle(center, float(radius))
+
+
+@register("create_line", 2)
+def create_line(p1, p2):
+    if not (isinstance(p1, APoint) and isinstance(p2, APoint)):
+        raise TypeError_("create_line: endpoints must be points")
+    return ALine(p1, p2)
+
+
+@register("create_polygon", (3, None))
+def create_polygon(*points):
+    if not all(isinstance(p, APoint) for p in points):
+        raise TypeError_("create_polygon: vertices must be points")
+    return APolygon(tuple(points))
+
+
+@register("get_x", 1)
+def get_x(p):
+    if not isinstance(p, APoint):
+        raise TypeError_("get_x: not a point")
+    return p.x
+
+
+@register("get_y", 1)
+def get_y(p):
+    if not isinstance(p, APoint):
+        raise TypeError_("get_y: not a point")
+    return p.y
+
+
+@register("spatial_distance", 2)
+def spatial_distance(a, b):
+    if not (isinstance(a, APoint) and isinstance(b, APoint)):
+        raise TypeError_("spatial_distance: points required")
+    return a.distance(b)
+
+
+@register("spatial_intersect", 2)
+def spatial_intersect(a, b):
+    """True if the two spatial values intersect.  The combinations the
+    system's queries use: point-in-rectangle/circle/polygon and
+    rectangle-rectangle; symmetric."""
+    for x, y in ((a, b), (b, a)):
+        if isinstance(x, APoint):
+            if isinstance(y, ARectangle):
+                return y.contains_point(x)
+            if isinstance(y, ACircle):
+                return y.contains_point(x)
+            if isinstance(y, APolygon):
+                return y.contains_point(x)
+            if isinstance(y, APoint):
+                return x == y
+        if isinstance(x, ARectangle) and isinstance(y, ARectangle):
+            return x.intersects(y)
+        if isinstance(x, ARectangle) and isinstance(y, ACircle):
+            return x.intersects(y.mbr())  # conservative MBR test
+    raise TypeError_(
+        f"spatial_intersect: unsupported combination "
+        f"{type(a).__name__}/{type(b).__name__}"
+    )
+
+
+@register("spatial_cell", 4)
+def spatial_cell(p, origin, cell_x, cell_y):
+    """The grid cell (as a rectangle) containing point p — AsterixDB's
+    grid-aggregation helper."""
+    if not (isinstance(p, APoint) and isinstance(origin, APoint)):
+        raise TypeError_("spatial_cell: points required")
+    ix = (p.x - origin.x) // float(cell_x)
+    iy = (p.y - origin.y) // float(cell_y)
+    bl = APoint(origin.x + ix * cell_x, origin.y + iy * cell_y)
+    return ARectangle(bl, APoint(bl.x + cell_x, bl.y + cell_y))
+
+
+# -- string constructors (the ADM textual forms: point("x,y") etc.) ---------
+
+@register("point", 1)
+def point_from_string(text):
+    if isinstance(text, APoint):
+        return text
+    return APoint.parse(text)
+
+
+@register("rectangle", 1)
+def rectangle_from_string(text):
+    if isinstance(text, ARectangle):
+        return text
+    a, b = text.split(" ")
+    return ARectangle(APoint.parse(a), APoint.parse(b))
+
+
+@register("circle", 1)
+def circle_from_string(text):
+    if isinstance(text, ACircle):
+        return text
+    center, radius = text.rsplit(" ", 1)
+    return ACircle(APoint.parse(center), float(radius))
+
+
+@register("line", 1)
+def line_from_string(text):
+    if isinstance(text, ALine):
+        return text
+    a, b = text.split(" ")
+    return ALine(APoint.parse(a), APoint.parse(b))
+
+
+@register("polygon", 1)
+def polygon_from_string(text):
+    if isinstance(text, APolygon):
+        return text
+    return APolygon(tuple(APoint.parse(p) for p in text.split(" ")))

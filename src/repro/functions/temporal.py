@@ -1,0 +1,308 @@
+"""Temporal builtin functions.
+
+This family got a real-world workout in the paper: the Gloria Mark
+multitasking study (§V-D, [27]) "needed to time-bin their data into various
+sized bins and to deal with the possibility that a given user activity
+might span bins" — AsterixDB's temporal function support was extended to
+cover that, and :func:`interval_bin` plus :func:`overlap_bins` are those
+extensions, reproduced here and exercised by E11.
+"""
+
+from __future__ import annotations
+
+from repro.adm.values import (
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    ATime,
+    TypeTag,
+    tag_of,
+)
+from repro.common.errors import InvalidArgumentError, TypeError_
+from repro.functions.registry import register
+
+_MILLIS_PER_DAY = 86_400_000
+
+# The deterministic "now": benchmarks and tests need reproducible runs, so
+# current_datetime() reads this session clock, which the API layer may set.
+_SESSION_NOW = ADateTime.parse("2019-04-08T00:00:00")   # ICDE 2019 week
+
+
+def set_session_now(dt: ADateTime) -> None:
+    global _SESSION_NOW
+    _SESSION_NOW = dt
+
+
+@register("current_datetime", 0)
+def current_datetime():
+    return _SESSION_NOW
+
+
+@register("current_date", 0)
+def current_date():
+    return _SESSION_NOW.date_part()
+
+
+@register("current_time", 0)
+def current_time():
+    return _SESSION_NOW.time_part()
+
+
+# -- constructors -------------------------------------------------------------
+
+@register("datetime", 1, aliases=("to_datetime",))
+def datetime_(v):
+    if isinstance(v, ADateTime):
+        return v
+    if isinstance(v, str):
+        return ADateTime.parse(v)
+    if isinstance(v, int):
+        return ADateTime(v)
+    raise TypeError_(f"datetime(): cannot convert {type(v).__name__}")
+
+
+@register("date", 1, aliases=("to_date",))
+def date_(v):
+    if isinstance(v, ADate):
+        return v
+    if isinstance(v, ADateTime):
+        return v.date_part()
+    if isinstance(v, str):
+        return ADate.parse(v)
+    raise TypeError_(f"date(): cannot convert {type(v).__name__}")
+
+
+@register("time", 1, aliases=("to_time",))
+def time_(v):
+    if isinstance(v, ATime):
+        return v
+    if isinstance(v, ADateTime):
+        return v.time_part()
+    if isinstance(v, str):
+        return ATime.parse(v)
+    raise TypeError_(f"time(): cannot convert {type(v).__name__}")
+
+
+@register("duration", 1, aliases=("to_duration",))
+def duration_(v):
+    if isinstance(v, ADuration):
+        return v
+    if isinstance(v, str):
+        return ADuration.parse(v)
+    raise TypeError_(f"duration(): cannot convert {type(v).__name__}")
+
+
+# -- arithmetic ('+'/'-' dispatch here from scalar numeric_add/subtract) --------
+
+def _duration_millis(d: ADuration) -> int:
+    """Approximate a duration in millis (months -> 30 days, the standard
+    ADM convention for mixed arithmetic)."""
+    return d.months * 30 * _MILLIS_PER_DAY + d.millis
+
+
+def try_temporal_add(a, b):
+    for x, y in ((a, b), (b, a)):
+        if isinstance(x, ADateTime) and isinstance(y, ADuration):
+            return ADateTime(x.millis + _duration_millis(y))
+        if isinstance(x, ADate) and isinstance(y, ADuration):
+            millis = x.days * _MILLIS_PER_DAY + _duration_millis(y)
+            return ADate(millis // _MILLIS_PER_DAY)
+        if isinstance(x, ATime) and isinstance(y, ADuration):
+            return ATime((x.millis + _duration_millis(y)) % _MILLIS_PER_DAY)
+    if isinstance(a, ADuration) and isinstance(b, ADuration):
+        return ADuration(a.months + b.months, a.millis + b.millis)
+    return NotImplemented
+
+
+def try_temporal_subtract(a, b):
+    if isinstance(a, ADateTime) and isinstance(b, ADuration):
+        return ADateTime(a.millis - _duration_millis(b))
+    if isinstance(a, ADate) and isinstance(b, ADuration):
+        millis = a.days * _MILLIS_PER_DAY - _duration_millis(b)
+        return ADate(millis // _MILLIS_PER_DAY)
+    if isinstance(a, ATime) and isinstance(b, ADuration):
+        return ATime((a.millis - _duration_millis(b)) % _MILLIS_PER_DAY)
+    if isinstance(a, ADateTime) and isinstance(b, ADateTime):
+        return ADuration(0, a.millis - b.millis)
+    if isinstance(a, ADate) and isinstance(b, ADate):
+        return ADuration(0, (a.days - b.days) * _MILLIS_PER_DAY)
+    if isinstance(a, ADuration) and isinstance(b, ADuration):
+        return ADuration(a.months - b.months, a.millis - b.millis)
+    return NotImplemented
+
+
+# -- field extractors ---------------------------------------------------------------
+
+def _to_datetime(v) -> ADateTime:
+    if isinstance(v, ADateTime):
+        return v
+    if isinstance(v, ADate):
+        return ADateTime(v.days * _MILLIS_PER_DAY)
+    raise TypeError_(f"expected date/datetime, got {type(v).__name__}")
+
+
+@register("get_year", 1)
+def get_year(v):
+    return _to_datetime(v).date_part().to_date().year
+
+
+@register("get_month", 1)
+def get_month(v):
+    return _to_datetime(v).date_part().to_date().month
+
+
+@register("get_day", 1)
+def get_day(v):
+    return _to_datetime(v).date_part().to_date().day
+
+
+@register("get_hour", 1)
+def get_hour(v):
+    if isinstance(v, ATime):
+        return v.millis // 3_600_000
+    return _to_datetime(v).time_part().millis // 3_600_000
+
+
+@register("get_minute", 1)
+def get_minute(v):
+    millis = v.millis if isinstance(v, ATime) else \
+        _to_datetime(v).time_part().millis
+    return millis % 3_600_000 // 60_000
+
+
+@register("get_second", 1)
+def get_second(v):
+    millis = v.millis if isinstance(v, ATime) else \
+        _to_datetime(v).time_part().millis
+    return millis % 60_000 // 1000
+
+
+@register("day_of_week", 1)
+def day_of_week(v):
+    """ISO day of week: Monday=1 .. Sunday=7."""
+    return _to_datetime(v).date_part().to_date().isoweekday()
+
+
+@register("unix_time_from_datetime_in_ms", 1)
+def unix_time_from_datetime_in_ms(v):
+    return _to_datetime(v).millis
+
+
+# -- intervals and binning (the §V-D features) ------------------------------------------
+
+def _chronon(v) -> tuple[int, TypeTag]:
+    if isinstance(v, ADateTime):
+        return v.millis, TypeTag.DATETIME
+    if isinstance(v, ADate):
+        return v.days, TypeTag.DATE
+    if isinstance(v, ATime):
+        return v.millis, TypeTag.TIME
+    raise TypeError_(f"expected a temporal value, got {type(v).__name__}")
+
+
+def _from_chronon(c: int, tag: TypeTag):
+    if tag is TypeTag.DATETIME:
+        return ADateTime(c)
+    if tag is TypeTag.DATE:
+        return ADate(c)
+    return ATime(c)
+
+
+def _duration_chronons(d: ADuration, tag: TypeTag) -> int:
+    millis = _duration_millis(d)
+    if tag is TypeTag.DATE:
+        if millis % _MILLIS_PER_DAY:
+            raise InvalidArgumentError(
+                "bin duration for dates must be whole days"
+            )
+        return millis // _MILLIS_PER_DAY
+    return millis
+
+
+@register("interval", 2)
+def interval(start, end):
+    (s, tag_s), (e, tag_e) = _chronon(start), _chronon(end)
+    if tag_s != tag_e:
+        raise TypeError_("interval endpoints must have the same type")
+    return AInterval(s, e, tag_s)
+
+
+@register("get_interval_start", 1)
+def get_interval_start(iv: AInterval):
+    if not isinstance(iv, AInterval):
+        raise TypeError_("get_interval_start: not an interval")
+    return _from_chronon(iv.start, iv.tag)
+
+
+@register("get_interval_end", 1)
+def get_interval_end(iv: AInterval):
+    if not isinstance(iv, AInterval):
+        raise TypeError_("get_interval_end: not an interval")
+    return _from_chronon(iv.end, iv.tag)
+
+
+@register("get_overlapping_interval", 2)
+def get_overlapping_interval(a: AInterval, b: AInterval):
+    if not (isinstance(a, AInterval) and isinstance(b, AInterval)):
+        raise TypeError_("get_overlapping_interval: not intervals")
+    if not a.overlaps(b):
+        return None
+    return AInterval(max(a.start, b.start), min(a.end, b.end), a.tag)
+
+
+@register("interval_overlapping", 2, aliases=("interval_overlaps",))
+def interval_overlapping(a: AInterval, b: AInterval):
+    if not (isinstance(a, AInterval) and isinstance(b, AInterval)):
+        raise TypeError_("interval_overlapping: not intervals")
+    return a.overlaps(b)
+
+
+@register("duration_from_interval", 1)
+def duration_from_interval(iv: AInterval):
+    if not isinstance(iv, AInterval):
+        raise TypeError_("duration_from_interval: not an interval")
+    span = iv.end - iv.start
+    if iv.tag is TypeTag.DATE:
+        span *= _MILLIS_PER_DAY
+    return ADuration(0, span)
+
+
+@register("interval_bin", 3)
+def interval_bin(value, anchor, bin_duration: ADuration):
+    """The bin (as an interval) containing ``value``, where bins tile the
+    timeline starting at ``anchor`` with width ``bin_duration``.
+
+    ``interval_bin(datetime("...T10:30"), datetime("...T00:00"),
+    duration("PT1H"))`` is the 10:00-11:00 bin."""
+    c, tag = _chronon(value)
+    a, atag = _chronon(anchor)
+    if tag != atag:
+        raise TypeError_("interval_bin: value/anchor type mismatch")
+    width = _duration_chronons(bin_duration, tag)
+    if width <= 0:
+        raise InvalidArgumentError("interval_bin: non-positive bin size")
+    index = (c - a) // width
+    start = a + index * width
+    return AInterval(start, start + width, tag)
+
+
+@register("overlap_bins", 3)
+def overlap_bins(iv: AInterval, anchor, bin_duration: ADuration):
+    """All bins an interval overlaps — the §V-D feature: an activity
+    spanning bins is allocated to every bin it touches, and the caller can
+    intersect (via get_overlapping_interval) to apportion its time."""
+    if not isinstance(iv, AInterval):
+        raise TypeError_("overlap_bins: not an interval")
+    a, atag = _chronon(anchor)
+    if atag != iv.tag:
+        raise TypeError_("overlap_bins: anchor type mismatch")
+    width = _duration_chronons(bin_duration, iv.tag)
+    if width <= 0:
+        raise InvalidArgumentError("overlap_bins: non-positive bin size")
+    first = (iv.start - a) // width
+    last = (iv.end - 1 - a) // width if iv.end > iv.start else first
+    return [
+        AInterval(a + i * width, a + (i + 1) * width, iv.tag)
+        for i in range(first, last + 1)
+    ]

@@ -1,0 +1,66 @@
+"""Hyracks: the partitioned-parallel dataflow runtime (paper feature 4)."""
+
+from repro.hyracks.cluster import (
+    ClusterController,
+    DatasetInfo,
+    JobResult,
+    NodeController,
+)
+from repro.hyracks.connectors import (
+    BroadcastConnector,
+    HashPartitionConnector,
+    MergeConnector,
+    OneToOneConnector,
+    RangePartitionConnector,
+)
+from repro.hyracks.expressions import (
+    CaseExpr,
+    CollectionConstructor,
+    ColumnRef,
+    Const,
+    FunctionCall,
+    InlineQuery,
+    ObjectConstructor,
+    Quantified,
+    RuntimeExpr,
+    VarRef,
+    evaluate_predicate,
+)
+from repro.hyracks.job import (
+    ConnectorDescriptor,
+    JobSpecification,
+    OperatorDescriptor,
+)
+from repro.hyracks.profiler import JobProfile, OperatorProfile, PartitionCost
+
+__all__ = [
+    "BroadcastConnector",
+    "CaseExpr",
+    "ClusterController",
+    "CollectionConstructor",
+    "ColumnRef",
+    "ConnectorDescriptor",
+    "Const",
+    "DatasetInfo",
+    "FunctionCall",
+    "HashPartitionConnector",
+    "InlineQuery",
+    "JobProfile",
+    "JobResult",
+    "JobSpecification",
+    "MergeConnector",
+    "NodeController",
+    "ObjectConstructor",
+    "OneToOneConnector",
+    "OperatorDescriptor",
+    "OperatorProfile",
+    "PartitionCost",
+    "Quantified",
+    "RangePartitionConnector",
+    "ResultWriterOp",
+    "RuntimeExpr",
+    "VarRef",
+    "evaluate_predicate",
+]
+
+from repro.hyracks.operators.result import ResultWriterOp  # noqa: E402

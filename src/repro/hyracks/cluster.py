@@ -1,0 +1,386 @@
+"""The simulated shared-nothing cluster (paper Fig. 1).
+
+"The system is based on a traditional shared-nothing architecture, with
+each node in a cluster managing one or more storage and index partitions
+for its datasets ... the execution of the Hyracks jobs is coordinated by
+the cluster controller."
+
+Per DESIGN.md (Substitutions), the cluster is simulated in one process:
+
+* :class:`NodeController` — one per node: its own I/O devices (real
+  directories with real page files), buffer cache, WAL, transaction
+  manager, and dataset partitions.
+* :class:`ClusterController` — owns the topology, the dataset→partition
+  map (primary-key hash partitioning), and job execution.
+
+Jobs run operator-by-operator in dependency order; each operator executes
+its partitions sequentially while the profiler accounts them as parallel
+(elapsed = max over partitions).  The job's simulated time is the sum of
+operator elapsed times along the (serialized) dependency chain — a
+pipelining-free model applied identically to every configuration, which is
+what lets experiment E3 exhibit the scale-out *shape* of the paper's
+180-node test on one machine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import MetadataError
+from repro.hyracks.job import JobSpecification
+from repro.hyracks.operators.base import TaskContext
+from repro.hyracks.operators.result import ResultWriterOp
+from repro.hyracks.profiler import JobProfile, PartitionCost
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.dataset_storage import PartitionStorage, SecondaryIndexSpec
+from repro.storage.file_manager import FileManager
+from repro.storage.iodevice import IODevice, IOStats
+from repro.storage.lsm.merge_policy import PrefixMergePolicy
+from repro.txn import (
+    LogManager,
+    RecoveryManager,
+    TransactionManager,
+    TransactionalPartition,
+)
+
+
+class NodeController:
+    """One shared-nothing node: devices, cache, WAL, and its partitions."""
+
+    def __init__(self, node_id: int, root: str, config: ClusterConfig):
+        self.node_id = node_id
+        self.config = config
+        self.root = root
+        self.devices = [
+            IODevice(d, os.path.join(root, f"iodevice{d}"))
+            for d in range(config.node.num_io_devices)
+        ]
+        self.fm = FileManager(self.devices, config.page_size)
+        self.cache = BufferCache(self.fm, config.node.buffer_cache_pages)
+        self.log = LogManager(os.path.join(root, "txnlog", "log"))
+        self.txn = TransactionManager(self.log)
+        self.partitions: dict[tuple, PartitionStorage] = {}
+        self.txn_partitions: dict[tuple, TransactionalPartition] = {}
+        self.cluster_num_partitions = config.num_partitions
+
+    # -- partition management -------------------------------------------------
+
+    def create_partition(self, dataset: str, partition_id: int,
+                         pk_fields: tuple) -> PartitionStorage:
+        key = (dataset, partition_id)
+        if key in self.partitions:
+            raise MetadataError(
+                f"partition {partition_id} of {dataset} already on node "
+                f"{self.node_id}"
+            )
+        storage = PartitionStorage(
+            self.fm, self.cache, dataset, partition_id, pk_fields,
+            memory_budget_bytes=(self.config.node.memory_component_pages
+                                 * self.config.page_size),
+            merge_policy=PrefixMergePolicy(),
+        )
+        self.partitions[key] = storage
+        self.txn_partitions[key] = TransactionalPartition(storage, self.txn)
+        return storage
+
+    def recover_partition(self, dataset: str, partition_id: int,
+                          pk_fields: tuple, specs=()) -> PartitionStorage:
+        """Reopen a partition from disk after a restart (manifests only;
+        the caller replays the WAL afterwards)."""
+        key = (dataset, partition_id)
+        storage = PartitionStorage.recover(
+            self.fm, self.cache, dataset, partition_id, pk_fields,
+            specs=specs,
+            memory_budget_bytes=(self.config.node.memory_component_pages
+                                 * self.config.page_size),
+            merge_policy=PrefixMergePolicy(),
+        )
+        self.partitions[key] = storage
+        self.txn_partitions[key] = TransactionalPartition(storage, self.txn)
+        return storage
+
+    def seed_txn_ids_from_log(self) -> None:
+        """After a restart, continue transaction ids past the log's max so
+        an old uncommitted entity transaction can never be confused with a
+        new committed one during a later recovery."""
+        max_txn = 0
+        for record in self.log.scan():
+            max_txn = max(max_txn, record.txn_id)
+        import itertools
+
+        self.txn._ids = itertools.count(max_txn + 1)
+
+    def replay_wal(self) -> int:
+        """Replay committed entity operations into this node's recovered
+        partitions; returns operations replayed."""
+        manager = RecoveryManager(self.log)
+        return manager.recover(self.partitions)
+
+    def drop_partition(self, dataset: str, partition_id: int) -> None:
+        key = (dataset, partition_id)
+        storage = self.partitions.pop(key, None)
+        self.txn_partitions.pop(key, None)
+        if storage is not None:
+            storage.drop()
+
+    def get_partition(self, dataset: str, partition_id: int):
+        try:
+            return self.partitions[(dataset, partition_id)]
+        except KeyError:
+            raise MetadataError(
+                f"no partition {partition_id} of {dataset} on node "
+                f"{self.node_id}"
+            ) from None
+
+    def get_txn_partition(self, dataset: str, partition_id: int):
+        try:
+            return self.txn_partitions[(dataset, partition_id)]
+        except KeyError:
+            raise MetadataError(
+                f"no partition {partition_id} of {dataset} on node "
+                f"{self.node_id}"
+            ) from None
+
+    # -- I/O accounting ----------------------------------------------------------
+
+    def io_snapshot(self) -> IOStats:
+        total = IOStats()
+        for device in self.devices:
+            total = total + device.stats
+        return total
+
+    def charge_io_delta(self, ctx, before: IOStats) -> None:
+        diff = self.io_snapshot().diff(before)
+        ctx.charge_io(diff.reads, diff.writes, diff.seq_reads,
+                      diff.seq_writes)
+
+    def close(self) -> None:
+        self.log.close()
+        self.fm.close()
+
+
+@dataclass
+class DatasetInfo:
+    name: str
+    pk_fields: tuple
+    indexes: dict = field(default_factory=dict)   # name -> spec
+
+
+@dataclass
+class JobResult:
+    tuples: list
+    profile: JobProfile
+
+
+class _ConnCtx:
+    """Cost sink for connector routing; the executor spreads the charge
+    across the consuming partitions afterwards."""
+
+    def __init__(self, cost_model):
+        self.cost = cost_model
+        self.network_tuples = 0
+        self.cpu_us = 0.0
+
+    def charge_network(self, n):
+        self.network_tuples += n
+
+    def charge_hash(self, n):
+        self.cpu_us += n * self.cost.hash_us
+
+    def charge_compare(self, n):
+        self.cpu_us += n * self.cost.compare_us
+
+
+class ClusterController:
+    """Topology + catalog-of-partitions + job executor."""
+
+    def __init__(self, base_dir: str, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.base_dir = base_dir
+        self.nodes = [
+            NodeController(n, os.path.join(base_dir, f"node{n}"),
+                           self.config)
+            for n in range(self.config.num_nodes)
+        ]
+        self.datasets: dict[str, DatasetInfo] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        return self.config.num_partitions
+
+    def node_of_partition(self, partition_id: int) -> NodeController:
+        return self.nodes[partition_id // self.config.partitions_per_node]
+
+    def partition_of_key(self, pk: tuple) -> int:
+        from repro.adm.values import hash_value
+
+        return hash_value(pk) % self.num_partitions
+
+    # -- dataset DDL ----------------------------------------------------------------
+
+    def create_dataset(self, name: str, pk_fields: tuple) -> DatasetInfo:
+        if name in self.datasets:
+            raise MetadataError(f"dataset {name} already exists")
+        for p in range(self.num_partitions):
+            self.node_of_partition(p).create_partition(name, p, pk_fields)
+        info = DatasetInfo(name, tuple(pk_fields))
+        self.datasets[name] = info
+        return info
+
+    def recover_dataset(self, name: str, pk_fields: tuple,
+                        specs=()) -> DatasetInfo:
+        """Reopen a dataset's partitions from disk (restart path)."""
+        if name in self.datasets:
+            raise MetadataError(f"dataset {name} already open")
+        for p in range(self.num_partitions):
+            self.node_of_partition(p).recover_partition(
+                name, p, pk_fields, specs)
+        info = DatasetInfo(name, tuple(pk_fields),
+                           {s.name: s for s in specs})
+        self.datasets[name] = info
+        return info
+
+    def drop_dataset(self, name: str) -> None:
+        info = self.datasets.pop(name, None)
+        if info is None:
+            raise MetadataError(f"no such dataset {name}")
+        for p in range(self.num_partitions):
+            self.node_of_partition(p).drop_partition(name, p)
+
+    def create_index(self, dataset: str, spec: SecondaryIndexSpec) -> None:
+        info = self._dataset(dataset)
+        if spec.name in info.indexes:
+            raise MetadataError(f"index {spec.name} already exists")
+        for p in range(self.num_partitions):
+            node = self.node_of_partition(p)
+            node.get_partition(dataset, p).create_secondary(spec)
+        info.indexes[spec.name] = spec
+
+    def drop_index(self, dataset: str, index_name: str) -> None:
+        info = self._dataset(dataset)
+        if index_name not in info.indexes:
+            raise MetadataError(f"no such index {index_name}")
+        for p in range(self.num_partitions):
+            node = self.node_of_partition(p)
+            node.get_partition(dataset, p).drop_secondary(index_name)
+        del info.indexes[index_name]
+
+    def _dataset(self, name: str) -> DatasetInfo:
+        try:
+            return self.datasets[name]
+        except KeyError:
+            raise MetadataError(f"no such dataset {name}") from None
+
+    # -- direct record routing (feeds, examples, and tests use this) ---------------
+
+    def insert_record(self, dataset: str, record: dict,
+                      *, upsert: bool = False):
+        info = self._dataset(dataset)
+        pk = tuple(record[f] for f in info.pk_fields)
+        p = self.partition_of_key(pk)
+        txn_part = self.node_of_partition(p).get_txn_partition(dataset, p)
+        return txn_part.upsert(record) if upsert else txn_part.insert(record)
+
+    def delete_record(self, dataset: str, pk: tuple):
+        p = self.partition_of_key(pk)
+        return self.node_of_partition(p).get_txn_partition(
+            dataset, p).delete(pk)
+
+    def get_record(self, dataset: str, pk: tuple):
+        p = self.partition_of_key(pk)
+        return self.node_of_partition(p).get_partition(dataset, p).get(pk)
+
+    def scan_dataset(self, dataset: str):
+        for p in range(self.num_partitions):
+            storage = self.node_of_partition(p).get_partition(dataset, p)
+            yield from storage.scan()
+
+    def flush_dataset(self, dataset: str) -> None:
+        for p in range(self.num_partitions):
+            self.node_of_partition(p).get_partition(dataset, p).flush_all()
+
+    # -- job execution -----------------------------------------------------------------
+
+    def run_job(self, job: JobSpecification) -> JobResult:
+        job.validate()
+        profile = JobProfile(self.config.cost)
+        started = time.perf_counter()
+        io_before = self._total_io()
+        order = job.topological_order()
+        outputs: dict[int, list] = {}
+        result_tuples: list = []
+        for op_id in order:
+            op = job.operators[op_id]
+            width = op.partition_count or self.num_partitions
+            op_profile = profile.new_operator(repr(op))
+            # route each input edge to this operator's partitions
+            routed_per_edge = []
+            for edge in job.inputs_of(op_id):
+                conn_ctx = _ConnCtx(self.config.cost)
+                routed = edge.connector.route(
+                    outputs[edge.producer], width, conn_ctx
+                )
+                profile.connector_network_tuples += conn_ctx.network_tuples
+                per_part_net = (
+                    conn_ctx.network_tuples
+                    * self.config.cost.network_tuple_us / width
+                )
+                per_part_cpu = conn_ctx.cpu_us / width
+                for p in range(width):
+                    cost = op_profile.cost(p)
+                    cost.network_us += per_part_net
+                    cost.cpu_us += per_part_cpu
+                routed_per_edge.append(routed)
+            # run the partitions (sequentially; accounted as parallel)
+            op_outputs = []
+            for p in range(width):
+                node = (self.nodes[0] if width == 1
+                        else self.node_of_partition(p))
+                cost = op_profile.cost(p)
+                cost.tuples_in += sum(
+                    len(edge_routed[p]) for edge_routed in routed_per_edge
+                )
+                ctx = TaskContext(node, self.config, cost)
+                out = op.run(
+                    ctx, p, [edge_routed[p] for edge_routed in routed_per_edge]
+                )
+                op_outputs.append(out)
+            outputs[op_id] = op_outputs
+            profile.simulated_us += op_profile.elapsed_us
+            if isinstance(op, ResultWriterOp):
+                result_tuples = op.collected
+        io_after = self._total_io()
+        diff = io_after.diff(io_before)
+        profile.physical_reads = diff.total_reads
+        profile.physical_writes = diff.total_writes
+        profile.wall_seconds = time.perf_counter() - started
+        return JobResult(result_tuples, profile)
+
+    def _total_io(self) -> IOStats:
+        total = IOStats()
+        for node in self.nodes:
+            total = total + node.io_snapshot()
+        return total
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        for node in self.nodes:
+            node.txn.checkpoint(list(node.partitions.values()))
+
+    def recover(self) -> int:
+        """Run WAL replay on every node (after reopening partitions)."""
+        total = 0
+        for node in self.nodes:
+            manager = RecoveryManager(node.log)
+            total += manager.recover(node.partitions)
+        return total
+
+    def close(self) -> None:
+        for node in self.nodes:
+            node.close()

@@ -1,0 +1,308 @@
+"""Runtime scalar expressions.
+
+The Algebricks job generator compiles each logical expression into this
+small IR, resolving variables to tuple field indexes.  Evaluation follows
+SQL++ semantics: unknowns (MISSING/null) propagate through function calls
+(see :mod:`repro.functions.registry`), field access on non-objects yields
+MISSING, and quantified expressions short-circuit.
+
+``env`` carries lambda-style bindings for variables introduced *inside* an
+expression (quantified variables, inline-collection iteration); ordinary
+query variables are compiled to :class:`ColumnRef` positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adm.values import MISSING, Multiset
+from repro.common.errors import CompilationError
+from repro.functions.registry import resolve
+
+
+class RuntimeExpr:
+    """Base class; ``evaluate(tup, env)`` returns an ADM value."""
+
+    def evaluate(self, tup, env=None):
+        raise NotImplementedError
+
+    def columns(self) -> set[int]:
+        """All ColumnRef indexes under this expression (projection
+        pushdown and join-side analysis use this)."""
+        out: set[int] = set()
+        self._collect_columns(out)
+        return out
+
+    def _collect_columns(self, out: set[int]) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class Const(RuntimeExpr):
+    value: object
+
+    def evaluate(self, tup, env=None):
+        return self.value
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class ColumnRef(RuntimeExpr):
+    index: int
+
+    def evaluate(self, tup, env=None):
+        return tup[self.index]
+
+    def _collect_columns(self, out):
+        out.add(self.index)
+
+    def __repr__(self):
+        return f"${self.index}"
+
+
+@dataclass(frozen=True)
+class VarRef(RuntimeExpr):
+    """A lambda-bound variable (quantifier/inline-iteration binding)."""
+
+    name: str
+
+    def evaluate(self, tup, env=None):
+        if env is None or self.name not in env:
+            raise CompilationError(f"unbound variable {self.name}")
+        return env[self.name]
+
+    def __repr__(self):
+        return f"VarRef({self.name})"
+
+
+class FunctionCall(RuntimeExpr):
+    """A call to a registered scalar function, with SQL++ unknown
+    propagation applied here (pre-resolved for speed)."""
+
+    __slots__ = ("name", "args", "_func")
+
+    def __init__(self, name: str, args: list):
+        self.name = name
+        self.args = list(args)
+        self._func = resolve(name)
+        if not self._func.check_arity(len(self.args)):
+            raise CompilationError(
+                f"wrong number of arguments for {name}: {len(self.args)}"
+            )
+
+    def evaluate(self, tup, env=None):
+        values = [a.evaluate(tup, env) for a in self.args]
+        if not self._func.handles_unknowns:
+            for v in values:
+                if v is MISSING:
+                    return MISSING
+            for v in values:
+                if v is None:
+                    return None
+        return self._func.impl(*values)
+
+    def _collect_columns(self, out):
+        for a in self.args:
+            a._collect_columns(out)
+
+    def __repr__(self):
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+class Quantified(RuntimeExpr):
+    """SOME/EVERY var IN collection SATISFIES predicate.
+
+    SQL++ semantics: SOME over an empty collection is false, EVERY is true;
+    a non-collection operand yields null."""
+
+    __slots__ = ("some", "var", "collection", "predicate")
+
+    def __init__(self, some: bool, var: str, collection: RuntimeExpr,
+                 predicate: RuntimeExpr):
+        self.some = some
+        self.var = var
+        self.collection = collection
+        self.predicate = predicate
+
+    def evaluate(self, tup, env=None):
+        coll = self.collection.evaluate(tup, env)
+        if coll is MISSING:
+            return MISSING
+        if coll is None:
+            return None
+        if not isinstance(coll, (list, Multiset)):
+            return None
+        inner = dict(env) if env else {}
+        for item in coll:
+            inner[self.var] = item
+            result = self.predicate.evaluate(tup, inner)
+            if self.some and result is True:
+                return True
+            if not self.some and result is not True:
+                return False
+        return not self.some
+
+    def _collect_columns(self, out):
+        self.collection._collect_columns(out)
+        self.predicate._collect_columns(out)
+
+    def __repr__(self):
+        kw = "some" if self.some else "every"
+        return (f"{kw} {self.var} in {self.collection!r} "
+                f"satisfies {self.predicate!r}")
+
+
+class CaseExpr(RuntimeExpr):
+    """Searched CASE: WHEN cond THEN result ... ELSE default END."""
+
+    __slots__ = ("whens", "default")
+
+    def __init__(self, whens: list, default: RuntimeExpr):
+        self.whens = list(whens)      # [(cond_expr, result_expr)]
+        self.default = default
+
+    def evaluate(self, tup, env=None):
+        for cond, result in self.whens:
+            if cond.evaluate(tup, env) is True:
+                return result.evaluate(tup, env)
+        return self.default.evaluate(tup, env)
+
+    def _collect_columns(self, out):
+        for cond, result in self.whens:
+            cond._collect_columns(out)
+            result._collect_columns(out)
+        self.default._collect_columns(out)
+
+    def __repr__(self):
+        return f"case({len(self.whens)} whens)"
+
+
+class ObjectConstructor(RuntimeExpr):
+    """{"name": expr, ...} — a MISSING value drops its field, per SQL++."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: list):
+        self.pairs = list(pairs)      # [(name_expr, value_expr)]
+
+    def evaluate(self, tup, env=None):
+        out = {}
+        for name_expr, value_expr in self.pairs:
+            name = name_expr.evaluate(tup, env)
+            if name is MISSING or name is None:
+                continue
+            value = value_expr.evaluate(tup, env)
+            if value is MISSING:
+                continue
+            out[name] = value
+        return out
+
+    def _collect_columns(self, out):
+        for name_expr, value_expr in self.pairs:
+            name_expr._collect_columns(out)
+            value_expr._collect_columns(out)
+
+    def __repr__(self):
+        return f"object({len(self.pairs)} fields)"
+
+
+class CollectionConstructor(RuntimeExpr):
+    """[...] or {{...}}."""
+
+    __slots__ = ("items", "multiset")
+
+    def __init__(self, items: list, multiset: bool = False):
+        self.items = list(items)
+        self.multiset = multiset
+
+    def evaluate(self, tup, env=None):
+        values = [i.evaluate(tup, env) for i in self.items]
+        return Multiset(values) if self.multiset else values
+
+    def _collect_columns(self, out):
+        for i in self.items:
+            i._collect_columns(out)
+
+    def __repr__(self):
+        braces = "{{}}" if self.multiset else "[]"
+        return f"collection{braces}({len(self.items)})"
+
+
+class Comprehension(RuntimeExpr):
+    """An inline subquery over a collection-valued source:
+    ``[body for var in collection if filter]``.
+
+    Subqueries whose FROM sources are *expressions* (``FROM u.employment
+    AS e WHERE ... SELECT VALUE ...``) compile to this; subqueries over
+    datasets are decorrelated into joins by the translator.  Multiple
+    sources nest (the body of the outer comprehension is the inner one,
+    flattened by the compiler)."""
+
+    __slots__ = ("var", "collection", "filter", "body")
+
+    def __init__(self, var: str, collection: RuntimeExpr,
+                 filter: RuntimeExpr | None, body: RuntimeExpr):
+        self.var = var
+        self.collection = collection
+        self.filter = filter
+        self.body = body
+
+    def evaluate(self, tup, env=None):
+        coll = self.collection.evaluate(tup, env)
+        if coll is MISSING:
+            return MISSING
+        if coll is None:
+            return None
+        if not isinstance(coll, (list, Multiset)):
+            coll = [coll]  # FROM over a non-collection iterates once
+        inner = dict(env) if env else {}
+        out = []
+        for item in coll:
+            inner[self.var] = item
+            if self.filter is not None and \
+                    self.filter.evaluate(tup, inner) is not True:
+                continue
+            value = self.body.evaluate(tup, inner)
+            if isinstance(self.body, Comprehension):
+                out.extend(value)  # nested sources flatten
+            else:
+                out.append(value)
+        return out
+
+    def _collect_columns(self, out):
+        self.collection._collect_columns(out)
+        if self.filter is not None:
+            self.filter._collect_columns(out)
+        self.body._collect_columns(out)
+
+    def __repr__(self):
+        return (f"[{self.body!r} for %{self.var} in {self.collection!r}"
+                + (f" if {self.filter!r}" if self.filter else "") + "]")
+
+
+class InlineQuery(RuntimeExpr):
+    """A correlated subquery over expression-valued sources, evaluated
+    per tuple (e.g. ``(FROM u.employment AS e WHERE ... SELECT VALUE e)``).
+
+    Subqueries over *datasets* are decorrelated into joins by the
+    translator; only collection-valued sources reach this node.  The plan
+    is a closure produced by the compiler; it receives (tup, env) and
+    returns a list."""
+
+    __slots__ = ("closure",)
+
+    def __init__(self, closure):
+        self.closure = closure
+
+    def evaluate(self, tup, env=None):
+        return self.closure(tup, env)
+
+    def __repr__(self):
+        return "inline-query"
+
+
+def evaluate_predicate(expr: RuntimeExpr, tup, env=None) -> bool:
+    """WHERE/HAVING/join-condition semantics: only True passes."""
+    return expr.evaluate(tup, env) is True

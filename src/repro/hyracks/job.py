@@ -1,0 +1,129 @@
+"""Hyracks job specifications.
+
+"Hyracks jobs resulting from SQL++ query requests" (paper Fig. 1) are DAGs
+of operator descriptors wired by connector descriptors.  An operator runs
+in N partitions; a connector describes how a producer's partitioned output
+is routed to a consumer's input partitions (one-to-one, hash partition,
+broadcast, sorted merge).  The cluster controller executes the DAG in
+dependency order (see :mod:`repro.hyracks.cluster`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CompilationError
+
+
+class OperatorDescriptor:
+    """Base class for runtime operators.
+
+    ``run(ctx, partition, inputs)`` consumes one list of tuples per input
+    port (already routed to this partition) and returns this partition's
+    output tuples.  ``num_inputs`` declares the port count.
+    """
+
+    num_inputs = 1
+    #: None = run at full cluster width; 1 = single (global) partition
+    partition_count: int | None = None
+    name = "op"
+
+    def run(self, ctx, partition: int, inputs: list) -> list:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.name
+
+
+class ConnectorDescriptor:
+    """Routes producer partitions to consumer partitions."""
+
+    name = "connector"
+
+    def route(self, producer_outputs: list, num_consumers: int,
+              ctx) -> list:
+        """``producer_outputs``: list over producer partitions of tuple
+        lists.  Returns a list over consumer partitions of tuple lists."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass
+class _Edge:
+    connector: ConnectorDescriptor
+    producer: int
+    consumer: int
+    port: int
+
+
+@dataclass
+class JobSpecification:
+    """A dataflow DAG: operators + connectors."""
+
+    operators: list = field(default_factory=list)
+    edges: list = field(default_factory=list)
+
+    def add_operator(self, op: OperatorDescriptor) -> int:
+        self.operators.append(op)
+        return len(self.operators) - 1
+
+    def connect(self, connector: ConnectorDescriptor, producer: int,
+                consumer: int, port: int = 0) -> None:
+        for op_id in (producer, consumer):
+            if not 0 <= op_id < len(self.operators):
+                raise CompilationError(f"unknown operator id {op_id}")
+        self.edges.append(_Edge(connector, producer, consumer, port))
+
+    def inputs_of(self, op_id: int) -> list:
+        """Edges feeding op_id, ordered by port."""
+        edges = [e for e in self.edges if e.consumer == op_id]
+        edges.sort(key=lambda e: e.port)
+        return edges
+
+    def validate(self) -> None:
+        """DAG sanity: ports match arity, no cycles, single-rooted sinks."""
+        for op_id, op in enumerate(self.operators):
+            edges = self.inputs_of(op_id)
+            ports = [e.port for e in edges]
+            if ports != list(range(op.num_inputs)):
+                raise CompilationError(
+                    f"operator {op_id} ({op!r}) expects "
+                    f"{op.num_inputs} input(s), got ports {ports}"
+                )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list[int]:
+        indegree = {i: 0 for i in range(len(self.operators))}
+        for e in self.edges:
+            indegree[e.consumer] += 1
+        ready = [i for i, d in indegree.items() if d == 0]
+        order = []
+        while ready:
+            op_id = ready.pop()
+            order.append(op_id)
+            for e in self.edges:
+                if e.producer == op_id:
+                    indegree[e.consumer] -= 1
+                    if indegree[e.consumer] == 0:
+                        ready.append(e.consumer)
+        if len(order) != len(self.operators):
+            raise CompilationError("job graph has a cycle")
+        return order
+
+    def sinks(self) -> list[int]:
+        producers = {e.producer for e in self.edges}
+        return [i for i in range(len(self.operators)) if i not in producers]
+
+    def describe(self) -> str:
+        """Human-readable job summary (EXPLAIN output uses this)."""
+        lines = []
+        for op_id, op in enumerate(self.operators):
+            feeds = [
+                f"{e.producer}--{e.connector!r}-->"
+                for e in self.inputs_of(op_id)
+            ]
+            prefix = " ".join(feeds)
+            lines.append(f"  [{op_id}] {prefix} {op!r}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Hyracks runtime operators."""
+
+from repro.hyracks.operators.base import TaskContext
+from repro.hyracks.operators.dml import DeleteOp, InsertOp, LoadOp, UpsertOp
+from repro.hyracks.operators.group import (
+    AggregateCall,
+    AggregateOp,
+    HashGroupByOp,
+    PreclusteredGroupByOp,
+)
+from repro.hyracks.operators.index_ops import (
+    InvertedSearchOp,
+    PrimaryKeySearchOp,
+    PrimaryLookupOp,
+    SecondaryBTreeSearchOp,
+    SecondaryRTreeSearchOp,
+)
+from repro.hyracks.operators.join import HybridHashJoinOp, NestedLoopJoinOp
+from repro.hyracks.operators.result import ResultWriterOp
+from repro.hyracks.operators.scan import (
+    DatasetScanOp,
+    EmptyTupleSourceOp,
+    ExternalScanOp,
+    InMemorySourceOp,
+)
+from repro.hyracks.operators.simple import (
+    AssignOp,
+    DistinctOp,
+    LimitOp,
+    MaterializeOp,
+    ProjectOp,
+    RunningAggregateOp,
+    SelectOp,
+    UnionAllOp,
+    UnnestOp,
+)
+from repro.hyracks.operators.sort import ExternalSortOp, TopKSortOp
+
+__all__ = [
+    "AggregateCall",
+    "AggregateOp",
+    "AssignOp",
+    "DatasetScanOp",
+    "DeleteOp",
+    "DistinctOp",
+    "EmptyTupleSourceOp",
+    "ExternalScanOp",
+    "ExternalSortOp",
+    "HashGroupByOp",
+    "HybridHashJoinOp",
+    "InMemorySourceOp",
+    "InsertOp",
+    "InvertedSearchOp",
+    "LimitOp",
+    "LoadOp",
+    "MaterializeOp",
+    "NestedLoopJoinOp",
+    "PreclusteredGroupByOp",
+    "PrimaryKeySearchOp",
+    "PrimaryLookupOp",
+    "ProjectOp",
+    "ResultWriterOp",
+    "RunningAggregateOp",
+    "SecondaryBTreeSearchOp",
+    "SecondaryRTreeSearchOp",
+    "SelectOp",
+    "TaskContext",
+    "TopKSortOp",
+    "UnionAllOp",
+    "UnnestOp",
+    "UpsertOp",
+]

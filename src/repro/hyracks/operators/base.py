@@ -1,0 +1,64 @@
+"""Task context: what one operator partition sees while running.
+
+Gives operators access to the node hosting their partition (storage,
+temp files), the cluster config (frame sizes, memory budgets), and the
+cost-charging hooks that drive the simulated clock.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig
+from repro.hyracks.profiler import PartitionCost
+
+
+class TaskContext:
+    """Per-(operator, partition) execution context."""
+
+    def __init__(self, node, config: ClusterConfig, cost: PartitionCost):
+        self.node = node                  # NodeController hosting this task
+        self.config = config
+        self.cost = cost
+        self._temp_counter = [0]
+
+    # -- cost charging ---------------------------------------------------------
+
+    def charge_cpu(self, tuples: int) -> None:
+        self.cost.cpu_us += tuples * self.config.cost.tuple_cpu_us
+
+    def charge_hash(self, n: int) -> None:
+        self.cost.cpu_us += n * self.config.cost.hash_us
+
+    def charge_compare(self, n: int) -> None:
+        self.cost.cpu_us += n * self.config.cost.compare_us
+
+    def charge_network(self, tuples: int) -> None:
+        self.cost.network_us += tuples * self.config.cost.network_tuple_us
+
+    def charge_io(self, reads: int, writes: int, seq_reads: int,
+                  seq_writes: int) -> None:
+        c = self.config.cost
+        self.cost.io_us += (
+            reads * c.page_read_us + writes * c.page_write_us
+            + seq_reads * c.seq_page_read_us
+            + seq_writes * c.seq_page_write_us
+        )
+
+    # -- node services -----------------------------------------------------------
+
+    def storage_partition(self, dataset: str, partition: int):
+        return self.node.get_partition(dataset, partition)
+
+    def txn_partition(self, dataset: str, partition: int):
+        return self.node.get_txn_partition(dataset, partition)
+
+    def make_temp_file(self, label: str):
+        self._temp_counter[0] += 1
+        name = f"temp/{label}_{id(self)}_{self._temp_counter[0]}"
+        return self.node.fm.create_file(name)
+
+    def release_temp_file(self, handle) -> None:
+        self.node.fm.delete_file(handle)
+
+    @property
+    def frame_size(self) -> int:
+        return self.config.frame_size

@@ -1,0 +1,120 @@
+"""DML operators: INSERT / UPSERT / DELETE with index maintenance.
+
+Incoming record tuples are hash-partitioned on primary key by the
+connector feeding these operators, so each partition applies only its own
+records — through the node's TransactionalPartition, which gives every
+record mutation the WAL + lock entity-transaction treatment (feature 9).
+Each operator emits one count tuple per partition; a downstream aggregate
+sums them into the statement's "N records affected" result.
+"""
+
+from __future__ import annotations
+
+from repro.hyracks.expressions import RuntimeExpr
+from repro.hyracks.job import OperatorDescriptor
+
+
+class InsertOp(OperatorDescriptor):
+    """INSERT: record expression evaluated per input tuple; duplicates
+    raise (and abort the statement)."""
+
+    name = "insert"
+
+    def __init__(self, dataset: str, record: RuntimeExpr):
+        self.dataset = dataset
+        self.record = record
+
+    def run(self, ctx, partition, inputs):
+        txn_part = ctx.txn_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        count = 0
+        for tup in inputs[0]:
+            txn_part.insert(self.record.evaluate(tup))
+            count += 1
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(count)
+        ctx.cost.tuples_out += 1
+        return [(count,)]
+
+    def __repr__(self):
+        return f"insert({self.dataset})"
+
+
+class UpsertOp(OperatorDescriptor):
+    """UPSERT (Fig. 3(d)): insert or replace by primary key."""
+
+    name = "upsert"
+
+    def __init__(self, dataset: str, record: RuntimeExpr):
+        self.dataset = dataset
+        self.record = record
+
+    def run(self, ctx, partition, inputs):
+        txn_part = ctx.txn_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        count = 0
+        for tup in inputs[0]:
+            txn_part.upsert(self.record.evaluate(tup))
+            count += 1
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(count)
+        ctx.cost.tuples_out += 1
+        return [(count,)]
+
+    def __repr__(self):
+        return f"upsert({self.dataset})"
+
+
+class DeleteOp(OperatorDescriptor):
+    """DELETE: the input carries the primary keys to remove (produced by
+    the compiled WHERE pipeline)."""
+
+    name = "delete"
+
+    def __init__(self, dataset: str, pk_exprs: list[RuntimeExpr]):
+        self.dataset = dataset
+        self.pk_exprs = list(pk_exprs)
+
+    def run(self, ctx, partition, inputs):
+        txn_part = ctx.txn_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        count = 0
+        for tup in inputs[0]:
+            pk = tuple(e.evaluate(tup) for e in self.pk_exprs)
+            if txn_part.delete(pk) is not None:
+                count += 1
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(inputs[0]))
+        ctx.cost.tuples_out += 1
+        return [(count,)]
+
+    def __repr__(self):
+        return f"delete({self.dataset})"
+
+
+class LoadOp(OperatorDescriptor):
+    """LOAD DATASET: bulk ingestion *without* per-record transaction
+    overhead (the initial-load path; the dataset must be empty in real
+    AsterixDB — here we just bypass the WAL, as LOAD is redone, not
+    replayed)."""
+
+    name = "load"
+
+    def __init__(self, dataset: str, record: RuntimeExpr):
+        self.dataset = dataset
+        self.record = record
+
+    def run(self, ctx, partition, inputs):
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        count = 0
+        for tup in inputs[0]:
+            storage.upsert(self.record.evaluate(tup))
+            count += 1
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(count)
+        ctx.cost.tuples_out += 1
+        return [(count,)]
+
+    def __repr__(self):
+        return f"load({self.dataset})"

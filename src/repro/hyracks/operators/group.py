@@ -1,0 +1,162 @@
+"""Grouping and aggregation operators.
+
+``AggregateCall`` pairs a registered aggregate with the expression feeding
+it.  Two grouped implementations mirror AsterixDB's physical choices: hash
+group-by (with grace-style spilling under a frame budget) and pre-clustered
+group-by for inputs already sorted on the grouping keys; ``AggregateOp``
+is the global (single-group) variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adm.values import canonical_bytes, hash_value
+from repro.functions.aggregates import AggregateState
+from repro.functions.registry import resolve_aggregate
+from repro.hyracks.expressions import RuntimeExpr
+from repro.hyracks.job import OperatorDescriptor
+from repro.hyracks.runfile import RunFileWriter
+
+
+@dataclass
+class AggregateCall:
+    """One aggregate computation: function name + input expression."""
+
+    function: str
+    argument: RuntimeExpr
+
+    def __post_init__(self):
+        self._func = resolve_aggregate(self.function)
+
+    def new_state(self) -> AggregateState:
+        return AggregateState(self._func)
+
+    def __repr__(self):
+        return f"{self.function}({self.argument!r})"
+
+
+def _finish_group(key_values: tuple, states: list) -> tuple:
+    return key_values + tuple(s.finish() for s in states)
+
+
+class HashGroupByOp(OperatorDescriptor):
+    """Hash aggregation on key fields, spilling by key hash when the group
+    table exceeds its frame budget (inputs are hash-partitioned on the
+    keys, so per-partition groups are globally correct)."""
+
+    name = "hash-group-by"
+
+    def __init__(self, key_fields: list[int], aggregates: list[AggregateCall],
+                 memory_frames: int | None = None):
+        self.key_fields = list(key_fields)
+        self.aggregates = list(aggregates)
+        self.memory_frames = memory_frames
+        self.spill_rounds = 0
+
+    def _budget_groups(self, ctx) -> int:
+        frames = (self.memory_frames if self.memory_frames is not None
+                  else ctx.config.node.group_memory_frames)
+        return max(2, frames * ctx.frame_size)
+
+    def run(self, ctx, partition, inputs):
+        out = self._aggregate(ctx, inputs[0], self._budget_groups(ctx), 0)
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def _aggregate(self, ctx, data, budget, depth):
+        groups: dict[bytes, tuple] = {}
+        overflow: list[RunFileWriter] = []
+        fan_out = 4
+        seed = 0xA6A6 + depth
+        for tup in data:
+            key = tuple(tup[i] for i in self.key_fields)
+            kb = b"|".join(canonical_bytes(v) for v in key)
+            ctx.charge_hash(1)
+            entry = groups.get(kb)
+            if entry is None:
+                if len(groups) >= budget and depth < 8:
+                    # table full: spill this tuple by hash for a later pass
+                    if not overflow:
+                        self.spill_rounds += 1
+                        overflow = [RunFileWriter(ctx, f"gb{depth}")
+                                    for _ in range(fan_out)]
+                    h = hash_value(kb, seed=seed)
+                    overflow[h % fan_out].write(tup)
+                    continue
+                entry = (key, [a.new_state() for a in self.aggregates])
+                groups[kb] = entry
+            for agg, state in zip(self.aggregates, entry[1]):
+                state.step(agg.argument.evaluate(tup))
+        ctx.charge_cpu(len(data) * max(1, len(self.aggregates)))
+        out = [_finish_group(key, states) for key, states in groups.values()]
+        for writer in overflow:
+            reader = writer.finish()
+            spilled = list(reader)
+            reader.close()
+            out.extend(self._aggregate(ctx, spilled, budget, depth + 1))
+        return out
+
+    def __repr__(self):
+        return f"hash-group-by({self.key_fields}, {self.aggregates})"
+
+
+class PreclusteredGroupByOp(OperatorDescriptor):
+    """Group-by over key-sorted input: constant memory, no hashing —
+    the physical operator Algebricks picks when the input's local order
+    property already covers the grouping keys."""
+
+    name = "preclustered-group-by"
+
+    def __init__(self, key_fields: list[int],
+                 aggregates: list[AggregateCall]):
+        self.key_fields = list(key_fields)
+        self.aggregates = list(aggregates)
+
+    def run(self, ctx, partition, inputs):
+        out = []
+        current_kb = None
+        current_key: tuple = ()
+        states: list = []
+        for tup in inputs[0]:
+            key = tuple(tup[i] for i in self.key_fields)
+            kb = b"|".join(canonical_bytes(v) for v in key)
+            ctx.charge_compare(1)
+            if kb != current_kb:
+                if current_kb is not None:
+                    out.append(_finish_group(current_key, states))
+                current_kb, current_key = kb, key
+                states = [a.new_state() for a in self.aggregates]
+            for agg, state in zip(self.aggregates, states):
+                state.step(agg.argument.evaluate(tup))
+        if current_kb is not None:
+            out.append(_finish_group(current_key, states))
+        ctx.charge_cpu(len(inputs[0]))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"preclustered-group-by({self.key_fields})"
+
+
+class AggregateOp(OperatorDescriptor):
+    """Global aggregation: the whole input is one group (gathered to a
+    single partition first).  Always emits exactly one tuple."""
+
+    partition_count = 1
+    name = "aggregate"
+
+    def __init__(self, aggregates: list[AggregateCall]):
+        self.aggregates = list(aggregates)
+
+    def run(self, ctx, partition, inputs):
+        states = [a.new_state() for a in self.aggregates]
+        for tup in inputs[0]:
+            for agg, state in zip(self.aggregates, states):
+                state.step(agg.argument.evaluate(tup))
+        ctx.charge_cpu(len(inputs[0]) * max(1, len(self.aggregates)))
+        ctx.cost.tuples_out += 1
+        return [tuple(s.finish() for s in states)]
+
+    def __repr__(self):
+        return f"aggregate({self.aggregates})"

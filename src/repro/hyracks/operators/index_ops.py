@@ -1,0 +1,181 @@
+"""Index access operators (features 5/8 meeting feature 4).
+
+A secondary-index query plan in AsterixDB is a pipeline: secondary index
+search (producing primary keys) → sort PKs → primary index lookup — the
+[26] trick.  These operators are those stages; the Algebricks access-method
+rules emit them in place of scan+select.
+"""
+
+from __future__ import annotations
+
+from repro.adm.comparators import tuple_key
+from repro.adm.values import ARectangle
+from repro.hyracks.expressions import RuntimeExpr
+from repro.hyracks.job import OperatorDescriptor
+
+
+class PrimaryKeySearchOp(OperatorDescriptor):
+    """Primary-index point/range search: emits (pk..., record) like a
+    scan, but bounded.  Bound expressions are evaluated once against the
+    empty tuple (bounds are constants after optimization)."""
+
+    num_inputs = 0
+    name = "primary-search"
+
+    def __init__(self, dataset: str, lo: list | None, hi: list | None,
+                 lo_inclusive: bool = True, hi_inclusive: bool = True):
+        self.dataset = dataset
+        self.lo = lo
+        self.hi = hi
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+
+    def _bound(self, exprs):
+        if exprs is None:
+            return None
+        return tuple(e.evaluate(()) for e in exprs)
+
+    def run(self, ctx, partition, inputs):
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        out = []
+        for pk, record in storage.scan(
+                self._bound(self.lo), self._bound(self.hi),
+                lo_inclusive=self.lo_inclusive,
+                hi_inclusive=self.hi_inclusive):
+            out.append((*pk, record))
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"primary-search({self.dataset})"
+
+
+class SecondaryBTreeSearchOp(OperatorDescriptor):
+    """Secondary B+ tree search: emits primary-key tuples."""
+
+    num_inputs = 0
+    name = "btree-search"
+
+    def __init__(self, dataset: str, index_name: str,
+                 lo: list | None, hi: list | None,
+                 lo_inclusive: bool = True, hi_inclusive: bool = True):
+        self.dataset = dataset
+        self.index_name = index_name
+        self.lo = lo
+        self.hi = hi
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+
+    def _bound(self, exprs):
+        if exprs is None:
+            return None
+        return tuple(e.evaluate(()) for e in exprs)
+
+    def run(self, ctx, partition, inputs):
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        out = [
+            pk for pk in storage.search_btree(
+                self.index_name, self._bound(self.lo), self._bound(self.hi),
+                lo_inclusive=self.lo_inclusive,
+                hi_inclusive=self.hi_inclusive)
+        ]
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"btree-search({self.dataset}.{self.index_name})"
+
+
+class SecondaryRTreeSearchOp(OperatorDescriptor):
+    """Secondary R-tree window search: emits primary-key tuples."""
+
+    num_inputs = 0
+    name = "rtree-search"
+
+    def __init__(self, dataset: str, index_name: str,
+                 window: RuntimeExpr):
+        self.dataset = dataset
+        self.index_name = index_name
+        self.window = window
+
+    def run(self, ctx, partition, inputs):
+        window = self.window.evaluate(())
+        if not isinstance(window, ARectangle):
+            window = window.mbr()  # circles/polygons search by MBR
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        out = list(storage.search_rtree(self.index_name, window))
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"rtree-search({self.dataset}.{self.index_name})"
+
+
+class InvertedSearchOp(OperatorDescriptor):
+    """Keyword/ngram index search: emits PKs of records containing all
+    tokens of the query text."""
+
+    num_inputs = 0
+    name = "inverted-search"
+
+    def __init__(self, dataset: str, index_name: str, text: RuntimeExpr):
+        self.dataset = dataset
+        self.index_name = index_name
+        self.text = text
+
+    def run(self, ctx, partition, inputs):
+        text = self.text.evaluate(())
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        out = list(storage.search_keyword(self.index_name, text))
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"inverted-search({self.dataset}.{self.index_name})"
+
+
+class PrimaryLookupOp(OperatorDescriptor):
+    """Resolve PK tuples to (pk..., record) via the primary index.
+
+    ``sort_keys=True`` applies the [26] optimization (sort references
+    before fetching); E1 flips it to quantify the effect the paper
+    describes."""
+
+    name = "primary-lookup"
+
+    def __init__(self, dataset: str, pk_width: int, sort_keys: bool = True):
+        self.dataset = dataset
+        self.pk_width = pk_width
+        self.sort_keys = sort_keys
+
+    def run(self, ctx, partition, inputs):
+        storage = ctx.storage_partition(self.dataset, partition)
+        pks = [tuple(t[: self.pk_width]) for t in inputs[0]]
+        if self.sort_keys:
+            pks.sort(key=tuple_key)
+            ctx.charge_compare(len(pks) * max(1, len(pks).bit_length()))
+        before = ctx.node.io_snapshot()
+        out = []
+        for pk in pks:
+            record = storage.get(pk)
+            if record is not None:
+                out.append((*pk, record))
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"primary-lookup({self.dataset}, sort={self.sort_keys})"

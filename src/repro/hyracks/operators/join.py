@@ -1,0 +1,175 @@
+"""Join operators: hybrid hash join and nested-loop join.
+
+The hash join is the partitioned-parallel workhorse (build on port 1,
+probe on port 0): under its frame budget it is a classic in-memory hash
+join; over budget it grace-partitions both sides to run files and recurses
+per partition pair — so E4 can push joins far past memory and watch the
+I/O grow gracefully instead of the operator falling over.
+
+Join kinds: inner, left outer (missing-padded, per SQL++), left semi
+(what quantified expressions over datasets decorrelate into), and left
+anti (NOT EXISTS).
+"""
+
+from __future__ import annotations
+
+from repro.adm.values import MISSING, canonical_bytes, hash_value
+from repro.hyracks.expressions import RuntimeExpr, evaluate_predicate
+from repro.hyracks.job import OperatorDescriptor
+from repro.hyracks.runfile import RunFileWriter
+
+JOIN_KINDS = ("inner", "leftouter", "leftsemi", "leftanti")
+
+
+class HybridHashJoinOp(OperatorDescriptor):
+    """Equi-join on key fields; port 0 = probe/left, port 1 = build/right."""
+
+    num_inputs = 2
+    name = "hybrid-hash-join"
+
+    def __init__(self, left_keys: list[int], right_keys: list[int],
+                 kind: str = "inner",
+                 residual: RuntimeExpr | None = None,
+                 memory_frames: int | None = None,
+                 right_width: int | None = None):
+        if kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {kind!r}")
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.kind = kind
+        self.residual = residual
+        self.memory_frames = memory_frames
+        self.right_width = right_width  # for outer padding
+        self.spill_rounds = 0           # observability for E4
+
+    def _budget_tuples(self, ctx) -> int:
+        frames = (self.memory_frames if self.memory_frames is not None
+                  else ctx.config.node.join_memory_frames)
+        return max(2, frames * ctx.frame_size)
+
+    @staticmethod
+    def _key_of(tup, fields):
+        return b"|".join(canonical_bytes(tup[i]) for i in fields)
+
+    def run(self, ctx, partition, inputs):
+        left, right = inputs
+        budget = self._budget_tuples(ctx)
+        out = self._join(ctx, left, right, budget, depth=0)
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def _join(self, ctx, left, right, budget, depth):
+        if len(right) <= budget or depth >= 8:
+            return self._in_memory_join(ctx, left, right)
+        # grace partitioning: split both sides by key hash into fan-out
+        # buckets spilled to run files, then recurse bucket by bucket
+        self.spill_rounds += 1
+        fan_out = max(2, min(16, (len(right) + budget - 1) // budget))
+        seed = 0x5151 + depth
+        left_parts = [RunFileWriter(ctx, f"hj_l{depth}") for _ in range(fan_out)]
+        right_parts = [RunFileWriter(ctx, f"hj_r{depth}")
+                       for _ in range(fan_out)]
+        for tup in left:
+            h = hash_value(self._key_of(tup, self.left_keys), seed=seed)
+            ctx.charge_hash(1)
+            left_parts[h % fan_out].write(tup)
+        for tup in right:
+            h = hash_value(self._key_of(tup, self.right_keys), seed=seed)
+            ctx.charge_hash(1)
+            right_parts[h % fan_out].write(tup)
+        out = []
+        for lw, rw in zip(left_parts, right_parts):
+            lr, rr = lw.finish(), rw.finish()
+            lpart, rpart = list(lr), list(rr)
+            lr.close()
+            rr.close()
+            out.extend(self._join(ctx, lpart, rpart, budget, depth + 1))
+        return out
+
+    def _in_memory_join(self, ctx, left, right):
+        table: dict[bytes, list] = {}
+        for tup in right:
+            key = self._key_of(tup, self.right_keys)
+            ctx.charge_hash(1)
+            table.setdefault(key, []).append(tup)
+        out = []
+        pad_width = (self.right_width if self.right_width is not None
+                     else (len(right[0]) if right else 0))
+        padding = (MISSING,) * pad_width
+        for tup in left:
+            key = self._key_of(tup, self.left_keys)
+            ctx.charge_hash(1)
+            matched = False
+            for rtup in table.get(key, ()):
+                joined = tup + rtup
+                if self.residual is not None and not evaluate_predicate(
+                        self.residual, joined):
+                    continue
+                matched = True
+                if self.kind == "inner" or self.kind == "leftouter":
+                    out.append(joined)
+                elif self.kind == "leftsemi":
+                    out.append(tup)
+                    break
+                elif self.kind == "leftanti":
+                    break
+            if not matched:
+                if self.kind == "leftouter":
+                    out.append(tup + padding)
+                elif self.kind == "leftanti":
+                    out.append(tup)
+        ctx.charge_cpu(len(left) + len(right))
+        return out
+
+    def __repr__(self):
+        return (f"hash-join[{self.kind}]({self.left_keys}="
+                f"{self.right_keys})")
+
+
+class NestedLoopJoinOp(OperatorDescriptor):
+    """Arbitrary-predicate join (non-equi conditions, e.g. spatial or
+    range).  Port 1 (inner) is broadcast to every partition."""
+
+    num_inputs = 2
+    name = "nested-loop-join"
+
+    def __init__(self, condition: RuntimeExpr | None, kind: str = "inner",
+                 right_width: int | None = None):
+        if kind not in JOIN_KINDS:
+            raise ValueError(f"unknown join kind {kind!r}")
+        self.condition = condition
+        self.kind = kind
+        self.right_width = right_width
+
+    def run(self, ctx, partition, inputs):
+        left, right = inputs
+        out = []
+        pad_width = (self.right_width if self.right_width is not None
+                     else (len(right[0]) if right else 0))
+        padding = (MISSING,) * pad_width
+        for ltup in left:
+            matched = False
+            for rtup in right:
+                joined = ltup + rtup
+                if self.condition is not None and not evaluate_predicate(
+                        self.condition, joined):
+                    continue
+                matched = True
+                if self.kind in ("inner", "leftouter"):
+                    out.append(joined)
+                elif self.kind == "leftsemi":
+                    out.append(ltup)
+                    break
+                elif self.kind == "leftanti":
+                    break
+            if not matched:
+                if self.kind == "leftouter":
+                    out.append(ltup + padding)
+                elif self.kind == "leftanti":
+                    out.append(ltup)
+        ctx.charge_cpu(len(left) * max(1, len(right)))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"nl-join[{self.kind}]({self.condition!r})"

@@ -1,0 +1,23 @@
+"""Result collection: the job's sink."""
+
+from __future__ import annotations
+
+from repro.hyracks.job import OperatorDescriptor
+
+
+class ResultWriterOp(OperatorDescriptor):
+    """Gathers the final stream; the cluster controller reads
+    ``collected`` after the job finishes.  Single-partitioned: the
+    connector feeding it performs the gather (and the global merge, when
+    order matters)."""
+
+    partition_count = 1
+    name = "result-writer"
+
+    def __init__(self):
+        self.collected: list = []
+
+    def run(self, ctx, partition, inputs):
+        self.collected = list(inputs[0])
+        ctx.cost.tuples_out += len(self.collected)
+        return self.collected

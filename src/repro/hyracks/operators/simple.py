@@ -1,0 +1,182 @@
+"""Streaming operators: assign, select, project, limit, union, unnest,
+distinct."""
+
+from __future__ import annotations
+
+from repro.adm.values import MISSING, Multiset, canonical_bytes
+from repro.hyracks.expressions import RuntimeExpr, evaluate_predicate
+from repro.hyracks.job import OperatorDescriptor
+
+
+class AssignOp(OperatorDescriptor):
+    """Append one computed field per expression to each tuple."""
+
+    name = "assign"
+
+    def __init__(self, exprs: list[RuntimeExpr]):
+        self.exprs = list(exprs)
+
+    def run(self, ctx, partition, inputs):
+        out = []
+        for tup in inputs[0]:
+            values = tuple(e.evaluate(tup) for e in self.exprs)
+            out.append(tup + values)
+        ctx.charge_cpu(len(out) * max(1, len(self.exprs)))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"assign({len(self.exprs)} exprs)"
+
+
+class SelectOp(OperatorDescriptor):
+    """Filter: keep tuples whose condition evaluates to True."""
+
+    name = "select"
+
+    def __init__(self, condition: RuntimeExpr):
+        self.condition = condition
+
+    def run(self, ctx, partition, inputs):
+        ctx.charge_cpu(len(inputs[0]))
+        out = [t for t in inputs[0] if evaluate_predicate(self.condition, t)]
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"select({self.condition!r})"
+
+
+class ProjectOp(OperatorDescriptor):
+    """Keep only the named field positions, in order."""
+
+    name = "project"
+
+    def __init__(self, fields: list[int]):
+        self.fields = list(fields)
+
+    def run(self, ctx, partition, inputs):
+        fields = self.fields
+        out = [tuple(t[i] for i in fields) for t in inputs[0]]
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"project({self.fields})"
+
+
+class LimitOp(OperatorDescriptor):
+    """LIMIT/OFFSET; runs on the gathered (single-partition) stream."""
+
+    partition_count = 1
+    name = "limit"
+
+    def __init__(self, limit: int | None, offset: int = 0):
+        self.limit = limit
+        self.offset = offset
+
+    def run(self, ctx, partition, inputs):
+        data = inputs[0][self.offset:]
+        if self.limit is not None:
+            data = data[: self.limit]
+        ctx.cost.tuples_out += len(data)
+        return list(data)
+
+    def __repr__(self):
+        return f"limit({self.limit}, offset={self.offset})"
+
+
+class UnionAllOp(OperatorDescriptor):
+    """UNION ALL of two inputs with identical schemas."""
+
+    num_inputs = 2
+    name = "union-all"
+
+    def run(self, ctx, partition, inputs):
+        out = list(inputs[0]) + list(inputs[1])
+        ctx.charge_cpu(len(out))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+
+class UnnestOp(OperatorDescriptor):
+    """UNNEST: one output tuple per item of a collection-valued expression.
+
+    Non-collections and empty collections produce no tuples (inner unnest
+    semantics); ``outer=True`` keeps the input tuple with MISSING."""
+
+    name = "unnest"
+
+    def __init__(self, collection: RuntimeExpr, outer: bool = False,
+                 positional: bool = False):
+        self.collection = collection
+        self.outer = outer
+        self.positional = positional
+
+    def run(self, ctx, partition, inputs):
+        out = []
+        for tup in inputs[0]:
+            coll = self.collection.evaluate(tup)
+            items = coll if isinstance(coll, (list, Multiset)) else []
+            if not items and self.outer:
+                extra = (MISSING, 0) if self.positional else (MISSING,)
+                out.append(tup + extra)
+                continue
+            for pos, item in enumerate(items):
+                extra = (item, pos) if self.positional else (item,)
+                out.append(tup + extra)
+        ctx.charge_cpu(len(out) + len(inputs[0]))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"unnest({self.collection!r})"
+
+
+class DistinctOp(OperatorDescriptor):
+    """Hash-based duplicate elimination over the whole tuple (inputs are
+    hash-partitioned on the distinct fields, so per-partition dedup is
+    globally correct)."""
+
+    name = "distinct"
+
+    def __init__(self, fields: list[int] | None = None):
+        self.fields = fields    # None = whole tuple
+
+    def run(self, ctx, partition, inputs):
+        seen = set()
+        out = []
+        for tup in inputs[0]:
+            key_parts = (tup if self.fields is None
+                         else tuple(tup[i] for i in self.fields))
+            key = b"|".join(canonical_bytes(v) for v in key_parts)
+            ctx.charge_hash(1)
+            if key not in seen:
+                seen.add(key)
+                out.append(tup)
+        ctx.charge_cpu(len(inputs[0]))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+
+class MaterializeOp(OperatorDescriptor):
+    """Identity operator used as an explicit stage boundary."""
+
+    name = "materialize"
+
+    def run(self, ctx, partition, inputs):
+        ctx.cost.tuples_out += len(inputs[0])
+        return list(inputs[0])
+
+
+class RunningAggregateOp(OperatorDescriptor):
+    """Appends a running counter (used for positional variables)."""
+
+    partition_count = 1
+    name = "running-aggregate"
+
+    def run(self, ctx, partition, inputs):
+        out = [tup + (i + 1,) for i, tup in enumerate(inputs[0])]
+        ctx.cost.tuples_out += len(out)
+        return out

@@ -1,0 +1,149 @@
+"""External sort (paper Fig. 2's "working memory" in action).
+
+The fundamental AsterixDB assumption is that data "can well exceed the size
+of main memory, and likewise (at least potentially) for intermediate query
+results" [10] — so the sort operator is budgeted: it accumulates at most
+``memory_frames * frame_size`` tuples, sorts each batch, spills it as a
+sorted run file, and finally k-way-merges the runs (recursively if there
+are more runs than merge fan-in).  Experiment E4 sweeps the budget.
+
+The paper also credits university contributions with "much-improved
+parallel sorting" (§VII): the parallel plan sorts each partition locally
+with this operator and merges globally through a MergeConnector.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.adm.comparators import tuple_key
+from repro.hyracks.job import OperatorDescriptor
+from repro.hyracks.runfile import RunFileWriter
+
+
+class _Reversed:
+    """Inverts comparison order for DESC sort fields."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other):
+        return other.key < self.key
+
+    def __eq__(self, other):
+        return self.key == other.key
+
+
+def order_key(tup, fields: list[int], descending: list[bool]):
+    """Composite sort key honoring per-field ASC/DESC."""
+    parts = []
+    for i, desc in zip(fields, descending):
+        k = tuple_key((tup[i],))
+        parts.append(_Reversed(k) if desc else k)
+    return tuple(parts)
+
+
+class ExternalSortOp(OperatorDescriptor):
+    """Budgeted external merge sort of one partition's stream."""
+
+    name = "external-sort"
+
+    def __init__(self, fields: list[int], descending: list[bool] | None = None,
+                 memory_frames: int | None = None):
+        self.fields = list(fields)
+        self.descending = list(descending or [False] * len(fields))
+        self.memory_frames = memory_frames
+        self.last_run_counts: list[int] = []   # observability for E4
+
+    def _budget_tuples(self, ctx) -> int:
+        frames = (self.memory_frames if self.memory_frames is not None
+                  else ctx.config.node.sort_memory_frames)
+        return max(2, frames * ctx.frame_size)
+
+    def run(self, ctx, partition, inputs):
+        data = inputs[0]
+        budget = self._budget_tuples(ctx)
+        key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
+        ctx.charge_cpu(len(data))
+        if len(data) <= budget:
+            # fits in memory: one quicksort, no spill
+            out = sorted(data, key=key)
+            ctx.charge_compare(len(data) * max(1, len(data).bit_length()))
+            self.last_run_counts.append(0)
+            ctx.cost.tuples_out += len(out)
+            return out
+        # run generation
+        runs = []
+        for start in range(0, len(data), budget):
+            chunk = sorted(data[start:start + budget], key=key)
+            ctx.charge_compare(len(chunk) * max(1, len(chunk).bit_length()))
+            writer = RunFileWriter(ctx, "sortrun")
+            for tup in chunk:
+                writer.write(tup)
+            runs.append(writer.finish())
+        self.last_run_counts.append(len(runs))
+        # (recursive) k-way merge under the same budget, measured in runs
+        fan_in = max(2, budget // ctx.frame_size)
+        while len(runs) > fan_in:
+            merged_reader = self._merge_to_run(ctx, runs[:fan_in], key)
+            runs = [merged_reader] + runs[fan_in:]
+        out = list(self._merge_iter(ctx, runs, key))
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def _merge_iter(self, ctx, runs, key):
+        iters = [iter(r) for r in runs]
+        heap = []
+        for rank, it in enumerate(iters):
+            for tup in it:
+                heap.append((key(tup), rank, id(tup), tup))
+                break
+        heapq.heapify(heap)
+        while heap:
+            _, rank, _, tup = heapq.heappop(heap)
+            ctx.charge_compare(1)
+            yield tup
+            for nxt in iters[rank]:
+                heapq.heappush(heap, (key(nxt), rank, id(nxt), nxt))
+                break
+        for r in runs:
+            r.close()
+
+    def _merge_to_run(self, ctx, runs, key):
+        writer = RunFileWriter(ctx, "mergerun")
+        for tup in self._merge_iter(ctx, runs, key):
+            writer.write(tup)
+        return writer.finish()
+
+    def __repr__(self):
+        arrows = [
+            f"${f}{' desc' if d else ''}"
+            for f, d in zip(self.fields, self.descending)
+        ]
+        return f"sort({', '.join(arrows)})"
+
+
+class TopKSortOp(OperatorDescriptor):
+    """ORDER BY + LIMIT fused: keep only the best K tuples in a bounded
+    heap (the optimizer's limit-pushdown rewrite targets this)."""
+
+    name = "topk-sort"
+
+    def __init__(self, fields: list[int], k: int,
+                 descending: list[bool] | None = None):
+        self.fields = list(fields)
+        self.k = k
+        self.descending = list(descending or [False] * len(fields))
+
+    def run(self, ctx, partition, inputs):
+        key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
+        ctx.charge_cpu(len(inputs[0]))
+        ctx.charge_compare(len(inputs[0]))
+        out = heapq.nsmallest(self.k, inputs[0], key=key)
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"topk-sort(k={self.k}, {self.fields})"

@@ -1,0 +1,83 @@
+"""Job profiling and the simulated-time clock.
+
+DESIGN.md (Substitutions): the in-process cluster reproduces scale-out
+*shape* by accounting simulated time instead of running real threads.
+Charges accumulate per (operator, partition); an operator's elapsed time is
+the max over its partitions (they'd run concurrently on a real cluster),
+and the job's elapsed time sums operators along the dependency chain (a
+conservative no-pipelining model, applied identically to every
+configuration being compared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import CostModel
+
+
+@dataclass
+class PartitionCost:
+    cpu_us: float = 0.0
+    io_us: float = 0.0
+    network_us: float = 0.0
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+    @property
+    def total_us(self) -> float:
+        return self.cpu_us + self.io_us + self.network_us
+
+
+@dataclass
+class OperatorProfile:
+    name: str
+    partitions: dict = field(default_factory=dict)   # partition -> cost
+
+    def cost(self, partition: int) -> PartitionCost:
+        return self.partitions.setdefault(partition, PartitionCost())
+
+    @property
+    def elapsed_us(self) -> float:
+        """Parallel elapsed time: the slowest partition."""
+        return max((c.total_us for c in self.partitions.values()),
+                   default=0.0)
+
+    @property
+    def total_tuples_out(self) -> int:
+        return sum(c.tuples_out for c in self.partitions.values())
+
+
+@dataclass
+class JobProfile:
+    """Everything a benchmark reports about one job execution."""
+
+    cost_model: CostModel
+    operators: list = field(default_factory=list)
+    connector_network_tuples: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    simulated_us: float = 0.0
+    wall_seconds: float = 0.0
+
+    def new_operator(self, name: str) -> OperatorProfile:
+        profile = OperatorProfile(name)
+        self.operators.append(profile)
+        return profile
+
+    @property
+    def simulated_ms(self) -> float:
+        return self.simulated_us / 1000.0
+
+    def describe(self) -> str:
+        lines = [
+            f"job: simulated {self.simulated_ms:.2f} ms, "
+            f"{self.physical_reads} reads, {self.physical_writes} writes, "
+            f"{self.connector_network_tuples} net tuples"
+        ]
+        for op in self.operators:
+            lines.append(
+                f"  {op.name:<28} elapsed {op.elapsed_us / 1000:8.2f} ms  "
+                f"out {op.total_tuples_out}"
+            )
+        return "\n".join(lines)

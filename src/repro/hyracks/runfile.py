@@ -1,0 +1,85 @@
+"""Run files: how memory-intensive operators spill.
+
+External sort, hybrid hash join, and hash group-by write intermediate
+tuples to run files when their frame budget is exceeded (paper Fig. 2's
+"working memory" box; experiment E4 measures exactly this spilling).  A run
+file serializes tuples into real pages written sequentially through the
+node's file manager, so spill I/O shows up in the device counters like any
+other I/O.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.adm.serializer import deserialize_tuple, serialize_tuple
+from repro.common.errors import StorageError
+
+
+class RunFileWriter:
+    """Packs tuples into pages and writes them sequentially."""
+
+    def __init__(self, ctx, label: str = "run"):
+        self.ctx = ctx
+        self.handle = ctx.make_temp_file(label)
+        self.page_size = ctx.node.fm.page_size
+        self._buffer = bytearray()
+        self._page_no = 0
+        self.tuples_written = 0
+
+    def write(self, tup) -> None:
+        data = serialize_tuple(tup)
+        entry = struct.pack(">I", len(data)) + data
+        if len(entry) + 4 > self.page_size:
+            raise StorageError(
+                f"tuple of {len(entry)} bytes exceeds run-file page"
+            )
+        if len(self._buffer) + len(entry) + 4 > self.page_size:
+            self._flush_page()
+        self._buffer.extend(entry)
+        self.tuples_written += 1
+
+    def _flush_page(self) -> None:
+        page = bytearray(self.page_size)
+        struct.pack_into(">I", page, 0, 0xFFFFFFFF)  # placeholder
+        # layout: [data...][last 4 bytes unused]; terminate with zero length
+        page = self._buffer + b"\x00\x00\x00\x00"
+        page = page.ljust(self.page_size, b"\x00")
+        self.ctx.node.fm.write_page(self.handle, self._page_no, page,
+                                    sequential=True)
+        self.ctx.charge_io(0, 0, 0, 1)
+        self._page_no += 1
+        self._buffer = bytearray()
+
+    def finish(self) -> "RunFileReader":
+        if self._buffer or self._page_no == 0:
+            self._flush_page()
+        return RunFileReader(self.ctx, self.handle, self._page_no,
+                             self.tuples_written)
+
+
+class RunFileReader:
+    """Sequentially reads a run file back; deletes it when exhausted."""
+
+    def __init__(self, ctx, handle, num_pages: int, num_tuples: int):
+        self.ctx = ctx
+        self.handle = handle
+        self.num_pages = num_pages
+        self.num_tuples = num_tuples
+
+    def __iter__(self):
+        for page_no in range(self.num_pages):
+            data = self.ctx.node.fm.read_page(self.handle, page_no,
+                                              sequential=True)
+            self.ctx.charge_io(0, 0, 1, 0)
+            pos = 0
+            while pos + 4 <= len(data):
+                (length,) = struct.unpack_from(">I", data, pos)
+                if length == 0:
+                    break
+                pos += 4
+                yield deserialize_tuple(bytes(data[pos:pos + length]))
+                pos += length
+
+    def close(self) -> None:
+        self.ctx.release_temp_file(self.handle)

@@ -1,0 +1,35 @@
+"""Spatial access-method zoo (experiment E1) and key linearizations."""
+
+from repro.index.grid import GridScheme
+from repro.index.linearization import (
+    KeySpace,
+    hilbert_key,
+    hilbert_ranges,
+    zorder_key,
+    zorder_ranges,
+)
+from repro.index.spatial_adapters import (
+    GridSpatialIndex,
+    HilbertSpatialIndex,
+    RTreeSpatialIndex,
+    SpatialIndex,
+    SpatialQueryStats,
+    ZOrderSpatialIndex,
+    make_spatial_index,
+)
+
+__all__ = [
+    "GridScheme",
+    "GridSpatialIndex",
+    "HilbertSpatialIndex",
+    "KeySpace",
+    "RTreeSpatialIndex",
+    "SpatialIndex",
+    "SpatialQueryStats",
+    "ZOrderSpatialIndex",
+    "hilbert_key",
+    "hilbert_ranges",
+    "make_spatial_index",
+    "zorder_key",
+    "zorder_ranges",
+]

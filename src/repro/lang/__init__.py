@@ -1,0 +1,20 @@
+"""The query languages: SQL++ and AQL over one core AST and translator."""
+
+from repro.lang import core_ast
+from repro.lang.aql.parser import AQLParser, parse_aql
+from repro.lang.sqlpp.parser import (
+    SQLPPParser,
+    parse_sqlpp,
+    parse_sqlpp_expression,
+)
+from repro.lang.translator import Translator
+
+__all__ = [
+    "AQLParser",
+    "SQLPPParser",
+    "Translator",
+    "core_ast",
+    "parse_aql",
+    "parse_sqlpp",
+    "parse_sqlpp_expression",
+]

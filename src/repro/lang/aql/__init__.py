@@ -1,0 +1,5 @@
+"""AQL parser package (deprecated in favour of SQL++, kept as a peer)."""
+
+from repro.lang.aql.parser import AQLParser, parse_aql
+
+__all__ = ["AQLParser", "parse_aql"]

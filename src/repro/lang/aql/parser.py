@@ -1,0 +1,152 @@
+"""The AQL parser — the deprecated first language, kept as a peer.
+
+AQL "came from taking XQuery ... and tossing out its XML cruft" (§IV-A):
+a FLWOR-style language with ``$variables``.  The paper's history is
+reproduced faithfully: AQL parses to the *same* core AST as SQL++ and is
+compiled by the same translator through the same algebra, rules, runtime
+operators and connectors — and it is deprecated in favour of SQL++ (the
+API emits a deprecation note when it's used).
+
+Supported FLWOR:
+  ``for $x in dataset Name`` / ``for $x at $i in expr`` / ``let $y := e``
+  / ``where e`` / ``group by $k := e [, ...] with $v [, ...]`` /
+  ``order by e [asc|desc]`` / ``limit e [offset e]`` / ``distinct`` /
+  ``return e``
+
+plus quantified expressions (``some/every $x in e satisfies p``) and the
+shared expression grammar.  AQL's collection aggregates (``count()``,
+``avg()``...) are collection *functions*, so they map to ``coll_*`` at
+parse time — exactly the AQL/SQL++ semantic difference the SQL++ papers
+call out.  DDL and DML reuse the statement grammar (AsterixDB's DDL was
+shared between the two languages).
+"""
+
+from __future__ import annotations
+
+from repro.lang import core_ast as ast
+from repro.lang.sqlpp.parser import SQLPPParser
+
+_AQL_COLLECTION_FNS = {
+    "count": "coll_count",
+    "sum": "coll_sum",
+    "avg": "coll_avg",
+    "min": "coll_min",
+    "max": "coll_max",
+}
+
+
+class AQLParser(SQLPPParser):
+    """AQL statements: FLWOR queries + the shared DDL/DML grammar."""
+
+    def parse_statement(self) -> ast.Statement:
+        if self.at_kw("FOR") or self.peek().kind == "VAR":
+            return ast.QueryStatement(self.parse_flwor())
+        return super().parse_statement()
+
+    def parse_query(self):
+        if self.at_kw("FOR", "LET"):
+            return self.parse_flwor()
+        return self.parse_expression()
+
+    # -- FLWOR ---------------------------------------------------------------
+
+    def parse_flwor(self) -> ast.SelectQuery:
+        q = ast.SelectQuery()
+        while True:
+            if self.take_kw("FOR"):
+                var = self._aql_var()
+                positional = None
+                if self.take_kw("AT"):
+                    positional = self._aql_var()
+                self.expect_kw("IN")
+                expr = self.parse_expression()
+                q.from_terms.append(
+                    ast.FromTerm(expr, var, "from", None, positional)
+                )
+                continue
+            if self.take_kw("LET"):
+                var = self._aql_var()
+                self.expect_punct(":=")
+                q.let_clauses.append((var, self.parse_expression()))
+                continue
+            if self.take_kw("WHERE"):
+                cond = self.parse_expression()
+                if q.where is None:
+                    q.where = cond
+                else:
+                    q.where = ast.Call("and", [q.where, cond])
+                continue
+            if self.at_kw("GROUP"):
+                self.expect_kw("GROUP")
+                self.expect_kw("BY")
+                while True:
+                    alias = self._aql_var()
+                    self.expect_punct(":=")
+                    q.group_keys.append(
+                        ast.GroupKey(self.parse_expression(), alias)
+                    )
+                    if not self.take_punct(","):
+                        break
+                if self.take_kw("WITH"):
+                    while True:
+                        q.aql_group_with.append(self._aql_var())
+                        if not self.take_punct(","):
+                            break
+                continue
+            if self.take_kw("ORDER"):
+                self.expect_kw("BY")
+                while True:
+                    expr = self.parse_expression()
+                    desc = self.take_kw("DESC")
+                    if not desc:
+                        self.take_kw("ASC")
+                    q.order_by.append(ast.OrderItem(expr, desc))
+                    if not self.take_punct(","):
+                        break
+                continue
+            if self.take_kw("LIMIT"):
+                q.limit = self.parse_expression()
+                if self.take_kw("OFFSET"):
+                    q.offset = self.parse_expression()
+                continue
+            if self.take_kw("DISTINCT"):
+                q.select.distinct = True
+                continue
+            break
+        self.expect_kw("RETURN")
+        q.select.value_expr = self.parse_expression()
+        return q
+
+    def _aql_var(self) -> str:
+        tok = self.peek()
+        if tok.kind != "VAR":
+            raise self.error("expected a $variable")
+        self.next()
+        return tok.text
+
+    # -- expression tweaks -------------------------------------------------------
+
+    def _parse_primary(self):
+        # `dataset Name` / `dataset("Name")` dataset access
+        if self.at_kw("DATASET"):
+            self.next()
+            if self.take_punct("("):
+                tok = self.next()
+                self.expect_punct(")")
+                return ast.Call("dataset", [ast.Literal(tok.value)])
+            return ast.Call("dataset",
+                            [ast.Literal(self.expect_ident())])
+        return super()._parse_primary()
+
+    def _parse_call(self, name: str):
+        call = super()._parse_call(name)
+        if isinstance(call, ast.Call):
+            mapped = _AQL_COLLECTION_FNS.get(call.function.lower())
+            if mapped:
+                return ast.Call(mapped, call.args)
+        return call
+
+
+def parse_aql(text: str) -> list:
+    """Parse an AQL script into statements."""
+    return AQLParser(text).parse_statements()

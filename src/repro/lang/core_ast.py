@@ -1,0 +1,257 @@
+"""The shared core AST.
+
+SQL++ and AQL parse to the same tree — the concrete reproduction of the
+paper's §IV-A claim that "SQL++ was very much like AQL, but with a
+SQL-based syntax", letting the project implement it "fairly quickly as a
+peer of AQL, sharing the Algebricks query algebra and many optimizer
+rules".  One translator (:mod:`repro.lang.translator`) lowers this AST to
+the algebra for both languages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --- expressions -------------------------------------------------------------
+
+class Expr:
+    pass
+
+
+@dataclass
+class Literal(Expr):
+    value: object
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Expr
+    field: str
+
+
+@dataclass
+class IndexAccess(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    function: str
+    args: list
+
+
+@dataclass
+class QuantifiedExpr(Expr):
+    """SOME/EVERY var IN collection SATISFIES predicate."""
+
+    some: bool
+    var: str
+    collection: Expr
+    predicate: Expr
+
+
+@dataclass
+class CaseWhen(Expr):
+    whens: list                      # [(cond, result)]
+    default: Expr
+
+
+@dataclass
+class ObjectExpr(Expr):
+    pairs: list                      # [(name_expr, value_expr)]
+
+
+@dataclass
+class ArrayExpr(Expr):
+    items: list
+    multiset: bool = False
+
+
+@dataclass
+class SubqueryExpr(Expr):
+    query: "SelectQuery"
+
+
+@dataclass
+class ExistsExpr(Expr):
+    subquery: Expr
+    negated: bool = False
+
+
+# --- the query core --------------------------------------------------------------
+
+@dataclass
+class FromTerm:
+    """One FROM binding.  kind: from | join | leftjoin | unnest |
+    leftunnest.  ``condition`` only for joins."""
+
+    expr: Expr
+    alias: str
+    kind: str = "from"
+    condition: Expr | None = None
+    positional_alias: str | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class GroupKey:
+    expr: Expr
+    alias: str
+
+
+@dataclass
+class Projection:
+    """SELECT item: expr AS alias, or star."""
+
+    expr: Expr | None
+    alias: str | None
+    star: bool = False
+
+
+@dataclass
+class SelectClause:
+    """Either ``value_expr`` (SELECT VALUE / AQL return) or projections."""
+
+    value_expr: Expr | None = None
+    projections: list = field(default_factory=list)
+    distinct: bool = False
+
+
+@dataclass
+class SelectQuery:
+    with_clauses: list = field(default_factory=list)    # [(name, expr)]
+    from_terms: list = field(default_factory=list)      # [FromTerm]
+    let_clauses: list = field(default_factory=list)     # [(name, expr)]
+    where: Expr | None = None
+    group_keys: list = field(default_factory=list)      # [GroupKey]
+    group_as: str | None = None
+    having: Expr | None = None
+    select: SelectClause = field(default_factory=SelectClause)
+    order_by: list = field(default_factory=list)        # [OrderItem]
+    limit: Expr | None = None
+    offset: Expr | None = None
+    # AQL's `group by ... with $v`: post-group, $v is the list of the
+    # group's pre-group $v values (translated via the listify aggregate)
+    aql_group_with: list = field(default_factory=list)
+
+
+# --- statements --------------------------------------------------------------------
+
+@dataclass
+class UnionQuery:
+    """q1 UNION ALL q2 [UNION ALL ...] (bag union of the branches)."""
+
+    branches: list
+
+
+class Statement:
+    pass
+
+
+@dataclass
+class QueryStatement(Statement):
+    query: SelectQuery | Expr        # SELECT query, or a bare expression
+
+
+@dataclass
+class CreateDataverse(Statement):
+    name: str
+    if_not_exists: bool = False
+
+
+@dataclass
+class UseDataverse(Statement):
+    name: str
+
+
+@dataclass
+class TypeField:
+    name: str
+    type_name: object                # str | nested TypeExpr structures
+    optional: bool = False
+
+
+@dataclass
+class TypeExpr:
+    """kind: object | ordered | multiset | named."""
+
+    kind: str
+    fields: list = field(default_factory=list)   # object: [TypeField]
+    item: "TypeExpr | None" = None                # ordered/multiset
+    name: str | None = None                       # named
+    is_open: bool = True
+
+
+@dataclass
+class CreateType(Statement):
+    name: str
+    body: TypeExpr
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateDataset(Statement):
+    name: str
+    type_name: str
+    primary_key: list                 # field paths
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateExternalDataset(Statement):
+    name: str
+    type_name: str
+    adapter: str                      # e.g. localfs, hdfs
+    properties: dict = field(default_factory=dict)
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    dataset: str
+    fields: list
+    kind: str = "btree"               # btree | rtree | keyword | ngram
+    gram_length: int = 3
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropStatement(Statement):
+    kind: str                         # dataverse | type | dataset | index
+    name: str
+    dataset: str | None = None        # for indexes
+    if_exists: bool = False
+
+
+@dataclass
+class LoadStatement(Statement):
+    dataset: str
+    path: str
+    format: str = "adm"               # adm | delimited-text
+    properties: dict = field(default_factory=dict)
+
+
+@dataclass
+class InsertStatement(Statement):
+    dataset: str
+    payload: Expr
+    upsert: bool = False
+
+
+@dataclass
+class DeleteStatement(Statement):
+    dataset: str
+    alias: str | None = None
+    where: Expr | None = None

@@ -1,0 +1,174 @@
+"""Shared tokenizer for SQL++ and AQL.
+
+Keywords are case-insensitive; identifiers may be quoted with backticks
+(SQL++'s escape for reserved words, like Fig. 3(b)'s `` `path` ``);
+``$name`` variables are AQL's binding syntax.  Comments: ``--`` to end of
+line and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SyntaxError_
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # IDENT, VAR, STRING, NUMBER, PUNCT, EOF
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def is_kw(self, *words: str) -> bool:
+        return self.kind == "IDENT" and self.text.upper() in words
+
+    def __repr__(self):
+        return f"{self.kind}({self.text!r})"
+
+
+_PUNCT = [
+    "<=", ">=", "!=", "||", "**", ":=",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "*", "/", "%",
+    "+", "-", "<", ">", "=", "?", "@", "^",
+]
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def err(msg):
+        return SyntaxError_(msg, line=line, column=pos - line_start + 1)
+
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos)
+            if end == -1:
+                raise err("unterminated comment")
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        col = pos - line_start + 1
+        if ch in "\"'":
+            value, pos2 = _read_string(text, pos, err)
+            tokens.append(Token("STRING", text[pos:pos2], value, line, col))
+            pos = pos2
+            continue
+        if ch == "`":
+            end = text.find("`", pos + 1)
+            if end == -1:
+                raise err("unterminated quoted identifier")
+            tokens.append(Token("IDENT", text[pos + 1:end],
+                                text[pos + 1:end], line, col))
+            pos = end + 1
+            continue
+        if ch == "$":
+            start = pos + 1
+            pos += 1
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            if pos == start:
+                raise err("bad variable name")
+            tokens.append(Token("VAR", text[start:pos], text[start:pos],
+                                line, col))
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n
+                            and text[pos + 1].isdigit()):
+            value, pos2 = _read_number(text, pos)
+            tokens.append(Token("NUMBER", text[pos:pos2], value, line, col))
+            pos = pos2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            tokens.append(Token("IDENT", word, word, line, col))
+            continue
+        for punct in _PUNCT:
+            if text.startswith(punct, pos):
+                tokens.append(Token("PUNCT", punct, punct, line, col))
+                pos += len(punct)
+                break
+        else:
+            raise err(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", None, line, n - line_start + 1))
+    return tokens
+
+
+def _read_string(text, pos, err):
+    quote = text[pos]
+    pos += 1
+    out = []
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch == quote:
+            # doubled quote = escaped quote (SQL style)
+            if pos + 1 < n and text[pos + 1] == quote:
+                out.append(quote)
+                pos += 2
+                continue
+            return "".join(out), pos + 1
+        if ch == "\\":
+            pos += 1
+            if pos >= n:
+                break
+            esc = text[pos]
+            mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                       '"': '"', "'": "'", "/": "/", "b": "\b", "f": "\f"}
+            if esc == "u":
+                out.append(chr(int(text[pos + 1:pos + 5], 16)))
+                pos += 5
+                continue
+            if esc not in mapping:
+                raise err(f"bad escape \\{esc}")
+            out.append(mapping[esc])
+            pos += 1
+            continue
+        out.append(ch)
+        pos += 1
+    raise err("unterminated string")
+
+
+def _read_number(text, pos):
+    start = pos
+    n = len(text)
+    is_float = False
+    while pos < n and text[pos].isdigit():
+        pos += 1
+    if pos < n and text[pos] == "." and pos + 1 < n \
+            and text[pos + 1].isdigit():
+        is_float = True
+        pos += 1
+        while pos < n and text[pos].isdigit():
+            pos += 1
+    if pos < n and text[pos] in "eE":
+        look = pos + 1
+        if look < n and text[look] in "+-":
+            look += 1
+        if look < n and text[look].isdigit():
+            is_float = True
+            pos = look
+            while pos < n and text[pos].isdigit():
+                pos += 1
+    token = text[start:pos]
+    return (float(token) if is_float else int(token)), pos

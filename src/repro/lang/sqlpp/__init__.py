@@ -1,0 +1,5 @@
+"""SQL++ parser package."""
+
+from repro.lang.sqlpp.parser import SQLPPParser, parse_sqlpp, parse_sqlpp_expression
+
+__all__ = ["SQLPPParser", "parse_sqlpp", "parse_sqlpp_expression"]

@@ -1,0 +1,783 @@
+"""The SQL++ parser (paper feature 2, the language of Fig. 3).
+
+SQL++ "did a nice job of mostly extending standard SQL, while allowing for
+differences in a few key places where SQL made flat-world or schema-based
+assumptions" (§IV-A).  This recursive-descent parser covers the subset the
+paper exercises plus the usual expression language:
+
+* queries: WITH, SELECT [DISTINCT] [VALUE], FROM (joins, UNNEST), LET,
+  WHERE, GROUP BY [GROUP AS], HAVING, ORDER BY, LIMIT/OFFSET — with the
+  clauses acceptable in either SQL (SELECT-first) or pipeline (FROM-first)
+  order;
+* expressions: full operator precedence, IS [NOT] NULL/MISSING/UNKNOWN,
+  [NOT] BETWEEN/LIKE/IN/EXISTS, quantified expressions (SOME/EVERY ...
+  SATISFIES), CASE, object/array/multiset constructors, path navigation,
+  subqueries;
+* DDL: CREATE DATAVERSE / TYPE (open and CLOSED) / DATASET / EXTERNAL
+  DATASET / INDEX (BTREE, RTREE, KEYWORD, NGRAM), DROP, USE, LOAD DATASET;
+* DML: INSERT / UPSERT / DELETE.
+
+Everything in Fig. 3(a)–(d) parses verbatim (see the test suite).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SyntaxError_
+from repro.lang import core_ast as ast
+from repro.lang.lexer import Token, tokenize
+
+RESERVED_STOPWORDS = {
+    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET",
+    "SELECT", "LET", "WITH", "JOIN", "LEFT", "INNER", "OUTER", "UNNEST",
+    "ON", "AS", "BY", "AND", "OR", "THEN", "ELSE", "WHEN", "END",
+    "SATISFIES", "ASC", "DESC", "AT", "UNION",
+}
+
+
+class Parser:
+    """Token-stream helper shared by the SQL++ and AQL grammars."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- stream primitives -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def at_kw(self, *words: str) -> bool:
+        return self.peek().is_kw(*words)
+
+    def take_kw(self, *words: str) -> bool:
+        if self.at_kw(*words):
+            self.next()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.take_kw(word):
+            raise self.error(f"expected {word}")
+
+    def at_punct(self, *puncts: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "PUNCT" and tok.text in puncts
+
+    def take_punct(self, *puncts: str) -> bool:
+        if self.at_punct(*puncts):
+            self.next()
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.take_punct(punct):
+            raise self.error(f"expected {punct!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "IDENT":
+            raise self.error("expected an identifier")
+        self.next()
+        return tok.text
+
+    def error(self, message: str) -> SyntaxError_:
+        tok = self.peek()
+        return SyntaxError_(f"{message} (found {tok.text!r})",
+                            line=tok.line, column=tok.column)
+
+
+class SQLPPParser(Parser):
+    """SQL++ statements and expressions."""
+
+    # ===== statements =========================================================
+
+    def parse_statements(self) -> list:
+        statements = []
+        while self.peek().kind != "EOF":
+            statements.append(self.parse_statement())
+            while self.take_punct(";"):
+                pass
+        return statements
+
+    def parse_statement(self) -> ast.Statement:
+        if self.at_kw("CREATE"):
+            return self._parse_create()
+        if self.at_kw("DROP"):
+            return self._parse_drop()
+        if self.at_kw("USE"):
+            self.next()
+            self.take_kw("DATAVERSE")
+            return ast.UseDataverse(self.expect_ident())
+        if self.at_kw("LOAD"):
+            return self._parse_load()
+        if self.at_kw("INSERT", "UPSERT"):
+            return self._parse_insert()
+        if self.at_kw("DELETE"):
+            return self._parse_delete()
+        return ast.QueryStatement(self.parse_query())
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _parse_create(self):
+        self.expect_kw("CREATE")
+        if self.take_kw("DATAVERSE"):
+            name = self.expect_ident()
+            return ast.CreateDataverse(name, self._if_not_exists())
+        if self.take_kw("TYPE"):
+            name = self.expect_ident()
+            ine = self._if_not_exists()
+            self.expect_kw("AS")
+            is_open = not self.take_kw("CLOSED")
+            self.take_kw("OPEN")
+            body = self._parse_type_expr()
+            body.is_open = is_open
+            return ast.CreateType(name, body, ine)
+        if self.take_kw("EXTERNAL"):
+            self.expect_kw("DATASET")
+            name = self.expect_ident()
+            self.expect_punct("(")
+            type_name = self.expect_ident()
+            self.expect_punct(")")
+            self.expect_kw("USING")
+            adapter = self.expect_ident()
+            props = self._parse_properties()
+            return ast.CreateExternalDataset(name, type_name, adapter,
+                                             props)
+        if self.take_kw("INTERNAL") or self.at_kw("DATASET"):
+            self.expect_kw("DATASET")
+            name = self.expect_ident()
+            ine = self._if_not_exists()
+            self.expect_punct("(")
+            type_name = self.expect_ident()
+            self.expect_punct(")")
+            ine = ine or self._if_not_exists()
+            self.expect_kw("PRIMARY")
+            self.expect_kw("KEY")
+            keys = [self._parse_field_path()]
+            while self.take_punct(","):
+                keys.append(self._parse_field_path())
+            return ast.CreateDataset(name, type_name, keys, ine)
+        if self.take_kw("INDEX"):
+            name = self.expect_ident()
+            ine = self._if_not_exists()
+            self.expect_kw("ON")
+            dataset = self.expect_ident()
+            self.expect_punct("(")
+            fields = [self._parse_field_path()]
+            while self.take_punct(","):
+                fields.append(self._parse_field_path())
+            self.expect_punct(")")
+            kind = "btree"
+            gram = 3
+            if self.take_kw("TYPE"):
+                kw = self.expect_ident().lower()
+                if kw in ("btree", "rtree", "keyword"):
+                    kind = kw
+                elif kw == "ngram":
+                    kind = "ngram"
+                    if self.take_punct("("):
+                        gram = int(self.next().value)
+                        self.expect_punct(")")
+                else:
+                    raise self.error(f"unknown index type {kw}")
+            ine = ine or self._if_not_exists()   # trailing form accepted
+            return ast.CreateIndex(name, dataset, fields, kind, gram, ine)
+        raise self.error("unknown CREATE statement")
+
+    def _if_not_exists(self) -> bool:
+        if self.at_kw("IF"):
+            self.expect_kw("IF")
+            self.expect_kw("NOT")
+            self.expect_kw("EXISTS")
+            return True
+        return False
+
+    def _parse_drop(self):
+        self.expect_kw("DROP")
+        if self.take_kw("INDEX"):
+            dataset = self.expect_ident()
+            self.expect_punct(".")
+            name = self.expect_ident()
+            return ast.DropStatement("index", name, dataset,
+                                     self._if_exists())
+        for kind in ("DATAVERSE", "TYPE", "DATASET"):
+            if self.take_kw(kind):
+                name = self.expect_ident()
+                return ast.DropStatement(kind.lower(), name, None,
+                                         self._if_exists())
+        raise self.error("unknown DROP statement")
+
+    def _if_exists(self) -> bool:
+        if self.at_kw("IF"):
+            self.expect_kw("IF")
+            self.expect_kw("EXISTS")
+            return True
+        return False
+
+    def _parse_type_expr(self) -> ast.TypeExpr:
+        if self.take_punct("{"):
+            if self.take_punct("{"):   # {{ T }} multiset
+                item = self._parse_type_expr()
+                self.expect_punct("}")
+                self.expect_punct("}")
+                return ast.TypeExpr("multiset", item=item)
+            fields = []
+            if not self.at_punct("}"):
+                while True:
+                    fname = self.expect_ident()
+                    self.expect_punct(":")
+                    ftype = self._parse_type_expr()
+                    optional = self.take_punct("?")
+                    fields.append(ast.TypeField(fname, ftype, optional))
+                    if not self.take_punct(","):
+                        break
+            self.expect_punct("}")
+            return ast.TypeExpr("object", fields=fields)
+        if self.take_punct("["):
+            item = self._parse_type_expr()
+            self.expect_punct("]")
+            return ast.TypeExpr("ordered", item=item)
+        return ast.TypeExpr("named", name=self.expect_ident())
+
+    def _parse_field_path(self) -> str:
+        parts = [self.expect_ident()]
+        while self.take_punct("."):
+            parts.append(self.expect_ident())
+        return ".".join(parts)
+
+    def _parse_properties(self) -> dict:
+        """(("k"="v"), ("k"="v"), ...) — Fig. 3(b)'s adapter syntax."""
+        props = {}
+        self.expect_punct("(")
+        while True:
+            self.expect_punct("(")
+            key = self.next().value
+            self.expect_punct("=")
+            value = self.next().value
+            self.expect_punct(")")
+            props[key] = value
+            if not self.take_punct(","):
+                break
+        self.expect_punct(")")
+        return props
+
+    def _parse_load(self):
+        self.expect_kw("LOAD")
+        self.expect_kw("DATASET")
+        dataset = self.expect_ident()
+        self.expect_kw("USING")
+        self.expect_ident()           # adapter name (localfs)
+        props = self._parse_properties()
+        path = props.pop("path", "")
+        fmt = props.pop("format", "adm")
+        return ast.LoadStatement(dataset, path, fmt, props)
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _parse_insert(self):
+        upsert = self.take_kw("UPSERT")
+        if not upsert:
+            self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        dataset = self.expect_ident()
+        if self.take_punct("("):
+            payload = self._parse_query_or_expr()
+            self.expect_punct(")")
+        else:
+            payload = self._parse_query_or_expr()
+        return ast.InsertStatement(dataset, payload, upsert)
+
+    def _parse_query_or_expr(self):
+        if self.at_kw("SELECT", "FROM", "WITH"):
+            return ast.SubqueryExpr(self.parse_select_query())
+        return self.parse_expression()
+
+    def _parse_delete(self):
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        dataset = self.expect_ident()
+        alias = None
+        if self.take_kw("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT" and not self.at_kw("WHERE"):
+            alias = self.expect_ident()
+        where = None
+        if self.take_kw("WHERE"):
+            where = self.parse_expression()
+        return ast.DeleteStatement(dataset, alias, where)
+
+    # ===== queries ==============================================================
+
+    def parse_query(self):
+        """A top-level query: SELECT block(s), optionally chained with
+        UNION ALL, or a bare expression."""
+        if self.at_kw("SELECT", "FROM", "WITH"):
+            query = self.parse_select_query()
+            branches = [query]
+            while self.at_kw("UNION"):
+                self.expect_kw("UNION")
+                self.expect_kw("ALL")
+                branches.append(self.parse_select_query())
+            if len(branches) > 1:
+                return ast.UnionQuery(branches)
+            return query
+        return self.parse_expression()
+
+    def parse_select_query(self) -> ast.SelectQuery:
+        q = ast.SelectQuery()
+        if self.take_kw("WITH"):
+            while True:
+                name = self.expect_ident()
+                self.expect_kw("AS")
+                q.with_clauses.append((name, self.parse_expression()))
+                if not self.take_punct(","):
+                    break
+        select_seen = False
+        if self.at_kw("SELECT"):
+            self._parse_select_clause(q)
+            select_seen = True
+        if self.take_kw("FROM"):
+            self._parse_from(q)
+        # body clauses in order
+        while True:
+            if self.take_kw("LET"):
+                while True:
+                    name = self.expect_ident()
+                    self.expect_punct("=")
+                    q.let_clauses.append((name, self.parse_expression()))
+                    if not self.take_punct(","):
+                        break
+                continue
+            if self.take_kw("WHERE"):
+                q.where = self.parse_expression()
+                continue
+            if self.at_kw("GROUP"):
+                self.expect_kw("GROUP")
+                if self.take_kw("AS"):
+                    q.group_as = self.expect_ident()
+                    continue
+                self.expect_kw("BY")
+                while True:
+                    expr = self.parse_expression()
+                    alias = None
+                    if self.take_kw("AS"):
+                        alias = self.expect_ident()
+                    elif isinstance(expr, ast.VarRef):
+                        alias = expr.name
+                    elif isinstance(expr, ast.FieldAccess):
+                        alias = expr.field
+                    else:
+                        alias = f"_g{len(q.group_keys)}"
+                    q.group_keys.append(ast.GroupKey(expr, alias))
+                    if not self.take_punct(","):
+                        break
+                if self.at_kw("GROUP") and self.peek(1).is_kw("AS"):
+                    self.expect_kw("GROUP")
+                    self.expect_kw("AS")
+                    q.group_as = self.expect_ident()
+                continue
+            if self.take_kw("HAVING"):
+                q.having = self.parse_expression()
+                continue
+            break
+        if not select_seen:
+            if self.at_kw("SELECT"):
+                self._parse_select_clause(q)
+            else:
+                raise self.error("query needs a SELECT clause")
+        if self.take_kw("ORDER"):
+            self.expect_kw("BY")
+            while True:
+                expr = self.parse_expression()
+                desc = False
+                if self.take_kw("DESC"):
+                    desc = True
+                else:
+                    self.take_kw("ASC")
+                q.order_by.append(ast.OrderItem(expr, desc))
+                if not self.take_punct(","):
+                    break
+        if self.take_kw("LIMIT"):
+            q.limit = self.parse_expression()
+            if self.take_kw("OFFSET"):
+                q.offset = self.parse_expression()
+        elif self.take_kw("OFFSET"):
+            q.offset = self.parse_expression()
+        return q
+
+    def _parse_select_clause(self, q: ast.SelectQuery) -> None:
+        self.expect_kw("SELECT")
+        clause = ast.SelectClause()
+        clause.distinct = self.take_kw("DISTINCT")
+        self.take_kw("ALL")
+        if self.take_kw("VALUE", "ELEMENT", "RAW"):
+            clause.value_expr = self.parse_expression()
+        else:
+            while True:
+                if self.take_punct("*"):
+                    clause.projections.append(
+                        ast.Projection(None, None, star=True)
+                    )
+                else:
+                    expr = self.parse_expression()
+                    alias = None
+                    if self.take_kw("AS"):
+                        alias = self.expect_ident()
+                    elif (self.peek().kind == "IDENT"
+                          and self.peek().text.upper()
+                          not in RESERVED_STOPWORDS):
+                        alias = self.expect_ident()
+                    elif isinstance(expr, ast.FieldAccess):
+                        alias = expr.field
+                    elif isinstance(expr, ast.VarRef):
+                        alias = expr.name
+                    else:
+                        alias = f"$f{len(clause.projections) + 1}"
+                    clause.projections.append(ast.Projection(expr, alias))
+                if not self.take_punct(","):
+                    break
+        q.select = clause
+
+    def _parse_from(self, q: ast.SelectQuery) -> None:
+        q.from_terms.append(self._parse_from_term("from"))
+        while True:
+            if self.take_punct(","):
+                q.from_terms.append(self._parse_from_term("from"))
+                continue
+            if self.at_kw("JOIN", "INNER"):
+                self.take_kw("INNER")
+                self.expect_kw("JOIN")
+                term = self._parse_from_term("join")
+                self.expect_kw("ON")
+                term.condition = self.parse_expression()
+                q.from_terms.append(term)
+                continue
+            if self.at_kw("LEFT") and self.peek(1).is_kw("JOIN", "OUTER"):
+                self.expect_kw("LEFT")
+                self.take_kw("OUTER")
+                self.expect_kw("JOIN")
+                term = self._parse_from_term("leftjoin")
+                self.expect_kw("ON")
+                term.condition = self.parse_expression()
+                q.from_terms.append(term)
+                continue
+            if self.at_kw("UNNEST"):
+                self.expect_kw("UNNEST")
+                q.from_terms.append(self._parse_from_term("unnest"))
+                continue
+            if self.at_kw("LEFT") and self.peek(1).is_kw("UNNEST"):
+                self.expect_kw("LEFT")
+                self.expect_kw("UNNEST")
+                q.from_terms.append(self._parse_from_term("leftunnest"))
+                continue
+            break
+
+    def _parse_from_term(self, kind: str) -> ast.FromTerm:
+        expr = self.parse_expression()
+        alias = None
+        if self.take_kw("AS"):
+            alias = self.expect_ident()
+        elif (self.peek().kind == "IDENT"
+              and self.peek().text.upper() not in RESERVED_STOPWORDS):
+            alias = self.expect_ident()
+        elif isinstance(expr, ast.VarRef):
+            alias = expr.name
+        elif isinstance(expr, ast.FieldAccess):
+            alias = expr.field
+        else:
+            raise self.error("FROM term needs an alias")
+        positional = None
+        if self.take_kw("AT"):
+            positional = self.expect_ident()
+        return ast.FromTerm(expr, alias, kind, None, positional)
+
+    # ===== expressions ===========================================================
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self.at_kw("OR"):
+            self.next()
+            left = ast.Call("or", [left, self._parse_and()])
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self.at_kw("AND"):
+            self.next()
+            left = ast.Call("and", [left, self._parse_not()])
+        return left
+
+    def _parse_not(self):
+        if self.take_kw("NOT"):
+            return ast.Call("not", [self._parse_not()])
+        return self._parse_comparison()
+
+    _CMP = {"=": "eq", "==": "eq", "!=": "neq", "<": "lt", "<=": "le",
+            ">": "gt", ">=": "ge"}
+
+    def _parse_comparison(self):
+        left = self._parse_concat()
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.text in self._CMP:
+            self.next()
+            return ast.Call(self._CMP[tok.text],
+                            [left, self._parse_concat()])
+        negate = False
+        if self.at_kw("NOT") and self.peek(1).is_kw("LIKE", "IN", "BETWEEN"):
+            self.next()
+            negate = True
+        if self.take_kw("LIKE"):
+            expr = ast.Call("like", [left, self._parse_concat()])
+            return ast.Call("not", [expr]) if negate else expr
+        if self.take_kw("IN"):
+            coll = self._parse_concat()
+            expr = ast.Call("array_contains", [coll, left])
+            return ast.Call("not", [expr]) if negate else expr
+        if self.take_kw("BETWEEN"):
+            lo = self._parse_concat()
+            self.expect_kw("AND")
+            hi = self._parse_concat()
+            expr = ast.Call("between", [left, lo, hi])
+            return ast.Call("not", [expr]) if negate else expr
+        if self.take_kw("IS"):
+            negated = self.take_kw("NOT")
+            if self.take_kw("NULL"):
+                expr = ast.Call("is_null", [left])
+            elif self.take_kw("MISSING"):
+                expr = ast.Call("is_missing", [left])
+            elif self.take_kw("UNKNOWN"):
+                expr = ast.Call("is_unknown", [left])
+            elif self.take_kw("KNOWN", "VALUED"):
+                expr = ast.Call("not", [ast.Call("is_unknown", [left])])
+                negated = not negated
+            else:
+                raise self.error("expected NULL/MISSING/UNKNOWN after IS")
+            return ast.Call("not", [expr]) if negated else expr
+        return left
+
+    def _parse_concat(self):
+        left = self._parse_additive()
+        while self.at_punct("||"):
+            self.next()
+            left = ast.Call("string_concat", [left, self._parse_additive()])
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self.at_punct("+", "-"):
+            op = self.next().text
+            right = self._parse_multiplicative()
+            fn = "numeric_add" if op == "+" else "numeric_subtract"
+            left = ast.Call(fn, [left, right])
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_power()
+        while True:
+            if self.at_punct("*", "/", "%"):
+                op = self.next().text
+                fn = {"*": "numeric_multiply", "/": "numeric_divide",
+                      "%": "numeric_mod"}[op]
+                left = ast.Call(fn, [left, self._parse_power()])
+            elif self.at_kw("DIV"):
+                self.next()
+                left = ast.Call("numeric_idiv", [left, self._parse_power()])
+            elif self.at_kw("MOD"):
+                self.next()
+                left = ast.Call("numeric_mod", [left, self._parse_power()])
+            else:
+                return left
+
+    def _parse_power(self):
+        left = self._parse_unary()
+        if self.at_punct("^", "**"):
+            self.next()
+            return ast.Call("power", [left, self._parse_power()])
+        return left
+
+    def _parse_unary(self):
+        if self.take_punct("-"):
+            return ast.Call("numeric_unary_minus", [self._parse_unary()])
+        if self.take_punct("+"):
+            return self._parse_unary()
+        if self.at_kw("EXISTS"):
+            self.next()
+            return ast.ExistsExpr(self._parse_path())
+        if self.at_kw("SOME", "ANY", "EVERY"):
+            return self._parse_quantified()
+        if self.at_kw("CASE"):
+            return self._parse_case()
+        return self._parse_path()
+
+    def _parse_quantified(self):
+        some = not self.take_kw("EVERY")
+        if some:
+            self.next()  # SOME or ANY
+        var = self._binding_name()
+        self.expect_kw("IN")
+        collection = self.parse_expression()
+        self.expect_kw("SATISFIES")
+        predicate = self.parse_expression()
+        self.take_kw("END")
+        return ast.QuantifiedExpr(some, var, collection, predicate)
+
+    def _binding_name(self) -> str:
+        tok = self.peek()
+        if tok.kind in ("IDENT", "VAR"):
+            self.next()
+            return tok.text
+        raise self.error("expected a variable name")
+
+    def _parse_case(self):
+        self.expect_kw("CASE")
+        operand = None
+        if not self.at_kw("WHEN"):
+            operand = self.parse_expression()
+        whens = []
+        while self.take_kw("WHEN"):
+            cond = self.parse_expression()
+            if operand is not None:
+                cond = ast.Call("eq", [operand, cond])
+            self.expect_kw("THEN")
+            whens.append((cond, self.parse_expression()))
+        default = ast.Literal(None)
+        if self.take_kw("ELSE"):
+            default = self.parse_expression()
+        self.expect_kw("END")
+        return ast.CaseWhen(whens, default)
+
+    def _parse_path(self):
+        expr = self._parse_primary()
+        while True:
+            if self.take_punct("."):
+                expr = ast.FieldAccess(expr, self.expect_ident())
+            elif self.take_punct("["):
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.IndexAccess(expr, index)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            self.next()
+            return ast.Literal(tok.value)
+        if tok.kind == "STRING":
+            self.next()
+            return ast.Literal(tok.value)
+        if tok.kind == "VAR":
+            self.next()
+            return ast.VarRef(tok.text)
+        if self.take_punct("("):
+            if self.at_kw("SELECT", "FROM", "WITH"):
+                query = self.parse_select_query()
+                self.expect_punct(")")
+                return ast.SubqueryExpr(query)
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        if self.at_punct("{"):
+            if self.peek(1).kind == "PUNCT" and self.peek(1).text == "{":
+                return self._parse_multiset()
+            return self._parse_object()
+        if self.take_punct("["):
+            items = []
+            if not self.at_punct("]"):
+                while True:
+                    items.append(self.parse_expression())
+                    if not self.take_punct(","):
+                        break
+            self.expect_punct("]")
+            return ast.ArrayExpr(items)
+        if tok.kind == "IDENT":
+            upper = tok.text.upper()
+            if upper == "TRUE":
+                self.next()
+                return ast.Literal(True)
+            if upper == "FALSE":
+                self.next()
+                return ast.Literal(False)
+            if upper == "NULL":
+                self.next()
+                return ast.Literal(None)
+            if upper == "MISSING":
+                self.next()
+                from repro.adm import MISSING
+
+                return ast.Literal(MISSING)
+            name = self.expect_ident()
+            if self.take_punct("("):
+                return self._parse_call(name)
+            return ast.VarRef(name)
+        raise self.error("expected an expression")
+
+    def _parse_call(self, name: str):
+        args = []
+        if self.at_punct("*") and name.upper() == "COUNT":
+            self.next()
+            self.expect_punct(")")
+            return ast.Call("count_star", [ast.Literal(1)])
+        if not self.at_punct(")"):
+            while True:
+                args.append(self.parse_expression())
+                if not self.take_punct(","):
+                    break
+        self.expect_punct(")")
+        return ast.Call(name, args)
+
+    def _parse_object(self):
+        self.expect_punct("{")
+        pairs = []
+        if not self.at_punct("}"):
+            while True:
+                tok = self.peek()
+                if tok.kind == "STRING":
+                    self.next()
+                    name = ast.Literal(tok.value)
+                elif tok.kind == "IDENT":
+                    self.next()
+                    name = ast.Literal(tok.text)
+                else:
+                    name = self.parse_expression()
+                self.expect_punct(":")
+                pairs.append((name, self.parse_expression()))
+                if not self.take_punct(","):
+                    break
+        self.expect_punct("}")
+        return ast.ObjectExpr(pairs)
+
+    def _parse_multiset(self):
+        self.expect_punct("{")
+        self.expect_punct("{")
+        items = []
+        if not (self.at_punct("}") and self.peek(1).text == "}"):
+            while True:
+                items.append(self.parse_expression())
+                if not self.take_punct(","):
+                    break
+        self.expect_punct("}")
+        self.expect_punct("}")
+        return ast.ArrayExpr(items, multiset=True)
+
+
+def parse_sqlpp(text: str) -> list:
+    """Parse a SQL++ script into statements."""
+    return SQLPPParser(text).parse_statements()
+
+
+def parse_sqlpp_expression(text: str) -> ast.Expr:
+    """Parse a single SQL++ expression (tests use this)."""
+    parser = SQLPPParser(text)
+    expr = parser.parse_expression()
+    if parser.peek().kind != "EOF":
+        raise parser.error("trailing input after expression")
+    return expr

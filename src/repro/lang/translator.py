@@ -1,0 +1,652 @@
+"""Core AST -> Algebricks logical plans.
+
+One translator serves both languages — the load-bearing reproduction of
+§IV-A: "Thanks to AsterixDB's Algebricks and Hyracks layers, we were able
+[to] implement SQL++ fairly quickly as a peer of AQL, sharing the
+Algebricks query algebra and many optimizer rules as well as the
+associated Hyracks runtime operators and connectors."
+
+Notable translations:
+
+* dataset FROM terms become DataSourceScan/ExternalScan; expression FROM
+  terms become Unnest (correlated, over the running plan);
+* ``SOME x IN <dataset> SATISFIES p`` as a WHERE conjunct decorrelates
+  into a left **semi join** (Fig. 3(c)'s shape); ``EVERY`` into an anti
+  join of the negated predicate; EXISTS (SELECT .. FROM ds ..) likewise;
+* quantifiers and subqueries over collection *expressions* stay
+  expression-level (LQuant / LComp comprehensions);
+* SQL-92 aggregate sugar (COUNT/SUM/MIN/MAX/AVG in the SELECT/HAVING/ORDER
+  of a grouped query) is extracted into GroupBy aggregate calls, exactly
+  the implicit-grouping rewrite SQL++ defines; GROUP AS materializes the
+  group via the ``listify`` aggregate.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algebricks import logical as L
+from repro.algebricks.expressions import (
+    LCall,
+    LCase,
+    LCollCtor,
+    LComp,
+    LConst,
+    LLambdaVar,
+    LObjCtor,
+    LQuant,
+    LVar,
+    fold_constants,
+)
+from repro.algebricks.logical import AggCall
+from repro.common.errors import CompilationError, IdentifierError
+from repro.functions.registry import is_scalar
+from repro.lang import core_ast as ast
+
+_SQL_AGGREGATES = {
+    "count": "count",
+    "sum": "sum",
+    "min": "min",
+    "max": "max",
+    "avg": "avg",
+    "count_star": "count_star",
+    "array_count": None,   # scalar collection fns are NOT aggregate sugar
+}
+
+
+class _AggPlaceholder(ast.Expr):
+    """Marks an extracted aggregate call inside a post-group expression."""
+
+    def __init__(self, var: int):
+        self.var = var
+
+
+class Translator:
+    """Stateless per-statement translation with a shared variable counter."""
+
+    def __init__(self, metadata):
+        self.metadata = metadata      # MetadataView + dataset existence
+        self._vars = itertools.count(1)
+
+    def new_var(self) -> int:
+        return next(self._vars)
+
+    # ===== statements ============================================================
+
+    def translate_query(self, query) -> L.LogicalOp:
+        """QueryStatement body -> plan rooted at DistributeResult."""
+        if isinstance(query, ast.UnionQuery):
+            plan, result = self._union(query)
+        elif isinstance(query, ast.SelectQuery):
+            plan, result = self._select(query, {})
+        else:
+            result = self._expr(query, {}, set())
+            plan = L.EmptyTupleSource()
+        return L.DistributeResult(result, inputs=[plan])
+
+    def translate_insert(self, stmt: ast.InsertStatement) -> L.LogicalOp:
+        if isinstance(stmt.payload, ast.SubqueryExpr):
+            plan, result = self._select(stmt.payload.query, {})
+            record_expr = result
+        elif isinstance(stmt.payload, ast.ArrayExpr):
+            coll = self._expr(stmt.payload, {}, set())
+            var = self.new_var()
+            plan = L.Unnest(var, coll, inputs=[L.EmptyTupleSource()])
+            record_expr = LVar(var)
+        else:
+            expr = self._expr(stmt.payload, {}, set())
+            var = self.new_var()
+            plan = L.Assign(var, expr, inputs=[L.EmptyTupleSource()])
+            record_expr = LVar(var)
+        op = "upsert" if stmt.upsert else "insert"
+        return L.InsertDelete(self._qualify(stmt.dataset), op,
+                              record_expr=record_expr, inputs=[plan])
+
+    def translate_delete(self, stmt: ast.DeleteStatement) -> L.LogicalOp:
+        scan, scope, pk_vars = self._dataset_scan(stmt.dataset)
+        alias = stmt.alias or stmt.dataset
+        scope = {alias: scope[stmt.dataset]}
+        plan = scan
+        if stmt.where is not None:
+            plan = self._where(stmt.where, scope, plan)
+        return L.InsertDelete(self._qualify(stmt.dataset), "delete",
+                              pk_exprs=[LVar(v) for v in pk_vars],
+                              inputs=[plan])
+
+    def translate_load(self, stmt, adapter) -> L.LogicalOp:
+        var = self.new_var()
+        qualified = self._qualify(stmt.dataset)
+        plan = L.ExternalScan(qualified, adapter, var)
+        return L.InsertDelete(qualified, "load", record_expr=LVar(var),
+                              inputs=[plan])
+
+    def _union(self, union: ast.UnionQuery):
+        """UNION ALL: each branch projects its result to one variable;
+        branches fold left through UnionAll operators."""
+        var = self.new_var()
+        branch_plans = []
+        for branch in union.branches:
+            plan, result = self._select(branch, {})
+            bvar = self.new_var()
+            plan = L.Assign(bvar, result, inputs=[plan])
+            plan = L.Project([bvar], inputs=[plan])
+            branch_plans.append(plan)
+        combined = branch_plans[0]
+        for right in branch_plans[1:]:
+            combined = L.UnionAll(var, inputs=[combined, right])
+        return combined, LVar(var)
+
+    # ===== the select core ========================================================
+
+    def _select(self, q: ast.SelectQuery, outer_scope: dict):
+        """Returns (plan, result_expr)."""
+        scope = dict(outer_scope)
+        plan = L.EmptyTupleSource()
+
+        # WITH: constants-to-be (const folding + inlining erase them)
+        for name, expr in q.with_clauses:
+            var = self.new_var()
+            plan = L.Assign(var, self._expr(expr, scope, set()),
+                            inputs=[plan])
+            scope[name] = var
+
+        # FROM
+        for term in q.from_terms:
+            plan = self._from_term(term, scope, plan)
+
+        # LET
+        for name, expr in q.let_clauses:
+            var = self.new_var()
+            plan = L.Assign(var, self._expr(expr, scope, set()),
+                            inputs=[plan])
+            scope[name] = var
+
+        # WHERE (with dataset-quantifier/EXISTS decorrelation)
+        if q.where is not None:
+            plan = self._where(q.where, scope, plan)
+
+        # GROUP BY / implicit aggregation
+        agg_templates = []      # (var, fn, arg core-AST expr)
+        post_exprs = {}         # rewritten select/having/order expressions
+        has_group = bool(q.group_keys)
+        exprs_to_scan = []
+        if q.select.value_expr is not None:
+            exprs_to_scan.append(("value", q.select.value_expr))
+        for i, proj in enumerate(q.select.projections):
+            if not proj.star:
+                exprs_to_scan.append((("proj", i), proj.expr))
+        if q.having is not None:
+            exprs_to_scan.append(("having", q.having))
+        for i, item in enumerate(q.order_by):
+            exprs_to_scan.append((("order", i), item.expr))
+        found_any_agg = False
+        for key, expr in exprs_to_scan:
+            rewritten, aggs = self._extract_aggregates(expr)
+            post_exprs[key] = rewritten
+            agg_templates.extend(aggs)
+            found_any_agg |= bool(aggs)
+
+        if has_group or q.group_as or getattr(q, "aql_group_with", None):
+            plan, scope = self._group_by(q, scope, plan, agg_templates)
+        elif found_any_agg:
+            # implicit global aggregation: SELECT COUNT(*) FROM ds
+            agg_calls = []
+            placeholder_scope = dict(scope)
+            for var, fn, arg in agg_templates:
+                agg_calls.append(
+                    AggCall(var, fn, self._expr(arg, scope, set()))
+                )
+            plan = L.Aggregate(agg_calls, inputs=[plan])
+            scope = {}
+            scope.update(
+                {f"${v}": v for v, _, _ in agg_templates}
+            )
+            del placeholder_scope
+        elif agg_templates:
+            pass  # unreachable
+
+        if q.having is not None:
+            cond = self._expr(post_exprs["having"], scope, set())
+            plan = L.Select(cond, inputs=[plan])
+
+        # SELECT result expression (projections assigned so ORDER BY can
+        # reference aliases)
+        if q.select.value_expr is not None:
+            rv = self.new_var()
+            plan = L.Assign(
+                rv, self._expr(post_exprs["value"], scope, set()),
+                inputs=[plan],
+            )
+            result = LVar(rv)
+        else:
+            pairs = []
+            for i, proj in enumerate(q.select.projections):
+                if proj.star:
+                    for alias, var in sorted(scope.items()):
+                        pairs.append((LConst(alias), LVar(var)))
+                    continue
+                var = self.new_var()
+                plan = L.Assign(
+                    var, self._expr(post_exprs[("proj", i)], scope, set()),
+                    inputs=[plan],
+                )
+                scope[proj.alias] = var
+                pairs.append((LConst(proj.alias), LVar(var)))
+            result = LObjCtor(pairs)
+
+        # DISTINCT
+        if q.select.distinct:
+            rv = self.new_var()
+            plan = L.Assign(rv, result, inputs=[plan])
+            plan = L.Project([rv], inputs=[plan])
+            plan = L.Distinct([rv], inputs=[plan])
+            result = LVar(rv)
+            scope = {"$distinct": rv}
+
+        # ORDER BY
+        if q.order_by:
+            pairs = []
+            for i, item in enumerate(q.order_by):
+                var = self.new_var()
+                plan = L.Assign(
+                    var, self._expr(post_exprs[("order", i)], scope, set()),
+                    inputs=[plan],
+                )
+                pairs.append((LVar(var), item.descending))
+            plan = L.Order(pairs, inputs=[plan])
+
+        # LIMIT / OFFSET
+        if q.limit is not None or q.offset is not None:
+            count = self._const_int(q.limit, "LIMIT")
+            offset = self._const_int(q.offset, "OFFSET") or 0
+            plan = L.Limit(count, offset, inputs=[plan])
+
+        return plan, result
+
+    def _const_int(self, expr, what: str):
+        if expr is None:
+            return None
+        lowered = fold_constants(self._expr(expr, {}, set()))
+        if not isinstance(lowered, LConst) or not isinstance(
+                lowered.value, int):
+            raise CompilationError(f"{what} must be a constant integer")
+        return lowered.value
+
+    # -- FROM ----------------------------------------------------------------------
+
+    def _from_term(self, term: ast.FromTerm, scope: dict,
+                   plan: L.LogicalOp) -> L.LogicalOp:
+        if term.kind in ("from",):
+            return self._attach_source(term, scope, plan)
+        if term.kind in ("join", "leftjoin"):
+            right_plan, right_scope = self._independent_source(term)
+            join_scope = dict(scope)
+            join_scope.update(right_scope)
+            cond = self._expr(term.condition, join_scope, set())
+            kind = "inner" if term.kind == "join" else "leftouter"
+            scope.update(right_scope)
+            return L.Join(cond, kind, inputs=[plan, right_plan])
+        if term.kind in ("unnest", "leftunnest"):
+            coll = self._expr(term.expr, scope, set())
+            var = self.new_var()
+            pos_var = None
+            if term.positional_alias:
+                pos_var = self.new_var()
+                scope[term.positional_alias] = pos_var
+            scope[term.alias] = var
+            return L.Unnest(var, coll, outer=(term.kind == "leftunnest"),
+                            positional_var=pos_var, inputs=[plan])
+        raise CompilationError(f"unknown FROM term kind {term.kind}")
+
+    def _dataset_name_of(self, expr) -> str | None:
+        """Is this FROM/quantifier source a dataset reference?"""
+        if isinstance(expr, ast.VarRef) and self._is_dataset(expr.name):
+            return expr.name
+        # qualified reference: FROM Dataverse.Dataset
+        if isinstance(expr, ast.FieldAccess) and isinstance(
+                expr.base, ast.VarRef):
+            qualified = f"{expr.base.name}.{expr.field}"
+            if self._is_dataset(qualified):
+                return qualified
+        if isinstance(expr, ast.Call) and expr.function.lower() == "dataset":
+            arg = expr.args[0]
+            if isinstance(arg, ast.Literal):
+                return arg.value
+            if isinstance(arg, ast.VarRef):
+                return arg.name
+        return None
+
+    def _is_dataset(self, name: str) -> bool:
+        return self.metadata.dataset_exists(name)
+
+    def _dataset_scan(self, name: str):
+        """Returns (scan op, {name: record var}, pk_vars).  The scan
+        records the *qualified* dataset name (what the cluster's partition
+        map is keyed on)."""
+        qualified = self._qualify(name)
+        if self.metadata.is_external(name):
+            var = self.new_var()
+            adapter = self.metadata.external_adapter(name)
+            return L.ExternalScan(qualified, adapter, var), {name: var}, []
+        pk_vars = [self.new_var() for _ in self.metadata.pk_fields(name)]
+        record_var = self.new_var()
+        scan = L.DataSourceScan(qualified, pk_vars, record_var)
+        return scan, {name: record_var}, pk_vars
+
+    def _qualify(self, name: str) -> str:
+        qualify = getattr(self.metadata, "qualify", None)
+        return qualify(name) if qualify is not None else name
+
+    def _attach_source(self, term, scope, plan):
+        ds = self._dataset_name_of(term.expr)
+        if ds is not None:
+            if term.alias in scope:
+                raise CompilationError(f"duplicate alias {term.alias}")
+            scan, ds_scope, _ = self._dataset_scan(ds)
+            scope[term.alias] = ds_scope[ds]
+            if isinstance(plan, L.EmptyTupleSource):
+                return scan
+            if self._is_assign_chain_over_ets(plan):
+                # hoist WITH/LET assigns above the scan instead of a cross
+                # join against the empty-tuple source
+                return self._replant(plan, scan)
+            return L.Join(LConst(True), "inner", inputs=[plan, scan])
+        # expression source: correlated unnest
+        coll = self._expr(term.expr, scope, set())
+        var = self.new_var()
+        scope[term.alias] = var
+        pos_var = None
+        if term.positional_alias:
+            pos_var = self.new_var()
+            scope[term.positional_alias] = pos_var
+        return L.Unnest(var, coll, positional_var=pos_var, inputs=[plan])
+
+    @staticmethod
+    def _is_assign_chain_over_ets(plan) -> bool:
+        while isinstance(plan, L.Assign):
+            plan = plan.inputs[0]
+        return isinstance(plan, L.EmptyTupleSource)
+
+    @staticmethod
+    def _replant(plan, new_bottom):
+        """Replace the EmptyTupleSource under an assign chain."""
+        if isinstance(plan, L.EmptyTupleSource):
+            return new_bottom
+        node = plan
+        while not isinstance(node.inputs[0], L.EmptyTupleSource):
+            node = node.inputs[0]
+        node.inputs[0] = new_bottom
+        return plan
+
+    def _independent_source(self, term):
+        """Build a JOIN right-hand side as its own sub-plan."""
+        ds = self._dataset_name_of(term.expr)
+        if ds is not None:
+            scan, ds_scope, _ = self._dataset_scan(ds)
+            return scan, {term.alias: ds_scope[ds]}
+        coll = self._expr(term.expr, {}, set())
+        var = self.new_var()
+        plan = L.Unnest(var, coll, inputs=[L.EmptyTupleSource()])
+        return plan, {term.alias: var}
+
+    # -- WHERE (quantifier/EXISTS decorrelation) --------------------------------------
+
+    def _where(self, where, scope, plan):
+        for conjunct in self._conjuncts(where):
+            plan = self._apply_predicate(conjunct, scope, plan)
+        return plan
+
+    @staticmethod
+    def _conjuncts(expr):
+        if isinstance(expr, ast.Call) and expr.function.lower() == "and":
+            out = []
+            for arg in expr.args:
+                out.extend(Translator._conjuncts(arg))
+            return out
+        return [expr]
+
+    def _apply_predicate(self, conjunct, scope, plan):
+        # SOME x IN <dataset> SATISFIES p  ->  left semi join
+        if isinstance(conjunct, ast.QuantifiedExpr):
+            ds = self._dataset_name_of(conjunct.collection)
+            if ds is not None:
+                scan, ds_scope, _ = self._dataset_scan(ds)
+                inner_scope = dict(scope)
+                inner_scope[conjunct.var] = ds_scope[ds]
+                pred = self._expr(conjunct.predicate, inner_scope, set())
+                if conjunct.some:
+                    return L.Join(pred, "leftsemi", inputs=[plan, scan])
+                return L.Join(LCall("not", [pred]), "leftanti",
+                              inputs=[plan, scan])
+        # EXISTS (SELECT ... FROM <dataset> [AS a] [WHERE p])
+        if isinstance(conjunct, ast.ExistsExpr) and isinstance(
+                conjunct.subquery, ast.SubqueryExpr):
+            sub = conjunct.subquery.query
+            if (len(sub.from_terms) == 1 and not sub.group_keys
+                    and not sub.let_clauses and not sub.order_by):
+                ds = self._dataset_name_of(sub.from_terms[0].expr)
+                if ds is not None:
+                    scan, ds_scope, _ = self._dataset_scan(ds)
+                    inner_scope = dict(scope)
+                    inner_scope[sub.from_terms[0].alias] = ds_scope[ds]
+                    pred = (self._expr(sub.where, inner_scope, set())
+                            if sub.where is not None else LConst(True))
+                    kind = "leftanti" if conjunct.negated else "leftsemi"
+                    return L.Join(pred, kind, inputs=[plan, scan])
+        cond = self._expr(conjunct, scope, set())
+        return L.Select(cond, inputs=[plan])
+
+    # -- GROUP BY ---------------------------------------------------------------------
+
+    def _group_by(self, q, scope, plan, agg_templates):
+        pre_scope = dict(scope)
+        keys = []
+        post_scope: dict = {}
+        for gk in q.group_keys:
+            pre_var = self.new_var()
+            plan = L.Assign(pre_var, self._expr(gk.expr, pre_scope, set()),
+                            inputs=[plan])
+            post_var = self.new_var()
+            keys.append((post_var, LVar(pre_var)))
+            post_scope[gk.alias] = post_var
+        agg_calls = []
+        for var, fn, arg in agg_templates:
+            agg_calls.append(
+                AggCall(var, fn, self._expr(arg, pre_scope, set()))
+            )
+        if q.group_as:
+            group_var = self.new_var()
+            element = LObjCtor([
+                (LConst(alias), LVar(v))
+                for alias, v in sorted(pre_scope.items())
+            ])
+            agg_calls.append(AggCall(group_var, "listify", element))
+            post_scope[q.group_as] = group_var
+        for name in getattr(q, "aql_group_with", None) or ():
+            if name not in pre_scope:
+                raise IdentifierError(f"unknown group variable ${name}")
+            var = self.new_var()
+            agg_calls.append(
+                AggCall(var, "listify", LVar(pre_scope[name]))
+            )
+            post_scope[name] = var
+        plan = L.GroupBy(keys, agg_calls, inputs=[plan])
+        return plan, post_scope
+
+    def _extract_aggregates(self, expr):
+        """Rewrite SQL-92 aggregate sugar into placeholders; returns
+        (rewritten expr, [(var, fn, arg expr)])."""
+        aggs = []
+
+        def visit(node):
+            if isinstance(node, ast.Call):
+                fn = node.function.lower()
+                if fn in ("count", "sum", "min", "max", "avg",
+                          "count_star") and _SQL_AGGREGATES.get(fn):
+                    var = self.new_var()
+                    arg = (node.args[0] if node.args
+                           else ast.Literal(1))
+                    aggs.append((var, _SQL_AGGREGATES[fn], arg))
+                    return _AggPlaceholder(var)
+                return ast.Call(node.function,
+                                [visit(a) for a in node.args])
+            if isinstance(node, ast.FieldAccess):
+                return ast.FieldAccess(visit(node.base), node.field)
+            if isinstance(node, ast.IndexAccess):
+                return ast.IndexAccess(visit(node.base), visit(node.index))
+            if isinstance(node, ast.ObjectExpr):
+                return ast.ObjectExpr(
+                    [(visit(n), visit(v)) for n, v in node.pairs]
+                )
+            if isinstance(node, ast.ArrayExpr):
+                return ast.ArrayExpr([visit(i) for i in node.items],
+                                     node.multiset)
+            if isinstance(node, ast.CaseWhen):
+                return ast.CaseWhen(
+                    [(visit(c), visit(r)) for c, r in node.whens],
+                    visit(node.default),
+                )
+            return node
+
+        return visit(expr), aggs
+
+    # ===== expressions =================================================================
+
+    def _expr(self, e, scope: dict, lambda_vars: set):
+        if isinstance(e, _AggPlaceholder):
+            return LVar(e.var)
+        if isinstance(e, ast.Literal):
+            return LConst(e.value)
+        if isinstance(e, ast.VarRef):
+            if e.name in lambda_vars:
+                return LLambdaVar(e.name)
+            if e.name in scope:
+                return LVar(scope[e.name])
+            if self._is_dataset(e.name):
+                raise CompilationError(
+                    f"dataset {e.name} can only be referenced in FROM or "
+                    f"a quantifier over a dataset"
+                )
+            raise IdentifierError(f"unresolved identifier {e.name}")
+        if isinstance(e, ast.FieldAccess):
+            return LCall("field_access",
+                         [self._expr(e.base, scope, lambda_vars),
+                          LConst(e.field)])
+        if isinstance(e, ast.IndexAccess):
+            return LCall("get_item",
+                         [self._expr(e.base, scope, lambda_vars),
+                          self._expr(e.index, scope, lambda_vars)])
+        if isinstance(e, ast.Call):
+            fn = e.function.lower().replace("-", "_")
+            if fn in ("count", "sum", "avg") and fn in _SQL_AGGREGATES:
+                raise CompilationError(
+                    f"aggregate function {e.function} used outside a "
+                    f"grouping context (use coll_{fn} on collections)"
+                )
+            if not is_scalar(fn):
+                raise IdentifierError(f"unknown function {e.function}")
+            return LCall(fn, [self._expr(a, scope, lambda_vars)
+                              for a in e.args])
+        if isinstance(e, ast.QuantifiedExpr):
+            if self._dataset_name_of(e.collection) is not None:
+                raise CompilationError(
+                    "a quantifier over a dataset is only supported as a "
+                    "WHERE conjunct"
+                )
+            coll = self._expr(e.collection, scope, lambda_vars)
+            pred = self._expr(e.predicate, scope,
+                              lambda_vars | {e.var})
+            return LQuant(e.some, e.var, coll, pred)
+        if isinstance(e, ast.CaseWhen):
+            whens = [
+                (self._expr(c, scope, lambda_vars),
+                 self._expr(r, scope, lambda_vars))
+                for c, r in e.whens
+            ]
+            return LCase(whens, self._expr(e.default, scope, lambda_vars))
+        if isinstance(e, ast.ObjectExpr):
+            return LObjCtor([
+                (self._expr(n, scope, lambda_vars),
+                 self._expr(v, scope, lambda_vars))
+                for n, v in e.pairs
+            ])
+        if isinstance(e, ast.ArrayExpr):
+            return LCollCtor(
+                [self._expr(i, scope, lambda_vars) for i in e.items],
+                e.multiset,
+            )
+        if isinstance(e, ast.SubqueryExpr):
+            return self._inline_subquery(e.query, scope, lambda_vars)
+        if isinstance(e, ast.ExistsExpr):
+            coll = self._expr(e.subquery, scope, lambda_vars)
+            test = LCall("gt", [LCall("coll_count", [coll]), LConst(0)])
+            return LCall("not", [test]) if e.negated else test
+        raise CompilationError(f"cannot translate expression {e!r}")
+
+    def _inline_subquery(self, q: ast.SelectQuery, scope, lambda_vars):
+        """Compile a subquery over collection expressions into nested
+        comprehensions.  Dataset sources are rejected here — the supported
+        decorrelations live in :meth:`_apply_predicate`."""
+        if q.group_keys or q.group_as or q.order_by or q.limit is not None:
+            raise CompilationError(
+                "subqueries with GROUP BY/ORDER BY/LIMIT are only "
+                "supported at statement level"
+            )
+        for term in q.from_terms:
+            if self._dataset_name_of(term.expr) is not None:
+                raise CompilationError(
+                    f"correlated subquery over dataset "
+                    f"{self._dataset_name_of(term.expr)} is not supported; "
+                    f"rewrite as a join"
+                )
+            if term.kind not in ("from", "unnest"):
+                raise CompilationError(
+                    "only simple FROM/UNNEST terms are supported in "
+                    "inline subqueries"
+                )
+        inner_lambda = set(lambda_vars)
+        bindings = []
+        for term in q.from_terms:
+            coll = self._expr(term.expr, scope, inner_lambda)
+            bindings.append((term.alias, coll))
+            inner_lambda.add(term.alias)
+        lets = []
+        for name, expr in q.let_clauses:
+            lets.append((name, self._expr(expr, scope, inner_lambda)))
+            inner_lambda.add(name)
+        where = (self._expr(q.where, scope, inner_lambda)
+                 if q.where is not None else None)
+        if q.select.value_expr is not None:
+            body = self._expr(q.select.value_expr, scope, inner_lambda)
+        else:
+            pairs = []
+            for proj in q.select.projections:
+                if proj.star:
+                    raise CompilationError(
+                        "SELECT * is not supported in inline subqueries"
+                    )
+                pairs.append((
+                    LConst(proj.alias),
+                    self._expr(proj.expr, scope, inner_lambda),
+                ))
+            body = LObjCtor(pairs)
+        # LETs become nested single-element comprehensions... simpler: a
+        # let is sugar for iterating a one-element array
+        for name, expr in reversed(lets):
+            body = LComp(name, LCollCtor([expr]), None, body)
+            if where is not None:
+                # the filter must see the let bindings; fold it inside
+                body = LComp(name, LCollCtor([expr]), where, body.body)
+                where = None
+        comp = body
+        for i, (alias, coll) in enumerate(reversed(bindings)):
+            is_innermost = i == 0
+            comp = LComp(alias, coll,
+                         where if is_innermost and where is not None
+                         else None,
+                         comp)
+        if not bindings:   # FROM-less subquery: one-row evaluation
+            comp = LCollCtor([body])
+        if q.select.distinct:
+            comp = LCall("array_distinct", [comp])
+        return comp

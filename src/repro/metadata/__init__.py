@@ -1,0 +1,9 @@
+"""Metadata catalog (mirrored into Metadata.* system datasets)."""
+
+from repro.metadata.catalog import (
+    DatasetEntry,
+    Dataverse,
+    MetadataManager,
+)
+
+__all__ = ["DatasetEntry", "Dataverse", "MetadataManager"]

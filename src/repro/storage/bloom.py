@@ -1,0 +1,62 @@
+"""Bloom filters for LSM disk components.
+
+Every LSM B+ tree disk component carries a bloom filter over its keys so
+point lookups can skip components that certainly don't contain the key —
+with many disk components this is what keeps primary-key lookups from paying
+one B+ tree descent per component.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.adm.serializer import serialize_tuple
+from repro.adm.values import hash_value
+
+
+class BloomFilter:
+    """A standard k-hash bloom filter over composite ADM keys."""
+
+    def __init__(self, expected_count: int, fpr: float = 0.01):
+        expected_count = max(expected_count, 1)
+        bits = int(-expected_count * math.log(fpr) / (math.log(2) ** 2)) + 8
+        self.num_bits = bits
+        self.num_hashes = max(1, round(bits / expected_count * math.log(2)))
+        self._bits = bytearray((bits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, key):
+        data = serialize_tuple(key)
+        h1 = hash_value(data, seed=0x9E3779B9)
+        h2 = hash_value(data, seed=0x85EBCA6B) | 1
+        for i in range(self.num_hashes):
+            yield ((h1 + i * h2) % self.num_bits)
+
+    def add(self, key) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def may_contain(self, key) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7))
+            for pos in self._positions(key)
+        )
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bits)
+
+    @classmethod
+    def from_state(cls, num_bits: int, num_hashes: int, count: int,
+                   bits: bytes) -> "BloomFilter":
+        """Rebuild a filter persisted by a component sidecar file."""
+        bf = cls.__new__(cls)
+        bf.num_bits = num_bits
+        bf.num_hashes = num_hashes
+        bf.count = count
+        bf._bits = bytearray(bits)
+        return bf
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)

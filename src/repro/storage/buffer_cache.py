@@ -1,0 +1,164 @@
+"""The per-node buffer cache (paper Fig. 2).
+
+Each node uses part of its memory for "buffering of pages of LSM disk
+components as they are accessed (via the buffer cache)".  This is a classic
+pin/unpin buffer pool with CLOCK replacement:
+
+* :meth:`BufferCache.pin` returns a :class:`CachedPage` whose ``data``
+  bytearray the caller may read (and write, if it marks the page dirty on
+  unpin).
+* Victims must be unpinned; evicting a dirty page writes it back.
+* Hit/miss and physical-I/O counters feed every storage benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import BufferCacheError
+from repro.storage.file_manager import FileHandle, FileManager
+
+
+@dataclass
+class CachedPage:
+    """One buffer-pool frame."""
+
+    file_id: int
+    page_no: int
+    data: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+    referenced: bool = True
+    # Parsed-page cache: page structures (e.g. B+ tree nodes) may stash a
+    # decoded view here; it is discarded on eviction and must be dropped by
+    # writers when they change ``data``.
+    parsed: object = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.file_id, self.page_no)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferCache:
+    """A CLOCK-replacement buffer pool over a :class:`FileManager`."""
+
+    def __init__(self, file_manager: FileManager, num_pages: int):
+        if num_pages < 4:
+            raise BufferCacheError(f"buffer cache too small: {num_pages}")
+        self.fm = file_manager
+        self.capacity = num_pages
+        self.stats = CacheStats()
+        self._pages: dict[tuple, CachedPage] = {}
+        self._clock: list[tuple] = []
+        self._hand = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def pin(self, handle: FileHandle, page_no: int, *, new: bool = False,
+            sequential: bool = False) -> CachedPage:
+        """Pin a page, reading it from disk on a miss.
+
+        With ``new=True`` the page is freshly appended (zero-filled, no read
+        I/O) — used by bulk loaders and the WAL.
+        """
+        key = (handle.file_id, page_no)
+        page = self._pages.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            page.pin_count += 1
+            page.referenced = True
+            return page
+        self.stats.misses += 1
+        self._ensure_capacity()
+        if new:
+            data = bytearray(self.fm.page_size)
+        else:
+            data = self.fm.read_page(handle, page_no, sequential=sequential)
+        page = CachedPage(handle.file_id, page_no, data, pin_count=1)
+        self._pages[key] = page
+        self._clock.append(key)
+        return page
+
+    def unpin(self, page: CachedPage, *, dirty: bool = False) -> None:
+        if page.pin_count <= 0:
+            raise BufferCacheError(
+                f"unpin of unpinned page {page.key}"
+            )
+        page.pin_count -= 1
+        if dirty:
+            page.dirty = True
+
+    def flush_file(self, handle: FileHandle) -> None:
+        """Write back all dirty pages of a file (e.g. on component seal)."""
+        for page in list(self._pages.values()):
+            if page.file_id == handle.file_id and page.dirty:
+                self._write_back(handle, page)
+        self.fm.sync(handle)
+
+    def evict_file(self, handle: FileHandle) -> None:
+        """Drop all of a file's pages (after flush; used on file delete)."""
+        for key in [k for k in self._pages if k[0] == handle.file_id]:
+            page = self._pages[key]
+            if page.pin_count:
+                raise BufferCacheError(f"evicting pinned page {key}")
+            if page.dirty:
+                self._write_back(handle, page)
+            del self._pages[key]
+        self._clock = [k for k in self._clock if k[0] != handle.file_id]
+        self._hand = 0
+
+    def flush_all(self) -> None:
+        for page in self._pages.values():
+            if page.dirty:
+                self._write_back(self.fm.get(page.file_id), page)
+
+    @property
+    def pinned_count(self) -> int:
+        return sum(1 for p in self._pages.values() if p.pin_count > 0)
+
+    # -- replacement ---------------------------------------------------------
+
+    def _ensure_capacity(self) -> None:
+        if len(self._pages) < self.capacity:
+            return
+        # CLOCK sweep: skip pinned pages, clear reference bits, evict the
+        # first unreferenced unpinned page.
+        sweeps = 0
+        limit = 2 * len(self._clock) + 1
+        while sweeps < limit:
+            if not self._clock:
+                break
+            self._hand %= len(self._clock)
+            key = self._clock[self._hand]
+            page = self._pages[key]
+            if page.pin_count == 0 and not page.referenced:
+                if page.dirty:
+                    self._write_back(self.fm.get(page.file_id), page)
+                del self._pages[key]
+                self._clock.pop(self._hand)
+                self.stats.evictions += 1
+                return
+            page.referenced = False
+            self._hand += 1
+            sweeps += 1
+        raise BufferCacheError(
+            f"all {self.capacity} buffer pages are pinned"
+        )
+
+    def _write_back(self, handle: FileHandle, page: CachedPage) -> None:
+        self.fm.write_page(handle, page.page_no, page.data)
+        page.dirty = False
+        self.stats.writebacks += 1

@@ -1,0 +1,349 @@
+"""Per-partition dataset storage (paper Fig. 1/2, features 5 and 8).
+
+"AsterixDB's data storage scales linearly through primary key-based hash
+partitioning of all datasets.  The data objects in a given dataset are
+stored in partitions of LSM-based B+ trees, and local secondary indexing of
+the data partitions can be requested by creating any combination of B+
+trees, R-trees, and inverted indexes."
+
+A :class:`PartitionStorage` is one such partition on one node: a primary
+LSM B+ tree keyed on the primary key holding the serialized records, plus
+local secondary indexes that are maintained on every mutation.  Secondary
+indexes store (secondary key, primary key) entries only; queries resolve
+them to records through :meth:`fetch_many`, which sorts the PKs first — the
+reference-[26] trick whose consequence (PK fetch dominating end-to-end
+spatial query time) is the punchline of experiment E1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adm.comparators import tuple_key
+from repro.adm.serializer import deserialize, serialize
+from repro.adm.values import MISSING, APoint, ARectangle
+from repro.common.errors import InvalidArgumentError, MetadataError
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.file_manager import FileManager
+from repro.storage.lsm import (
+    LSMBTree,
+    LSMInvertedIndex,
+    LSMRTree,
+    MergePolicy,
+)
+
+SECONDARY_KINDS = ("btree", "rtree", "keyword", "ngram")
+
+
+@dataclass(frozen=True)
+class SecondaryIndexSpec:
+    """A ``CREATE INDEX`` request: what to index and how (Fig. 3(a))."""
+
+    name: str
+    kind: str                       # btree | rtree | keyword | ngram
+    fields: tuple                   # field names (composite for btree)
+    gram_length: int = 3
+
+    def __post_init__(self):
+        if self.kind not in SECONDARY_KINDS:
+            raise MetadataError(f"unknown index type {self.kind!r}")
+        if not self.fields:
+            raise MetadataError("index needs at least one field")
+        if self.kind != "btree" and len(self.fields) != 1:
+            raise MetadataError(f"{self.kind} index takes exactly one field")
+
+
+def field_value(record: dict, path: str):
+    """Resolve a (possibly dotted) field path against a record."""
+    value = record
+    for part in path.split("."):
+        if not isinstance(value, dict):
+            return MISSING
+        value = value.get(part, MISSING)
+    return value
+
+
+class PartitionStorage:
+    """One dataset partition: primary LSM B+ tree + local secondaries."""
+
+    def __init__(self, fm: FileManager, cache: BufferCache,
+                 dataset_name: str, partition_id: int, pk_fields: tuple, *,
+                 memory_budget_bytes: int = 256 * 1024,
+                 merge_policy: MergePolicy | None = None,
+                 device_hint: int | None = None):
+        self.fm = fm
+        self.cache = cache
+        self.dataset_name = dataset_name
+        self.partition_id = partition_id
+        self.pk_fields = tuple(pk_fields)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.merge_policy = merge_policy
+        self.device_hint = (partition_id if device_hint is None
+                            else device_hint)
+        self.primary = LSMBTree(
+            fm, cache, self._storage_name("primary"),
+            memory_budget_bytes=memory_budget_bytes,
+            merge_policy=merge_policy,
+            device_hint=self.device_hint,
+        )
+        self.secondaries: dict[str, tuple] = {}   # name -> (spec, index)
+        # optional record validator (the dataset's declared type check),
+        # installed by the metadata manager at CREATE DATASET time
+        self.validator = None
+
+    def _storage_name(self, suffix: str) -> str:
+        return f"{self.dataset_name}/p{self.partition_id}/{suffix}"
+
+    @classmethod
+    def recover(cls, fm: FileManager, cache: BufferCache,
+                dataset_name: str, partition_id: int, pk_fields: tuple,
+                specs=(), **kwargs) -> "PartitionStorage":
+        """Reopen a partition after a crash: the primary and every
+        secondary are rebuilt from their LSM manifests (memory components
+        are gone; the caller replays the WAL afterwards)."""
+        storage = cls.__new__(cls)
+        storage.fm = fm
+        storage.cache = cache
+        storage.dataset_name = dataset_name
+        storage.partition_id = partition_id
+        storage.pk_fields = tuple(pk_fields)
+        storage.memory_budget_bytes = kwargs.get(
+            "memory_budget_bytes", 256 * 1024)
+        storage.merge_policy = kwargs.get("merge_policy")
+        storage.device_hint = kwargs.get("device_hint", partition_id)
+        storage.validator = None
+        common = dict(
+            memory_budget_bytes=storage.memory_budget_bytes,
+            merge_policy=storage.merge_policy,
+            device_hint=storage.device_hint,
+        )
+        storage.primary = LSMBTree.recover(
+            fm, cache, storage._storage_name("primary"), **common)
+        storage.secondaries = {}
+        for spec in specs:
+            name = storage._storage_name(f"idx_{spec.name}")
+            if spec.kind == "btree":
+                index = LSMBTree.recover(fm, cache, name, **common)
+            elif spec.kind == "rtree":
+                index = LSMRTree.recover(fm, cache, name, **common)
+            else:
+                index = LSMInvertedIndex.recover(
+                    fm, cache, name, tokenizer=spec.kind,
+                    gram_length=spec.gram_length, **common)
+            storage.secondaries[spec.name] = (spec, index)
+        return storage
+
+    # -- primary key handling ---------------------------------------------------
+
+    def extract_pk(self, record: dict) -> tuple:
+        pk = []
+        for name in self.pk_fields:
+            value = field_value(record, name)
+            if value is MISSING or value is None:
+                raise InvalidArgumentError(
+                    f"record lacks primary key field {name!r}"
+                )
+            pk.append(value)
+        return tuple(pk)
+
+    # -- secondary index DDL -------------------------------------------------------
+
+    def create_secondary(self, spec: SecondaryIndexSpec,
+                         build: bool = True) -> None:
+        if spec.name in self.secondaries:
+            raise MetadataError(f"index {spec.name} already exists")
+        name = self._storage_name(f"idx_{spec.name}")
+        common = dict(
+            memory_budget_bytes=self.memory_budget_bytes,
+            merge_policy=self.merge_policy,
+            device_hint=self.device_hint,
+        )
+        if spec.kind == "btree":
+            index = LSMBTree(self.fm, self.cache, name, **common)
+        elif spec.kind == "rtree":
+            index = LSMRTree(self.fm, self.cache, name, **common)
+        else:
+            index = LSMInvertedIndex(
+                self.fm, self.cache, name, tokenizer=spec.kind,
+                gram_length=spec.gram_length, **common
+            )
+        self.secondaries[spec.name] = (spec, index)
+        if build:
+            for pk, raw in self.primary.scan():
+                self._secondary_insert(spec, index, deserialize(raw), pk, 0)
+
+    def drop_secondary(self, name: str) -> None:
+        spec_index = self.secondaries.pop(name, None)
+        if spec_index is None:
+            raise MetadataError(f"no such index {name}")
+        spec_index[1].drop()
+
+    # -- mutations ------------------------------------------------------------------
+
+    def insert(self, record: dict, lsn: int = 0) -> tuple:
+        """INSERT: duplicate primary keys are an error."""
+        if self.validator is not None:
+            self.validator(record)
+        pk = self.extract_pk(record)
+        self.primary.insert_unique(pk, serialize(record), lsn)
+        for spec, index in self.secondaries.values():
+            self._secondary_insert(spec, index, record, pk, lsn)
+        return pk
+
+    def upsert(self, record: dict, lsn: int = 0) -> dict | None:
+        """UPSERT (Fig. 3(d)): replace any existing record with the same
+        primary key; returns the replaced record (or None)."""
+        if self.validator is not None:
+            self.validator(record)
+        pk = self.extract_pk(record)
+        old_raw = self.primary.search(pk)
+        old = deserialize(old_raw) if old_raw is not None else None
+        if old is not None:
+            for spec, index in self.secondaries.values():
+                self._secondary_delete(spec, index, old, pk, lsn)
+        self.primary.upsert(pk, serialize(record), lsn)
+        for spec, index in self.secondaries.values():
+            self._secondary_insert(spec, index, record, pk, lsn)
+        return old
+
+    def delete(self, pk: tuple, lsn: int = 0) -> dict | None:
+        """DELETE by primary key; returns the deleted record (or None)."""
+        old_raw = self.primary.search(pk)
+        if old_raw is None:
+            return None
+        old = deserialize(old_raw)
+        for spec, index in self.secondaries.values():
+            self._secondary_delete(spec, index, old, pk, lsn)
+        self.primary.delete(pk, lsn)
+        return old
+
+    def _secondary_insert(self, spec, index, record, pk, lsn):
+        values = [field_value(record, f) for f in spec.fields]
+        if any(v is MISSING or v is None for v in values):
+            return  # null/missing keys are not indexed
+        if spec.kind == "btree":
+            index.upsert((*values, *pk), b"", lsn)
+        elif spec.kind == "rtree":
+            point = values[0]
+            if not isinstance(point, APoint):
+                raise InvalidArgumentError(
+                    f"rtree index field {spec.fields[0]} must be a point, "
+                    f"got {type(point).__name__}"
+                )
+            index.insert(ARectangle(point, point),
+                         (point.x, point.y, *pk), lsn)
+        else:
+            index.insert_document(str(values[0]), pk, lsn)
+
+    def _secondary_delete(self, spec, index, record, pk, lsn):
+        values = [field_value(record, f) for f in spec.fields]
+        if any(v is MISSING or v is None for v in values):
+            return
+        if spec.kind == "btree":
+            index.delete((*values, *pk), lsn)
+        elif spec.kind == "rtree":
+            point = values[0]
+            index.delete((point.x, point.y, *pk), lsn)
+        else:
+            index.delete_document(str(values[0]), pk, lsn)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get(self, pk: tuple) -> dict | None:
+        raw = self.primary.search(pk)
+        return deserialize(raw) if raw is not None else None
+
+    def scan(self, lo=None, hi=None, **kwargs):
+        """Yield (pk, record) over the primary index."""
+        for pk, raw in self.primary.scan(lo, hi, **kwargs):
+            yield pk, deserialize(raw)
+
+    def fetch_many(self, pks, *, sort: bool = True):
+        """Resolve primary keys to records.
+
+        ``sort=True`` is the [26] optimization: sorting references before
+        fetching turns random primary-index probes into mostly-sequential,
+        cache-friendly access.  E1 reports both settings."""
+        if sort:
+            pks = sorted(pks, key=tuple_key)
+        for pk in pks:
+            raw = self.primary.search(pk)
+            if raw is not None:
+                yield pk, deserialize(raw)
+
+    # -- secondary searches ---------------------------------------------------------
+
+    def _index(self, name: str) -> tuple:
+        try:
+            return self.secondaries[name]
+        except KeyError:
+            raise MetadataError(f"no such index {name}") from None
+
+    def search_btree(self, index_name: str, lo=None, hi=None, *,
+                     lo_inclusive: bool = True, hi_inclusive: bool = True):
+        """PKs with lo <= secondary key <= hi.
+
+        Bounds are *prefixes* of the stored (secondary key..., pk...)
+        composite keys: a bound of ``("alice",)`` matches every entry whose
+        secondary key equals "alice" regardless of primary key, which is why
+        the upper bound cannot be passed to the raw scan directly (a longer
+        tuple sorts after its prefix)."""
+        from repro.adm.comparators import compare_tuples
+
+        spec, index = self._index(index_name)
+        if spec.kind != "btree":
+            raise MetadataError(f"{index_name} is not a btree index")
+        nfields = len(spec.fields)
+        for key, _ in index.scan(lo, None):
+            if lo is not None and not lo_inclusive:
+                if compare_tuples(key[:len(lo)], lo) == 0:
+                    continue
+            if hi is not None:
+                c = compare_tuples(key[:len(hi)], hi)
+                if c > 0 or (c == 0 and not hi_inclusive):
+                    return
+            yield tuple(key[nfields:])
+
+    def search_rtree(self, index_name: str, window: ARectangle):
+        """PKs of records whose indexed point lies in the window."""
+        spec, index = self._index(index_name)
+        if spec.kind != "rtree":
+            raise MetadataError(f"{index_name} is not an rtree index")
+        for key in index.search(window):
+            point = APoint(key[0], key[1])
+            if window.contains_point(point):
+                yield tuple(key[2:])
+
+    def search_keyword(self, index_name: str, text: str):
+        """PKs of records containing all tokens of ``text``."""
+        spec, index = self._index(index_name)
+        if spec.kind not in ("keyword", "ngram"):
+            raise MetadataError(f"{index_name} is not an inverted index")
+        return index.search_conjunctive(text)
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        self.primary.flush()
+        for _, index in self.secondaries.values():
+            index.flush()
+
+    def durable_lsn(self) -> int:
+        """Replay point for recovery: the min durable LSN across the
+        primary and all secondaries (anything newer must be replayed)."""
+        lsns = [self.primary.durable_lsn()]
+        for spec, index in self.secondaries.values():
+            if spec.kind in ("keyword", "ngram"):
+                lsns.append(index.btree.durable_lsn())
+            else:
+                lsns.append(index.durable_lsn())
+        return min(lsns)
+
+    def count(self) -> int:
+        return sum(1 for _ in self.primary.scan())
+
+    def drop(self) -> None:
+        self.primary.drop()
+        for _, index in self.secondaries.values():
+            index.drop()
+        self.secondaries.clear()

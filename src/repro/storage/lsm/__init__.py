@@ -1,0 +1,41 @@
+"""LSM storage framework: components, merge policies, LSM indexes."""
+
+from repro.storage.lsm.component import (
+    ANTIMATTER,
+    MATTER,
+    DiskComponent,
+    LSMStats,
+    decode,
+    encode_matter,
+)
+from repro.storage.lsm.lsm_btree import LSMBTree
+from repro.storage.lsm.lsm_inverted import (
+    LSMInvertedIndex,
+    ngram_tokens,
+    word_tokens,
+)
+from repro.storage.lsm.lsm_rtree import LSMRTree
+from repro.storage.lsm.merge_policy import (
+    ConstantMergePolicy,
+    MergePolicy,
+    NoMergePolicy,
+    PrefixMergePolicy,
+)
+
+__all__ = [
+    "ANTIMATTER",
+    "MATTER",
+    "ConstantMergePolicy",
+    "DiskComponent",
+    "LSMBTree",
+    "LSMInvertedIndex",
+    "LSMRTree",
+    "LSMStats",
+    "MergePolicy",
+    "NoMergePolicy",
+    "PrefixMergePolicy",
+    "decode",
+    "encode_matter",
+    "ngram_tokens",
+    "word_tokens",
+]

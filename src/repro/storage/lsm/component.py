@@ -1,0 +1,76 @@
+"""LSM component descriptors.
+
+An LSM index is a stack of components: one mutable in-memory component
+absorbing writes (paper Fig. 2, "ingestion buffering") and a sequence of
+immutable disk components, newest first.  Deletes are *antimatter* records —
+a tombstone that annihilates any matching entry in older components — so
+disk components are never modified in place; they only ever get created by
+flushes and merges, and destroyed after merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# value encodings inside LSM B+ tree components
+MATTER = b"\x01"
+ANTIMATTER = b"\x00"
+
+
+def encode_matter(value: bytes) -> bytes:
+    return MATTER + value
+
+
+def decode(value: bytes):
+    """Return (is_antimatter, payload)."""
+    if value[:1] == ANTIMATTER:
+        return True, b""
+    return False, value[1:]
+
+
+@dataclass
+class DiskComponent:
+    """One immutable on-disk component.
+
+    ``component_id`` is a (min_seq, max_seq) pair: a flushed component has
+    min == max; a merged component spans the ids it absorbed — the standard
+    LSM bookkeeping that lets recovery reason about what a component
+    contains.  ``lsn`` is the newest log record reflected in the component;
+    recovery replays only log records newer than it.
+    """
+
+    component_id: tuple
+    index: object                 # BTree or RTree over this component's file
+    handle: object                # FileHandle
+    num_entries: int
+    lsn: int = 0
+    bloom: object = None          # BloomFilter | None
+    deleted_keys: object = None   # companion deleted-key BTree (LSM R-tree)
+    deleted_handle: object = None
+
+    @property
+    def min_seq(self) -> int:
+        return self.component_id[0]
+
+    @property
+    def max_seq(self) -> int:
+        return self.component_id[1]
+
+    def label(self) -> str:
+        lo, hi = self.component_id
+        return f"[{lo}]" if lo == hi else f"[{lo}..{hi}]"
+
+
+@dataclass
+class LSMStats:
+    """Lifecycle counters for one LSM index."""
+
+    flushes: int = 0
+    merges: int = 0
+    merged_components: int = 0
+    entries_flushed: int = 0
+    entries_merged: int = 0
+    searches: int = 0
+    bloom_skips: int = 0
+    components_searched: int = 0

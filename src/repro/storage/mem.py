@@ -1,0 +1,129 @@
+"""In-memory LSM components (paper Fig. 2: "ingestion buffering").
+
+New and updated records land in a dataset's LSM *memory component*; when the
+component exceeds its memory budget it is flushed to an immutable disk
+component.  Two in-memory structures are provided:
+
+* :class:`MemBTree` — a sorted map over composite ADM keys, used by the LSM
+  B+ tree (primary and secondary) and by deleted-key sets.
+* :class:`MemRTree` — an entry list with MBRs for the LSM R-tree's memory
+  component (memory components are small by construction, so linear window
+  evaluation is acceptable and keeps the structure simple).
+
+Both track their approximate byte footprint so the LSM budget check
+(``memory_component_pages * page_size``) is meaningful.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.adm.comparators import tuple_key
+from repro.adm.serializer import serialize_tuple
+from repro.adm.values import ARectangle
+
+
+class MemBTree:
+    """A byte-budgeted sorted map: composite ADM key -> opaque value."""
+
+    def __init__(self):
+        self._by_key: dict[bytes, object] = {}
+        self._sorted_keys: list = []        # ADM key tuples, kept sorted
+        self._sort_wrappers: list = []      # parallel tuple_key wrappers
+        self.bytes_used = 0
+
+    def __len__(self):
+        return len(self._by_key)
+
+    def __contains__(self, key) -> bool:
+        return serialize_tuple(key) in self._by_key
+
+    def get(self, key, default=None):
+        return self._by_key.get(serialize_tuple(key), default)
+
+    def put(self, key, value) -> None:
+        kb = serialize_tuple(key)
+        vsize = len(value) if isinstance(value, (bytes, bytearray)) else 16
+        if kb in self._by_key:
+            old = self._by_key[kb]
+            osize = len(old) if isinstance(old, (bytes, bytearray)) else 16
+            self.bytes_used += vsize - osize
+        else:
+            wrapper = tuple_key(key)
+            idx = bisect.bisect_left(self._sort_wrappers, wrapper)
+            self._sort_wrappers.insert(idx, wrapper)
+            self._sorted_keys.insert(idx, key)
+            self.bytes_used += len(kb) + vsize + 32
+        self._by_key[kb] = value
+
+    def items(self):
+        """Yield (key, value) in key order."""
+        for key in self._sorted_keys:
+            yield key, self._by_key[serialize_tuple(key)]
+
+    def range_items(self, lo=None, hi=None, *, lo_inclusive: bool = True,
+                    hi_inclusive: bool = True):
+        """Yield (key, value) with lo <= key <= hi, in key order."""
+        if lo is None:
+            start = 0
+        else:
+            wrapper = tuple_key(lo)
+            if lo_inclusive:
+                start = bisect.bisect_left(self._sort_wrappers, wrapper)
+            else:
+                start = bisect.bisect_right(self._sort_wrappers, wrapper)
+        if hi is None:
+            end = len(self._sorted_keys)
+        else:
+            wrapper = tuple_key(hi)
+            if hi_inclusive:
+                end = bisect.bisect_right(self._sort_wrappers, wrapper)
+            else:
+                end = bisect.bisect_left(self._sort_wrappers, wrapper)
+        for i in range(start, end):
+            key = self._sorted_keys[i]
+            yield key, self._by_key[serialize_tuple(key)]
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._sorted_keys.clear()
+        self._sort_wrappers.clear()
+        self.bytes_used = 0
+
+
+class MemRTree:
+    """A byte-budgeted spatial entry list: (mbr, key, value) triples."""
+
+    def __init__(self):
+        self._entries: list[tuple] = []
+        self._present: set[bytes] = set()
+        self.bytes_used = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def insert(self, mbr: ARectangle, key, value) -> None:
+        kb = serialize_tuple(key)
+        if kb in self._present:
+            return
+        self._present.add(kb)
+        self._entries.append((mbr, key, value))
+        vsize = len(value) if isinstance(value, (bytes, bytearray)) else 16
+        self.bytes_used += 32 + len(kb) + vsize + 64
+
+    def __contains__(self, key) -> bool:
+        return serialize_tuple(key) in self._present
+
+    def search(self, window: ARectangle):
+        """Yield (mbr, key, value) for entries whose MBR intersects window."""
+        for mbr, key, value in self._entries:
+            if window.intersects(mbr):
+                yield mbr, key, value
+
+    def items(self):
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._present.clear()
+        self.bytes_used = 0

@@ -1,0 +1,440 @@
+"""A page-based R-tree.
+
+The R-tree is AsterixDB's spatial index — and, after the study the paper
+recounts in Section V-B, the *only* spatial index it kept ("the 'right'
+LSM-based spatial index to provide was simply the R-tree, as R-trees work
+for both point and non-point data").  This implementation provides:
+
+* Guttman-style insert with quadratic node split (used by tests and by the
+  standalone index), and
+* Sort-Tile-Recursive (STR) bulk loading, used when an LSM memory component
+  flushes to an immutable disk component.
+
+Leaf entries are ``(mbr, payload)`` where the payload is opaque bytes — for
+a secondary index, the serialized (secondary key, primary key) tuple.  Point
+data is stored with a degenerate MBR but, per the paper's storage
+optimization ("not storing them as infinitely small bounding boxes"), the
+page encoding writes points with 2 doubles instead of 4 (a 16-byte saving
+per point entry).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.adm.values import APoint, ARectangle
+from repro.common.errors import StorageError
+from repro.storage.buffer_cache import BufferCache
+from repro.storage.file_manager import FileHandle
+
+_LEAF = 1
+_INTERIOR = 2
+_NO_PAGE = 0xFFFFFFFF
+_META_MAGIC = b"ARTR"
+
+
+def _mbr_union(a: ARectangle, b: ARectangle) -> ARectangle:
+    return ARectangle(
+        APoint(min(a.bottom_left.x, b.bottom_left.x),
+               min(a.bottom_left.y, b.bottom_left.y)),
+        APoint(max(a.top_right.x, b.top_right.x),
+               max(a.top_right.y, b.top_right.y)),
+    )
+
+
+def _mbr_area(r: ARectangle) -> float:
+    return ((r.top_right.x - r.bottom_left.x)
+            * (r.top_right.y - r.bottom_left.y))
+
+
+def _enlargement(r: ARectangle, add: ARectangle) -> float:
+    return _mbr_area(_mbr_union(r, add)) - _mbr_area(r)
+
+
+def _is_point(r: ARectangle) -> bool:
+    return (r.bottom_left.x == r.top_right.x
+            and r.bottom_left.y == r.top_right.y)
+
+
+def _encode_mbr(out: bytearray, mbr: ARectangle) -> None:
+    if _is_point(mbr):
+        out.append(1)
+        out.extend(struct.pack(">dd", mbr.bottom_left.x, mbr.bottom_left.y))
+    else:
+        out.append(0)
+        out.extend(struct.pack(
+            ">dddd", mbr.bottom_left.x, mbr.bottom_left.y,
+            mbr.top_right.x, mbr.top_right.y,
+        ))
+
+
+def _decode_mbr(data, pos: int) -> tuple[ARectangle, int]:
+    if data[pos] == 1:
+        x, y = struct.unpack_from(">dd", data, pos + 1)
+        p = APoint(x, y)
+        return ARectangle(p, p), pos + 17
+    x1, y1, x2, y2 = struct.unpack_from(">dddd", data, pos + 1)
+    return ARectangle(APoint(x1, y1), APoint(x2, y2)), pos + 33
+
+
+def _mbr_size(mbr: ARectangle) -> int:
+    return 17 if _is_point(mbr) else 33
+
+
+@dataclass
+class _RLeaf:
+    entries: list = field(default_factory=list)    # (mbr, payload_bytes)
+
+    def encode(self, page_size: int) -> bytes:
+        out = bytearray()
+        out.append(_LEAF)
+        out.extend(struct.pack(">H", len(self.entries)))
+        for mbr, payload in self.entries:
+            _encode_mbr(out, mbr)
+            out.extend(struct.pack(">H", len(payload)))
+            out.extend(payload)
+        if len(out) > page_size:
+            raise StorageError(f"R-tree leaf overflow: {len(out)} bytes")
+        out.extend(b"\x00" * (page_size - len(out)))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data) -> "_RLeaf":
+        (count,) = struct.unpack_from(">H", data, 1)
+        pos = 3
+        entries = []
+        for _ in range(count):
+            mbr, pos = _decode_mbr(data, pos)
+            (plen,) = struct.unpack_from(">H", data, pos)
+            pos += 2
+            entries.append((mbr, bytes(data[pos:pos + plen])))
+            pos += plen
+        return cls(entries)
+
+    def size(self) -> int:
+        return 3 + sum(_mbr_size(m) + 2 + len(p) for m, p in self.entries)
+
+    def mbr(self) -> ARectangle:
+        box = self.entries[0][0]
+        for mbr, _ in self.entries[1:]:
+            box = _mbr_union(box, mbr)
+        return box
+
+
+@dataclass
+class _RInterior:
+    entries: list = field(default_factory=list)    # (mbr, child_page)
+
+    def encode(self, page_size: int) -> bytes:
+        out = bytearray()
+        out.append(_INTERIOR)
+        out.extend(struct.pack(">H", len(self.entries)))
+        for mbr, child in self.entries:
+            _encode_mbr(out, mbr)
+            out.extend(struct.pack(">I", child))
+        if len(out) > page_size:
+            raise StorageError(f"R-tree interior overflow: {len(out)} bytes")
+        out.extend(b"\x00" * (page_size - len(out)))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data) -> "_RInterior":
+        (count,) = struct.unpack_from(">H", data, 1)
+        pos = 3
+        entries = []
+        for _ in range(count):
+            mbr, pos = _decode_mbr(data, pos)
+            (child,) = struct.unpack_from(">I", data, pos)
+            pos += 4
+            entries.append((mbr, child))
+        return cls(entries)
+
+    def size(self) -> int:
+        return 3 + sum(_mbr_size(m) + 4 for m, _ in self.entries)
+
+    def mbr(self) -> ARectangle:
+        box = self.entries[0][0]
+        for mbr, _ in self.entries[1:]:
+            box = _mbr_union(box, mbr)
+        return box
+
+
+def _decode(data):
+    if data[0] == _LEAF:
+        return _RLeaf.decode(data)
+    if data[0] == _INTERIOR:
+        return _RInterior.decode(data)
+    raise StorageError(f"corrupt R-tree page (type byte {data[0]})")
+
+
+class RTree:
+    """An R-tree over one page file."""
+
+    def __init__(self, cache: BufferCache, handle: FileHandle):
+        self.cache = cache
+        self.handle = handle
+        self.page_size = cache.fm.page_size
+        self.root_page = _NO_PAGE
+        self.height = 0
+        self.count = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, cache: BufferCache, handle: FileHandle) -> "RTree":
+        tree = cls(cache, handle)
+        cache.fm.append_page(handle)
+        root_no = cache.fm.append_page(handle)
+        tree._write_node(root_no, _RLeaf())
+        tree.root_page = root_no
+        tree.height = 1
+        tree._write_meta()
+        return tree
+
+    @classmethod
+    def open(cls, cache: BufferCache, handle: FileHandle) -> "RTree":
+        tree = cls(cache, handle)
+        page = cache.pin(handle, 0)
+        try:
+            if bytes(page.data[:4]) != _META_MAGIC:
+                raise StorageError(f"not an R-tree file: {handle.rel_path}")
+            tree.root_page, tree.height, tree.count = struct.unpack_from(
+                ">IIQ", page.data, 4
+            )
+        finally:
+            cache.unpin(page)
+        return tree
+
+    def _write_meta(self) -> None:
+        page = self.cache.pin(self.handle, 0, new=(self.handle.num_pages <= 1))
+        try:
+            page.data[:20] = _META_MAGIC + struct.pack(
+                ">IIQ", self.root_page, self.height, self.count
+            )
+            page.parsed = None
+        finally:
+            self.cache.unpin(page, dirty=True)
+
+    def _read_node(self, page_no: int, sequential: bool = False):
+        page = self.cache.pin(self.handle, page_no, sequential=sequential)
+        try:
+            if page.parsed is None:
+                page.parsed = _decode(page.data)
+            return page.parsed
+        finally:
+            self.cache.unpin(page)
+
+    def _write_node(self, page_no: int, node, *, new: bool = True) -> None:
+        page = self.cache.pin(self.handle, page_no, new=new)
+        try:
+            page.data[:] = node.encode(self.page_size)
+            page.parsed = node
+        finally:
+            self.cache.unpin(page, dirty=True)
+
+    def _alloc(self) -> int:
+        return self.cache.fm.append_page(self.handle)
+
+    # -- search ----------------------------------------------------------------
+
+    def search(self, window: ARectangle):
+        """Yield (mbr, payload) for all leaf entries intersecting window."""
+        if self.count == 0:
+            return
+        stack = [self.root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            if isinstance(node, _RLeaf):
+                for mbr, payload in node.entries:
+                    if window.intersects(mbr):
+                        yield mbr, payload
+            else:
+                for mbr, child in node.entries:
+                    if window.intersects(mbr):
+                        stack.append(child)
+
+    def scan_all(self):
+        """Yield every (mbr, payload) entry (component merges use this)."""
+        if self.count == 0:
+            return
+        stack = [self.root_page]
+        while stack:
+            node = self._read_node(stack.pop(), sequential=True)
+            if isinstance(node, _RLeaf):
+                yield from node.entries
+            else:
+                stack.extend(child for _, child in node.entries)
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, mbr: ARectangle, payload: bytes) -> None:
+        split = self._insert_rec(self.root_page, self.height, mbr, payload)
+        if split is not None:
+            entries = [
+                (self._node_mbr(self.root_page), self.root_page),
+                (self._node_mbr(split), split),
+            ]
+            new_root = _RInterior(entries)
+            root_no = self._alloc()
+            self._write_node(root_no, new_root)
+            self.root_page = root_no
+            self.height += 1
+        self.count += 1
+        self._write_meta()
+
+    def _node_mbr(self, page_no: int) -> ARectangle:
+        return self._read_node(page_no).mbr()
+
+    def _insert_rec(self, page_no: int, level: int, mbr, payload):
+        node = self._read_node(page_no)
+        if isinstance(node, _RLeaf):
+            node.entries.append((mbr, payload))
+            if node.size() <= self.page_size:
+                self._write_node(page_no, node, new=False)
+                return None
+            return self._split(page_no, node, _RLeaf)
+        # choose subtree with least enlargement (ties: smaller area)
+        best_i, best_cost = 0, None
+        for i, (child_mbr, _) in enumerate(node.entries):
+            cost = (_enlargement(child_mbr, mbr), _mbr_area(child_mbr))
+            if best_cost is None or cost < best_cost:
+                best_i, best_cost = i, cost
+        child_mbr, child_page = node.entries[best_i]
+        split = self._insert_rec(child_page, level - 1, mbr, payload)
+        node.entries[best_i] = (_mbr_union(child_mbr, mbr), child_page)
+        if split is not None:
+            node.entries[best_i] = (self._node_mbr(child_page), child_page)
+            node.entries.append((self._node_mbr(split), split))
+        if node.size() <= self.page_size:
+            self._write_node(page_no, node, new=False)
+            return None
+        return self._split(page_no, node, _RInterior)
+
+    def _split(self, page_no: int, node, node_cls):
+        """Quadratic split (Guttman): returns the new right page number."""
+        entries = node.entries
+        # pick seeds: the pair wasting the most area together
+        worst, seeds = -1.0, (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    _mbr_area(_mbr_union(entries[i][0], entries[j][0]))
+                    - _mbr_area(entries[i][0]) - _mbr_area(entries[j][0])
+                )
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+        i, j = seeds
+        group1, group2 = [entries[i]], [entries[j]]
+        mbr1, mbr2 = entries[i][0], entries[j][0]
+        rest = [e for k, e in enumerate(entries) if k not in (i, j)]
+        min_fill = max(1, len(entries) // 4)
+        for entry in rest:
+            remaining = len(rest) - (len(group1) + len(group2) - 2)
+            if len(group1) + remaining <= min_fill:
+                group1.append(entry)
+                mbr1 = _mbr_union(mbr1, entry[0])
+                continue
+            if len(group2) + remaining <= min_fill:
+                group2.append(entry)
+                mbr2 = _mbr_union(mbr2, entry[0])
+                continue
+            d1 = _enlargement(mbr1, entry[0])
+            d2 = _enlargement(mbr2, entry[0])
+            if (d1, _mbr_area(mbr1)) <= (d2, _mbr_area(mbr2)):
+                group1.append(entry)
+                mbr1 = _mbr_union(mbr1, entry[0])
+            else:
+                group2.append(entry)
+                mbr2 = _mbr_union(mbr2, entry[0])
+        left = node_cls(group1)
+        right = node_cls(group2)
+        right_no = self._alloc()
+        self._write_node(right_no, right)
+        self._write_node(page_no, left, new=False)
+        return right_no
+
+    # -- STR bulk load --------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, cache: BufferCache, handle: FileHandle, entries,
+                  fill_factor: float = 1.0) -> "RTree":
+        """Sort-Tile-Recursive bulk load from (mbr, payload) entries.
+
+        STR packs spatially adjacent entries into the same leaf, which is
+        what gives freshly-flushed/merged LSM R-tree components their good
+        query locality.
+        """
+        tree = cls(cache, handle)
+        cache.fm.append_page(handle)
+        entries = list(entries)
+        count = len(entries)
+        limit = int(cache.fm.page_size * fill_factor)
+
+        if not entries:
+            root_no = cache.fm.append_page(handle)
+            tree._write_node(root_no, _RLeaf())
+            tree.root_page, tree.height, tree.count = root_no, 1, 0
+            tree._write_meta()
+            cache.flush_file(handle)
+            return tree
+
+        def center(mbr: ARectangle):
+            return (
+                (mbr.bottom_left.x + mbr.top_right.x) / 2,
+                (mbr.bottom_left.y + mbr.top_right.y) / 2,
+            )
+
+        def entry_size(e, leaf: bool):
+            return _mbr_size(e[0]) + (2 + len(e[1]) if leaf else 4)
+
+        def str_pack(items, leaf: bool):
+            """One STR level: returns list of node entry-lists."""
+            avg = sum(entry_size(e, leaf) for e in items) / len(items)
+            per_node = max(2, int((limit - 3) / avg))
+            num_nodes = math.ceil(len(items) / per_node)
+            num_slices = max(1, math.ceil(math.sqrt(num_nodes)))
+            slice_len = math.ceil(len(items) / num_slices)
+            items = sorted(items, key=lambda e: center(e[0])[0])
+            nodes = []
+            for s in range(0, len(items), slice_len):
+                chunk = sorted(items[s:s + slice_len],
+                               key=lambda e: center(e[0])[1])
+                node_entries: list = []
+                node_bytes = 3
+                for e in chunk:
+                    sz = entry_size(e, leaf)
+                    if node_entries and node_bytes + sz > limit:
+                        nodes.append(node_entries)
+                        node_entries, node_bytes = [], 3
+                    node_entries.append(e)
+                    node_bytes += sz
+                if node_entries:
+                    nodes.append(node_entries)
+            return nodes
+
+        # leaves
+        level_pages = []
+        for node_entries in str_pack(entries, leaf=True):
+            leaf = _RLeaf(node_entries)
+            no = cache.fm.append_page(handle)
+            tree._write_node(no, leaf)
+            level_pages.append((leaf.mbr(), no))
+        height = 1
+        while len(level_pages) > 1:
+            next_pages = []
+            for node_entries in str_pack(level_pages, leaf=False):
+                interior = _RInterior(node_entries)
+                no = cache.fm.append_page(handle)
+                tree._write_node(no, interior)
+                next_pages.append((interior.mbr(), no))
+            level_pages = next_pages
+            height += 1
+
+        tree.root_page = level_pages[0][1]
+        tree.height = height
+        tree.count = count
+        tree._write_meta()
+        cache.flush_file(handle)
+        return tree

@@ -1,0 +1,19 @@
+"""Transactions: WAL, record-level locks, entity transactions, recovery."""
+
+from repro.txn.lock_manager import LockManager
+from repro.txn.log_manager import LogManager, LogRecord, LogRecordType
+from repro.txn.transaction import (
+    RecoveryManager,
+    TransactionManager,
+    TransactionalPartition,
+)
+
+__all__ = [
+    "LockManager",
+    "LogManager",
+    "LogRecord",
+    "LogRecordType",
+    "RecoveryManager",
+    "TransactionManager",
+    "TransactionalPartition",
+]

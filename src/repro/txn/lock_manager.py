@@ -1,0 +1,56 @@
+"""Record-level lock manager.
+
+Entity transactions lock exactly one resource — (dataset, partition,
+primary key) — for their short lifetime, which is why AsterixDB's NoSQL-
+style concurrency control cannot deadlock across records.  The execution
+engine here is single-threaded, so a conflicting acquire is a logic error
+(two in-flight entity transactions touching the same record) and raises
+immediately rather than blocking.
+"""
+
+from __future__ import annotations
+
+from repro.adm.serializer import serialize_tuple
+from repro.common.errors import TransactionError
+
+
+class LockManager:
+    """Exclusive record-level locks keyed by (dataset, partition, pk)."""
+
+    def __init__(self):
+        self._owners: dict[tuple, int] = {}
+        self._held_by_txn: dict[int, set] = {}
+        self.acquires = 0
+        self.conflicts = 0
+
+    @staticmethod
+    def _resource(dataset: str, partition: int, key: tuple) -> tuple:
+        return (dataset, partition, serialize_tuple(key))
+
+    def acquire(self, txn_id: int, dataset: str, partition: int,
+                key: tuple) -> None:
+        resource = self._resource(dataset, partition, key)
+        owner = self._owners.get(resource)
+        if owner is not None and owner != txn_id:
+            self.conflicts += 1
+            raise TransactionError(
+                f"lock conflict on {dataset}/p{partition} key {key!r}: "
+                f"held by txn {owner}, wanted by txn {txn_id}"
+            )
+        self._owners[resource] = txn_id
+        self._held_by_txn.setdefault(txn_id, set()).add(resource)
+        self.acquires += 1
+
+    def release_all(self, txn_id: int) -> None:
+        for resource in self._held_by_txn.pop(txn_id, ()):
+            if self._owners.get(resource) == txn_id:
+                del self._owners[resource]
+
+    def holds(self, txn_id: int, dataset: str, partition: int,
+              key: tuple) -> bool:
+        resource = self._resource(dataset, partition, key)
+        return self._owners.get(resource) == txn_id
+
+    @property
+    def active_locks(self) -> int:
+        return len(self._owners)

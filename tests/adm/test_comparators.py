@@ -1,0 +1,112 @@
+"""Unit and property tests for the ADM total order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import (
+    MISSING,
+    ADate,
+    ADateTime,
+    APoint,
+    Multiset,
+    compare,
+    compare_tuples,
+    eq,
+    sort_key,
+)
+
+
+class TestScalarOrder:
+    def test_missing_before_null(self):
+        assert compare(MISSING, None) < 0
+
+    def test_null_before_boolean(self):
+        assert compare(None, False) < 0
+
+    def test_numeric_cross_type(self):
+        assert compare(1, 1.5) < 0
+        assert compare(2, 1.5) > 0
+        assert compare(1, 1.0) == 0
+
+    def test_numbers_before_strings(self):
+        assert compare(10**9, "a") < 0
+
+    def test_string_order(self):
+        assert compare("apple", "banana") < 0
+
+    def test_temporal(self):
+        assert compare(ADate(1), ADate(2)) < 0
+        assert compare(ADateTime(5), ADateTime(5)) == 0
+
+    def test_point_lexicographic(self):
+        assert compare(APoint(1, 9), APoint(2, 0)) < 0
+
+
+class TestCollectionOrder:
+    def test_array_lexicographic(self):
+        assert compare([1, 2], [1, 3]) < 0
+        assert compare([1, 2], [1, 2, 0]) < 0
+
+    def test_multiset_order_insensitive(self):
+        assert compare(Multiset([2, 1]), Multiset([1, 2])) == 0
+
+    def test_object_by_sorted_fields(self):
+        assert compare({"a": 1}, {"a": 2}) < 0
+        assert compare({"a": 1}, {"b": 1}) < 0
+        assert compare({"a": 1, "z": MISSING}, {"a": 1}) == 0
+
+    def test_tuple_compare(self):
+        assert compare_tuples((1, "a"), (1, "b")) < 0
+        assert compare_tuples((1,), (1, "a")) < 0
+
+
+def adm_scalars():
+    return st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(10**6), 10**6),
+        st.floats(allow_nan=False, allow_infinity=False,
+                  min_value=-1e6, max_value=1e6),
+        st.text(max_size=8),
+        st.builds(ADate, st.integers(-10000, 10000)),
+    )
+
+
+def adm_values(depth=2):
+    if depth == 0:
+        return adm_scalars()
+    inner = adm_values(depth - 1)
+    return st.one_of(
+        adm_scalars(),
+        st.lists(inner, max_size=3),
+        st.lists(inner, max_size=3).map(Multiset),
+        st.dictionaries(st.text(max_size=4), inner, max_size=3),
+    )
+
+
+class TestTotalOrderProperties:
+    @given(adm_values(), adm_values())
+    @settings(max_examples=200)
+    def test_antisymmetry(self, a, b):
+        assert compare(a, b) == -compare(b, a)
+
+    @given(adm_values())
+    @settings(max_examples=100)
+    def test_reflexivity(self, a):
+        assert compare(a, a) == 0
+        assert eq(a, a)
+
+    @given(adm_values(), adm_values(), adm_values())
+    @settings(max_examples=200)
+    def test_transitivity(self, a, b, c):
+        xs = sorted([a, b, c], key=sort_key)
+        assert compare(xs[0], xs[1]) <= 0
+        assert compare(xs[1], xs[2]) <= 0
+        assert compare(xs[0], xs[2]) <= 0
+
+    @given(st.lists(adm_values(), max_size=10))
+    @settings(max_examples=100)
+    def test_sort_is_stable_total(self, xs):
+        ys = sorted(xs, key=sort_key)
+        for i in range(len(ys) - 1):
+            assert compare(ys[i], ys[i + 1]) <= 0

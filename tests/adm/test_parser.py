@@ -1,0 +1,160 @@
+"""Tests for the textual ADM parser and formatter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import (
+    ADate,
+    ADateTime,
+    ADuration,
+    APoint,
+    ARectangle,
+    Multiset,
+    format_adm,
+    parse_adm,
+)
+from repro.common.errors import SyntaxError_
+
+
+class TestJsonCore:
+    def test_scalars(self):
+        assert parse_adm("null") is None
+        assert parse_adm("true") is True
+        assert parse_adm("false") is False
+        assert parse_adm("42") == 42
+        assert parse_adm("-3.5") == -3.5
+        assert parse_adm('"hi"') == "hi"
+
+    def test_object(self):
+        assert parse_adm('{"a": 1, "b": [2, 3]}') == {"a": 1, "b": [2, 3]}
+
+    def test_empty_containers(self):
+        assert parse_adm("{}") == {}
+        assert parse_adm("[]") == []
+        assert parse_adm("{{}}") == Multiset()
+
+    def test_string_escapes(self):
+        assert parse_adm(r'"a\nb\t\"cA"') == 'a\nb\t"c' + "A"
+
+    def test_single_quotes(self):
+        assert parse_adm("'hello'") == "hello"
+
+    def test_nested(self):
+        v = parse_adm('{"a": {"b": [{"c": 1}]}}')
+        assert v["a"]["b"][0]["c"] == 1
+
+
+class TestAdmExtensions:
+    def test_multiset(self):
+        v = parse_adm("{{1, 2, 2}}")
+        assert isinstance(v, Multiset)
+        assert sorted(v) == [1, 2, 2]
+
+    def test_datetime_constructor(self):
+        v = parse_adm('datetime("2017-01-01T00:00:00")')
+        assert v == ADateTime.parse("2017-01-01T00:00:00")
+
+    def test_date_and_duration(self):
+        assert parse_adm('date("2017-01-20")') == ADate.parse("2017-01-20")
+        assert parse_adm('duration("P30D")') == ADuration.parse("P30D")
+
+    def test_point(self):
+        assert parse_adm('point("1.5,2.5")') == APoint(1.5, 2.5)
+
+    def test_rectangle(self):
+        v = parse_adm('rectangle("0,0 10,10")')
+        assert v == ARectangle(APoint(0, 0), APoint(10, 10))
+
+    def test_int_suffixes(self):
+        assert parse_adm("5i32") == 5
+        assert parse_adm("2.5f") == 2.5
+
+    def test_fig3d_upsert_payload(self):
+        """The exact record from the paper's Fig. 3(d)."""
+        text = """{
+           "id":667,
+           "alias":"dfrump",
+           "name":"DonaldFrump",
+           "nickname":"Frumpkin",
+           "userSince":datetime("2017-01-01T00:00:00"),
+           "friendIds":{{}},
+           "employment":[{"organizationName":"USA",
+                          "startDate":date("2017-01-20")}],
+           "gender":"M"}"""
+        v = parse_adm(text)
+        assert v["id"] == 667
+        assert v["friendIds"] == Multiset()
+        assert v["employment"][0]["startDate"] == ADate.parse("2017-01-20")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "{", '{"a" 1}', "[1,", "{{1", 'datetime(2017)', "frobnicate",
+         '"unterminated', "1 2"],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(SyntaxError_):
+            parse_adm(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_adm('{"a":\n  !}')
+        except SyntaxError_ as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected syntax error")
+
+
+class TestFormatter:
+    def test_simple_roundtrip(self):
+        v = {"a": 1, "b": [True, None, "x"], "m": Multiset([1])}
+        assert parse_adm(format_adm(v)) == v
+
+    def test_constructor_roundtrip(self):
+        v = {"d": ADate(100), "p": APoint(1, 2)}
+        assert parse_adm(format_adm(v)) == v
+
+    def test_indented_output(self):
+        text = format_adm({"a": 1, "b": 2}, indent=2)
+        assert "\n" in text
+        assert parse_adm(text) == {"a": 1, "b": 2}
+
+
+def adm_texts(depth=2):
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(10**9), 10**9),
+        st.text(
+            alphabet=st.characters(codec="utf-8",
+                                   blacklist_categories=("Cs", "Cc")),
+            max_size=8,
+        ),
+        st.builds(ADate, st.integers(-10000, 10000)),
+        st.builds(ADateTime, st.integers(0, 2**40)),
+    )
+    if depth == 0:
+        return scalars
+    inner = adm_texts(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(inner, max_size=3),
+        st.lists(inner, max_size=3).map(Multiset),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(codec="utf-8",
+                                       blacklist_categories=("Cs", "Cc")),
+                max_size=5,
+            ),
+            inner,
+            max_size=3,
+        ),
+    )
+
+
+@given(adm_texts())
+@settings(max_examples=200)
+def test_format_parse_roundtrip(value):
+    assert parse_adm(format_adm(value)) == value

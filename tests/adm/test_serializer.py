@@ -1,0 +1,129 @@
+"""Round-trip tests for the binary ADM serializer."""
+
+import uuid
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import (
+    ACircle,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    ALine,
+    APoint,
+    APolygon,
+    ARectangle,
+    ATime,
+    Multiset,
+    TypeTag,
+    deserialize,
+    deserialize_tuple,
+    serialize,
+    serialize_tuple,
+    serialized_size,
+)
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**40,
+    -(2**40),
+    1.5,
+    -0.0,
+    "",
+    "héllo wörld",
+    b"",
+    b"\x00\xff",
+    uuid.uuid5(uuid.NAMESPACE_DNS, "asterix"),
+    ADate(17000),
+    ATime(12_345_678),
+    ADateTime(1_483_228_800_000),
+    ADuration(14, 123456),
+    AInterval(10, 20, TypeTag.DATE),
+    APoint(1.25, -7.5),
+    ALine(APoint(0, 0), APoint(1, 1)),
+    ARectangle(APoint(-1, -1), APoint(1, 1)),
+    ACircle(APoint(0, 0), 2.5),
+    APolygon((APoint(0, 0), APoint(1, 0), APoint(0, 1))),
+    [],
+    [1, "two", [3.0]],
+    Multiset([1, 1, 2]),
+    {"id": 667, "alias": "dfrump", "friendIds": Multiset(), "emp": [{"o": "USA"}]},
+]
+
+
+@pytest.mark.parametrize("value", SAMPLES, ids=[repr(s)[:40] for s in SAMPLES])
+def test_roundtrip_samples(value):
+    assert deserialize(serialize(value)) == value
+
+
+def test_multiset_type_preserved():
+    out = deserialize(serialize(Multiset([1])))
+    assert isinstance(out, Multiset)
+
+
+def test_array_not_multiset():
+    out = deserialize(serialize([1]))
+    assert not isinstance(out, Multiset)
+
+
+def test_tuple_roundtrip():
+    t = (1, "a", APoint(0, 0))
+    assert deserialize_tuple(serialize_tuple(t)) == t
+
+
+def test_serialized_size_positive():
+    assert serialized_size({"a": 1}) > 2
+
+
+def test_varint_compactness():
+    assert len(serialize(1)) <= 3
+    assert len(serialize(2**50)) <= 10
+
+
+def adm_values(depth=2):
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**62), 2**62),
+        st.floats(allow_nan=False),
+        st.text(max_size=12),
+        st.binary(max_size=12),
+        st.builds(ADate, st.integers(-100000, 100000)),
+        st.builds(ADateTime, st.integers(-(2**50), 2**50)),
+        st.builds(
+            APoint,
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e9, max_value=1e9),
+            st.floats(allow_nan=False, allow_infinity=False,
+                      min_value=-1e9, max_value=1e9),
+        ),
+    )
+    if depth == 0:
+        return scalars
+    inner = adm_values(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(Multiset),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+    )
+
+
+@given(adm_values())
+@settings(max_examples=300)
+def test_roundtrip_property(value):
+    assert deserialize(serialize(value)) == value
+
+
+@given(st.lists(adm_values(1), min_size=1, max_size=5))
+@settings(max_examples=100)
+def test_tuple_roundtrip_property(values):
+    t = tuple(values)
+    assert deserialize_tuple(serialize_tuple(t)) == t

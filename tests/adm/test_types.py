@@ -1,0 +1,199 @@
+"""Tests for the ADM type system: open/closed types, optional fields."""
+
+import pytest
+
+from repro.adm import (
+    BIGINT,
+    DATETIME,
+    STRING,
+    ADateTime,
+    Field,
+    Multiset,
+    MultisetType,
+    ObjectType,
+    OrderedListType,
+    TypeReference,
+    TypeRegistry,
+)
+from repro.common.errors import TypeError_, UnknownEntityError
+
+
+@pytest.fixture
+def gleambook_registry():
+    """The Fig. 3(a) schema."""
+    reg = TypeRegistry()
+    reg.add(
+        ObjectType(
+            "EmploymentType",
+            (
+                Field("organizationName", STRING),
+                Field("startDate", TypeReference("date")),
+                Field("endDate", TypeReference("date"), optional=True),
+            ),
+        )
+    )
+    reg.add(
+        ObjectType(
+            "GleambookUserType",
+            (
+                Field("id", BIGINT),
+                Field("alias", STRING),
+                Field("name", STRING),
+                Field("userSince", DATETIME),
+                Field("friendIds", MultisetType(BIGINT)),
+                Field("employment",
+                      OrderedListType(TypeReference("EmploymentType"))),
+            ),
+        )
+    )
+    reg.add(
+        ObjectType(
+            "AccessLogType",
+            (
+                Field("ip", STRING),
+                Field("time", STRING),
+                Field("user", STRING),
+                Field("verb", STRING),
+                Field("path", STRING),
+                Field("stat", TypeReference("int32")),
+                Field("size", TypeReference("int32")),
+            ),
+            is_open=False,
+        )
+    )
+    return reg
+
+
+def make_user(**overrides):
+    from repro.adm import ADate
+
+    user = {
+        "id": 667,
+        "alias": "dfrump",
+        "name": "DonaldFrump",
+        "userSince": ADateTime.parse("2017-01-01T00:00:00"),
+        "friendIds": Multiset([1, 2, 3]),
+        "employment": [
+            {"organizationName": "USA", "startDate": ADate.parse("2017-01-20")}
+        ],
+    }
+    user.update(overrides)
+    return user
+
+
+class TestOpenTypes:
+    def test_valid_instance(self, gleambook_registry):
+        gleambook_registry.validate(make_user(), "GleambookUserType")
+
+    def test_open_type_allows_extra_fields(self, gleambook_registry):
+        user = make_user(gender="M", nickname="Frumpkin")
+        gleambook_registry.validate(user, "GleambookUserType")
+
+    def test_missing_required_field_rejected(self, gleambook_registry):
+        user = make_user()
+        del user["alias"]
+        with pytest.raises(TypeError_, match="alias"):
+            gleambook_registry.validate(user, "GleambookUserType")
+
+    def test_wrong_field_type_rejected(self, gleambook_registry):
+        with pytest.raises(TypeError_, match="id"):
+            gleambook_registry.validate(make_user(id="not-an-int"),
+                                        "GleambookUserType")
+
+    def test_optional_field_may_be_absent(self, gleambook_registry):
+        user = make_user()
+        assert "endDate" not in user["employment"][0]
+        gleambook_registry.validate(user, "GleambookUserType")
+
+    def test_optional_field_may_be_null(self, gleambook_registry):
+        user = make_user()
+        user["employment"][0]["endDate"] = None
+        gleambook_registry.validate(user, "GleambookUserType")
+
+    def test_required_field_may_not_be_null(self, gleambook_registry):
+        with pytest.raises(TypeError_):
+            gleambook_registry.validate(make_user(alias=None),
+                                        "GleambookUserType")
+
+    def test_nested_list_items_validated(self, gleambook_registry):
+        user = make_user(employment=[{"organizationName": 42,
+                                      "startDate": None}])
+        with pytest.raises(TypeError_):
+            gleambook_registry.validate(user, "GleambookUserType")
+
+
+class TestClosedTypes:
+    def log_record(self, **overrides):
+        rec = {
+            "ip": "1.2.3.4",
+            "time": "2018-01-01T00:00:00",
+            "user": "dfrump",
+            "verb": "GET",
+            "path": "/home",
+            "stat": 200,
+            "size": 1024,
+        }
+        rec.update(overrides)
+        return rec
+
+    def test_closed_valid(self, gleambook_registry):
+        gleambook_registry.validate(self.log_record(), "AccessLogType")
+
+    def test_closed_rejects_extra_fields(self, gleambook_registry):
+        with pytest.raises(TypeError_, match="extra"):
+            gleambook_registry.validate(self.log_record(referer="x"),
+                                        "AccessLogType")
+
+    def test_int32_range_enforced(self, gleambook_registry):
+        with pytest.raises(TypeError_, match="range"):
+            gleambook_registry.validate(self.log_record(size=2**40),
+                                        "AccessLogType")
+
+
+class TestPrimitives:
+    def test_int_is_valid_double(self):
+        from repro.adm import DOUBLE
+
+        DOUBLE.validate(3)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(TypeError_):
+            BIGINT.validate(True)
+
+    def test_tinyint_range(self):
+        from repro.adm import TINYINT
+
+        TINYINT.validate(127)
+        with pytest.raises(TypeError_):
+            TINYINT.validate(128)
+
+    def test_multiset_accepts_plain_list_payload(self):
+        MultisetType(BIGINT).validate([1, 2])
+
+    def test_ordered_list_rejects_multiset(self):
+        with pytest.raises(TypeError_):
+            OrderedListType(BIGINT).validate(Multiset([1]))
+
+
+class TestRegistry:
+    def test_unknown_type(self):
+        with pytest.raises(UnknownEntityError):
+            TypeRegistry().resolve("NoSuchType")
+
+    def test_builtin_aliases(self):
+        reg = TypeRegistry()
+        assert reg.resolve("int") is reg.resolve("int64")
+        assert "int32" in reg
+
+    def test_remove(self):
+        reg = TypeRegistry()
+        reg.add(ObjectType("T", ()))
+        reg.remove("T")
+        with pytest.raises(UnknownEntityError):
+            reg.resolve("T")
+
+    def test_forward_reference(self):
+        reg = TypeRegistry()
+        reg.add(ObjectType("A", (Field("b", TypeReference("B")),)))
+        reg.add(ObjectType("B", (Field("x", BIGINT),)))
+        reg.validate({"b": {"x": 1}}, "A")

@@ -1,0 +1,239 @@
+"""Unit tests for the ADM value universe."""
+
+import uuid
+
+import pytest
+
+from repro.adm import (
+    MISSING,
+    ACircle,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    APoint,
+    APolygon,
+    ARectangle,
+    ATime,
+    Missing,
+    Multiset,
+    TypeTag,
+    deep_copy,
+    hash_value,
+    tag_of,
+)
+from repro.common.errors import InvalidArgumentError
+
+
+class TestMissing:
+    def test_singleton(self):
+        assert Missing() is MISSING
+
+    def test_falsy(self):
+        assert not MISSING
+
+    def test_distinct_from_null(self):
+        assert MISSING is not None
+
+    def test_repr(self):
+        assert repr(MISSING) == "MISSING"
+
+
+class TestTagging:
+    @pytest.mark.parametrize(
+        "value,tag",
+        [
+            (MISSING, TypeTag.MISSING),
+            (None, TypeTag.NULL),
+            (True, TypeTag.BOOLEAN),
+            (42, TypeTag.BIGINT),
+            (1.5, TypeTag.DOUBLE),
+            ("hi", TypeTag.STRING),
+            (b"\x00", TypeTag.BINARY),
+            (uuid.uuid5(uuid.NAMESPACE_DNS, "x"), TypeTag.UUID),
+            (ADate(0), TypeTag.DATE),
+            (ATime(0), TypeTag.TIME),
+            (ADateTime(0), TypeTag.DATETIME),
+            (ADuration(1, 2), TypeTag.DURATION),
+            (AInterval(0, 5), TypeTag.INTERVAL),
+            (APoint(1, 2), TypeTag.POINT),
+            ([1, 2], TypeTag.ARRAY),
+            (Multiset([1]), TypeTag.MULTISET),
+            ({"a": 1}, TypeTag.OBJECT),
+        ],
+    )
+    def test_tag_of(self, value, tag):
+        assert tag_of(value) is tag
+
+    def test_bool_is_not_int(self):
+        assert tag_of(True) is TypeTag.BOOLEAN
+
+    def test_multiset_is_not_array(self):
+        assert tag_of(Multiset()) is TypeTag.MULTISET
+
+    def test_non_adm_value_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            tag_of(object())
+
+
+class TestTemporal:
+    def test_date_parse_roundtrip(self):
+        d = ADate.parse("2017-01-20")
+        assert str(d) == "2017-01-20"
+        assert d.to_date().year == 2017
+
+    def test_date_epoch(self):
+        assert ADate.parse("1970-01-01").days == 0
+
+    def test_bad_date(self):
+        with pytest.raises(InvalidArgumentError):
+            ADate.parse("not-a-date")
+
+    def test_time_parse(self):
+        t = ATime.parse("13:30:15.250")
+        assert t.millis == ((13 * 60 + 30) * 60 + 15) * 1000 + 250
+        assert str(t) == "13:30:15.250"
+
+    def test_datetime_parse(self):
+        dt = ADateTime.parse("2017-01-01T00:00:00")
+        assert dt.date_part() == ADate.parse("2017-01-01")
+        assert dt.time_part().millis == 0
+
+    def test_datetime_z_suffix(self):
+        assert (
+            ADateTime.parse("2017-01-01T00:00:00Z")
+            == ADateTime.parse("2017-01-01T00:00:00")
+        )
+
+    def test_datetime_from_parts(self):
+        d, t = ADate.parse("2000-06-01"), ATime.parse("12:00:00")
+        dt = ADateTime.from_parts(d, t)
+        assert dt.date_part() == d and dt.time_part() == t
+
+    def test_datetime_ordering(self):
+        assert ADateTime.parse("2016-01-01T00:00:00") < ADateTime.parse(
+            "2017-01-01T00:00:00"
+        )
+
+    def test_duration_parse_days(self):
+        assert ADuration.parse("P30D").millis == 30 * 86_400_000
+
+    def test_duration_parse_mixed(self):
+        d = ADuration.parse("P1Y2M3DT4H5M6.5S")
+        assert d.months == 14
+        assert d.millis == 3 * 86_400_000 + 4 * 3_600_000 + 5 * 60_000 + 6500
+
+    def test_duration_negative(self):
+        d = ADuration.parse("-P1M")
+        assert d.months == -1
+
+    def test_duration_str_roundtrip(self):
+        for text in ["P30D", "P1Y2M", "PT4H5M", "P1DT1S"]:
+            assert ADuration.parse(str(ADuration.parse(text))) == \
+                ADuration.parse(text)
+
+    def test_bad_duration(self):
+        with pytest.raises(InvalidArgumentError):
+            ADuration.parse("30 days")
+
+    def test_interval_overlap(self):
+        a, b, c = AInterval(0, 10), AInterval(5, 15), AInterval(10, 20)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)  # half-open
+
+    def test_interval_rejects_inverted(self):
+        with pytest.raises(InvalidArgumentError):
+            AInterval(10, 0)
+
+
+class TestSpatial:
+    def test_point_parse(self):
+        assert APoint.parse("1.5,-2") == APoint(1.5, -2.0)
+
+    def test_point_distance(self):
+        assert APoint(0, 0).distance(APoint(3, 4)) == 5.0
+
+    def test_rectangle_contains(self):
+        r = ARectangle(APoint(0, 0), APoint(10, 10))
+        assert r.contains_point(APoint(5, 5))
+        assert r.contains_point(APoint(0, 0))  # boundary
+        assert not r.contains_point(APoint(11, 5))
+
+    def test_rectangle_intersects(self):
+        a = ARectangle(APoint(0, 0), APoint(10, 10))
+        b = ARectangle(APoint(5, 5), APoint(15, 15))
+        c = ARectangle(APoint(20, 20), APoint(30, 30))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_rectangle_rejects_bad_corners(self):
+        with pytest.raises(InvalidArgumentError):
+            ARectangle(APoint(10, 10), APoint(0, 0))
+
+    def test_circle(self):
+        c = ACircle(APoint(0, 0), 5)
+        assert c.contains_point(APoint(3, 4))
+        assert not c.contains_point(APoint(4, 4))
+        assert c.mbr() == ARectangle(APoint(-5, -5), APoint(5, 5))
+
+    def test_polygon_contains(self):
+        square = APolygon(
+            (APoint(0, 0), APoint(10, 0), APoint(10, 10), APoint(0, 10))
+        )
+        assert square.contains_point(APoint(5, 5))
+        assert square.contains_point(APoint(0, 5))  # boundary
+        assert not square.contains_point(APoint(15, 5))
+
+    def test_polygon_needs_three_points(self):
+        with pytest.raises(InvalidArgumentError):
+            APolygon((APoint(0, 0), APoint(1, 1)))
+
+    def test_polygon_mbr(self):
+        tri = APolygon((APoint(0, 0), APoint(4, 0), APoint(2, 3)))
+        assert tri.mbr() == ARectangle(APoint(0, 0), APoint(4, 3))
+
+
+class TestMultiset:
+    def test_order_insensitive_equality(self):
+        assert Multiset([1, 2, 3]) == Multiset([3, 1, 2])
+
+    def test_bag_semantics(self):
+        assert Multiset([1, 1, 2]) != Multiset([1, 2, 2])
+
+    def test_not_equal_to_plain_list(self):
+        assert Multiset([1]) != [1]
+
+
+class TestHashing:
+    def test_deterministic(self):
+        v = {"a": [1, 2], "b": Multiset(["x"]), "p": APoint(1, 2)}
+        assert hash_value(v) == hash_value(deep_copy(v))
+
+    def test_int_float_equal_hash(self):
+        assert hash_value(1) == hash_value(1.0)
+
+    def test_multiset_order_insensitive_hash(self):
+        assert hash_value(Multiset([1, 2])) == hash_value(Multiset([2, 1]))
+
+    def test_missing_fields_ignored(self):
+        assert hash_value({"a": 1, "b": MISSING}) == hash_value({"a": 1})
+
+    def test_seed_changes_hash(self):
+        assert hash_value("x", seed=1) != hash_value("x", seed=2)
+
+    def test_distributes(self):
+        buckets = [0] * 8
+        for i in range(4096):
+            buckets[hash_value(i) % 8] += 1
+        assert min(buckets) > 300
+
+
+class TestDeepCopy:
+    def test_nested_independence(self):
+        v = {"xs": [1, {"y": 2}]}
+        c = deep_copy(v)
+        c["xs"][1]["y"] = 99
+        assert v["xs"][1]["y"] == 2
+
+    def test_multiset_type_preserved(self):
+        assert isinstance(deep_copy(Multiset([1])), Multiset)

@@ -1,0 +1,282 @@
+"""Tests for the Algebricks rewrite rules."""
+
+import pytest
+
+from repro.algebricks import (
+    LCall,
+    LConst,
+    LVar,
+    MetadataView,
+    optimize,
+    plan_signature,
+)
+from repro.algebricks.logical import (
+    Assign,
+    DataSourceScan,
+    DistributeResult,
+    Join,
+    Limit,
+    Order,
+    PrimaryIndexSearch,
+    SecondaryIndexSearch,
+    Select,
+)
+from repro.storage.dataset_storage import SecondaryIndexSpec
+
+
+class FakeMetadata(MetadataView):
+    def __init__(self, indexes=()):
+        self._indexes = list(indexes)
+
+    def pk_fields(self, dataset):
+        return ("id",)
+
+    def secondary_indexes(self, dataset):
+        return self._indexes
+
+    def is_external(self, dataset):
+        return False
+
+
+def scan(pk_var=1, rec_var=2, dataset="ds"):
+    return DataSourceScan(dataset, [pk_var], rec_var)
+
+
+def fa(var, name):
+    return LCall("field_access", [LVar(var), LConst(name)])
+
+
+def result(child, expr=None):
+    return DistributeResult(expr or LVar(2), inputs=[child])
+
+
+class TestBasicRewrites:
+    def test_constant_folding(self):
+        plan = result(Select(
+            LCall("gt", [LConst(2), LCall("numeric_add",
+                                          [LConst(1), LConst(1)])]),
+            inputs=[scan()],
+        ))
+        optimized = optimize(plan, FakeMetadata())
+        # 2 > (1+1) folds to false; select(false) survives (no pruning of
+        # empty plans), but the inner add is gone
+        select = optimized.inputs[0]
+        assert isinstance(select, Select)
+        assert select.condition == LConst(False)
+
+    def test_conjunction_split_and_true_removal(self):
+        cond = LCall("and", [LConst(True),
+                             LCall("gt", [LVar(1), LConst(5)])])
+        plan = result(Select(cond, inputs=[scan()]))
+        optimized = optimize(plan, FakeMetadata())
+        sig = plan_signature(optimized)
+        # with a pk predicate this becomes a primary index search
+        assert "PrimaryIndexSearch" in sig
+
+    def test_select_pushed_below_assign(self):
+        inner = Assign(3, fa(2, "x"), inputs=[scan()])
+        cond = LCall("gt", [LVar(1), LConst(0)])  # only needs scan vars
+        plan = DistributeResult(LVar(3), inputs=[Select(cond,
+                                                        inputs=[inner])])
+        optimized = optimize(plan, FakeMetadata())
+        sig = plan_signature(optimized)
+        # assign should now be above the select/search
+        assert sig.index("Assign") < sig.index("PrimaryIndexSearch")
+
+    def test_dead_assign_removed(self):
+        inner = Assign(3, fa(2, "unused"), inputs=[scan()])
+        plan = DistributeResult(LVar(2), inputs=[inner])
+        optimized = optimize(plan, FakeMetadata())
+        assert "Assign" not in plan_signature(optimized)
+
+    def test_live_assign_kept(self):
+        inner = Assign(3, fa(2, "used"), inputs=[scan()])
+        plan = DistributeResult(LVar(3), inputs=[inner])
+        optimized = optimize(plan, FakeMetadata())
+        assert "Assign" in plan_signature(optimized)
+
+
+class TestJoinRewrites:
+    def make_join_plan(self, condition_above):
+        left = scan(1, 2, "left")
+        right = scan(3, 4, "right")
+        join = Join(LConst(True), inputs=[left, right])
+        return DistributeResult(LVar(2), inputs=[
+            Select(condition_above, inputs=[join])
+        ])
+
+    def test_equality_select_becomes_join_condition(self):
+        cond = LCall("eq", [LVar(1), LVar(3)])
+        optimized = optimize(self.make_join_plan(cond), FakeMetadata())
+        join = next(op for op in _walk(optimized) if isinstance(op, Join))
+        assert "eq" in repr(join.condition)
+        assert "Select" not in plan_signature(optimized)
+
+    def test_one_sided_select_pushed_into_branch(self):
+        cond = LCall("gt", [fa(4, "size"), LConst(100)])
+        optimized = optimize(self.make_join_plan(cond), FakeMetadata())
+        join = next(op for op in _walk(optimized) if isinstance(op, Join))
+        right_branch_sig = plan_signature(join.inputs[1])
+        assert "Select" in right_branch_sig
+
+
+class TestAccessMethodRules:
+    def test_primary_index_point_lookup(self):
+        cond = LCall("eq", [LVar(1), LConst(42)])
+        plan = result(Select(cond, inputs=[scan()]))
+        optimized = optimize(plan, FakeMetadata())
+        search = optimized.inputs[0]
+        assert isinstance(search, PrimaryIndexSearch)
+        assert search.lo == [LConst(42)] and search.hi == [LConst(42)]
+
+    def test_primary_index_range(self):
+        conds = Select(
+            LCall("and", [
+                LCall("ge", [LVar(1), LConst(10)]),
+                LCall("lt", [LVar(1), LConst(20)]),
+            ]),
+            inputs=[scan()],
+        )
+        optimized = optimize(result(conds), FakeMetadata())
+        search = optimized.inputs[0]
+        assert isinstance(search, PrimaryIndexSearch)
+        assert search.lo == [LConst(10)] and search.lo_inclusive
+        assert search.hi == [LConst(20)] and not search.hi_inclusive
+
+    def test_pk_predicate_via_field_access(self):
+        cond = LCall("eq", [fa(2, "id"), LConst(7)])
+        optimized = optimize(result(Select(cond, inputs=[scan()])),
+                             FakeMetadata())
+        assert isinstance(optimized.inputs[0], PrimaryIndexSearch)
+
+    def test_secondary_btree_index_chosen(self):
+        md = FakeMetadata([SecondaryIndexSpec("byA", "btree", ("alias",))])
+        cond = LCall("eq", [fa(2, "alias"), LConst("bob")])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = optimized.inputs[0]
+        assert isinstance(search, SecondaryIndexSearch)
+        assert search.index_name == "byA"
+
+    def test_secondary_index_through_assign(self):
+        md = FakeMetadata([SecondaryIndexSpec("byA", "btree", ("alias",))])
+        assigned = Assign(3, fa(2, "alias"), inputs=[scan()])
+        cond = LCall("eq", [LVar(3), LConst("bob")])
+        optimized = optimize(result(Select(cond, inputs=[assigned])), md)
+        assert "SecondaryIndexSearch" in plan_signature(optimized)
+
+    def test_rtree_index_chosen_with_residual(self):
+        from repro.adm import APoint, ARectangle
+
+        md = FakeMetadata([SecondaryIndexSpec("byLoc", "rtree", ("loc",))])
+        window = ARectangle(APoint(0, 0), APoint(10, 10))
+        cond = LCall("spatial_intersect", [fa(2, "loc"), LConst(window)])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        sig = plan_signature(optimized)
+        assert "SecondaryIndexSearch" in sig
+        assert "Select" in sig   # residual exact check kept
+
+    def test_inverted_index_chosen(self):
+        md = FakeMetadata([SecondaryIndexSpec("byMsg", "keyword",
+                                              ("message",))])
+        cond = LCall("ftcontains", [fa(2, "message"), LConst("big data")])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.index_kind == "keyword"
+
+    def test_index_access_can_be_disabled(self):
+        md = FakeMetadata([SecondaryIndexSpec("byA", "btree", ("alias",))])
+        cond = LCall("eq", [fa(2, "alias"), LConst("bob")])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md,
+                             enable_index_access=False)
+        sig = plan_signature(optimized)
+        assert "SecondaryIndexSearch" not in sig
+        assert "DataSourceScan" in sig
+
+    def test_no_index_no_rewrite(self):
+        cond = LCall("eq", [fa(2, "alias"), LConst("bob")])
+        optimized = optimize(result(Select(cond, inputs=[scan()])),
+                             FakeMetadata())
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+
+class TestLimitPushdown:
+    def test_limit_into_order(self):
+        plan = DistributeResult(LVar(2), inputs=[
+            Limit(5, 2, inputs=[
+                Order([(LVar(1), False)], inputs=[scan()])
+            ])
+        ])
+        optimized = optimize(plan, FakeMetadata())
+        order = next(op for op in _walk(optimized) if isinstance(op, Order))
+        assert order.topk == 7
+
+
+def _walk(op):
+    yield op
+    for child in op.inputs:
+        yield from _walk(child)
+
+
+class TestCompositeIndexMatching:
+    def test_eq_prefix_plus_range(self):
+        md = FakeMetadata([SecondaryIndexSpec("byOrgDate", "btree",
+                                              ("org", "since"))])
+        cond = LCall("and", [
+            LCall("eq", [fa(2, "org"), LConst("uci")]),
+            LCall("ge", [fa(2, "since"), LConst(2010)]),
+        ])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.lo == [LConst("uci"), LConst(2010)]
+        assert search.hi == [LConst("uci")]
+        # both predicates consumed: no residual selects
+        assert "Select" not in plan_signature(optimized)
+
+    def test_eq_on_both_fields(self):
+        md = FakeMetadata([SecondaryIndexSpec("byOrgDate", "btree",
+                                              ("org", "since"))])
+        cond = LCall("and", [
+            LCall("eq", [fa(2, "org"), LConst("uci")]),
+            LCall("eq", [fa(2, "since"), LConst(2010)]),
+        ])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.lo == [LConst("uci"), LConst(2010)]
+        assert search.hi == [LConst("uci"), LConst(2010)]
+
+    def test_second_field_alone_no_match(self):
+        """A bound on only the second field can't use the index."""
+        md = FakeMetadata([SecondaryIndexSpec("byOrgDate", "btree",
+                                              ("org", "since"))])
+        cond = LCall("ge", [fa(2, "since"), LConst(2010)])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+    def test_widest_index_preferred(self):
+        md = FakeMetadata([
+            SecondaryIndexSpec("byOrg", "btree", ("org",)),
+            SecondaryIndexSpec("byOrgDate", "btree", ("org", "since")),
+        ])
+        cond = LCall("and", [
+            LCall("eq", [fa(2, "org"), LConst("uci")]),
+            LCall("lt", [fa(2, "since"), LConst(2020)]),
+        ])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.index_name == "byOrgDate"
+
+    def test_conflicting_bounds_intersect(self):
+        """The fuzzer's find, as a unit test: age >= 27 AND age = 55."""
+        md = FakeMetadata([SecondaryIndexSpec("byAge", "btree", ("age",))])
+        cond = LCall("and", [
+            LCall("ge", [fa(2, "age"), LConst(27)]),
+            LCall("eq", [fa(2, "age"), LConst(55)]),
+        ])
+        optimized = optimize(result(Select(cond, inputs=[scan()])), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.lo == [LConst(55)] and search.hi == [LConst(55)]

@@ -1,0 +1,129 @@
+"""Tests for the Couchbase Analytics simulation (§VI, Fig. 7)."""
+
+import pytest
+
+from repro import connect
+from repro.analytics import AnalyticsService, KVStore, MutationKind
+from repro.common.errors import DuplicateError, UnknownEntityError
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def kv():
+    store = KVStore()
+    store.create_bucket("travel")
+    return store
+
+
+@pytest.fixture
+def analytics(db, kv):
+    service = AnalyticsService(db, kv)
+    service.connect_bucket("travel")
+    return service
+
+
+class TestKVStore:
+    def test_upsert_get(self, kv):
+        bucket = kv.bucket("travel")
+        bucket.upsert("hotel_1", {"name": "Inn", "stars": 3})
+        assert bucket.get("hotel_1")["stars"] == 3
+
+    def test_mutations_sequenced(self, kv):
+        bucket = kv.bucket("travel")
+        bucket.upsert("a", {})
+        bucket.upsert("b", {})
+        bucket.delete("a")
+        seqnos = [m.seqno for m in bucket.dcp_stream()]
+        assert seqnos == [1, 2, 3]
+        assert bucket.dcp_stream(2)[0].kind is MutationKind.DELETE
+
+    def test_dcp_resume(self, kv):
+        bucket = kv.bucket("travel")
+        for i in range(5):
+            bucket.upsert(f"k{i}", {"i": i})
+        assert len(bucket.dcp_stream(3)) == 2
+
+    def test_queueing_model(self, kv):
+        bucket = kv.bucket("travel")
+        for i in range(10):
+            bucket.upsert(f"k{i}", {}, now_us=0.0)
+        # FIFO: the 10th op waits behind 9 others
+        assert bucket.op_latencies_us[-1] > bucket.op_latencies_us[0]
+
+
+class TestShadowDatasets:
+    def test_sync_applies_upserts(self, analytics, kv):
+        bucket = kv.bucket("travel")
+        bucket.upsert("hotel_1", {"name": "Inn", "city": "Irvine"})
+        bucket.upsert("hotel_2", {"name": "Lodge", "city": "Riverside"})
+        assert analytics.sync() == 2
+        rows = analytics.query(
+            "SELECT VALUE t.name FROM travel t ORDER BY t.name;")
+        assert rows == ["Inn", "Lodge"]
+
+    def test_sync_applies_updates_and_deletes(self, analytics, kv):
+        bucket = kv.bucket("travel")
+        bucket.upsert("h", {"stars": 2})
+        analytics.sync()
+        bucket.upsert("h", {"stars": 5})
+        bucket.upsert("gone", {"stars": 1})
+        bucket.delete("gone")
+        analytics.sync()
+        rows = analytics.query("SELECT VALUE t.stars FROM travel t;")
+        assert rows == [5]
+
+    def test_lag_tracking(self, analytics, kv):
+        bucket = kv.bucket("travel")
+        for i in range(7):
+            bucket.upsert(f"k{i}", {})
+        assert analytics.lag("travel") == 7
+        analytics.sync(max_mutations=3)
+        assert analytics.lag("travel") == 4
+        analytics.sync()
+        assert analytics.lag("travel") == 0
+
+    def test_duplicate_connect(self, analytics):
+        with pytest.raises(DuplicateError):
+            analytics.connect_bucket("travel")
+
+    def test_unknown_bucket(self, db, kv):
+        service = AnalyticsService(db, kv)
+        with pytest.raises(UnknownEntityError):
+            service.connect_bucket("nope")
+
+    def test_key_preserved(self, analytics, kv):
+        kv.bucket("travel").upsert("hotel_42", {"x": 1})
+        analytics.sync()
+        rows = analytics.query(
+            "SELECT VALUE t._key FROM travel t;")
+        assert rows == ["hotel_42"]
+
+
+class TestHTAPIsolation:
+    """The architectural claim of Fig. 7: analytics on the shadow copy
+    does not perturb front-end operation latency, whereas scanning the
+    data service inline does."""
+
+    def test_shadow_analytics_leaves_frontend_alone(self, analytics, kv):
+        bucket = kv.bucket("travel")
+        for i in range(200):
+            bucket.upsert(f"k{i}", {"v": i}, now_us=i * 20.0)
+        analytics.sync()
+        busy_before = bucket.busy_until_us
+        analytics.query("SELECT COUNT(*) AS n FROM travel t;")
+        assert bucket.busy_until_us == busy_before   # untouched
+
+    def test_inline_scan_stalls_frontend(self, kv):
+        bucket = kv.bucket("travel")
+        for i in range(200):
+            bucket.upsert(f"k{i}", {"v": i}, now_us=i * 20.0)
+        t0 = bucket.busy_until_us
+        bucket.scan_inline(now_us=t0)      # pre-Analytics baseline
+        latency = bucket.upsert("late", {}, now_us=t0 + 1)
+        assert latency > bucket.op_service_time_us * 5

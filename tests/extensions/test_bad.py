@@ -1,0 +1,117 @@
+"""Tests for the BAD (Big Active Data) pub/sub extension."""
+
+import pytest
+
+from repro import connect
+from repro.bad import BADExtension
+from repro.common.errors import AsterixError, DuplicateError, UnknownEntityError
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    instance.execute("""
+        CREATE TYPE ReportType AS { id: int, severity: int, area: string };
+        CREATE DATASET EmergencyReports(ReportType) PRIMARY KEY id;
+    """)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def bad(db):
+    ext = BADExtension(db)
+    ext.create_broker("phoneApp")
+    ext.create_channel(
+        "EmergenciesNearMe", ["area", "minSeverity"],
+        """SELECT VALUE r.id FROM EmergencyReports r
+           WHERE r.area = $area AND r.severity >= $minSeverity;""",
+    )
+    return ext
+
+
+def report(db, rid, severity, area):
+    db.execute(
+        f'INSERT INTO EmergencyReports ({{"id": {rid}, '
+        f'"severity": {severity}, "area": "{area}"}});'
+    )
+
+
+class TestChannelLifecycle:
+    def test_duplicate_broker(self, bad):
+        with pytest.raises(DuplicateError):
+            bad.create_broker("phoneApp")
+
+    def test_duplicate_channel(self, bad):
+        with pytest.raises(DuplicateError):
+            bad.create_channel("EmergenciesNearMe", [], "SELECT VALUE 1;")
+
+    def test_subscribe_unknown_channel(self, bad):
+        with pytest.raises(UnknownEntityError):
+            bad.subscribe("nope", "phoneApp")
+
+    def test_subscription_arity_checked(self, bad):
+        with pytest.raises(AsterixError, match="parameter"):
+            bad.subscribe("EmergenciesNearMe", "phoneApp", "campus")
+
+    def test_drop_channel_removes_subscriptions(self, bad):
+        sid = bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 3)
+        bad.drop_channel("EmergenciesNearMe")
+        assert sid not in bad.subscriptions
+
+
+class TestDelivery:
+    def test_matching_results_delivered(self, db, bad):
+        bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 3)
+        report(db, 1, 5, "campus")
+        report(db, 2, 1, "campus")     # below minSeverity
+        report(db, 3, 5, "downtown")   # wrong area
+        bad.tick()
+        deliveries = bad.brokers["phoneApp"].drain()
+        assert len(deliveries) == 1
+        assert deliveries[0].results == [1]
+
+    def test_multiple_subscriptions_distinct_params(self, db, bad):
+        bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 1)
+        bad.subscribe("EmergenciesNearMe", "phoneApp", "downtown", 1)
+        report(db, 1, 2, "campus")
+        report(db, 2, 2, "downtown")
+        bad.tick()
+        deliveries = bad.brokers["phoneApp"].drain()
+        by_params = {tuple(d.results) for d in deliveries}
+        assert by_params == {(1,), (2,)}
+
+    def test_shared_params_one_execution(self, db, bad):
+        """N subscribers with identical parameters share one query run."""
+        for _ in range(5):
+            bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 1)
+        report(db, 1, 2, "campus")
+        executions = bad.tick()
+        assert executions == 1
+        assert len(bad.brokers["phoneApp"].drain()) == 5
+        assert bad.shared_executions_saved == 4
+
+    def test_periodic_channels(self, db, bad):
+        bad.create_channel("Slow", [], "SELECT VALUE 1;", period=3)
+        bad.create_broker("b2")
+        bad.subscribe("Slow", "b2")
+        bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 1)
+        for _ in range(6):
+            bad.tick()
+        slow = bad.channels["Slow"]
+        fast = bad.channels["EmergenciesNearMe"]
+        assert slow.executions < fast.executions
+
+    def test_new_data_appears_in_next_tick(self, db, bad):
+        bad.subscribe("EmergenciesNearMe", "phoneApp", "campus", 1)
+        bad.tick()
+        assert bad.brokers["phoneApp"].drain()[0].results == []
+        report(db, 9, 4, "campus")
+        bad.tick()
+        assert bad.brokers["phoneApp"].drain()[0].results == [9]
+
+    def test_string_params_escaped(self, db, bad):
+        sid = bad.subscribe("EmergenciesNearMe", "phoneApp",
+                            "o''brien area", 1)
+        bad.tick()  # must not blow up on the quote
+        assert sid in bad.subscriptions

@@ -1,0 +1,85 @@
+"""Tests for the synthetic data generators."""
+
+from repro.adm import ADateTime, AInterval, APoint, Multiset
+from repro.datagen import GleambookGenerator, activity_log
+
+
+class TestGleambookUsers:
+    def test_deterministic(self):
+        a = list(GleambookGenerator(seed=1).users(50))
+        b = list(GleambookGenerator(seed=1).users(50))
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = list(GleambookGenerator(seed=1).users(50))
+        b = list(GleambookGenerator(seed=2).users(50))
+        assert a != b
+
+    def test_schema_shape(self):
+        users = list(GleambookGenerator().users(30))
+        assert len(users) == 30
+        for u in users:
+            assert isinstance(u["friendIds"], Multiset)
+            assert isinstance(u["userSince"], ADateTime)
+            for job in u["employment"]:
+                assert "organizationName" in job and "startDate" in job
+
+    def test_friend_counts_skewed(self):
+        users = list(GleambookGenerator().users(500))
+        counts = sorted(len(u["friendIds"]) for u in users)
+        assert counts[len(counts) // 2] <= 2   # median small
+        assert counts[-1] >= 5                 # head heavy
+
+    def test_some_open_fields(self):
+        users = list(GleambookGenerator().users(100))
+        assert any("nickname" in u for u in users)
+        assert not all("nickname" in u for u in users)
+
+
+class TestGleambookMessages:
+    def test_shape(self):
+        gen = GleambookGenerator()
+        messages = list(gen.messages(100, num_users=20))
+        assert len(messages) == 100
+        for m in messages:
+            assert 0 <= m["authorId"] < 20
+            if "senderLocation" in m:
+                p = m["senderLocation"]
+                assert isinstance(p, APoint)
+                assert 0 <= p.x <= 100 and 0 <= p.y <= 100
+
+    def test_most_have_locations(self):
+        messages = list(GleambookGenerator().messages(200, 10))
+        with_loc = sum("senderLocation" in m for m in messages)
+        assert with_loc > 150
+
+
+class TestAccessLog:
+    def test_format(self):
+        gen = GleambookGenerator()
+        users = list(gen.users(10))
+        aliases = [u["alias"] for u in users]
+        lines = list(gen.access_log_lines(50, aliases))
+        assert len(lines) == 50
+        for line in lines:
+            parts = line.split("|")
+            assert len(parts) == 7
+            assert parts[2] in aliases
+            int(parts[5])
+            int(parts[6])
+
+
+class TestActivityLog:
+    def test_intervals_ordered_per_student(self):
+        records = activity_log(200, num_students=5)
+        by_student: dict = {}
+        for r in records:
+            by_student.setdefault(r["student"], []).append(r["activity"])
+        for intervals in by_student.values():
+            for a, b in zip(intervals, intervals[1:]):
+                assert a.end <= b.start
+
+    def test_interval_type(self):
+        for r in activity_log(20):
+            assert isinstance(r["activity"], AInterval)
+            assert 1 <= r["stress"] <= 5

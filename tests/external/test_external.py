@@ -1,0 +1,190 @@
+"""Tests for external datasets (feature 6): localfs, simulated HDFS, CSV."""
+
+import os
+
+import pytest
+
+from repro import connect
+from repro.adm import ADateTime, APoint
+from repro.common.errors import StorageError
+from repro.external import (
+    SimulatedHDFS,
+    export_csv,
+    import_csv,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def access_log_file(tmp_path):
+    path = tmp_path / "accesses.txt"
+    lines = [
+        "1.2.3.4|2019-04-01T10:00:00|dfrump|GET|/home|200|1024",
+        "5.6.7.8|2019-04-02T11:00:00|alice|GET|/feed|200|2048",
+        "9.9.9.9|2019-04-03T12:00:00|bob|POST|/msg|201|300",
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+ACCESS_LOG_DDL = """
+CREATE TYPE AccessLogType AS CLOSED {{
+    ip: string, time: string, user: string, verb: string,
+    `path`: string, stat: int32, size: int32
+}};
+CREATE EXTERNAL DATASET AccessLog(AccessLogType)
+USING localfs
+(("path"="{path}"), ("format"="delimited-text"), ("delimiter"="|"));
+"""
+
+
+class TestLocalFS:
+    def test_fig3b_external_dataset(self, db, access_log_file):
+        db.execute(ACCESS_LOG_DDL.format(path=access_log_file))
+        rows = db.query("SELECT VALUE l.user FROM AccessLog l;")
+        assert sorted(rows) == ["alice", "bob", "dfrump"]
+
+    def test_typed_columns(self, db, access_log_file):
+        db.execute(ACCESS_LOG_DDL.format(path=access_log_file))
+        rows = db.query(
+            "SELECT VALUE l.size FROM AccessLog l WHERE l.stat = 200;")
+        assert sorted(rows) == [1024, 2048]
+
+    def test_join_external_with_internal(self, db, access_log_file):
+        """The Fig. 3(c) pattern: mixing stored and external data."""
+        db.execute(ACCESS_LOG_DDL.format(path=access_log_file))
+        db.execute("""
+            CREATE TYPE UserType AS { id: int, alias: string };
+            CREATE DATASET Users(UserType) PRIMARY KEY id;
+            INSERT INTO Users ([{"id": 1, "alias": "alice"},
+                                {"id": 2, "alias": "carol"}]);
+        """)
+        rows = db.query("""
+            SELECT VALUE u.id FROM Users u
+            WHERE SOME l IN AccessLog SATISFIES l.user = u.alias;
+        """)
+        assert rows == [1]
+
+    def test_adm_format(self, db, tmp_path):
+        path = tmp_path / "data.adm"
+        path.write_text(
+            '{"id": 1, "when": datetime("2019-01-01T00:00:00")}\n'
+            '{"id": 2, "tags": {{"a", "b"}}}\n'
+        )
+        db.execute(f"""
+            CREATE TYPE AnyType AS {{ id: int }};
+            CREATE EXTERNAL DATASET Stuff(AnyType) USING localfs
+            (("path"="{path}"), ("format"="adm"));
+        """)
+        rows = db.query("SELECT VALUE s.id FROM Stuff s;")
+        assert sorted(rows) == [1, 2]
+        whens = db.query(
+            "SELECT VALUE s.`when` FROM Stuff s WHERE s.id = 1;")
+        assert whens == [ADateTime.parse("2019-01-01T00:00:00")]
+
+    def test_load_dataset(self, db, tmp_path):
+        path = tmp_path / "users.adm"
+        path.write_text(
+            '{"id": 1, "name": "ann"}\n{"id": 2, "name": "bob"}\n')
+        db.execute(f"""
+            CREATE TYPE UserType AS {{ id: int }};
+            CREATE DATASET Users(UserType) PRIMARY KEY id;
+            LOAD DATASET Users USING localfs
+            (("path"="{path}"), ("format"="adm"));
+        """)
+        assert sorted(db.query("SELECT VALUE u.name FROM Users u;")) == \
+            ["ann", "bob"]
+
+    def test_external_cannot_be_indexed(self, db, access_log_file):
+        from repro.common.errors import MetadataError
+
+        db.execute(ACCESS_LOG_DDL.format(path=access_log_file))
+        with pytest.raises(MetadataError):
+            db.execute("CREATE INDEX i ON AccessLog(user);")
+
+
+class TestSimulatedHDFS:
+    def test_put_read_roundtrip(self, tmp_path):
+        hdfs = SimulatedHDFS(str(tmp_path / "hdfs"), block_size=64)
+        lines = [f'{{"id": {i}}}' for i in range(50)]
+        hdfs.put_lines("/data/x.adm", lines)
+        blocks = hdfs.blocks_of("/data/x.adm")
+        assert len(blocks) > 1   # really split
+        data = b"".join(
+            hdfs.read_block("/data/x.adm", b.block_id) for b in blocks
+        )
+        assert data.decode().splitlines() == lines
+
+    def test_blocks_respect_line_boundaries(self, tmp_path):
+        hdfs = SimulatedHDFS(str(tmp_path / "hdfs"), block_size=100)
+        hdfs.put_lines("/f", ["x" * 30 for _ in range(20)])
+        for block in hdfs.blocks_of("/f"):
+            data = hdfs.read_block("/f", block.block_id)
+            assert data.endswith(b"\n")
+
+    def test_missing_file(self, tmp_path):
+        hdfs = SimulatedHDFS(str(tmp_path / "hdfs"))
+        with pytest.raises(StorageError):
+            hdfs.blocks_of("/nope")
+
+    def test_query_external_hdfs_dataset(self, db):
+        lines = [f'{{"id": {i}, "v": {i * i}}}' for i in range(30)]
+        db.hdfs.put_lines("/logs/events.adm", lines)
+        db.execute("""
+            CREATE TYPE EventType AS { id: int };
+            CREATE EXTERNAL DATASET Events(EventType) USING hdfs
+            (("path"="/logs/events.adm"), ("format"="adm"));
+        """)
+        rows = db.query(
+            "SELECT VALUE e.v FROM Events e WHERE e.id = 5;")
+        assert rows == [25]
+        assert db.hdfs.reads > 0
+
+
+class TestCSVRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            {"id": 1, "who": "ann", "score": 3.5,
+             "when": ADateTime.parse("2014-02-03T10:30:00"),
+             "loc": APoint(1.0, 2.0)},
+            {"id": 2, "who": "bob", "score": None},
+        ]
+        path = str(tmp_path / "out.csv")
+        count = export_csv(path, records, ["id", "who", "score", "when",
+                                           "loc"])
+        assert count == 2
+        back = import_csv(path)
+        assert back[0]["when"] == records[0]["when"]
+        assert back[0]["loc"] == records[0]["loc"]
+        assert back[1]["score"] is None
+        assert "when" not in back[1]   # missing cell dropped
+
+    def test_nested_values(self, tmp_path):
+        records = [{"id": 1, "tags": ["a", "b"], "obj": {"x": 1}}]
+        path = str(tmp_path / "n.csv")
+        export_csv(path, records, ["id", "tags", "obj"])
+        back = import_csv(path)
+        assert back[0]["tags"] == ["a", "b"]
+        assert back[0]["obj"] == {"x": 1}
+
+    def test_db_roundtrip(self, db, tmp_path):
+        """§V-D: export a dataset to CSV, reimport into another."""
+        db.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET A(T) PRIMARY KEY id;
+            CREATE DATASET B(T) PRIMARY KEY id;
+            INSERT INTO A ([{"id": 1, "x": "one"}, {"id": 2, "x": "two"}]);
+        """)
+        rows = db.query("SELECT VALUE a FROM A a;")
+        path = str(tmp_path / "dump.csv")
+        export_csv(path, rows, ["id", "x"])
+        for record in import_csv(path):
+            db.cluster.insert_record("Default.B", record)
+        assert sorted(db.query("SELECT VALUE b.x FROM B b;")) == \
+            ["one", "two"]

@@ -1,0 +1,288 @@
+"""Tests for the builtin function library."""
+
+import pytest
+
+from repro.adm import (
+    MISSING,
+    ADate,
+    ADateTime,
+    ADuration,
+    AInterval,
+    APoint,
+    ARectangle,
+    ATime,
+    Multiset,
+    TypeTag,
+)
+from repro.common.errors import IdentifierError, TypeError_
+from repro.functions import call, is_aggregate, resolve_aggregate
+from repro.functions.aggregates import AggregateState
+
+
+class TestRegistry:
+    def test_unknown_function(self):
+        with pytest.raises(IdentifierError):
+            call("frobnicate", 1)
+
+    def test_case_and_dash_insensitive(self):
+        assert call("COLL-COUNT", [1, 2]) == 2
+        assert call("coll_count", [1, 2]) == 2
+
+    def test_wrong_arity(self):
+        with pytest.raises(IdentifierError, match="arguments"):
+            call("abs", 1, 2)
+
+    def test_is_aggregate(self):
+        assert is_aggregate("count")
+        assert not is_aggregate("abs")
+
+
+class TestUnknownPropagation:
+    def test_missing_propagates(self):
+        assert call("numeric_add", MISSING, 1) is MISSING
+
+    def test_null_propagates(self):
+        assert call("numeric_add", None, 1) is None
+
+    def test_missing_beats_null(self):
+        assert call("numeric_add", MISSING, None) is MISSING
+
+    def test_is_missing_sees_raw(self):
+        assert call("is_missing", MISSING) is True
+        assert call("is_null", None) is True
+        assert call("is_unknown", MISSING) is True
+
+    def test_if_missing_or_null(self):
+        assert call("if_missing_or_null", MISSING, None, 42) == 42
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert call("numeric_add", 2, 3) == 5
+
+    def test_divide_by_zero_is_null(self):
+        assert call("numeric_divide", 1, 0) is None
+        assert call("numeric_mod", 1, 0) is None
+
+    def test_idiv(self):
+        assert call("numeric_idiv", 7, 2) == 3
+
+    def test_type_error_on_string(self):
+        with pytest.raises(TypeError_):
+            call("numeric_multiply", "a", 2)
+
+    def test_round_floor_ceiling(self):
+        assert call("floor", 2.7) == 2
+        assert call("ceiling", 2.1) == 3
+        assert call("abs", -5) == 5
+
+    def test_sqrt_negative_null(self):
+        assert call("sqrt", -1) is None
+
+
+class TestComparison:
+    def test_numeric_cross_type(self):
+        assert call("eq", 1, 1.0) is True
+        assert call("lt", 1, 1.5) is True
+
+    def test_incomparable_types_yield_null(self):
+        assert call("eq", 1, "one") is None
+        assert call("lt", "a", 2) is None
+
+    def test_string_compare(self):
+        assert call("le", "apple", "banana") is True
+
+    def test_between(self):
+        assert call("between", 5, 1, 10) is True
+        assert call("between", 11, 1, 10) is False
+
+
+class TestLogic:
+    def test_and_truth_table(self):
+        assert call("and", True, True) is True
+        assert call("and", True, False) is False
+        assert call("and", False, None) is False   # false dominates
+        assert call("and", True, None) is None
+
+    def test_or_truth_table(self):
+        assert call("or", False, True) is True
+        assert call("or", None, True) is True      # true dominates
+        assert call("or", False, None) is None
+
+    def test_not(self):
+        assert call("not", True) is False
+        assert call("not", None) is None
+
+
+class TestStrings:
+    def test_basics(self):
+        assert call("lower", "ABC") == "abc"
+        assert call("string_length", "héllo") == 5
+        assert call("substr", "hello", 1, 3) == "ell"
+        assert call("contains", "asterixdb", "rix") is True
+
+    def test_substr_negative(self):
+        assert call("substr", "hello", -2) == "lo"
+
+    def test_like(self):
+        assert call("like", "GleambookUsers", "Gleam%") is True
+        assert call("like", "abc", "a_c") is True
+        assert call("like", "abc", "a_d") is False
+
+    def test_concat(self):
+        assert call("string_concat", "a", "b", "c") == "abc"
+
+    def test_edit_distance(self):
+        assert call("edit_distance", "asterix", "asterisk") == 2
+        assert call("edit_distance", "", "abc") == 3
+
+
+class TestCollections:
+    def test_coll_count_multiset(self):
+        assert call("coll_count", Multiset([1, 2, 3])) == 3
+
+    def test_coll_sum_skips_nulls(self):
+        assert call("coll_sum", [1, None, 2]) == 3
+        assert call("coll_sum", []) is None
+
+    def test_min_max(self):
+        assert call("coll_min", [3, 1, 2]) == 1
+        assert call("coll_max", ["a", "c", "b"]) == "c"
+
+    def test_get_item(self):
+        assert call("get_item", [10, 20], 1) == 20
+        assert call("get_item", [10, 20], 5) is MISSING
+        assert call("get_item", [10, 20], -1) == 20
+
+    def test_range(self):
+        assert call("range", 1, 4) == [1, 2, 3, 4]
+
+    def test_array_functions(self):
+        assert call("array_distinct", [1, 1.0, 2]) == [1, 2]
+        assert call("array_contains", [1, 2], 2) is True
+        assert call("array_flatten", [[1], 2, [3]]) == [1, 2, 3]
+
+
+class TestObjects:
+    def test_field_access(self):
+        assert call("field_access", {"a": 1}, "a") == 1
+        assert call("field_access", {"a": 1}, "b") is MISSING
+        assert call("field_access", "notobj", "a") is MISSING
+
+    def test_object_merge_remove(self):
+        assert call("object_merge", {"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+        assert call("object_remove", {"a": 1, "b": 2}, "a") == {"b": 2}
+
+
+class TestTemporal:
+    def test_constructors(self):
+        assert call("datetime", "2017-01-01T00:00:00") == \
+            ADateTime.parse("2017-01-01T00:00:00")
+        assert call("date", "2017-01-20") == ADate.parse("2017-01-20")
+        assert call("duration", "P30D") == ADuration.parse("P30D")
+
+    def test_current_datetime_deterministic(self):
+        assert call("current_datetime") == call("current_datetime")
+
+    def test_fig3c_arithmetic(self):
+        """endTime - duration('P30D'), the paper's Fig. 3(c) WITH clause."""
+        end = call("current_datetime")
+        start = call("numeric_subtract", end, ADuration.parse("P30D"))
+        assert isinstance(start, ADateTime)
+        assert end.millis - start.millis == 30 * 86_400_000
+
+    def test_extractors(self):
+        dt = ADateTime.parse("2017-06-15T13:45:30")
+        assert call("get_year", dt) == 2017
+        assert call("get_month", dt) == 6
+        assert call("get_day", dt) == 15
+        assert call("get_hour", dt) == 13
+        assert call("get_minute", dt) == 45
+        assert call("get_second", dt) == 30
+
+    def test_interval(self):
+        iv = call("interval", ADateTime(100), ADateTime(200))
+        assert call("get_interval_start", iv) == ADateTime(100)
+        assert call("get_interval_end", iv) == ADateTime(200)
+        assert call("duration_from_interval", iv) == ADuration(0, 100)
+
+    def test_interval_bin(self):
+        hour = ADuration.parse("PT1H")
+        anchor = ADateTime.parse("2014-01-01T00:00:00")
+        dt = ADateTime.parse("2014-01-01T10:30:00")
+        bin_ = call("interval_bin", dt, anchor, hour)
+        assert call("get_interval_start", bin_) == \
+            ADateTime.parse("2014-01-01T10:00:00")
+
+    def test_overlap_bins_spanning_activity(self):
+        """The §V-D case: an activity from 10:30 to 12:15 spans 3 bins."""
+        hour = ADuration.parse("PT1H")
+        anchor = ADateTime.parse("2014-01-01T00:00:00")
+        activity = call(
+            "interval",
+            ADateTime.parse("2014-01-01T10:30:00"),
+            ADateTime.parse("2014-01-01T12:15:00"),
+        )
+        bins = call("overlap_bins", activity, anchor, hour)
+        assert len(bins) == 3
+        # the overlap with the middle bin is the whole hour
+        mid = call("get_overlapping_interval", activity, bins[1])
+        assert call("duration_from_interval", mid) == \
+            ADuration.parse("PT1H")
+        # the first bin gets only 30 minutes
+        first = call("get_overlapping_interval", activity, bins[0])
+        assert call("duration_from_interval", first) == \
+            ADuration.parse("PT30M")
+
+    def test_overlap_bins_within_one_bin(self):
+        hour = ADuration.parse("PT1H")
+        anchor = ADateTime(0)
+        activity = call("interval", ADateTime(100), ADateTime(200))
+        assert len(call("overlap_bins", activity, anchor, hour)) == 1
+
+
+class TestSpatial:
+    def test_point_accessors(self):
+        p = call("create_point", 1.5, 2.5)
+        assert call("get_x", p) == 1.5
+        assert call("get_y", p) == 2.5
+
+    def test_distance(self):
+        assert call("spatial_distance", APoint(0, 0), APoint(3, 4)) == 5.0
+
+    def test_intersect_point_rect(self):
+        rect = ARectangle(APoint(0, 0), APoint(10, 10))
+        assert call("spatial_intersect", APoint(5, 5), rect) is True
+        assert call("spatial_intersect", rect, APoint(50, 5)) is False
+
+    def test_intersect_unsupported(self):
+        with pytest.raises(TypeError_):
+            call("spatial_intersect", 1, 2)
+
+
+class TestAggregates:
+    def run_agg(self, name, values):
+        state = AggregateState(resolve_aggregate(name))
+        for v in values:
+            state.step(v)
+        return state.finish()
+
+    def test_count_skips_unknowns(self):
+        assert self.run_agg("count", [1, None, MISSING, 2]) == 2
+
+    def test_count_star_counts_all(self):
+        assert self.run_agg("count_star", [1, None, MISSING]) == 3
+
+    def test_sum_empty_is_null(self):
+        assert self.run_agg("sum", []) is None
+        assert self.run_agg("sum", [None]) is None
+
+    def test_avg(self):
+        assert self.run_agg("avg", [1, 2, None, 3]) == 2.0
+
+    def test_min_max_mixed(self):
+        assert self.run_agg("min", [3, 1.5, 2]) == 1.5
+        assert self.run_agg("max", [3, 1.5, 2]) == 3
+
+    def test_listify_keeps_unknowns(self):
+        assert self.run_agg("listify", [1, None, 2]) == [1, None, 2]

@@ -1,0 +1,29 @@
+"""Shared fixtures: a small simulated cluster."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, NodeConfig
+from repro.hyracks import ClusterController
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    config = ClusterConfig(
+        num_nodes=2,
+        partitions_per_node=2,
+        node=NodeConfig(buffer_cache_pages=128, memory_component_pages=64,
+                        sort_memory_frames=4, join_memory_frames=4,
+                        group_memory_frames=4),
+        frame_size=16,
+    )
+    cc = ClusterController(str(tmp_path / "cluster"), config)
+    yield cc
+    cc.close()
+
+
+@pytest.fixture
+def single_node_cluster(tmp_path):
+    config = ClusterConfig(num_nodes=1, partitions_per_node=1, frame_size=16)
+    cc = ClusterController(str(tmp_path / "single"), config)
+    yield cc
+    cc.close()

@@ -1,0 +1,110 @@
+"""Unit tests for the Hyracks connectors."""
+
+import pytest
+
+from repro.common.config import CostModel
+from repro.hyracks.connectors import (
+    BroadcastConnector,
+    HashPartitionConnector,
+    MergeConnector,
+    OneToOneConnector,
+    RangePartitionConnector,
+)
+
+
+class FakeCtx:
+    def __init__(self):
+        self.cost = CostModel()
+        self.network = 0
+        self.hashes = 0
+        self.compares = 0
+
+    def charge_network(self, n):
+        self.network += n
+
+    def charge_hash(self, n):
+        self.hashes += n
+
+    def charge_compare(self, n):
+        self.compares += n
+
+
+@pytest.fixture
+def ctx():
+    return FakeCtx()
+
+
+class TestOneToOne:
+    def test_same_width_passthrough(self, ctx):
+        out = OneToOneConnector().route([[(1,)], [(2,)]], 2, ctx)
+        assert out == [[(1,)], [(2,)]]
+        assert ctx.network == 0
+
+    def test_widen_singleton(self, ctx):
+        out = OneToOneConnector().route([[(1,), (2,)]], 3, ctx)
+        assert out[0] == [(1,), (2,)]
+        assert out[1] == [] and out[2] == []
+
+    def test_gather_to_one(self, ctx):
+        out = OneToOneConnector().route([[(1,)], [(2,)], [(3,)]], 1, ctx)
+        assert out == [[(1,), (2,), (3,)]]
+        assert ctx.network == 2   # partitions 1 and 2 moved
+
+    def test_incompatible_widths_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            OneToOneConnector().route([[], [], []], 2, ctx)
+
+
+class TestHashPartition:
+    def test_deterministic_routing(self, ctx):
+        conn = HashPartitionConnector([0])
+        data = [[(i, "x") for i in range(50)]]
+        out1 = conn.route(data, 4, ctx)
+        out2 = conn.route(data, 4, FakeCtx())
+        assert out1 == out2
+        assert sum(len(p) for p in out1) == 50
+
+    def test_same_key_same_partition(self, ctx):
+        conn = HashPartitionConnector([0])
+        out = conn.route([[(7, "a"), (7, "b"), (8, "c")]], 4, ctx)
+        homes = [i for i, p in enumerate(out)
+                 if any(t[0] == 7 for t in p)]
+        assert len(homes) == 1
+
+    def test_composite_keys(self, ctx):
+        conn = HashPartitionConnector([0, 1])
+        out = conn.route([[("a", 1, "x"), ("a", 1, "y"), ("b", 2, "z")]],
+                         8, ctx)
+        assert sum(len(p) for p in out) == 3
+
+
+class TestBroadcast:
+    def test_everyone_gets_everything(self, ctx):
+        out = BroadcastConnector().route([[(1,)], [(2,)]], 3, ctx)
+        assert all(sorted(p) == [(1,), (2,)] for p in out)
+        assert ctx.network == 2 * 2   # 2 tuples x (3-1) extra copies
+
+
+class TestMerge:
+    def test_sorted_merge(self, ctx):
+        conn = MergeConnector([0])
+        out = conn.route([[(1,), (4,)], [(2,), (3,)]], 1, ctx)
+        assert out == [[(1,), (2,), (3,), (4,)]]
+
+    def test_descending_merge(self, ctx):
+        conn = MergeConnector([0], descending=[True])
+        out = conn.route([[(4,), (1,)], [(3,), (2,)]], 1, ctx)
+        assert out == [[(4,), (3,), (2,), (1,)]]
+
+    def test_requires_single_consumer(self, ctx):
+        with pytest.raises(ValueError):
+            MergeConnector([0]).route([[(1,)]], 2, ctx)
+
+
+class TestRangePartition:
+    def test_split_points(self, ctx):
+        conn = RangePartitionConnector(0, [10, 20])
+        out = conn.route([[(5,), (15,), (25,), (10,)]], 3, ctx)
+        assert out[0] == [(5,), (10,)]     # <= 10
+        assert out[1] == [(15,)]
+        assert out[2] == [(25,)]

@@ -1,0 +1,142 @@
+"""Unit tests for the runtime expression IR."""
+
+import pytest
+
+from repro.adm import MISSING, Multiset
+from repro.common.errors import CompilationError
+from repro.hyracks.expressions import (
+    CaseExpr,
+    CollectionConstructor,
+    ColumnRef,
+    Comprehension,
+    Const,
+    FunctionCall,
+    ObjectConstructor,
+    Quantified,
+    VarRef,
+    evaluate_predicate,
+)
+
+
+class TestBasics:
+    def test_const_and_column(self):
+        assert Const(42).evaluate(()) == 42
+        assert ColumnRef(1).evaluate((10, 20)) == 20
+
+    def test_var_ref_env(self):
+        assert VarRef("x").evaluate((), {"x": 7}) == 7
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(CompilationError, match="unbound"):
+            VarRef("x").evaluate((), {})
+
+    def test_function_call(self):
+        e = FunctionCall("numeric_add", [ColumnRef(0), Const(5)])
+        assert e.evaluate((10,)) == 15
+
+    def test_bad_arity_at_construction(self):
+        with pytest.raises(CompilationError):
+            FunctionCall("abs", [Const(1), Const(2)])
+
+    def test_unknown_propagation(self):
+        e = FunctionCall("numeric_add", [ColumnRef(0), Const(1)])
+        assert e.evaluate((MISSING,)) is MISSING
+        assert e.evaluate((None,)) is None
+
+    def test_columns_collection(self):
+        e = FunctionCall("numeric_add", [
+            ColumnRef(0),
+            FunctionCall("numeric_multiply", [ColumnRef(2), Const(2)]),
+        ])
+        assert e.columns() == {0, 2}
+
+
+class TestQuantified:
+    def q(self, some=True):
+        return Quantified(
+            some, "f", ColumnRef(0),
+            FunctionCall("gt", [VarRef("f"), Const(10)]),
+        )
+
+    def test_some_true(self):
+        assert self.q().evaluate(([5, 20],)) is True
+
+    def test_some_false(self):
+        assert self.q().evaluate(([1, 2],)) is False
+
+    def test_some_empty_is_false(self):
+        assert self.q().evaluate(([],)) is False
+
+    def test_every_empty_is_true(self):
+        assert self.q(some=False).evaluate(([],)) is True
+
+    def test_every(self):
+        assert self.q(some=False).evaluate(([11, 12],)) is True
+        assert self.q(some=False).evaluate(([11, 2],)) is False
+
+    def test_non_collection_is_null(self):
+        assert self.q().evaluate((42,)) is None
+
+    def test_missing_propagates(self):
+        assert self.q().evaluate((MISSING,)) is MISSING
+
+
+class TestConstructors:
+    def test_object_drops_missing(self):
+        e = ObjectConstructor([
+            (Const("a"), ColumnRef(0)),
+            (Const("b"), ColumnRef(1)),
+        ])
+        assert e.evaluate((1, MISSING)) == {"a": 1}
+
+    def test_object_null_name_skipped(self):
+        e = ObjectConstructor([(Const(None), Const(1)),
+                               (Const("k"), Const(2))])
+        assert e.evaluate(()) == {"k": 2}
+
+    def test_collection_multiset(self):
+        e = CollectionConstructor([Const(1), Const(2)], multiset=True)
+        out = e.evaluate(())
+        assert isinstance(out, Multiset)
+
+    def test_case(self):
+        e = CaseExpr(
+            [(FunctionCall("gt", [ColumnRef(0), Const(0)]), Const("pos"))],
+            Const("nonpos"),
+        )
+        assert e.evaluate((5,)) == "pos"
+        assert e.evaluate((-5,)) == "nonpos"
+        assert e.evaluate((None,)) == "nonpos"   # unknown cond != True
+
+
+class TestComprehension:
+    def test_map_filter(self):
+        e = Comprehension(
+            "x", ColumnRef(0),
+            FunctionCall("gt", [VarRef("x"), Const(1)]),
+            FunctionCall("numeric_multiply", [VarRef("x"), Const(10)]),
+        )
+        assert e.evaluate(([1, 2, 3],)) == [20, 30]
+
+    def test_nested_flattens(self):
+        inner = Comprehension("y", VarRef("x"), None, VarRef("y"))
+        outer = Comprehension("x", ColumnRef(0), None, inner)
+        assert outer.evaluate(([[1, 2], [3]],)) == [1, 2, 3]
+
+    def test_null_missing(self):
+        e = Comprehension("x", ColumnRef(0), None, VarRef("x"))
+        assert e.evaluate((None,)) is None
+        assert e.evaluate((MISSING,)) is MISSING
+
+    def test_scalar_source_iterates_once(self):
+        e = Comprehension("x", ColumnRef(0), None, VarRef("x"))
+        assert e.evaluate((7,)) == [7]
+
+
+class TestPredicateSemantics:
+    def test_only_true_passes(self):
+        assert evaluate_predicate(Const(True), ())
+        assert not evaluate_predicate(Const(False), ())
+        assert not evaluate_predicate(Const(None), ())
+        assert not evaluate_predicate(Const(MISSING), ())
+        assert not evaluate_predicate(Const(1), ())

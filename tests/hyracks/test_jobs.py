@@ -1,0 +1,354 @@
+"""End-to-end Hyracks job tests built by hand (no SQL++ involved)."""
+
+import pytest
+
+from repro.common.errors import CompilationError
+from repro.hyracks import (
+    BroadcastConnector,
+    ColumnRef,
+    Const,
+    FunctionCall,
+    HashPartitionConnector,
+    JobSpecification,
+    MergeConnector,
+    OneToOneConnector,
+)
+from repro.hyracks.operators import (
+    AggregateCall,
+    AggregateOp,
+    AssignOp,
+    DatasetScanOp,
+    DistinctOp,
+    ExternalSortOp,
+    HashGroupByOp,
+    HybridHashJoinOp,
+    InMemorySourceOp,
+    LimitOp,
+    NestedLoopJoinOp,
+    PreclusteredGroupByOp,
+    ProjectOp,
+    ResultWriterOp,
+    SelectOp,
+    TopKSortOp,
+    UnionAllOp,
+    UnnestOp,
+)
+
+
+def run(cluster, job):
+    return cluster.run_job(job)
+
+
+def simple_job(*ops_and_connectors):
+    """Chain ops linearly with the given connectors between them."""
+    job = JobSpecification()
+    prev = None
+    for item in ops_and_connectors:
+        if prev is None:
+            prev = job.add_operator(item)
+            continue
+        connector, op = item
+        op_id = job.add_operator(op)
+        job.connect(connector, prev, op_id)
+        prev = op_id
+    return job
+
+
+class TestJobValidation:
+    def test_cycle_detected(self, cluster):
+        job = JobSpecification()
+        a = job.add_operator(SelectOp(Const(True)))
+        b = job.add_operator(SelectOp(Const(True)))
+        job.connect(OneToOneConnector(), a, b)
+        job.connect(OneToOneConnector(), b, a)
+        with pytest.raises(CompilationError, match="cycle"):
+            cluster.run_job(job)
+
+    def test_missing_input_detected(self, cluster):
+        job = JobSpecification()
+        job.add_operator(SelectOp(Const(True)))  # select has 1 input port
+        with pytest.raises(CompilationError, match="input"):
+            cluster.run_job(job)
+
+
+class TestSimplePipeline:
+    def test_source_filter_project(self, cluster):
+        source = InMemorySourceOp([(i, i * 10) for i in range(10)])
+        job = simple_job(
+            source,
+            (OneToOneConnector(),
+             SelectOp(FunctionCall("gt", [ColumnRef(0), Const(6)]))),
+            (OneToOneConnector(), ProjectOp([1])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        result = run(cluster, job)
+        assert sorted(result.tuples) == [(70,), (80,), (90,)]
+
+    def test_assign(self, cluster):
+        source = InMemorySourceOp([(2,), (3,)])
+        job = simple_job(
+            source,
+            (OneToOneConnector(), AssignOp([
+                FunctionCall("numeric_multiply", [ColumnRef(0), Const(10)]),
+            ])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert sorted(run(cluster, job).tuples) == [(2, 20), (3, 30)]
+
+    def test_limit_offset(self, cluster):
+        source = InMemorySourceOp([(i,) for i in range(10)])
+        job = simple_job(
+            source,
+            (OneToOneConnector(), LimitOp(3, offset=2)),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert run(cluster, job).tuples == [(2,), (3,), (4,)]
+
+    def test_unnest(self, cluster):
+        source = InMemorySourceOp([(1, [10, 20]), (2, [])])
+        job = simple_job(
+            source,
+            (OneToOneConnector(), UnnestOp(ColumnRef(1))),
+            (OneToOneConnector(), ProjectOp([0, 2])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert sorted(run(cluster, job).tuples) == [(1, 10), (1, 20)]
+
+    def test_union_all(self, cluster):
+        a = InMemorySourceOp([(1,)])
+        b = InMemorySourceOp([(2,)])
+        job = JobSpecification()
+        ia = job.add_operator(a)
+        ib = job.add_operator(b)
+        union = job.add_operator(UnionAllOp())
+        sink = job.add_operator(ResultWriterOp())
+        job.connect(OneToOneConnector(), ia, union, port=0)
+        job.connect(OneToOneConnector(), ib, union, port=1)
+        job.connect(OneToOneConnector(), union, sink)
+        assert sorted(run(cluster, job).tuples) == [(1,), (2,)]
+
+    def test_distinct(self, cluster):
+        source = InMemorySourceOp([(1,), (1,), (2,), (1.0,)])
+        job = simple_job(
+            source,
+            (HashPartitionConnector([0]), DistinctOp()),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert sorted(run(cluster, job).tuples) == [(1,), (2,)]
+
+
+class TestSort:
+    def test_sort_with_merge_connector(self, cluster):
+        data = [(i * 7919 % 100, i) for i in range(100)]
+        source = InMemorySourceOp(data)
+        job = simple_job(
+            source,
+            (HashPartitionConnector([0]), ExternalSortOp([0])),
+            (MergeConnector([0]), ResultWriterOp()),
+        )
+        got = [t[0] for t in run(cluster, job).tuples]
+        assert got == sorted(got)
+        assert len(got) == 100
+
+    def test_sort_descending(self, cluster):
+        source = InMemorySourceOp([(3,), (1,), (2,)])
+        job = simple_job(
+            source,
+            (OneToOneConnector(), ExternalSortOp([0], descending=[True])),
+            (MergeConnector([0], descending=[True]), ResultWriterOp()),
+        )
+        assert run(cluster, job).tuples == [(3,), (2,), (1,)]
+
+    def test_external_sort_spills(self, cluster):
+        """Budget of 4 frames * 16 tuples = 64; 500 tuples must spill."""
+        data = [(i * 31 % 500,) for i in range(500)]
+        sort_op = ExternalSortOp([0], memory_frames=4)
+        source = InMemorySourceOp(data)
+        job = simple_job(
+            source,
+            (OneToOneConnector(), sort_op),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        result = run(cluster, job)
+        got = [t[0] for t in result.tuples]
+        assert got == sorted(d[0] for d in data)
+        assert max(sort_op.last_run_counts) > 1     # it really spilled
+        assert result.profile.physical_writes > 0   # spill I/O counted
+
+    def test_topk(self, cluster):
+        source = InMemorySourceOp([(i,) for i in range(100)])
+        job = simple_job(
+            source,
+            (OneToOneConnector(), TopKSortOp([0], k=3)),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert run(cluster, job).tuples == [(0,), (1,), (2,)]
+
+
+class TestJoin:
+    def make_join_job(self, join_op, left_data, right_data,
+                      left_conn=None, right_conn=None):
+        job = JobSpecification()
+        left = job.add_operator(InMemorySourceOp(left_data))
+        right = job.add_operator(InMemorySourceOp(right_data))
+        join = job.add_operator(join_op)
+        sink = job.add_operator(ResultWriterOp())
+        job.connect(left_conn or HashPartitionConnector([0]), left, join, 0)
+        job.connect(right_conn or HashPartitionConnector([0]), right, join, 1)
+        job.connect(OneToOneConnector(), join, sink)
+        return job
+
+    def test_inner_hash_join(self, cluster):
+        left = [(i, f"l{i}") for i in range(10)]
+        right = [(i, f"r{i}") for i in range(5, 15)]
+        job = self.make_join_job(HybridHashJoinOp([0], [0]), left, right)
+        got = sorted(run(cluster, job).tuples)
+        assert got == [(i, f"l{i}", i, f"r{i}") for i in range(5, 10)]
+
+    def test_left_outer_join(self, cluster):
+        from repro.adm import MISSING
+
+        left = [(1, "a"), (2, "b")]
+        right = [(1, "x")]
+        job = self.make_join_job(
+            HybridHashJoinOp([0], [0], kind="leftouter", right_width=2),
+            left, right)
+        got = sorted(run(cluster, job).tuples,
+                     key=lambda t: t[0])
+        assert got[0] == (1, "a", 1, "x")
+        assert got[1] == (2, "b", MISSING, MISSING)
+
+    def test_semi_join(self, cluster):
+        left = [(1,), (2,), (3,)]
+        right = [(2, "x"), (2, "y")]
+        job = self.make_join_job(
+            HybridHashJoinOp([0], [0], kind="leftsemi"), left, right)
+        assert sorted(run(cluster, job).tuples) == [(2,)]
+
+    def test_anti_join(self, cluster):
+        left = [(1,), (2,), (3,)]
+        right = [(2, "x")]
+        job = self.make_join_job(
+            HybridHashJoinOp([0], [0], kind="leftanti"), left, right)
+        assert sorted(run(cluster, job).tuples) == [(1,), (3,)]
+
+    def test_join_spills_under_budget(self, cluster):
+        n = 2000
+        left = [(i,) for i in range(n)]
+        right = [(i, i) for i in range(n)]
+        join_op = HybridHashJoinOp([0], [0], memory_frames=2)
+        job = self.make_join_job(join_op, left, right)
+        result = run(cluster, job)
+        assert len(result.tuples) == n
+        assert join_op.spill_rounds > 0
+        assert result.profile.physical_writes > 0
+
+    def test_nested_loop_join_non_equi(self, cluster):
+        left = [(1,), (5,)]
+        right = [(3,), (7,)]
+        cond = FunctionCall("lt", [ColumnRef(0), ColumnRef(1)])
+        job = self.make_join_job(
+            NestedLoopJoinOp(cond), left, right,
+            left_conn=OneToOneConnector(),
+            right_conn=BroadcastConnector(),
+        )
+        got = sorted(run(cluster, job).tuples)
+        assert got == [(1, 3), (1, 7), (5, 7)]
+
+
+class TestGroupBy:
+    def test_hash_group_by(self, cluster):
+        data = [(i % 3, i) for i in range(30)]
+        job = simple_job(
+            InMemorySourceOp(data),
+            (HashPartitionConnector([0]), HashGroupByOp(
+                [0], [AggregateCall("count", ColumnRef(1)),
+                      AggregateCall("sum", ColumnRef(1))])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        got = sorted(run(cluster, job).tuples)
+        assert got == [
+            (0, 10, sum(range(0, 30, 3))),
+            (1, 10, sum(range(1, 30, 3))),
+            (2, 10, sum(range(2, 30, 3))),
+        ]
+
+    def test_hash_group_by_spills(self, cluster):
+        data = [(i, 1) for i in range(3000)]   # all distinct keys
+        gb = HashGroupByOp([0], [AggregateCall("count", ColumnRef(1))],
+                           memory_frames=2)
+        job = simple_job(
+            InMemorySourceOp(data),
+            (HashPartitionConnector([0]), gb),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        result = run(cluster, job)
+        assert len(result.tuples) == 3000
+        assert gb.spill_rounds > 0
+
+    def test_preclustered_group_by(self, cluster):
+        data = sorted([(i % 4, i) for i in range(20)])
+        job = simple_job(
+            InMemorySourceOp(data),
+            (OneToOneConnector(), PreclusteredGroupByOp(
+                [0], [AggregateCall("count", ColumnRef(1))])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        got = sorted(run(cluster, job).tuples)
+        assert got == [(0, 5), (1, 5), (2, 5), (3, 5)]
+
+    def test_global_aggregate(self, cluster):
+        data = [(i,) for i in range(10)]
+        job = simple_job(
+            InMemorySourceOp(data),
+            (OneToOneConnector(), AggregateOp([
+                AggregateCall("count", ColumnRef(0)),
+                AggregateCall("avg", ColumnRef(0)),
+            ])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        assert run(cluster, job).tuples == [(10, 4.5)]
+
+
+class TestDatasetIntegration:
+    def test_scan_over_partitions(self, cluster):
+        cluster.create_dataset("ds", ("id",))
+        for i in range(40):
+            cluster.insert_record("ds", {"id": i, "v": i * 2})
+        job = simple_job(
+            DatasetScanOp("ds"),
+            (OneToOneConnector(), ProjectOp([0])),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        got = sorted(t[0] for t in run(cluster, job).tuples)
+        assert got == list(range(40))
+
+    def test_records_hash_distributed(self, cluster):
+        cluster.create_dataset("ds", ("id",))
+        for i in range(100):
+            cluster.insert_record("ds", {"id": i})
+        counts = []
+        for p in range(cluster.num_partitions):
+            node = cluster.node_of_partition(p)
+            counts.append(node.get_partition("ds", p).count())
+        assert sum(counts) == 100
+        assert min(counts) > 5  # roughly balanced
+
+    def test_profile_reports_simulated_time(self, cluster):
+        cluster.create_dataset("ds", ("id",))
+        for i in range(50):
+            cluster.insert_record("ds", {"id": i})
+        cluster.flush_dataset("ds")
+        for node in cluster.nodes:
+            node.cache.flush_all()
+            for (dsname, p), storage in node.partitions.items():
+                for comp in storage.primary.components:
+                    node.cache.evict_file(comp.handle)
+        job = simple_job(
+            DatasetScanOp("ds"),
+            (OneToOneConnector(), ResultWriterOp()),
+        )
+        result = run(cluster, job)
+        assert result.profile.simulated_us > 0
+        assert result.profile.physical_reads > 0
+        assert "dataset-scan" in result.profile.describe()

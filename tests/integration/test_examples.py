@@ -1,0 +1,37 @@
+"""Every example script must run clean end to end (they are the README's
+promises)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "social_analytics.py",
+        "multitasking_study.py",
+        "big_active_data.py",
+        "htap_analytics.py",
+        "continuous_ingestion.py",
+    } <= set(EXAMPLES)

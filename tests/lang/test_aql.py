@@ -1,0 +1,192 @@
+"""AQL tests: the deprecated first language, compiled as a peer of SQL++
+through the same algebra (the §IV-A claim, verified end to end)."""
+
+import pytest
+
+from repro import connect
+from repro.lang import core_ast as ast
+from repro.lang.aql.parser import parse_aql
+
+
+def one(text):
+    statements = parse_aql(text)
+    assert len(statements) == 1
+    return statements[0]
+
+
+class TestAQLParser:
+    def test_simple_flwor(self):
+        stmt = one("for $u in dataset Users return $u;")
+        q = stmt.query
+        assert q.from_terms[0].alias == "u"
+        assert q.select.value_expr is not None
+
+    def test_dataset_function_form(self):
+        stmt = one("for $u in dataset('Users') return $u.name;")
+        term = stmt.query.from_terms[0]
+        assert isinstance(term.expr, ast.Call)
+        assert term.expr.args[0].value == "Users"
+
+    def test_let_where(self):
+        q = one("""
+            for $u in dataset Users
+            let $nf := count($u.friendIds)
+            where $nf > 2
+            return $nf;
+        """).query
+        assert q.let_clauses[0][0] == "nf"
+        # AQL count() is the collection function
+        assert q.let_clauses[0][1].function == "coll_count"
+        assert q.where.function == "gt"
+
+    def test_multiple_for_clauses(self):
+        q = one("""
+            for $u in dataset Users
+            for $m in dataset Messages
+            where $m.authorId = $u.id
+            return {"u": $u.alias, "m": $m.message};
+        """).query
+        assert len(q.from_terms) == 2
+
+    def test_for_at_positional(self):
+        q = one("for $x at $i in $u.xs return $i;").query
+        assert q.from_terms[0].positional_alias == "i"
+
+    def test_group_by_with(self):
+        q = one("""
+            for $u in dataset Users
+            group by $age := $u.age with $u
+            return {"age": $age, "n": count($u)};
+        """).query
+        assert q.group_keys[0].alias == "age"
+        assert q.aql_group_with == ["u"]
+
+    def test_order_limit(self):
+        q = one("""
+            for $u in dataset Users
+            order by $u.name desc
+            limit 5 offset 2
+            return $u;
+        """).query
+        assert q.order_by[0].descending
+        assert q.limit.value == 5 and q.offset.value == 2
+
+    def test_quantified(self):
+        q = one("""
+            for $u in dataset Users
+            where some $f in $u.friendIds satisfies $f = 3
+            return $u;
+        """).query
+        assert isinstance(q.where, ast.QuantifiedExpr)
+
+    def test_ddl_passthrough(self):
+        stmt = one("create type T as { id: int };")
+        assert isinstance(stmt, ast.CreateType)
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    instance.execute("""
+        CREATE TYPE UserType AS { id: int, alias: string, age: int,
+                                  friendIds: {{ int }} };
+        CREATE DATASET Users(UserType) PRIMARY KEY id;
+    """)
+    for i in range(10):
+        friends = ", ".join(str(j) for j in range(i % 3))
+        instance.execute(
+            f'INSERT INTO Users ({{"id": {i}, "alias": "u{i}", '
+            f'"age": {20 + i % 5}, "friendIds": {{{{{friends}}}}}}});'
+        )
+    yield instance
+    instance.close()
+
+
+class TestAQLExecution:
+    def test_scan(self, db):
+        rows = db.query("for $u in dataset Users return $u.id;",
+                        language="aql")
+        assert sorted(rows) == list(range(10))
+
+    def test_filter(self, db):
+        rows = db.query("""
+            for $u in dataset Users
+            where $u.age = 21
+            return $u.alias;
+        """, language="aql")
+        assert sorted(rows) == ["u1", "u6"]
+
+    def test_let_and_collection_count(self, db):
+        rows = db.query("""
+            for $u in dataset Users
+            let $nf := count($u.friendIds)
+            where $nf = 2
+            return $u.id;
+        """, language="aql")
+        assert sorted(rows) == [2, 5, 8]
+
+    def test_group_by_with(self, db):
+        rows = db.query("""
+            for $u in dataset Users
+            group by $age := $u.age with $u
+            return {"age": $age, "n": count($u)};
+        """, language="aql")
+        assert sorted((r["age"], r["n"]) for r in rows) == [
+            (20, 2), (21, 2), (22, 2), (23, 2), (24, 2)
+        ]
+
+    def test_order_by(self, db):
+        rows = db.query("""
+            for $u in dataset Users
+            order by $u.id desc
+            limit 3
+            return $u.id;
+        """, language="aql")
+        assert rows == [9, 8, 7]
+
+    def test_deprecation_warning(self, db):
+        result = db.execute("for $u in dataset Users return $u;",
+                            language="aql")
+        assert any("deprecated" in w for w in result.warnings)
+
+
+class TestLanguageParity:
+    """The same query in both languages: identical results and — after
+    optimization — the same plan shapes (shared algebra, §IV-A)."""
+
+    PAIRS = [
+        (
+            "SELECT VALUE u.alias FROM Users u WHERE u.age > 22;",
+            "for $u in dataset Users where $u.age > 22 return $u.alias;",
+        ),
+        (
+            "SELECT VALUE u.id FROM Users u WHERE u.id = 4;",
+            "for $u in dataset Users where $u.id = 4 return $u.id;",
+        ),
+        (
+            "SELECT VALUE coll_count(u.friendIds) FROM Users u "
+            "ORDER BY u.id;",
+            "for $u in dataset Users order by $u.id "
+            "return count($u.friendIds);",
+        ),
+    ]
+
+    @pytest.mark.parametrize("sqlpp,aql", PAIRS)
+    def test_same_results(self, db, sqlpp, aql):
+        assert sorted(db.query(sqlpp), key=repr) == \
+            sorted(db.query(aql, language="aql"), key=repr)
+
+    @pytest.mark.parametrize("sqlpp,aql", PAIRS)
+    def test_same_plan_shape(self, db, sqlpp, aql):
+        import re
+
+        def shape(text):
+            plan = db.execute(text[0], explain=True,
+                              language=text[1]).plan
+            # operator names only, variables normalized away
+            return [
+                re.sub(r"\$\$\d+", "$", line).split()[0]
+                for line in plan.splitlines()
+            ]
+
+        assert shape((sqlpp, "sqlpp")) == shape((aql, "aql"))

@@ -1,0 +1,73 @@
+"""Unit tests for the shared SQL++/AQL tokenizer."""
+
+import pytest
+
+from repro.common.errors import SyntaxError_
+from repro.lang.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_idents_and_keywords(self):
+        assert kinds("SELECT value") == [("IDENT", "SELECT"),
+                                         ("IDENT", "value")]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2E-2")
+        assert [t.value for t in tokens[:-1]] == [42, 3.14, 1000.0, 0.02]
+
+    def test_integer_dot_field_not_float(self):
+        # "a.5"? No — but "1.x" must not lex as a float
+        tokens = tokenize("x[1].y")
+        assert [t.text for t in tokens[:-1]] == ["x", "[", "1", "]",
+                                                 ".", "y"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'it''s' \"two\"")
+        assert tokens[0].value == "it's"
+        assert tokens[1].value == "two"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nbA"')[0].value == "a\nbA"
+
+    def test_backtick_identifier(self):
+        tok = tokenize("`path`")[0]
+        assert tok.kind == "IDENT" and tok.text == "path"
+
+    def test_dollar_variables(self):
+        tok = tokenize("$user")[0]
+        assert tok.kind == "VAR" and tok.text == "user"
+
+    def test_multichar_punct(self):
+        assert [t.text for t in tokenize("<= >= != || :=")[:-1]] == \
+            ["<=", ">=", "!=", "||", ":="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a -- comment\n/* block\n */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SyntaxError_, match="unterminated"):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(SyntaxError_, match="comment"):
+            tokenize("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(SyntaxError_):
+            tokenize("a # b")
+
+    def test_bad_variable(self):
+        with pytest.raises(SyntaxError_, match="variable"):
+            tokenize("$ x")

@@ -1,0 +1,332 @@
+"""Tests for the SQL++ parser (AST-level)."""
+
+import pytest
+
+from repro.adm import MISSING
+from repro.common.errors import SyntaxError_
+from repro.lang import core_ast as ast
+from repro.lang.sqlpp.parser import parse_sqlpp, parse_sqlpp_expression
+
+
+def one(text):
+    statements = parse_sqlpp(text)
+    assert len(statements) == 1
+    return statements[0]
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_sqlpp_expression("42").value == 42
+        assert parse_sqlpp_expression("-3.5").args[0].value == 3.5
+        assert parse_sqlpp_expression("'hi'").value == "hi"
+        assert parse_sqlpp_expression("true").value is True
+        assert parse_sqlpp_expression("null").value is None
+        assert parse_sqlpp_expression("missing").value is MISSING
+
+    def test_precedence(self):
+        e = parse_sqlpp_expression("1 + 2 * 3")
+        assert e.function == "numeric_add"
+        assert e.args[1].function == "numeric_multiply"
+
+    def test_comparison_chain(self):
+        e = parse_sqlpp_expression("a.x >= 1 AND a.x < 10 OR b = 2")
+        assert e.function == "or"
+        assert e.args[0].function == "and"
+
+    def test_not_precedence(self):
+        e = parse_sqlpp_expression("NOT a AND b")
+        assert e.function == "and"
+        assert e.args[0].function == "not"
+
+    def test_path_navigation(self):
+        e = parse_sqlpp_expression("u.employment[0].organizationName")
+        assert isinstance(e, ast.FieldAccess)
+        assert e.field == "organizationName"
+        assert isinstance(e.base, ast.IndexAccess)
+
+    def test_is_null_missing(self):
+        assert parse_sqlpp_expression("x IS NULL").function == "is_null"
+        e = parse_sqlpp_expression("x IS NOT MISSING")
+        assert e.function == "not"
+        assert e.args[0].function == "is_missing"
+
+    def test_between(self):
+        e = parse_sqlpp_expression("x BETWEEN 1 AND 10")
+        assert e.function == "between"
+
+    def test_like_and_not_like(self):
+        assert parse_sqlpp_expression("x LIKE 'a%'").function == "like"
+        e = parse_sqlpp_expression("x NOT LIKE 'a%'")
+        assert e.function == "not"
+
+    def test_in_operator(self):
+        e = parse_sqlpp_expression("x IN [1, 2, 3]")
+        assert e.function == "array_contains"
+
+    def test_concat(self):
+        e = parse_sqlpp_expression("a || b || c")
+        assert e.function == "string_concat"
+
+    def test_case_searched(self):
+        e = parse_sqlpp_expression(
+            "CASE WHEN x > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(e, ast.CaseWhen)
+        assert len(e.whens) == 1
+
+    def test_case_simple(self):
+        e = parse_sqlpp_expression("CASE x WHEN 1 THEN 'one' END")
+        assert e.whens[0][0].function == "eq"
+
+    def test_quantified(self):
+        e = parse_sqlpp_expression(
+            "SOME f IN u.friendIds SATISFIES f > 100")
+        assert isinstance(e, ast.QuantifiedExpr)
+        assert e.some and e.var == "f"
+        e2 = parse_sqlpp_expression(
+            "EVERY f IN u.friendIds SATISFIES f > 0")
+        assert not e2.some
+
+    def test_exists(self):
+        e = parse_sqlpp_expression("EXISTS u.employment")
+        assert isinstance(e, ast.ExistsExpr)
+
+    def test_object_constructor(self):
+        e = parse_sqlpp_expression('{"a": 1, "b": x.y}')
+        assert isinstance(e, ast.ObjectExpr)
+        assert e.pairs[0][0].value == "a"
+
+    def test_unquoted_object_keys(self):
+        e = parse_sqlpp_expression("{a: 1}")
+        assert e.pairs[0][0].value == "a"
+
+    def test_array_and_multiset(self):
+        assert not parse_sqlpp_expression("[1, 2]").multiset
+        assert parse_sqlpp_expression("{{1, 2}}").multiset
+
+    def test_function_call(self):
+        e = parse_sqlpp_expression("coll_count(u.friendIds)")
+        assert isinstance(e, ast.Call)
+        assert e.function == "coll_count"
+
+    def test_count_star(self):
+        e = parse_sqlpp_expression("COUNT(*)")
+        assert e.function == "count_star"
+
+    def test_subquery_expression(self):
+        e = parse_sqlpp_expression(
+            "(SELECT VALUE e.organizationName FROM u.employment e)")
+        assert isinstance(e, ast.SubqueryExpr)
+
+    def test_backtick_identifier(self):
+        e = parse_sqlpp_expression("r.`path`")
+        assert e.field == "path"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SyntaxError_):
+            parse_sqlpp_expression("1 1")
+
+
+class TestSelectQueries:
+    def test_minimal(self):
+        stmt = one("SELECT VALUE 1;")
+        q = stmt.query
+        assert q.select.value_expr.value == 1
+
+    def test_select_from_where(self):
+        q = one("SELECT u.name FROM Users u WHERE u.age > 21;").query
+        assert q.from_terms[0].alias == "u"
+        assert q.where.function == "gt"
+        assert q.select.projections[0].alias == "name"
+
+    def test_from_first_order(self):
+        q = one("FROM Users u WHERE u.x = 1 SELECT VALUE u;").query
+        assert q.select.value_expr is not None
+
+    def test_with_clause(self):
+        q = one("WITH t AS current_datetime() SELECT VALUE t;").query
+        assert q.with_clauses[0][0] == "t"
+
+    def test_joins(self):
+        q = one("""
+            SELECT u.name, m.message
+            FROM Users u JOIN Messages m ON m.authorId = u.id;
+        """).query
+        assert q.from_terms[1].kind == "join"
+        assert q.from_terms[1].condition is not None
+
+    def test_left_join(self):
+        q = one("""
+            SELECT u FROM Users u LEFT OUTER JOIN Msgs m
+            ON m.authorId = u.id;
+        """).query
+        assert q.from_terms[1].kind == "leftjoin"
+
+    def test_comma_join(self):
+        q = one("SELECT u, m FROM Users u, Messages m;").query
+        assert len(q.from_terms) == 2
+        assert q.from_terms[1].kind == "from"
+
+    def test_unnest(self):
+        q = one("SELECT f FROM Users u UNNEST u.friendIds f;").query
+        assert q.from_terms[1].kind == "unnest"
+
+    def test_let(self):
+        q = one("""
+            SELECT VALUE nf FROM Users u
+            LET nf = coll_count(u.friendIds);
+        """).query
+        assert q.let_clauses[0][0] == "nf"
+
+    def test_group_by(self):
+        q = one("""
+            SELECT nf, COUNT(u) AS n FROM Users u
+            GROUP BY u.numFriends AS nf;
+        """).query
+        assert q.group_keys[0].alias == "nf"
+
+    def test_group_by_group_as(self):
+        q = one("""
+            SELECT g FROM Users u GROUP BY u.age GROUP AS g;
+        """).query
+        assert q.group_as == "g"
+        assert q.group_keys[0].alias == "age"
+
+    def test_having(self):
+        q = one("""
+            SELECT a FROM Users u GROUP BY u.age AS a
+            HAVING COUNT(u) > 2;
+        """).query
+        assert q.having is not None
+
+    def test_order_limit_offset(self):
+        q = one("""
+            SELECT VALUE u FROM Users u
+            ORDER BY u.name DESC, u.id LIMIT 10 OFFSET 5;
+        """).query
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+        assert q.limit.value == 10
+        assert q.offset.value == 5
+
+    def test_distinct(self):
+        q = one("SELECT DISTINCT VALUE u.age FROM Users u;").query
+        assert q.select.distinct
+
+    def test_select_star(self):
+        q = one("SELECT * FROM Users u;").query
+        assert q.select.projections[0].star
+
+
+class TestDDL:
+    def test_create_dataverse(self):
+        stmt = one("CREATE DATAVERSE social IF NOT EXISTS;")
+        assert stmt.name == "social" and stmt.if_not_exists
+
+    def test_create_type_open(self):
+        stmt = one("""
+            CREATE TYPE UserType AS {
+                id: int, alias: string, friendIds: {{ int }},
+                employment: [EmploymentType], spouse: string?
+            };
+        """)
+        assert stmt.body.is_open
+        names = [f.name for f in stmt.body.fields]
+        assert names == ["id", "alias", "friendIds", "employment", "spouse"]
+        assert stmt.body.fields[2].type_name.kind == "multiset"
+        assert stmt.body.fields[3].type_name.kind == "ordered"
+        assert stmt.body.fields[4].optional
+
+    def test_create_type_closed(self):
+        stmt = one("CREATE TYPE T AS CLOSED { x: int };")
+        assert not stmt.body.is_open
+
+    def test_create_dataset(self):
+        stmt = one("CREATE DATASET Users(UserType) PRIMARY KEY id;")
+        assert stmt.primary_key == ["id"]
+
+    def test_create_dataset_composite_pk(self):
+        stmt = one("CREATE DATASET T(Ty) PRIMARY KEY org, id;")
+        assert stmt.primary_key == ["org", "id"]
+
+    def test_create_external_dataset(self):
+        stmt = one("""
+            CREATE EXTERNAL DATASET Log(LogType) USING localfs
+            (("path"="localhost:///x/y.txt"),
+             ("format"="delimited-text"), ("delimiter"="|"));
+        """)
+        assert stmt.adapter == "localfs"
+        assert stmt.properties["format"] == "delimited-text"
+
+    @pytest.mark.parametrize("ddl,kind,gram", [
+        ("CREATE INDEX i ON D(f);", "btree", 3),
+        ("CREATE INDEX i ON D(f) TYPE BTREE;", "btree", 3),
+        ("CREATE INDEX i ON D(loc) TYPE RTREE;", "rtree", 3),
+        ("CREATE INDEX i ON D(msg) TYPE KEYWORD;", "keyword", 3),
+        ("CREATE INDEX i ON D(msg) TYPE NGRAM(2);", "ngram", 2),
+    ])
+    def test_create_index(self, ddl, kind, gram):
+        stmt = one(ddl)
+        assert stmt.kind == kind and stmt.gram_length == gram
+
+    def test_drop(self):
+        assert one("DROP DATASET Users;").kind == "dataset"
+        stmt = one("DROP INDEX Users.byAlias;")
+        assert stmt.kind == "index" and stmt.dataset == "Users"
+
+    def test_load(self):
+        stmt = one("""
+            LOAD DATASET Users USING localfs
+            (("path"="/data/u.adm"), ("format"="adm"));
+        """)
+        assert stmt.dataset == "Users" and stmt.format == "adm"
+
+
+class TestDML:
+    def test_insert_object(self):
+        stmt = one('INSERT INTO Users ({"id": 1});')
+        assert isinstance(stmt, ast.InsertStatement)
+        assert not stmt.upsert
+
+    def test_upsert(self):
+        stmt = one('UPSERT INTO Users ({"id": 1});')
+        assert stmt.upsert
+
+    def test_insert_subquery(self):
+        stmt = one("INSERT INTO Backup (SELECT VALUE u FROM Users u);")
+        assert isinstance(stmt.payload, ast.SubqueryExpr)
+
+    def test_delete_where(self):
+        stmt = one("DELETE FROM Users u WHERE u.id = 5;")
+        assert stmt.alias == "u"
+        assert stmt.where.function == "eq"
+
+    def test_delete_all(self):
+        stmt = one("DELETE FROM Users;")
+        assert stmt.where is None
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_sqlpp("""
+            CREATE DATAVERSE a;
+            USE a;
+            SELECT VALUE 1;
+        """)
+        assert len(statements) == 3
+
+    def test_comments(self):
+        statements = parse_sqlpp("""
+            -- line comment
+            /* block
+               comment */
+            SELECT VALUE 1;
+        """)
+        assert len(statements) == 1
+
+    def test_error_has_position(self):
+        try:
+            parse_sqlpp("SELECT VALUE\n  %%;")
+        except SyntaxError_ as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected a syntax error")

@@ -1,0 +1,143 @@
+"""Unit tests for the metadata catalog."""
+
+import pytest
+
+from repro import connect
+from repro.common.errors import (
+    DuplicateError,
+    MetadataError,
+    UnknownEntityError,
+)
+from repro.lang import core_ast as ast
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def md(db):
+    return db.metadata
+
+
+class TestDataverses:
+    def test_default_exists(self, md):
+        assert md.current == "Default"
+        assert "Metadata" in md.dataverses
+
+    def test_create_use_drop(self, db, md):
+        db.execute("CREATE DATAVERSE lab; USE lab;")
+        assert md.current == "lab"
+        db.execute("DROP DATAVERSE lab;")
+        assert md.current == "Default"
+        assert "lab" not in md.dataverses
+
+    def test_duplicate_rejected(self, db):
+        db.execute("CREATE DATAVERSE x;")
+        with pytest.raises(DuplicateError):
+            db.execute("CREATE DATAVERSE x;")
+        db.execute("CREATE DATAVERSE x IF NOT EXISTS;")   # idempotent
+
+    def test_metadata_dataverse_protected(self, db):
+        with pytest.raises(MetadataError):
+            db.execute("DROP DATAVERSE Metadata;")
+
+    def test_drop_dataverse_drops_datasets(self, db, md):
+        db.execute("""
+            CREATE DATAVERSE lab; USE lab;
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+        """)
+        db.execute("DROP DATAVERSE lab;")
+        assert not md.dataset_exists("lab.D")
+
+
+class TestTypesAndDatasets:
+    def test_dataset_requires_type(self, db):
+        with pytest.raises(UnknownEntityError):
+            db.execute("CREATE DATASET D(NoSuchType) PRIMARY KEY id;")
+
+    def test_drop_type(self, db, md):
+        db.execute("CREATE TYPE T AS { id: int };")
+        db.execute("DROP TYPE T;")
+        with pytest.raises(UnknownEntityError):
+            md.type_registry("Default").resolve("T")
+
+    def test_dataset_entry_fields(self, db, md):
+        db.execute("""
+            CREATE TYPE T AS { a: int, b: string };
+            CREATE DATASET D(T) PRIMARY KEY a, b;
+        """)
+        entry = md.dataset_entry("D")
+        assert entry.pk_fields == ("a", "b")
+        assert entry.kind == "internal"
+        assert entry.name == "Default.D"
+
+    def test_drop_dataset_frees_storage(self, db, md):
+        db.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            INSERT INTO D ({"id": 1});
+        """)
+        db.execute("DROP DATASET D;")
+        assert not md.dataset_exists("D")
+        # recreating works and starts empty
+        db.execute("CREATE DATASET D(T) PRIMARY KEY id;")
+        assert db.query("SELECT VALUE COUNT(*) FROM D d;") == [0]
+
+    def test_if_exists_variants(self, db):
+        db.execute("DROP DATASET Nope IF EXISTS;")
+        with pytest.raises(UnknownEntityError):
+            db.execute("DROP DATASET Nope;")
+
+
+class TestIndexes:
+    def test_index_metadata_mirrored(self, db):
+        db.execute("""
+            CREATE TYPE T AS { id: int, x: string };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byX ON D(x);
+        """)
+        rows = db.query("""
+            SELECT VALUE i.IndexStructure FROM Metadata.`Index` i
+            WHERE i.IndexName = 'byX';
+        """)
+        assert rows == ["BTREE"]
+
+    def test_drop_index(self, db, md):
+        db.execute("""
+            CREATE TYPE T AS { id: int, x: string };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byX ON D(x);
+            DROP INDEX D.byX;
+        """)
+        assert md.secondary_indexes("D") == []
+
+    def test_duplicate_index(self, db):
+        db.execute("""
+            CREATE TYPE T AS { id: int, x: string };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byX ON D(x);
+        """)
+        with pytest.raises(DuplicateError):
+            db.execute("CREATE INDEX byX ON D(x);")
+        db.execute("CREATE INDEX byX ON D(x) IF NOT EXISTS;")
+
+
+class TestQualification:
+    def test_qualify(self, md):
+        assert md.qualify("Ds") == "Default.Ds"
+        assert md.qualify("Other.Ds") == "Other.Ds"
+
+    def test_cross_dataverse_reference(self, db):
+        db.execute("""
+            CREATE DATAVERSE a; USE a;
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            INSERT INTO D ({"id": 5});
+            USE Default;
+        """)
+        assert db.query("SELECT VALUE d.id FROM a.D d;") == [5]

@@ -1,0 +1,28 @@
+"""Shared fixtures: a one-node storage stack over a temp directory."""
+
+import pytest
+
+from repro.storage import BufferCache, FileManager, IODevice
+
+
+@pytest.fixture
+def device(tmp_path):
+    return IODevice(0, str(tmp_path / "dev0"))
+
+
+@pytest.fixture
+def fm(device):
+    manager = FileManager([device], page_size=4096)
+    yield manager
+    manager.close()
+
+
+@pytest.fixture
+def cache(fm):
+    return BufferCache(fm, num_pages=64)
+
+
+@pytest.fixture
+def small_cache(fm):
+    """A tiny cache to force evictions."""
+    return BufferCache(fm, num_pages=8)

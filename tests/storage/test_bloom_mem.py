@@ -1,0 +1,118 @@
+"""Tests for bloom filters and the in-memory LSM components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm import APoint, ARectangle
+from repro.storage import MemBTree, MemRTree
+from repro.storage.bloom import BloomFilter
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(1000, fpr=0.01)
+        for i in range(1000):
+            bf.add((i,))
+        assert all(bf.may_contain((i,)) for i in range(1000))
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(1000, fpr=0.01)
+        for i in range(1000):
+            bf.add((i,))
+        fps = sum(bf.may_contain((i,)) for i in range(10_000, 20_000))
+        assert fps < 500  # ~1% expected; allow generous slack
+
+    def test_composite_keys(self):
+        bf = BloomFilter(10)
+        bf.add(("alice", 3))
+        assert bf.may_contain(("alice", 3))
+
+    def test_sizes_scale(self):
+        assert BloomFilter(10_000).size_bytes > BloomFilter(100).size_bytes
+
+
+class TestMemBTree:
+    def test_put_get(self):
+        m = MemBTree()
+        m.put((1,), b"a")
+        m.put((1,), b"b")
+        assert m.get((1,)) == b"b"
+        assert len(m) == 1
+
+    def test_items_sorted(self):
+        m = MemBTree()
+        for k in [5, 1, 3, 2, 4]:
+            m.put((k,), b"")
+        assert [k[0] for k, _ in m.items()] == [1, 2, 3, 4, 5]
+
+    def test_range_items(self):
+        m = MemBTree()
+        for k in range(10):
+            m.put((k,), b"")
+        assert [k[0] for k, _ in m.range_items((3,), (6,))] == [3, 4, 5, 6]
+        assert [k[0] for k, _ in m.range_items(
+            (3,), (6,), lo_inclusive=False, hi_inclusive=False)] == [4, 5]
+
+    def test_bytes_tracking(self):
+        m = MemBTree()
+        m.put((1,), b"x" * 100)
+        used = m.bytes_used
+        assert used > 100
+        m.put((1,), b"x" * 50)
+        assert m.bytes_used < used
+        m.clear()
+        assert m.bytes_used == 0
+
+    def test_mixed_type_keys(self):
+        m = MemBTree()
+        m.put(("z",), b"")
+        m.put((1,), b"")
+        assert [k[0] for k, _ in m.items()] == [1, "z"]
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.binary(max_size=4)),
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_matches_dict(self, ops):
+        m = MemBTree()
+        model = {}
+        for k, v in ops:
+            m.put((k,), v)
+            model[k] = v
+        assert [k[0] for k, _ in m.items()] == sorted(model)
+        for k in model:
+            assert m.get((k,)) == model[k]
+
+
+class TestMemRTree:
+    def window(self, x0, y0, x1, y1):
+        return ARectangle(APoint(x0, y0), APoint(x1, y1))
+
+    def pt(self, x, y):
+        p = APoint(x, y)
+        return ARectangle(p, p)
+
+    def test_insert_search(self):
+        m = MemRTree()
+        m.insert(self.pt(1, 1), (1, 1, 10), b"")
+        m.insert(self.pt(5, 5), (5, 5, 20), b"")
+        hits = [k for _, k, _ in m.search(self.window(0, 0, 2, 2))]
+        assert hits == [(1, 1, 10)]
+
+    def test_duplicate_key_ignored(self):
+        m = MemRTree()
+        m.insert(self.pt(1, 1), (1,), b"")
+        m.insert(self.pt(1, 1), (1,), b"")
+        assert len(m) == 1
+
+    def test_contains(self):
+        m = MemRTree()
+        m.insert(self.pt(1, 1), (7,), b"")
+        assert (7,) in m
+        assert (8,) not in m
+
+    def test_bytes_tracking_and_clear(self):
+        m = MemRTree()
+        m.insert(self.pt(0, 0), (1,), b"abc")
+        assert m.bytes_used > 0
+        m.clear()
+        assert m.bytes_used == 0 and len(m) == 0

@@ -1,0 +1,116 @@
+"""Tests for the CLOCK buffer cache."""
+
+import pytest
+
+from repro.common.errors import BufferCacheError
+from repro.storage import BufferCache
+
+
+def make_file(fm, cache, name, num_pages, fill=0xAB):
+    handle = fm.create_file(name)
+    for i in range(num_pages):
+        fm.append_page(handle)
+        page = cache.pin(handle, i, new=True)
+        page.data[:4] = bytes([fill, i % 256, 0, 0])
+        cache.unpin(page, dirty=True)
+    cache.flush_file(handle)
+    return handle
+
+
+class TestPinUnpin:
+    def test_miss_then_hit(self, fm, cache):
+        handle = make_file(fm, cache, "f", 4)
+        cache.evict_file(handle)
+        cache.stats.hits = cache.stats.misses = 0
+        page = cache.pin(handle, 2)
+        cache.unpin(page)
+        again = cache.pin(handle, 2)
+        cache.unpin(again)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert page is again
+
+    def test_data_survives_roundtrip(self, fm, cache):
+        handle = make_file(fm, cache, "f", 3, fill=0xCD)
+        cache.evict_file(handle)
+        page = cache.pin(handle, 1)
+        assert page.data[0] == 0xCD and page.data[1] == 1
+        cache.unpin(page)
+
+    def test_unpin_unpinned_raises(self, fm, cache):
+        handle = make_file(fm, cache, "f", 1)
+        page = cache.pin(handle, 0)
+        cache.unpin(page)
+        with pytest.raises(BufferCacheError):
+            cache.unpin(page)
+
+    def test_read_past_end_raises(self, fm, cache):
+        from repro.common.errors import StorageError
+
+        handle = make_file(fm, cache, "f", 1)
+        with pytest.raises(StorageError):
+            cache.pin(handle, 5)
+
+
+class TestEviction:
+    def test_eviction_under_pressure(self, fm, small_cache):
+        handle = make_file(fm, small_cache, "f", 32)
+        for i in range(32):
+            page = small_cache.pin(handle, i)
+            small_cache.unpin(page)
+        assert small_cache.stats.evictions > 0
+
+    def test_dirty_page_written_back_on_eviction(self, fm, small_cache):
+        handle = make_file(fm, small_cache, "f", 32)
+        page = small_cache.pin(handle, 0)
+        page.data[0] = 0x77
+        small_cache.unpin(page, dirty=True)
+        for i in range(1, 32):  # force page 0 out
+            p = small_cache.pin(handle, i)
+            small_cache.unpin(p)
+        reread = small_cache.pin(handle, 0)
+        assert reread.data[0] == 0x77
+        small_cache.unpin(reread)
+
+    def test_pinned_pages_never_evicted(self, fm, small_cache):
+        handle = make_file(fm, small_cache, "f", 32)
+        pinned = [small_cache.pin(handle, i) for i in range(7)]
+        page = small_cache.pin(handle, 20)
+        small_cache.unpin(page)
+        assert all((p.file_id, p.page_no) in small_cache._pages
+                   for p in pinned)
+        for p in pinned:
+            small_cache.unpin(p)
+
+    def test_all_pinned_raises(self, fm, small_cache):
+        handle = make_file(fm, small_cache, "f", 16)
+        pinned = [small_cache.pin(handle, i) for i in range(8)]
+        with pytest.raises(BufferCacheError, match="pinned"):
+            small_cache.pin(handle, 9)
+        for p in pinned:
+            small_cache.unpin(p)
+
+
+class TestStats:
+    def test_hit_ratio(self, fm, cache):
+        handle = make_file(fm, cache, "f", 2)
+        cache.stats.hits = cache.stats.misses = 0
+        for _ in range(9):
+            p = cache.pin(handle, 0)
+            cache.unpin(p)
+        assert cache.stats.hit_ratio > 0.85
+
+    def test_io_counters_reflect_physical_io(self, fm, cache, device):
+        handle = make_file(fm, cache, "f", 4)
+        cache.evict_file(handle)
+        before = device.stats.snapshot()
+        p = cache.pin(handle, 0)
+        cache.unpin(p)
+        p = cache.pin(handle, 0)  # hit: no physical read
+        cache.unpin(p)
+        diff = device.stats.diff(before)
+        assert diff.total_reads == 1
+
+    def test_min_cache_size_enforced(self, fm):
+        with pytest.raises(BufferCacheError):
+            BufferCache(fm, num_pages=2)

@@ -1,0 +1,234 @@
+"""Tests for the LSM B+ tree: flush, antimatter, merge policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DuplicateKeyError
+from repro.storage import BufferCache
+from repro.storage.lsm import (
+    ConstantMergePolicy,
+    LSMBTree,
+    NoMergePolicy,
+    PrefixMergePolicy,
+)
+
+
+@pytest.fixture
+def lsm(fm, cache):
+    return LSMBTree(fm, cache, "t", memory_budget_bytes=4096,
+                    merge_policy=NoMergePolicy())
+
+
+class TestWriteRead:
+    def test_upsert_search(self, lsm):
+        lsm.upsert((1,), b"one")
+        assert lsm.search((1,)) == b"one"
+        lsm.upsert((1,), b"uno")
+        assert lsm.search((1,)) == b"uno"
+
+    def test_insert_unique(self, lsm):
+        lsm.insert_unique((1,), b"a")
+        with pytest.raises(DuplicateKeyError):
+            lsm.insert_unique((1,), b"b")
+
+    def test_delete(self, lsm):
+        lsm.upsert((1,), b"a")
+        lsm.delete((1,))
+        assert lsm.search((1,)) is None
+        assert list(lsm.scan()) == []
+
+    def test_delete_of_absent_key_is_noop_logically(self, lsm):
+        lsm.delete((99,))
+        assert lsm.search((99,)) is None
+
+    def test_scan_ordered(self, lsm):
+        for k in [5, 1, 3]:
+            lsm.upsert((k,), str(k).encode())
+        assert [k[0] for k, _ in lsm.scan()] == [1, 3, 5]
+
+    def test_scan_range(self, lsm):
+        for k in range(20):
+            lsm.upsert((k,), b"")
+        got = [k[0] for k, _ in lsm.scan((5,), (8,))]
+        assert got == [5, 6, 7, 8]
+
+
+class TestFlush:
+    def test_explicit_flush_preserves_data(self, lsm):
+        for k in range(50):
+            lsm.upsert((k,), str(k).encode())
+        lsm.flush()
+        assert lsm.num_disk_components == 1
+        assert len(lsm.memory) == 0
+        assert lsm.search((25,)) == b"25"
+        assert len(list(lsm.scan())) == 50
+
+    def test_auto_flush_on_budget(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=2048,
+                       merge_policy=NoMergePolicy())
+        for k in range(500):
+            lsm.upsert((k,), b"v" * 20)
+        assert lsm.num_disk_components >= 2
+        assert lsm.search((499,)) == b"v" * 20
+
+    def test_flush_empty_is_noop(self, lsm):
+        assert lsm.flush() is None
+
+    def test_newest_component_wins(self, lsm):
+        lsm.upsert((1,), b"old")
+        lsm.flush()
+        lsm.upsert((1,), b"new")
+        lsm.flush()
+        assert lsm.num_disk_components == 2
+        assert lsm.search((1,)) == b"new"
+        assert [v for _, v in lsm.scan()] == [b"new"]
+
+    def test_antimatter_across_components(self, lsm):
+        lsm.upsert((1,), b"a")
+        lsm.upsert((2,), b"b")
+        lsm.flush()
+        lsm.delete((1,))
+        lsm.flush()
+        assert lsm.search((1,)) is None
+        assert lsm.search((2,)) == b"b"
+        assert [k[0] for k, _ in lsm.scan()] == [2]
+
+    def test_reinsert_after_delete(self, lsm):
+        lsm.upsert((1,), b"a")
+        lsm.flush()
+        lsm.delete((1,))
+        lsm.flush()
+        lsm.upsert((1,), b"back")
+        assert lsm.search((1,)) == b"back"
+
+    def test_component_lsn_recorded(self, lsm):
+        lsm.upsert((1,), b"a", lsn=17)
+        lsm.upsert((2,), b"b", lsn=23)
+        comp = lsm.flush()
+        assert comp.lsn == 23
+
+    def test_bloom_skips_counted(self, lsm):
+        for k in range(100):
+            lsm.upsert((k,), b"x")
+        lsm.flush()
+        for k in range(200, 220):
+            lsm.upsert((k,), b"y")
+        lsm.flush()
+        lsm.stats.bloom_skips = 0
+        for k in range(100):
+            lsm.search((k,))
+        assert lsm.stats.bloom_skips > 50
+
+
+class TestMerge:
+    def test_full_merge_drops_antimatter(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1 << 20,
+                       merge_policy=NoMergePolicy())
+        for k in range(10):
+            lsm.upsert((k,), b"x")
+        lsm.flush()
+        for k in range(5):
+            lsm.delete((k,))
+        lsm.flush()
+        merged = lsm.merge()
+        assert lsm.num_disk_components == 1
+        assert merged.num_entries == 5  # tombstones purged
+        assert [k[0] for k, _ in lsm.scan()] == [5, 6, 7, 8, 9]
+
+    def test_partial_merge_keeps_antimatter(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1 << 20,
+                       merge_policy=NoMergePolicy())
+        lsm.upsert((1,), b"old")
+        lsm.flush()                      # oldest component
+        lsm.delete((1,))
+        lsm.flush()
+        lsm.upsert((2,), b"x")
+        lsm.flush()
+        lsm.merge(slice(0, 2))           # merge the two newest only
+        assert lsm.num_disk_components == 2
+        assert lsm.search((1,)) is None  # tombstone still effective
+
+    def test_merged_files_deleted(self, fm, cache, tmp_path):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1 << 20,
+                       merge_policy=NoMergePolicy())
+        for batch in range(3):
+            for k in range(batch * 10, batch * 10 + 10):
+                lsm.upsert((k,), b"x")
+            lsm.flush()
+        handles = [c.handle for c in lsm.components]
+        lsm.merge()
+        assert all(h.deleted for h in handles)
+
+    def test_constant_policy_bounds_components(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1024,
+                       merge_policy=ConstantMergePolicy(3))
+        for k in range(2000):
+            lsm.upsert((k,), b"v" * 16)
+        assert lsm.num_disk_components <= 3 + 1
+        assert lsm.stats.merges > 0
+
+    def test_prefix_policy_merges_small_runs(self, fm, cache):
+        lsm = LSMBTree(
+            fm, cache, "t", memory_budget_bytes=1024,
+            merge_policy=PrefixMergePolicy(max_mergable_size=100_000,
+                                           max_tolerance_count=3),
+        )
+        for k in range(3000):
+            lsm.upsert((k,), b"v" * 16)
+        assert lsm.stats.merges > 0
+        assert lsm.num_disk_components <= 4
+        # data integrity after all that churn
+        assert lsm.search((1500,)) == b"v" * 16
+
+    def test_component_id_spans(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1 << 20,
+                       merge_policy=NoMergePolicy())
+        for batch in range(3):
+            lsm.upsert((batch,), b"x")
+            lsm.flush()
+        lsm.merge()
+        assert lsm.components[0].component_id == (0, 2)
+
+
+class TestNoMergeAccumulates:
+    def test_components_accumulate(self, fm, cache):
+        lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=512,
+                       merge_policy=NoMergePolicy())
+        for k in range(500):
+            lsm.upsert((k,), b"v" * 16)
+        assert lsm.num_disk_components > 3
+        assert lsm.stats.merges == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "del", "flush"]),
+                  st.integers(0, 25)),
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_lsm_matches_dict_model(tmp_path_factory, ops):
+    """Property: LSM upsert/delete/flush/merge behaves like a dict."""
+    from repro.storage import FileManager, IODevice
+
+    root = tmp_path_factory.mktemp("lprop")
+    fm = FileManager([IODevice(0, str(root))], page_size=512)
+    cache = BufferCache(fm, num_pages=64)
+    lsm = LSMBTree(fm, cache, "t", memory_budget_bytes=1 << 20,
+                   merge_policy=ConstantMergePolicy(2))
+    model = {}
+    for op, k in ops:
+        if op == "put":
+            lsm.upsert((k,), str(k).encode())
+            model[k] = str(k).encode()
+        elif op == "del":
+            lsm.delete((k,))
+            model.pop(k, None)
+        else:
+            lsm.flush()
+    assert [k[0] for k, _ in lsm.scan()] == sorted(model)
+    for k in range(26):
+        assert lsm.search((k,)) == model.get(k)
+    fm.close()

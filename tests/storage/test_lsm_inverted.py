@@ -1,0 +1,94 @@
+"""Tests for the LSM inverted indexes (keyword and n-gram)."""
+
+import pytest
+
+from repro.storage.lsm import (
+    LSMInvertedIndex,
+    NoMergePolicy,
+    ngram_tokens,
+    word_tokens,
+)
+
+
+class TestTokenizers:
+    def test_word_tokens(self):
+        assert word_tokens("Hello, World! hello") == {"hello", "world"}
+
+    def test_word_tokens_alnum(self):
+        assert word_tokens("v2.0 beta-3") == {"v2", "0", "beta", "3"}
+
+    def test_ngram_tokens(self):
+        grams = ngram_tokens("ab", n=3)
+        # padded: \1\1 a b \2\2 -> 4 grams
+        assert len(grams) == 4
+
+    def test_ngram_case_folding(self):
+        assert ngram_tokens("AB") == ngram_tokens("ab")
+
+
+@pytest.fixture
+def keyword_index(fm, cache):
+    return LSMInvertedIndex(fm, cache, "kw", tokenizer="keyword",
+                            memory_budget_bytes=1 << 20,
+                            merge_policy=NoMergePolicy())
+
+
+@pytest.fixture
+def ngram_index(fm, cache):
+    return LSMInvertedIndex(fm, cache, "ng", tokenizer="ngram",
+                            gram_length=2,
+                            memory_budget_bytes=1 << 20,
+                            merge_policy=NoMergePolicy())
+
+
+class TestKeywordSearch:
+    def test_single_token(self, keyword_index):
+        keyword_index.insert_document("big data management", (1,))
+        keyword_index.insert_document("small data", (2,))
+        assert list(keyword_index.search_token("big")) == [(1,)]
+        assert sorted(keyword_index.search_token("data")) == [(1,), (2,)]
+
+    def test_conjunctive(self, keyword_index):
+        keyword_index.insert_document("big data management", (1,))
+        keyword_index.insert_document("big active data", (2,))
+        keyword_index.insert_document("tiny systems", (3,))
+        assert keyword_index.search_conjunctive("big data") == [(1,), (2,)]
+        assert keyword_index.search_conjunctive("big management") == [(1,)]
+        assert keyword_index.search_conjunctive("nonexistent") == []
+
+    def test_delete_document(self, keyword_index):
+        keyword_index.insert_document("hello world", (1,))
+        keyword_index.delete_document("hello world", (1,))
+        assert list(keyword_index.search_token("hello")) == []
+
+    def test_survives_flush(self, keyword_index):
+        keyword_index.insert_document("asterix rules", (1,))
+        keyword_index.flush()
+        keyword_index.insert_document("asterix and hyracks", (2,))
+        assert sorted(keyword_index.search_token("asterix")) == [(1,), (2,)]
+        assert keyword_index.num_disk_components == 1
+
+    def test_composite_pk(self, fm, cache):
+        idx = LSMInvertedIndex(fm, cache, "kw2",
+                               merge_policy=NoMergePolicy())
+        idx.insert_document("hello", ("p0", 7))
+        assert list(idx.search_token("hello")) == [("p0", 7)]
+
+
+class TestSimilaritySearch:
+    def test_candidates_include_close_strings(self, ngram_index):
+        words = ["asterix", "asterisk", "obelix", "hyracks"]
+        for i, w in enumerate(words):
+            ngram_index.insert_document(w, (i,))
+        candidates = ngram_index.search_similarity("asterix", 2)
+        assert (0,) in candidates
+        assert (1,) in candidates          # edit distance 1
+        assert (3,) not in candidates      # hyracks is far away
+
+    def test_similarity_requires_ngram(self, keyword_index):
+        with pytest.raises(ValueError, match="ngram"):
+            keyword_index.search_similarity("x", 1)
+
+    def test_threshold_guard(self, ngram_index):
+        with pytest.raises(ValueError, match="threshold"):
+            ngram_index.search_similarity("ab", 5)
