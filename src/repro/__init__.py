@@ -14,14 +14,24 @@ Quickstart::
 
 from repro.api import AsterixInstance, Result, connect
 from repro.common.config import ClusterConfig, CostModel, NodeConfig
+from repro.observability import (
+    ExplainResult,
+    MetricsRegistry,
+    QueryTrace,
+    get_registry,
+)
 
 __all__ = [
     "AsterixInstance",
     "ClusterConfig",
     "CostModel",
+    "ExplainResult",
+    "MetricsRegistry",
     "NodeConfig",
+    "QueryTrace",
     "Result",
     "connect",
+    "get_registry",
 ]
 
 __version__ = "0.1.0"

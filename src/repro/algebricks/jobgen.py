@@ -18,6 +18,16 @@ requirement isn't already satisfied:
 The invariant throughout: a stream's tuple layout equals its logical
 operator's schema (variable i lives in column i), which keeps variable
 -> column mapping trivial and verifiable.
+
+Layer contract: input is an *optimized* logical plan (the output of
+:func:`repro.algebricks.rules.optimize`) plus the catalog and the
+cluster width; output is a validated
+:class:`~repro.hyracks.job.JobSpecification` ready for
+:meth:`~repro.hyracks.cluster.ClusterController.run_job`.  This module
+never executes anything and holds no state between calls.  The generated
+DAG is what ``AsterixInstance.explain`` serializes as the ``job`` half of
+its output (via :func:`repro.observability.job_to_dict`); see
+docs/ARCHITECTURE.md for a worked example.
 """
 
 from __future__ import annotations

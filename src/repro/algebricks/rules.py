@@ -51,6 +51,7 @@ class OptimizerContext:
     metadata: object                  # MetadataView protocol (see below)
     enable_index_access: bool = True
     next_var: object = None           # callable allocating fresh variables
+    recorder: object = None           # observability.RewriteRecorder | None
 
 
 class MetadataView:
@@ -576,20 +577,50 @@ _ACCESS_RULES = [
 ]
 
 
+def _apply_rule(rule, op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
+    """Invoke one rule; report the attempt to the recorder if tracing."""
+    recorder = ctx.recorder
+    if recorder is None:
+        return rule(op, ctx)
+    import time
+
+    target = op.label()
+    started = time.perf_counter()
+    op, changed = rule(op, ctx)
+    recorder.observe(
+        recorder.rule_name(rule),
+        (time.perf_counter() - started) * 1e6,
+        fired=changed, target=target,
+    )
+    return op, changed
+
+
 def optimize(root: LogicalOp, metadata: MetadataView, *,
              enable_index_access: bool = True,
-             max_passes: int = 12) -> LogicalOp:
-    """Apply the rule sets to fixpoint; returns the rewritten plan."""
+             max_passes: int = 12,
+             recorder: object = None) -> LogicalOp:
+    """Apply the rule sets to fixpoint; returns the rewritten plan.
+
+    Pass an :class:`repro.observability.RewriteRecorder` as ``recorder``
+    to collect which rules fired, on what operator, and how long each
+    rule spent — the substance of the optimize phase in a
+    :class:`~repro.observability.QueryTrace`.
+    """
     ctx = OptimizerContext(metadata=metadata,
-                           enable_index_access=enable_index_access)
+                           enable_index_access=enable_index_access,
+                           recorder=recorder)
     for _ in range(max_passes):
         for _ in range(max_passes):
             root, changed = _apply_bottom_up(root, ctx, _NORMALIZE_RULES)
-            root, inlined = rule_inline_constant_assigns(root, ctx)
-            root, dead_changed = rule_remove_dead_assigns(root, ctx)
+            root, inlined = _apply_rule(rule_inline_constant_assigns,
+                                        root, ctx)
+            root, dead_changed = _apply_rule(rule_remove_dead_assigns,
+                                             root, ctx)
             if not (changed or inlined or dead_changed):
                 break
         root, access_changed = _apply_access_top_down(root, ctx)
+        if recorder is not None:
+            recorder.end_pass(plan_signature(root))
         if not access_changed:
             break
     return root
@@ -598,7 +629,7 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
 def _apply_access_top_down(op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
     changed = False
     for rule in _ACCESS_RULES:
-        op, c = rule(op, ctx)
+        op, c = _apply_rule(rule, op, ctx)
         changed |= c
     if changed:
         # the subtree was restructured; don't descend into stale nodes
@@ -621,7 +652,7 @@ def _apply_bottom_up(op: LogicalOp, ctx, rules) -> tuple[LogicalOp, bool]:
         changed |= c
     op.inputs = new_inputs
     for rule in rules:
-        op, c = rule(op, ctx)
+        op, c = _apply_rule(rule, op, ctx)
         changed |= c
     return op, changed
 

@@ -11,11 +11,28 @@ matching the paper ("We have now deprecated AQL in favor of SQL++").
     >>> db.execute('INSERT INTO Users ({"id": 1, "name": "ann"});')
     >>> db.query('SELECT VALUE u.name FROM Users u;')
     ['ann']
+
+Layer contract: this is the ONLY module that sees every layer at once.
+It parses statements (:mod:`repro.lang`), applies DDL to the catalog
+(:mod:`repro.metadata`), and sends DML/queries down the compile chain
+(:mod:`repro.algebricks`) onto the simulated cluster
+(:mod:`repro.hyracks`).  Nothing below this layer knows about statement
+scripts, sessions, or result shaping.  docs/ARCHITECTURE.md walks the
+whole pipeline with a traced example.
+
+Observability (docs/OBSERVABILITY.md): ``execute(..., trace=True)``
+attaches a :class:`~repro.observability.QueryTrace` to each
+:class:`Result` (per-phase spans, fired rewrite rules, per-operator
+partition costs, metric deltas); :meth:`AsterixInstance.explain` compiles
+without executing and returns a structured
+:class:`~repro.observability.ExplainResult` (optimized Algebricks plan +
+Hyracks job DAG as dicts and pretty text).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.adm.values import ADateTime
@@ -30,6 +47,16 @@ from repro.lang.aql.parser import parse_aql
 from repro.lang.sqlpp.parser import parse_sqlpp
 from repro.lang.translator import Translator
 from repro.metadata.catalog import MetadataManager
+from repro.observability import (
+    ExplainResult,
+    QueryTrace,
+    RewriteRecorder,
+    Span,
+    get_registry,
+    job_to_dict,
+    maybe_phase,
+    plan_to_dict,
+)
 
 
 @dataclass
@@ -42,6 +69,7 @@ class Result:
     profile: object = None         # JobProfile for query/dml
     plan: str = ""                 # optimized logical plan (explain)
     warnings: list = field(default_factory=list)
+    trace: object = None           # QueryTrace when trace=True
 
     def __iter__(self):
         return iter(self.rows)
@@ -132,22 +160,92 @@ class AsterixInstance:
 
     def execute(self, text: str, *, language: str = "sqlpp",
                 explain: bool = False,
-                enable_index_access: bool = True) -> Result:
+                enable_index_access: bool = True,
+                trace: bool = False) -> Result:
         """Execute a script; returns the LAST statement's result (the
         common REPL convention).  Use :meth:`execute_all` for all of them.
+
+        With ``trace=True`` each Result carries a
+        :class:`~repro.observability.QueryTrace` (per-phase timings,
+        fired rewrite rules, per-operator partition costs, metric
+        deltas) as ``result.trace``.
         """
         results = self.execute_all(text, language=language,
                                    explain=explain,
-                                   enable_index_access=enable_index_access)
+                                   enable_index_access=enable_index_access,
+                                   trace=trace)
         return results[-1] if results else Result("ddl", message="empty")
 
     def query(self, text: str, **kwargs) -> list:
         """Execute and return the last statement's rows."""
         return self.execute(text, **kwargs).rows
 
+    def explain(self, text: str, *, language: str = "sqlpp",
+                enable_index_access: bool = True) -> ExplainResult:
+        """Compile (but do not run) the LAST statement of ``text``.
+
+        Returns an :class:`~repro.observability.ExplainResult`: the
+        optimized Algebricks plan and the generated Hyracks job DAG as
+        structured dicts and pretty-printed text, plus the fired-rule
+        list and per-phase compile timings.  Works for queries and DML
+        in both languages.
+        """
+        phases = []
+        started = time.perf_counter()
+        if language == "sqlpp":
+            statements = parse_sqlpp(text)
+        elif language == "aql":
+            statements = parse_aql(text)
+        else:
+            raise AsterixError(f"unknown language {language!r}")
+        phases.append({"name": "parse",
+                       "duration_us": (time.perf_counter() - started) * 1e6})
+        if not statements:
+            raise AsterixError("nothing to explain")
+        stmt = statements[-1]
+        translator = Translator(self.metadata)
+        started = time.perf_counter()
+        if isinstance(stmt, ast.QueryStatement):
+            plan = translator.translate_query(stmt.query)
+        elif isinstance(stmt, ast.InsertStatement):
+            plan = translator.translate_insert(stmt)
+        elif isinstance(stmt, ast.DeleteStatement):
+            plan = translator.translate_delete(stmt)
+        else:
+            raise AsterixError(
+                f"explain supports queries and DML, not "
+                f"{type(stmt).__name__}"
+            )
+        phases.append({"name": "translate",
+                       "duration_us": (time.perf_counter() - started) * 1e6})
+        recorder = RewriteRecorder()
+        started = time.perf_counter()
+        optimized = optimize(plan, self.metadata,
+                             enable_index_access=enable_index_access,
+                             recorder=recorder)
+        phases.append({"name": "optimize",
+                       "duration_us": (time.perf_counter() - started) * 1e6})
+        started = time.perf_counter()
+        job, _ = compile_plan(optimized, self.metadata,
+                              self.cluster.num_partitions)
+        phases.append({"name": "jobgen",
+                       "duration_us": (time.perf_counter() - started) * 1e6})
+        get_registry().counter("api.explains").inc()
+        return ExplainResult(
+            statement=text.strip(), language=language,
+            logical_plan=plan_to_dict(optimized),
+            logical_text=explain_plan(optimized),
+            job=job_to_dict(job), job_text=job.describe(),
+            fired_rules=recorder.fired_rules,
+            rewrites=recorder.to_dict(),
+            phases=phases,
+        )
+
     def execute_all(self, text: str, *, language: str = "sqlpp",
                     explain: bool = False,
-                    enable_index_access: bool = True) -> list:
+                    enable_index_access: bool = True,
+                    trace: bool = False) -> list:
+        parse_started = time.perf_counter()
         if language == "sqlpp":
             statements = parse_sqlpp(text)
             warnings = []
@@ -156,9 +254,22 @@ class AsterixInstance:
             warnings = ["AQL is deprecated in favor of SQL++"]
         else:
             raise AsterixError(f"unknown language {language!r}")
+        parse_us = (time.perf_counter() - parse_started) * 1e6
         results = []
         for stmt in statements:
-            result = self._execute_one(stmt, explain, enable_index_access)
+            qtrace = None
+            if trace:
+                qtrace = QueryTrace(statement=text.strip(),
+                                    language=language)
+                # the parser handles the whole script at once; its cost
+                # is recorded on every statement's trace, flagged as such
+                span = Span("parse", attributes={
+                    "scope": "script", "statements": len(statements),
+                })
+                span.duration_us = parse_us
+                qtrace.phases.append(span)
+            result = self._execute_one(stmt, explain, enable_index_access,
+                                       qtrace)
             result.warnings.extend(warnings)
             results.append(result)
         return results
@@ -166,7 +277,43 @@ class AsterixInstance:
     # -- per-statement dispatch ---------------------------------------------------------
 
     def _execute_one(self, stmt, explain: bool,
-                     enable_index_access: bool) -> Result:
+                     enable_index_access: bool,
+                     trace: QueryTrace | None = None) -> Result:
+        registry = get_registry()
+        registry.counter("api.statements").inc()
+        translator = Translator(self.metadata)
+        if isinstance(stmt, ast.LoadStatement):
+            registry.counter("api.dml").inc()
+            return self._run_load(stmt, trace)
+        if isinstance(stmt, ast.InsertStatement):
+            registry.counter("api.dml").inc()
+            with maybe_phase(trace, "translate"):
+                plan = translator.translate_insert(stmt)
+            return self._run_plan(plan, "dml", explain,
+                                  enable_index_access, trace)
+        if isinstance(stmt, ast.DeleteStatement):
+            registry.counter("api.dml").inc()
+            with maybe_phase(trace, "translate"):
+                plan = translator.translate_delete(stmt)
+            return self._run_plan(plan, "dml", explain,
+                                  enable_index_access, trace)
+        if isinstance(stmt, ast.QueryStatement):
+            registry.counter("api.queries").inc()
+            with maybe_phase(trace, "translate"):
+                plan = translator.translate_query(stmt.query)
+            return self._run_plan(plan, "query", explain,
+                                  enable_index_access, trace)
+        # everything else is DDL against the catalog
+        registry.counter("api.ddl").inc()
+        if trace is not None:
+            trace.kind = "ddl"
+        with maybe_phase(trace, "execute",
+                         statement=type(stmt).__name__):
+            result = self._execute_ddl(stmt)
+        result.trace = trace
+        return result
+
+    def _execute_ddl(self, stmt) -> Result:
         if isinstance(stmt, ast.CreateDataverse):
             self.metadata.create_dataverse(stmt.name, stmt.if_not_exists)
             return Result("ddl", message=f"dataverse {stmt.name} created")
@@ -191,23 +338,6 @@ class AsterixInstance:
         if isinstance(stmt, ast.DropStatement):
             self._drop(stmt)
             return Result("ddl", message=f"{stmt.kind} {stmt.name} dropped")
-        if isinstance(stmt, ast.LoadStatement):
-            return self._run_load(stmt)
-        if isinstance(stmt, ast.InsertStatement):
-            return self._run_plan(
-                Translator(self.metadata).translate_insert(stmt),
-                "dml", explain, enable_index_access,
-            )
-        if isinstance(stmt, ast.DeleteStatement):
-            return self._run_plan(
-                Translator(self.metadata).translate_delete(stmt),
-                "dml", explain, enable_index_access,
-            )
-        if isinstance(stmt, ast.QueryStatement):
-            return self._run_plan(
-                Translator(self.metadata).translate_query(stmt.query),
-                "query", explain, enable_index_access,
-            )
         raise AsterixError(f"unhandled statement {type(stmt).__name__}")
 
     def _drop(self, stmt: ast.DropStatement) -> None:
@@ -241,7 +371,8 @@ class AsterixInstance:
             return HDFSAdapter(self.hdfs, props["path"], **common)
         raise MetadataError(f"unknown adapter {adapter_name}")
 
-    def _run_load(self, stmt: ast.LoadStatement) -> Result:
+    def _run_load(self, stmt: ast.LoadStatement,
+                  trace: QueryTrace | None = None) -> Result:
         entry = self.metadata.dataset_entry(stmt.dataset)
         registry = self.metadata.type_registry(entry.dataverse)
         adapter = LocalFSAdapter(
@@ -250,19 +381,42 @@ class AsterixInstance:
             dataset_type=registry.resolve(entry.type_name),
             type_registry=registry,
         )
-        plan = Translator(self.metadata).translate_load(stmt, adapter)
-        return self._run_plan(plan, "dml", False, True)
+        with maybe_phase(trace, "translate"):
+            plan = Translator(self.metadata).translate_load(stmt, adapter)
+        return self._run_plan(plan, "dml", False, True, trace)
 
     def _run_plan(self, plan, kind: str, explain: bool,
-                  enable_index_access: bool) -> Result:
-        optimized = optimize(plan, self.metadata,
-                             enable_index_access=enable_index_access)
+                  enable_index_access: bool,
+                  trace: QueryTrace | None = None) -> Result:
+        registry = get_registry()
+        metrics_before = registry.snapshot() if trace is not None else None
+        recorder = trace.rewrites if trace is not None else None
+        with maybe_phase(trace, "optimize"):
+            optimized = optimize(plan, self.metadata,
+                                 enable_index_access=enable_index_access,
+                                 recorder=recorder)
         plan_text = explain_plan(optimized)
+        if trace is not None:
+            trace.kind = kind
+            trace.plan_text = plan_text
         if explain:
-            return Result("explain", plan=plan_text)
-        job, _ = compile_plan(optimized, self.metadata,
-                              self.cluster.num_partitions)
-        job_result = self.cluster.run_job(job)
+            return Result("explain", plan=plan_text, trace=trace)
+        with maybe_phase(trace, "jobgen"):
+            job, _ = compile_plan(optimized, self.metadata,
+                                  self.cluster.num_partitions)
+        with maybe_phase(trace, "execute") as span:
+            job_result = self.cluster.run_job(job, span=span)
+        profile = job_result.profile
+        if trace is not None:
+            trace.operators = [op.to_dict() for op in profile.operators]
+            trace.simulated_us = profile.simulated_us
+            trace.wall_seconds = profile.wall_seconds
+            trace.metrics = registry.delta(metrics_before)
+            trace.metrics_totals = {
+                name: value
+                for name, value in registry.snapshot().items()
+                if not isinstance(value, dict)
+            }
         # MISSING results are not serialized (SQL++ result semantics)
         from repro.adm import MISSING
 
@@ -271,9 +425,10 @@ class AsterixInstance:
             count = rows[0] if rows else 0
             return Result("dml", rows=rows, profile=job_result.profile,
                           plan=plan_text,
-                          message=f"{count} record(s) processed")
+                          message=f"{count} record(s) processed",
+                          trace=trace)
         return Result("query", rows=rows, profile=job_result.profile,
-                      plan=plan_text)
+                      plan=plan_text, trace=trace)
 
     # -- maintenance ---------------------------------------------------------------------
 

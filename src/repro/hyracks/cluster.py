@@ -20,6 +20,18 @@ operator elapsed times along the (serialized) dependency chain — a
 pipelining-free model applied identically to every configuration, which is
 what lets experiment E3 exhibit the scale-out *shape* of the paper's
 180-node test on one machine.
+
+Layer contract: this module accepts a validated
+:class:`~repro.hyracks.job.JobSpecification` (from
+:mod:`repro.algebricks.jobgen`) and returns a :class:`JobResult` whose
+:class:`~repro.hyracks.profiler.JobProfile` carries per-(operator,
+partition) costs.  It knows nothing about SQL++, logical plans, or the
+catalog — only operators, connectors, and partitions.  Observability:
+:meth:`ClusterController.run_job` emits one ``operator`` span event per
+executed operator when handed a trace span, and feeds the process-wide
+metrics registry (``hyracks.jobs``, ``hyracks.job_simulated_us``,
+``hyracks.network_tuples`` — see docs/OBSERVABILITY.md and
+docs/ARCHITECTURE.md for the full tour).
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from repro.hyracks.job import JobSpecification
 from repro.hyracks.operators.base import TaskContext
 from repro.hyracks.operators.result import ResultWriterOp
 from repro.hyracks.profiler import JobProfile, PartitionCost
+from repro.observability.metrics import get_registry
 from repro.storage.buffer_cache import BufferCache
 from repro.storage.dataset_storage import PartitionStorage, SecondaryIndexSpec
 from repro.storage.file_manager import FileManager
@@ -306,7 +319,10 @@ class ClusterController:
 
     # -- job execution -----------------------------------------------------------------
 
-    def run_job(self, job: JobSpecification) -> JobResult:
+    def run_job(self, job: JobSpecification,
+                span: object = None) -> JobResult:
+        """Execute a job DAG; ``span`` (a tracing Span) gets one
+        ``operator`` event per operator with its simulated costs."""
         job.validate()
         profile = JobProfile(self.config.cost)
         started = time.perf_counter()
@@ -352,6 +368,12 @@ class ClusterController:
                 op_outputs.append(out)
             outputs[op_id] = op_outputs
             profile.simulated_us += op_profile.elapsed_us
+            if span is not None:
+                span.add_event(
+                    "operator", op_id=op_id, op=repr(op), width=width,
+                    elapsed_us=op_profile.elapsed_us,
+                    tuples_out=op_profile.total_tuples_out,
+                )
             if isinstance(op, ResultWriterOp):
                 result_tuples = op.collected
         io_after = self._total_io()
@@ -359,6 +381,14 @@ class ClusterController:
         profile.physical_reads = diff.total_reads
         profile.physical_writes = diff.total_writes
         profile.wall_seconds = time.perf_counter() - started
+        registry = get_registry()
+        registry.counter("hyracks.jobs").inc()
+        registry.counter("hyracks.network_tuples").inc(
+            profile.connector_network_tuples)
+        registry.histogram("hyracks.job_simulated_us").observe(
+            profile.simulated_us)
+        registry.histogram("hyracks.job_wall_seconds").observe(
+            profile.wall_seconds)
         return JobResult(result_tuples, profile)
 
     def _total_io(self) -> IOStats:

@@ -28,6 +28,16 @@ class PartitionCost:
     def total_us(self) -> float:
         return self.cpu_us + self.io_us + self.network_us
 
+    def to_dict(self) -> dict:
+        return {
+            "cpu_us": self.cpu_us,
+            "io_us": self.io_us,
+            "network_us": self.network_us,
+            "total_us": self.total_us,
+            "tuples_in": self.tuples_in,
+            "tuples_out": self.tuples_out,
+        }
+
 
 @dataclass
 class OperatorProfile:
@@ -46,6 +56,18 @@ class OperatorProfile:
     @property
     def total_tuples_out(self) -> int:
         return sum(c.tuples_out for c in self.partitions.values())
+
+    def to_dict(self) -> dict:
+        """Structured form (one entry per partition) for query traces."""
+        return {
+            "name": self.name,
+            "elapsed_us": self.elapsed_us,
+            "tuples_out": self.total_tuples_out,
+            "partitions": {
+                p: cost.to_dict()
+                for p, cost in sorted(self.partitions.items())
+            },
+        }
 
 
 @dataclass
@@ -68,6 +90,16 @@ class JobProfile:
     @property
     def simulated_ms(self) -> float:
         return self.simulated_us / 1000.0
+
+    def to_dict(self) -> dict:
+        return {
+            "simulated_us": self.simulated_us,
+            "wall_seconds": self.wall_seconds,
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "connector_network_tuples": self.connector_network_tuples,
+            "operators": [op.to_dict() for op in self.operators],
+        }
 
     def describe(self) -> str:
         lines = [

@@ -1,0 +1,56 @@
+"""Observability: tracing spans, the metrics registry, runtime EXPLAIN.
+
+The measurement surface for every benchmark and perf PR:
+
+* :mod:`repro.observability.metrics` — a process-wide registry of named
+  counters/gauges/histograms fed by the buffer cache, LSM lifecycles,
+  the job executor, and the API layer;
+* :mod:`repro.observability.tracing` — :class:`QueryTrace` (per-phase
+  spans, fired rewrite rules, per-operator partition costs, metric
+  deltas) produced by ``execute(..., trace=True)``;
+* :mod:`repro.observability.explain` — :class:`ExplainResult`
+  (structured logical plan + Hyracks job DAG) from
+  ``AsterixInstance.explain``.
+
+See docs/OBSERVABILITY.md for the naming contract.
+"""
+
+from repro.observability.explain import (
+    ExplainResult,
+    job_to_dict,
+    plan_to_dict,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.tracing import (
+    QUERY_PHASES,
+    QueryTrace,
+    RewriteRecorder,
+    RuleFiring,
+    Span,
+    maybe_phase,
+)
+
+__all__ = [
+    "Counter",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "QUERY_PHASES",
+    "QueryTrace",
+    "RewriteRecorder",
+    "RuleFiring",
+    "Span",
+    "get_registry",
+    "job_to_dict",
+    "maybe_phase",
+    "plan_to_dict",
+]

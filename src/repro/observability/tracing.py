@@ -1,0 +1,210 @@
+"""Query tracing: spans, phase timings, and the structured QueryTrace.
+
+One executed statement produces one :class:`QueryTrace` recording the
+compile-and-execute pipeline the paper's Fig. 5 describes:
+
+    parse -> translate -> optimize -> jobgen -> execute
+
+Each phase is a :class:`Span` with a wall-clock duration; the optimize
+phase additionally carries the rewrite-rule firings collected by
+:class:`RewriteRecorder`, and the execute phase carries one span event
+per Hyracks operator with its per-partition simulated costs (see
+:mod:`repro.hyracks.profiler` for how simulated time relates to
+wall-clock — the trace records *both*).
+
+All structures serialize to plain dicts (``to_dict``) so tests and
+benchmark harnesses can assert on them, and pretty-print (``pretty``)
+for humans.  Span and metric naming conventions are documented in
+docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+#: The pipeline phases a fully traced query reports, in order.
+QUERY_PHASES = ("parse", "translate", "optimize", "jobgen", "execute")
+
+
+@dataclass
+class Span:
+    """One timed section of work, with attributes and point events."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    started_at: float = 0.0
+    duration_us: float = 0.0
+
+    def add_event(self, name: str, **attrs) -> None:
+        self.events.append({"name": name, **attrs})
+
+    def to_dict(self) -> dict:
+        out = {"name": self.name, "duration_us": self.duration_us}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.events:
+            out["events"] = [dict(e) for e in self.events]
+        return out
+
+
+@dataclass
+class RuleFiring:
+    """One rewrite rule that changed the plan."""
+
+    rule: str                     # e.g. "push_select_down"
+    target: str                   # logical operator label it rewrote
+    pass_no: int
+    duration_us: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "target": self.target,
+                "pass": self.pass_no, "duration_us": self.duration_us}
+
+
+class RewriteRecorder:
+    """Collects which optimizer rules fired and what they changed.
+
+    :func:`repro.algebricks.rules.optimize` drives this: every rule
+    invocation is timed (``rule_times_us`` aggregates even non-firing
+    attempts, the number benchmark authors need to find slow rules);
+    firings additionally record the operator label they rewrote.
+    """
+
+    def __init__(self):
+        self.firings: list[RuleFiring] = []
+        self.rule_times_us: dict[str, float] = {}
+        self.passes = 0
+        self.plan_signatures: list[list[str]] = []   # after each pass
+
+    @staticmethod
+    def rule_name(fn) -> str:
+        name = getattr(fn, "__name__", str(fn))
+        return name[5:] if name.startswith("rule_") else name
+
+    def observe(self, rule: str, duration_us: float, *, fired: bool,
+                target: str) -> None:
+        self.rule_times_us[rule] = (
+            self.rule_times_us.get(rule, 0.0) + duration_us
+        )
+        if fired:
+            self.firings.append(
+                RuleFiring(rule, target, self.passes, duration_us)
+            )
+
+    def end_pass(self, signature: list[str]) -> None:
+        self.passes += 1
+        self.plan_signatures.append(signature)
+
+    @property
+    def fired_rules(self) -> list[str]:
+        """Distinct rule names that changed the plan, in firing order."""
+        seen: list[str] = []
+        for firing in self.firings:
+            if firing.rule not in seen:
+                seen.append(firing.rule)
+        return seen
+
+    def to_dict(self) -> dict:
+        return {
+            "fired_rules": self.fired_rules,
+            "firings": [f.to_dict() for f in self.firings],
+            "passes": self.passes,
+            "rule_times_us": dict(self.rule_times_us),
+        }
+
+
+@dataclass
+class QueryTrace:
+    """Everything observed about one statement's trip through the stack."""
+
+    statement: str = ""
+    language: str = "sqlpp"
+    kind: str = ""                        # query | dml | ddl
+    phases: list = field(default_factory=list)       # list[Span], in order
+    rewrites: RewriteRecorder = field(default_factory=RewriteRecorder)
+    operators: list = field(default_factory=list)    # per-operator dicts
+    metrics: dict = field(default_factory=dict)      # registry delta
+    metrics_totals: dict = field(default_factory=dict)   # post-exec snapshot
+    plan_text: str = ""
+    simulated_us: float = 0.0
+    wall_seconds: float = 0.0
+
+    @contextmanager
+    def phase(self, name: str, **attrs):
+        """Time a pipeline phase; appends a Span on exit (even on error)."""
+        span = Span(name, attributes=dict(attrs),
+                    started_at=time.perf_counter())
+        try:
+            yield span
+        finally:
+            span.duration_us = (
+                (time.perf_counter() - span.started_at) * 1e6
+            )
+            self.phases.append(span)
+
+    def phase_names(self) -> list[str]:
+        return [span.name for span in self.phases]
+
+    def find_phase(self, name: str) -> Span | None:
+        for span in self.phases:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def fired_rules(self) -> list[str]:
+        return self.rewrites.fired_rules
+
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.statement,
+            "language": self.language,
+            "kind": self.kind,
+            "phases": [span.to_dict() for span in self.phases],
+            "rewrites": self.rewrites.to_dict(),
+            "operators": [dict(op) for op in self.operators],
+            "metrics": dict(self.metrics),
+            "metrics_totals": dict(self.metrics_totals),
+            "plan": self.plan_text,
+            "simulated_us": self.simulated_us,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def pretty(self) -> str:
+        lines = [f"trace [{self.language}/{self.kind}] "
+                 f"{self.statement.strip()[:60]!r}"]
+        for span in self.phases:
+            lines.append(f"  phase {span.name:<10} "
+                         f"{span.duration_us:10.1f} us")
+            for event in span.events:
+                name = event.get("name", "?")
+                extra = ", ".join(
+                    f"{k}={v}" for k, v in event.items() if k != "name"
+                )
+                lines.append(f"    - {name} {extra}".rstrip())
+        if self.fired_rules:
+            lines.append("  fired rules: " + ", ".join(self.fired_rules))
+        for op in self.operators:
+            lines.append(
+                f"  op {op['name']:<28} elapsed "
+                f"{op['elapsed_us'] / 1000:8.2f} ms  "
+                f"out {op['tuples_out']}"
+            )
+        if self.metrics:
+            lines.append("  metrics delta:")
+            for name in sorted(self.metrics):
+                lines.append(f"    {name:<32} {self.metrics[name]}")
+        if self.simulated_us:
+            lines.append(f"  simulated {self.simulated_us / 1000:.2f} ms, "
+                         f"wall {self.wall_seconds * 1000:.2f} ms")
+        return "\n".join(lines)
+
+
+def maybe_phase(trace: QueryTrace | None, name: str, **attrs):
+    """``trace.phase(name)`` or a no-op context when tracing is off."""
+    if trace is None:
+        return nullcontext()
+    return trace.phase(name, **attrs)

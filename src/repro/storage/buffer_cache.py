@@ -8,7 +8,10 @@ pin/unpin buffer pool with CLOCK replacement:
   bytearray the caller may read (and write, if it marks the page dirty on
   unpin).
 * Victims must be unpinned; evicting a dirty page writes it back.
-* Hit/miss and physical-I/O counters feed every storage benchmark.
+* Hit/miss and physical-I/O counters feed every storage benchmark, both
+  as per-cache :class:`CacheStats` and mirrored into the process-wide
+  metrics registry (``buffer_cache.hits`` / ``.misses`` / ``.evictions``
+  / ``.writebacks`` — see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import BufferCacheError
+from repro.observability.metrics import get_registry
 from repro.storage.file_manager import FileHandle, FileManager
 
 
@@ -64,6 +68,12 @@ class BufferCache:
         self._pages: dict[tuple, CachedPage] = {}
         self._clock: list[tuple] = []
         self._hand = 0
+        # registry mirrors (handles stay valid across registry.reset())
+        registry = get_registry()
+        self._m_hits = registry.counter("buffer_cache.hits")
+        self._m_misses = registry.counter("buffer_cache.misses")
+        self._m_evictions = registry.counter("buffer_cache.evictions")
+        self._m_writebacks = registry.counter("buffer_cache.writebacks")
 
     # -- public API -----------------------------------------------------------
 
@@ -78,10 +88,12 @@ class BufferCache:
         page = self._pages.get(key)
         if page is not None:
             self.stats.hits += 1
+            self._m_hits.inc()
             page.pin_count += 1
             page.referenced = True
             return page
         self.stats.misses += 1
+        self._m_misses.inc()
         self._ensure_capacity()
         if new:
             data = bytearray(self.fm.page_size)
@@ -150,6 +162,7 @@ class BufferCache:
                 del self._pages[key]
                 self._clock.pop(self._hand)
                 self.stats.evictions += 1
+                self._m_evictions.inc()
                 return
             page.referenced = False
             self._hand += 1
@@ -162,3 +175,4 @@ class BufferCache:
         self.fm.write_page(handle, page.page_no, page.data)
         page.dirty = False
         self.stats.writebacks += 1
+        self._m_writebacks.inc()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability.metrics import get_registry
+
 
 # value encodings inside LSM B+ tree components
 MATTER = b"\x01"
@@ -62,9 +64,28 @@ class DiskComponent:
         return f"[{lo}]" if lo == hi else f"[{lo}..{hi}]"
 
 
+#: LSMStats fields mirrored into the process-wide metrics registry as
+#: ``lsm.<field>`` counters, aggregated over every LSM index in the
+#: process (docs/OBSERVABILITY.md documents the vocabulary).
+_MIRRORED_FIELDS = (
+    "flushes", "merges", "merged_components", "entries_flushed",
+    "entries_merged", "searches", "bloom_skips", "components_searched",
+)
+
+_MIRROR_COUNTERS = {
+    name: get_registry().counter(f"lsm.{name}") for name in _MIRRORED_FIELDS
+}
+
+
 @dataclass
 class LSMStats:
-    """Lifecycle counters for one LSM index."""
+    """Lifecycle counters for one LSM index.
+
+    Increments are mirrored into the registry's aggregate ``lsm.*``
+    counters, so every B+ tree / R-tree / inverted index lifecycle event
+    is visible process-wide without threading a registry handle through
+    the storage layer.
+    """
 
     flushes: int = 0
     merges: int = 0
@@ -74,3 +95,10 @@ class LSMStats:
     searches: int = 0
     bloom_skips: int = 0
     components_searched: int = 0
+
+    def __setattr__(self, name, value):
+        if name in _MIRROR_COUNTERS:
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                _MIRROR_COUNTERS[name].inc(delta)
+        object.__setattr__(self, name, value)

@@ -1,0 +1,153 @@
+"""Metrics registry semantics: counters, gauges, histograms, reset."""
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_monotonic(self):
+        c = Counter("x")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_up_down_set(self):
+        g = Gauge("g")
+        g.inc(2)
+        g.dec(0.5)
+        assert g.value == 1.5
+        g.set(-7)
+        assert g.value == -7
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_percentiles(self):
+        h = Histogram("h")
+        for v in range(101):
+            h.observe(float(v))
+        assert h.percentile(0) == 0.0
+        assert h.percentile(50) == 50.0
+        assert h.percentile(100) == 100.0
+        with pytest.raises(MetricError):
+            h.percentile(101)
+
+    def test_empty_percentile(self):
+        assert Histogram("h").percentile(99) == 0.0
+
+    def test_reservoir_bound_keeps_exact_count_and_sum(self):
+        h = Histogram("h", max_samples=10)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.sum == sum(range(100))
+        # reservoir holds only the newest 10 observations
+        assert h.percentile(0) == 90.0
+
+    def test_reset(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert h.count == 0
+        assert h.summary()["p50"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(MetricError):
+            reg.gauge("a")
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.gauge("b").set(1.5)
+        reg.histogram("c").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["a"] == 2
+        assert snap["b"] == 1.5
+        assert snap["c"]["count"] == 1
+
+    def test_delta_reports_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.counter("quiet").inc(1)
+        reg.histogram("h").observe(1.0)
+        before = reg.snapshot()
+        reg.counter("a").inc(3)
+        reg.histogram("h").observe(2.0)
+        delta = reg.delta(before)
+        assert delta == {"a": 3, "h.count": 1}
+
+    def test_reset_zeroes_in_place_keeping_handles(self):
+        """The contract long-lived subsystems rely on: a handle cached at
+        startup survives a reset between queries."""
+        reg = MetricsRegistry()
+        handle = reg.counter("a")
+        handle.inc(5)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        handle.inc()                      # cached handle still live
+        assert reg.counter("a").value == 1
+
+    def test_reset_between_queries_isolates_deltas(self):
+        reg = MetricsRegistry()
+        reg.counter("q").inc(7)
+        reg.reset()
+        before = reg.snapshot()
+        reg.counter("q").inc(2)
+        assert reg.delta(before) == {"q": 2}
+
+
+class TestDefaultRegistry:
+    def test_process_wide_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_instrumented_subsystems_register_counters(self):
+        # importing the storage layer registers its mirrors
+        import repro.storage.buffer_cache   # noqa: F401
+        import repro.storage.lsm.component  # noqa: F401
+
+        names = get_registry().names()
+        assert "lsm.flushes" in names
+        assert "lsm.searches" in names

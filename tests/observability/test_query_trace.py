@@ -1,0 +1,152 @@
+"""Integration: traced execution and runtime EXPLAIN through the stack.
+
+The ISSUE-1 acceptance surface: ``execute(..., trace=True)`` and
+``explain(q)`` must return structured trace/plan objects for both AQL
+and SQL++ paths, with per-phase timings, a fired-rule list, per-operator
+partition costs, and buffer-cache/LSM counters present.
+"""
+
+import pytest
+
+from repro import connect
+from repro.observability import QUERY_PHASES
+
+
+@pytest.fixture
+def db(tmp_path):
+    with connect(str(tmp_path / "db")) as instance:
+        instance.execute("""
+            CREATE TYPE UserType AS { id: int, alias: string };
+            CREATE DATASET Users(UserType) PRIMARY KEY id;
+            CREATE INDEX byAlias ON Users(alias);
+        """)
+        for i in range(40):
+            instance.execute(
+                'INSERT INTO Users ({"id": %d, "alias": "u%d"});' % (i, i)
+            )
+        instance.flush_dataset("Users")
+        yield instance
+
+
+QUERY = "SELECT VALUE u.alias FROM Users u WHERE u.alias = 'u7';"
+AQL_QUERY = "for $u in dataset Users where $u.id = 3 return $u.alias"
+
+
+class TestTracedExecution:
+    def test_reports_every_phase(self, db):
+        trace = db.execute(QUERY, trace=True).trace
+        assert trace is not None
+        assert trace.phase_names() == list(QUERY_PHASES)
+        for span in trace.phases:
+            assert span.duration_us >= 0.0
+
+    def test_reports_fired_rules(self, db):
+        trace = db.execute(QUERY, trace=True).trace
+        assert len(trace.fired_rules) >= 1
+        assert "introduce_secondary_index" in trace.fired_rules
+        assert trace.rewrites.passes >= 1
+
+    def test_per_operator_partition_costs(self, db):
+        trace = db.execute(QUERY, trace=True).trace
+        assert trace.operators
+        for op in trace.operators:
+            assert "name" in op and "elapsed_us" in op
+            assert op["partitions"], f"operator {op['name']} has no costs"
+            for cost in op["partitions"].values():
+                assert {"cpu_us", "io_us", "network_us",
+                        "tuples_out"} <= set(cost)
+
+    def test_execute_span_has_operator_events(self, db):
+        trace = db.execute(QUERY, trace=True).trace
+        events = trace.find_phase("execute").events
+        assert events and all(e["name"] == "operator" for e in events)
+        assert {e["op"] for e in events} >= {"result-writer"}
+
+    def test_buffer_cache_and_lsm_counters_present(self, db):
+        trace = db.execute(QUERY, trace=True).trace
+        assert any(k.startswith("buffer_cache.")
+                   for k in trace.metrics_totals)
+        assert any(k.startswith("lsm.") for k in trace.metrics_totals)
+        # the flushed index search must actually touch LSM search path
+        assert trace.metrics.get("lsm.searches", 0) >= 1
+
+    def test_results_identical_with_and_without_trace(self, db):
+        assert db.execute(QUERY, trace=True).rows == \
+            db.execute(QUERY).rows == ["u7"]
+
+    def test_aql_path_traces_too(self, db):
+        result = db.execute(AQL_QUERY, language="aql", trace=True)
+        assert result.rows == ["u3"]
+        trace = result.trace
+        assert trace.language == "aql"
+        assert trace.phase_names() == list(QUERY_PHASES)
+        assert len(trace.fired_rules) >= 1
+
+    def test_dml_is_traced(self, db):
+        result = db.execute(
+            'INSERT INTO Users ({"id": 1000, "alias": "zz"});', trace=True)
+        assert result.trace.kind == "dml"
+        assert "execute" in result.trace.phase_names()
+
+    def test_ddl_gets_minimal_trace(self, db):
+        result = db.execute("CREATE DATAVERSE other;", trace=True)
+        assert result.trace.kind == "ddl"
+        assert result.trace.phase_names() == ["parse", "execute"]
+
+    def test_trace_serializes_to_dict(self, db):
+        import json
+
+        d = db.execute(QUERY, trace=True).trace.to_dict()
+        json.dumps(d)           # must be plain data
+        assert d["kind"] == "query"
+        assert [p["name"] for p in d["phases"]] == list(QUERY_PHASES)
+
+    def test_untraced_execution_attaches_no_trace(self, db):
+        assert db.execute(QUERY).trace is None
+
+
+class TestExplain:
+    def test_structured_plan_and_job(self, db):
+        ex = db.explain(QUERY)
+        assert ex.logical_plan["operator"] == "DistributeResult"
+        assert ex.logical_plan["inputs"]          # nested tree
+        assert ex.job["operators"] and ex.job["edges"]
+        names = [op["name"] for op in ex.job["operators"]]
+        assert "result-writer" in names
+        assert "btree-search(Default.Users.byAlias)" in names
+
+    def test_text_halves_present(self, db):
+        ex = db.explain(QUERY)
+        assert "distribute-result" in ex.logical_text
+        assert "result-writer" in ex.job_text
+        pretty = ex.pretty()
+        assert "optimized logical plan" in pretty
+        assert "hyracks job" in pretty
+
+    def test_fired_rules_and_phases(self, db):
+        ex = db.explain(QUERY)
+        assert "introduce_secondary_index" in ex.fired_rules
+        assert [p["name"] for p in ex.phases] == \
+            ["parse", "translate", "optimize", "jobgen"]
+
+    def test_aql_explain(self, db):
+        ex = db.explain(AQL_QUERY, language="aql")
+        assert ex.language == "aql"
+        assert ex.logical_plan["inputs"]
+        assert "introduce_primary_index" in ex.fired_rules
+
+    def test_explain_does_not_execute(self, db):
+        before = db.query("SELECT VALUE COUNT(*) FROM Users u;")[0]
+        db.explain('INSERT INTO Users ({"id": 777, "alias": "x"});')
+        assert db.query("SELECT VALUE COUNT(*) FROM Users u;")[0] == before
+
+    def test_explain_rejects_ddl(self, db):
+        from repro.common.errors import AsterixError
+
+        with pytest.raises(AsterixError):
+            db.explain("CREATE DATAVERSE nope;")
+
+    def test_explain_serializes_to_dict(self, db):
+        import json
+
+        json.dumps(db.explain(QUERY).to_dict())

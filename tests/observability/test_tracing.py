@@ -1,0 +1,101 @@
+"""Span / QueryTrace / RewriteRecorder unit behaviour."""
+
+from repro.observability.tracing import (
+    QUERY_PHASES,
+    QueryTrace,
+    RewriteRecorder,
+    Span,
+    maybe_phase,
+)
+
+
+class TestSpan:
+    def test_events_and_dict(self):
+        span = Span("execute")
+        span.add_event("operator", op="scan", elapsed_us=1.5)
+        d = span.to_dict()
+        assert d["name"] == "execute"
+        assert d["events"] == [
+            {"name": "operator", "op": "scan", "elapsed_us": 1.5}
+        ]
+
+
+class TestQueryTrace:
+    def test_phase_context_records_duration(self):
+        trace = QueryTrace(statement="q")
+        with trace.phase("optimize"):
+            pass
+        assert trace.phase_names() == ["optimize"]
+        assert trace.phases[0].duration_us >= 0.0
+
+    def test_phase_recorded_even_on_error(self):
+        trace = QueryTrace()
+        try:
+            with trace.phase("jobgen"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert trace.phase_names() == ["jobgen"]
+
+    def test_find_phase(self):
+        trace = QueryTrace()
+        with trace.phase("parse"):
+            pass
+        assert trace.find_phase("parse") is trace.phases[0]
+        assert trace.find_phase("execute") is None
+
+    def test_to_dict_shape(self):
+        trace = QueryTrace(statement="SELECT 1", language="sqlpp",
+                           kind="query")
+        with trace.phase("parse"):
+            pass
+        d = trace.to_dict()
+        assert d["statement"] == "SELECT 1"
+        assert d["phases"][0]["name"] == "parse"
+        assert "rewrites" in d and "metrics" in d
+
+    def test_maybe_phase_none_is_noop(self):
+        with maybe_phase(None, "anything") as span:
+            assert span is None
+
+    def test_query_phases_constant(self):
+        assert QUERY_PHASES == ("parse", "translate", "optimize",
+                                "jobgen", "execute")
+
+    def test_pretty_mentions_rules_and_phases(self):
+        trace = QueryTrace(statement="SELECT 1", kind="query")
+        with trace.phase("parse"):
+            pass
+        trace.rewrites.observe("push_select_down", 1.0, fired=True,
+                               target="Select")
+        text = trace.pretty()
+        assert "parse" in text
+        assert "push_select_down" in text
+
+
+class TestRewriteRecorder:
+    def test_rule_name_strips_prefix(self):
+        def rule_fold_constants():
+            pass
+
+        assert RewriteRecorder.rule_name(rule_fold_constants) == \
+            "fold_constants"
+
+    def test_firings_and_times(self):
+        rec = RewriteRecorder()
+        rec.observe("a", 2.0, fired=True, target="Select")
+        rec.observe("a", 3.0, fired=False, target="Join")
+        rec.observe("b", 1.0, fired=True, target="Join")
+        rec.end_pass(["Select", "Join"])
+        assert rec.fired_rules == ["a", "b"]
+        assert rec.rule_times_us["a"] == 5.0
+        assert rec.passes == 1
+        d = rec.to_dict()
+        assert d["firings"][0]["rule"] == "a"
+        assert d["firings"][0]["target"] == "Select"
+
+    def test_fired_rules_are_distinct_in_order(self):
+        rec = RewriteRecorder()
+        for rule in ("x", "y", "x"):
+            rec.observe(rule, 0.0, fired=True, target="Select")
+        assert rec.fired_rules == ["x", "y"]

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Docs link checker: fail CI if docs cite paths that no longer exist.
+
+Scans ``docs/*.md`` (plus README.md) for
+
+* repo paths — any backtick-quoted or markdown-linked reference that
+  looks like ``src/repro/...``, ``repro/...``, ``tests/...``,
+  ``docs/...``, ``examples/...``, ``benchmarks/...`` or ``tools/...`` —
+  and verifies the file or directory exists (``repro/...`` resolves
+  under ``src/``);
+* relative markdown links (``[text](OBSERVABILITY.md)``) and verifies
+  the target exists relative to the citing document.
+
+Exit status 0 when everything resolves, 1 otherwise (one line per
+broken reference).  Run from anywhere: paths resolve against the repo
+root (this script's parent's parent).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: directories a cited repo path may start with
+ROOTS = ("src", "repro", "tests", "docs", "examples", "benchmarks",
+         "tools")
+
+BACKTICK = re.compile(r"`([^`\n]+)`")
+MDLINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+
+
+def candidate_paths(text: str):
+    """Backtick-quoted strings that look like repo file paths."""
+    for match in BACKTICK.finditer(text):
+        token = match.group(1).strip()
+        # strip trailing prose punctuation some citations carry
+        token = token.rstrip(".,;:")
+        if "/" not in token:
+            continue
+        if any(ch in token for ch in " ()*{}<>$\"'=,"):
+            continue                      # code snippets, not paths
+        first = token.split("/", 1)[0]
+        if first in ROOTS:
+            yield token
+
+
+def resolve_repo_path(token: str) -> bool:
+    path = REPO / token
+    if path.exists():
+        return True
+    if token.startswith("repro/"):        # module path; lives under src/
+        return (REPO / "src" / token).exists()
+    return False
+
+
+def check_file(doc: Path) -> list[str]:
+    text = doc.read_text()
+    errors = []
+    for token in candidate_paths(text):
+        if not resolve_repo_path(token):
+            errors.append(f"{doc.relative_to(REPO)}: broken path `{token}`")
+    for match in MDLINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        if not ((doc.parent / target).exists() or (REPO / target).exists()):
+            errors.append(
+                f"{doc.relative_to(REPO)}: broken link ({target})")
+    return errors
+
+
+def main() -> int:
+    docs = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    errors = []
+    for doc in docs:
+        if doc.exists():
+            errors.extend(check_file(doc))
+    for error in errors:
+        print(error)
+    if not errors:
+        print(f"ok: {len(docs)} docs, all cited paths resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
