@@ -98,7 +98,7 @@ class AsterixInstance:
     def _load_config(marker: str) -> ClusterConfig:
         import json
 
-        from repro.common.config import CostModel, NodeConfig
+        from repro.common.config import CostModel, ExecutorConfig, NodeConfig
 
         with open(marker) as f:
             data = json.load(f)
@@ -109,6 +109,7 @@ class AsterixInstance:
             frame_size=data["frame_size"],
             node=NodeConfig(**data["node"]),
             cost=CostModel(**data["cost"]),
+            executor=ExecutorConfig(**data.get("executor", {})),
         )
 
     def _save_config(self, marker: str) -> None:

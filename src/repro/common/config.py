@@ -45,6 +45,36 @@ class NodeConfig:
     sort_memory_frames: int = 32       # working memory per sort
     join_memory_frames: int = 32       # working memory per join
     group_memory_frames: int = 32      # working memory per group-by
+    #: Emulated device latency added to every physical page read/write, in
+    #: *real* microseconds (a ``time.sleep`` that releases the GIL).  Zero
+    #: by default; benchmarks raise it to make the wall-clock behave like a
+    #: spinning disk so I/O overlap across nodes becomes measurable.  It
+    #: never affects the simulated clock.
+    io_latency_us: float = 0.0
+
+
+@dataclass
+class ExecutorConfig:
+    """How the cluster controller runs Hyracks jobs.
+
+    ``mode`` selects between the parallel executor (the default: the
+    partitions of each stage run concurrently, one worker per node, with
+    per-node execution serialized in partition order so the simulated
+    clock and all node-local state stay deterministic) and the serial
+    fallback (same stage decomposition, executed inline — used by tests
+    that compare against the parallel executor).  ``pipelining`` streams
+    ``frame_size``-tuple frames through fused chains of streaming
+    operators instead of materializing every operator's full output;
+    turning it off reproduces the materialize-everything model.
+    """
+
+    mode: str = "parallel"            # "parallel" | "serial"
+    workers: int | None = None        # None = one worker per node
+    pipelining: bool = True
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode == "parallel"
 
 
 @dataclass
@@ -57,6 +87,7 @@ class ClusterConfig:
     frame_size: int = DEFAULT_FRAME_SIZE
     node: NodeConfig = field(default_factory=NodeConfig)
     cost: CostModel = field(default_factory=CostModel)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     @property
     def num_partitions(self) -> int:

@@ -13,6 +13,7 @@ from repro.hyracks.connectors import (
     OneToOneConnector,
     RangePartitionConnector,
 )
+from repro.hyracks.executor import JobExecutor, Stage, build_stages
 from repro.hyracks.expressions import (
     CaseExpr,
     CollectionConstructor,
@@ -45,6 +46,7 @@ __all__ = [
     "FunctionCall",
     "HashPartitionConnector",
     "InlineQuery",
+    "JobExecutor",
     "JobProfile",
     "JobResult",
     "JobSpecification",
@@ -59,7 +61,9 @@ __all__ = [
     "RangePartitionConnector",
     "ResultWriterOp",
     "RuntimeExpr",
+    "Stage",
     "VarRef",
+    "build_stages",
     "evaluate_predicate",
 ]
 

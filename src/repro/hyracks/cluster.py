@@ -13,13 +13,17 @@ Per DESIGN.md (Substitutions), the cluster is simulated in one process:
 * :class:`ClusterController` — owns the topology, the dataset→partition
   map (primary-key hash partitioning), and job execution.
 
-Jobs run operator-by-operator in dependency order; each operator executes
-its partitions sequentially while the profiler accounts them as parallel
-(elapsed = max over partitions).  The job's simulated time is the sum of
-operator elapsed times along the (serialized) dependency chain — a
-pipelining-free model applied identically to every configuration, which is
-what lets experiment E3 exhibit the scale-out *shape* of the paper's
-180-node test on one machine.
+Jobs are split into *stages* at pipeline breakers and executed by the
+pipelined, parallel executor (:mod:`repro.hyracks.executor`): within a
+stage, fused chains of streaming operators pass ``frame_size``-tuple
+frames instead of materializing; across a stage, the partitions run
+concurrently — one worker per node, each node's partitions in ascending
+order under the node's lock — while the profiler accounts them as
+parallel (elapsed = max over partitions).  The job's simulated time is
+the sum of operator elapsed times along the (serialized) dependency
+chain, applied identically to every configuration and to both executor
+modes (``config.executor``), which is what lets experiment E3 exhibit
+the scale-out *shape* of the paper's 180-node test on one machine.
 
 Layer contract: this module accepts a validated
 :class:`~repro.hyracks.job.JobSpecification` (from
@@ -27,25 +31,26 @@ Layer contract: this module accepts a validated
 :class:`~repro.hyracks.profiler.JobProfile` carries per-(operator,
 partition) costs.  It knows nothing about SQL++, logical plans, or the
 catalog — only operators, connectors, and partitions.  Observability:
-:meth:`ClusterController.run_job` emits one ``operator`` span event per
-executed operator when handed a trace span, and feeds the process-wide
-metrics registry (``hyracks.jobs``, ``hyracks.job_simulated_us``,
-``hyracks.network_tuples`` — see docs/OBSERVABILITY.md and
-docs/ARCHITECTURE.md for the full tour).
+:meth:`ClusterController.run_job` emits one ``stage`` event per executed
+stage and one ``operator`` span event per operator when handed a trace
+span, and feeds the process-wide metrics registry (``hyracks.jobs``,
+``hyracks.job_simulated_us``, ``hyracks.network_tuples``, plus the
+``hyracks.executor.*`` / ``hyracks.pipeline.*`` families — see
+docs/OBSERVABILITY.md and docs/ARCHITECTURE.md for the full tour).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.common.config import ClusterConfig
 from repro.common.errors import MetadataError
+from repro.hyracks.executor import JobExecutor, make_worker_pool
 from repro.hyracks.job import JobSpecification
-from repro.hyracks.operators.base import TaskContext
-from repro.hyracks.operators.result import ResultWriterOp
-from repro.hyracks.profiler import JobProfile, PartitionCost
+from repro.hyracks.profiler import JobProfile
 from repro.observability.metrics import get_registry
 from repro.storage.buffer_cache import BufferCache
 from repro.storage.dataset_storage import PartitionStorage, SecondaryIndexSpec
@@ -67,8 +72,14 @@ class NodeController:
         self.node_id = node_id
         self.config = config
         self.root = root
+        #: Serializes task execution on this node: the parallel executor
+        #: runs one task at a time per node (in ascending partition
+        #: order), so the buffer cache, WAL, and file manager see the
+        #: exact same operation sequence as under the serial executor.
+        self.lock = threading.RLock()
         self.devices = [
-            IODevice(d, os.path.join(root, f"iodevice{d}"))
+            IODevice(d, os.path.join(root, f"iodevice{d}"),
+                     latency_us=config.node.io_latency_us)
             for d in range(config.node.num_io_devices)
         ]
         self.fm = FileManager(self.devices, config.page_size)
@@ -122,9 +133,7 @@ class NodeController:
         max_txn = 0
         for record in self.log.scan():
             max_txn = max(max_txn, record.txn_id)
-        import itertools
-
-        self.txn._ids = itertools.count(max_txn + 1)
+        self.txn.seed_ids(max_txn + 1)
 
     def replay_wal(self) -> int:
         """Replay committed entity operations into this node's recovered
@@ -188,25 +197,6 @@ class JobResult:
     profile: JobProfile
 
 
-class _ConnCtx:
-    """Cost sink for connector routing; the executor spreads the charge
-    across the consuming partitions afterwards."""
-
-    def __init__(self, cost_model):
-        self.cost = cost_model
-        self.network_tuples = 0
-        self.cpu_us = 0.0
-
-    def charge_network(self, n):
-        self.network_tuples += n
-
-    def charge_hash(self, n):
-        self.cpu_us += n * self.cost.hash_us
-
-    def charge_compare(self, n):
-        self.cpu_us += n * self.cost.compare_us
-
-
 class ClusterController:
     """Topology + catalog-of-partitions + job executor."""
 
@@ -219,6 +209,7 @@ class ClusterController:
             for n in range(self.config.num_nodes)
         ]
         self.datasets: dict[str, DatasetInfo] = {}
+        self._pool = None                  # lazy node-worker pool
 
     # -- topology ---------------------------------------------------------------
 
@@ -321,63 +312,15 @@ class ClusterController:
 
     def run_job(self, job: JobSpecification,
                 span: object = None) -> JobResult:
-        """Execute a job DAG; ``span`` (a tracing Span) gets one
-        ``operator`` event per operator with its simulated costs."""
+        """Execute a job DAG; ``span`` (a tracing Span) gets one ``stage``
+        event per executed stage and one ``operator`` event per operator
+        with its simulated costs."""
         job.validate()
         profile = JobProfile(self.config.cost)
         started = time.perf_counter()
         io_before = self._total_io()
-        order = job.topological_order()
-        outputs: dict[int, list] = {}
-        result_tuples: list = []
-        for op_id in order:
-            op = job.operators[op_id]
-            width = op.partition_count or self.num_partitions
-            op_profile = profile.new_operator(repr(op))
-            # route each input edge to this operator's partitions
-            routed_per_edge = []
-            for edge in job.inputs_of(op_id):
-                conn_ctx = _ConnCtx(self.config.cost)
-                routed = edge.connector.route(
-                    outputs[edge.producer], width, conn_ctx
-                )
-                profile.connector_network_tuples += conn_ctx.network_tuples
-                per_part_net = (
-                    conn_ctx.network_tuples
-                    * self.config.cost.network_tuple_us / width
-                )
-                per_part_cpu = conn_ctx.cpu_us / width
-                for p in range(width):
-                    cost = op_profile.cost(p)
-                    cost.network_us += per_part_net
-                    cost.cpu_us += per_part_cpu
-                routed_per_edge.append(routed)
-            # run the partitions (sequentially; accounted as parallel)
-            op_outputs = []
-            for p in range(width):
-                node = (self.nodes[0] if width == 1
-                        else self.node_of_partition(p))
-                cost = op_profile.cost(p)
-                cost.tuples_in += sum(
-                    len(edge_routed[p]) for edge_routed in routed_per_edge
-                )
-                ctx = TaskContext(node, self.config, cost)
-                out = op.run(
-                    ctx, p, [edge_routed[p] for edge_routed in routed_per_edge]
-                )
-                op_outputs.append(out)
-            outputs[op_id] = op_outputs
-            profile.simulated_us += op_profile.elapsed_us
-            if span is not None:
-                span.add_event(
-                    "operator", op_id=op_id, op=repr(op), width=width,
-                    elapsed_us=op_profile.elapsed_us,
-                    tuples_out=op_profile.total_tuples_out,
-                )
-            if isinstance(op, ResultWriterOp):
-                result_tuples = op.collected
-        io_after = self._total_io()
-        diff = io_after.diff(io_before)
+        result_tuples = JobExecutor(self, job, profile, span).run()
+        diff = self._total_io().diff(io_before)
         profile.physical_reads = diff.total_reads
         profile.physical_writes = diff.total_writes
         profile.wall_seconds = time.perf_counter() - started
@@ -390,6 +333,13 @@ class ClusterController:
         registry.histogram("hyracks.job_wall_seconds").observe(
             profile.wall_seconds)
         return JobResult(result_tuples, profile)
+
+    def worker_pool(self):
+        """The lazily-created node-worker pool used by the parallel
+        executor (one thread per node by default)."""
+        if self._pool is None:
+            self._pool = make_worker_pool(self.config)
+        return self._pool
 
     def _total_io(self) -> IOStats:
         total = IOStats()
@@ -412,5 +362,8 @@ class ClusterController:
         return total
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         for node in self.nodes:
             node.close()

@@ -1,0 +1,326 @@
+"""The pipelined, parallel Hyracks job executor.
+
+The original executor ran every operator to completion, materialized its
+full output, and looped over partitions sequentially.  This module keeps
+that model's *accounting* (the simulated clock, per-(operator, partition)
+:class:`~repro.hyracks.profiler.PartitionCost` sinks) while executing the
+way Hyracks actually does:
+
+* **Stages.**  The job DAG is split into stages at pipeline breakers:
+  an edge is fused only when it is a same-width one-to-one connector into
+  a single-input *streaming* consumer (``OperatorDescriptor.streaming``).
+  Sort, group-by, joins, and the result writer keep ``streaming = False``
+  and therefore bound their own stages, exactly the points where real
+  Hyracks materializes (see :mod:`repro.hyracks.operators.base`).
+
+* **Frames.**  Within a fused chain, tuples flow in frames of
+  ``config.frame_size`` tuples through push-based
+  :class:`~repro.hyracks.job.OperatorTask` objects, so peak intermediate
+  state inside a stage is one frame per operator, not every operator's
+  full output.  Streaming tasks issue the same cost charges ``run``
+  would, so the simulated clock is identical with pipelining on or off.
+
+* **Parallel partitions.**  The partitions of a stage execute
+  concurrently on a worker pool — one worker per *node*, with each node's
+  partitions executed in ascending partition order under the node's lock.
+  Every piece of shared mutable state is per-node (buffer cache, WAL,
+  file manager, LSM partitions), so each node observes the exact same
+  operation sequence as the serial executor and the simulated clock,
+  result tuples, and tuple counts are byte-identical in both modes.
+  Real page-file I/O (plus the optional emulated device latency,
+  ``NodeConfig.io_latency_us``) releases the GIL, so scan/sort/join-heavy
+  jobs overlap I/O across nodes.
+
+Wall-clock time is the only thing the modes are allowed to disagree on.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.hyracks.connectors import OneToOneConnector
+from repro.hyracks.job import JobSpecification
+from repro.hyracks.operators.base import TaskContext
+from repro.hyracks.operators.result import ResultWriterOp
+from repro.observability.metrics import get_registry
+
+
+class _ConnCtx:
+    """Cost sink for connector routing; the executor spreads the charge
+    across the consuming partitions afterwards."""
+
+    def __init__(self, cost_model):
+        self.cost = cost_model
+        self.network_tuples = 0
+        self.cpu_us = 0.0
+
+    def charge_network(self, n):
+        self.network_tuples += n
+
+    def charge_hash(self, n):
+        self.cpu_us += n * self.cost.hash_us
+
+    def charge_compare(self, n):
+        self.cpu_us += n * self.cost.compare_us
+
+
+@dataclass
+class Stage:
+    """One maximal fused chain of operators (head first)."""
+
+    index: int
+    op_ids: list
+
+    @property
+    def head(self) -> int:
+        return self.op_ids[0]
+
+    @property
+    def tail(self) -> int:
+        return self.op_ids[-1]
+
+    @property
+    def pipelined(self) -> bool:
+        return len(self.op_ids) > 1
+
+
+def _effective_width(op, num_partitions: int) -> int:
+    return op.partition_count or num_partitions
+
+
+def build_stages(job: JobSpecification, num_partitions: int,
+                 pipelining: bool) -> list:
+    """Split the DAG into stages, fusing streamable one-to-one chains.
+
+    Stages are emitted in an order derived from the job's topological
+    order, so executing them sequentially respects every dependency; with
+    ``pipelining=False`` every operator is its own stage (the original
+    materialize-everything model).
+    """
+    order = job.topological_order()
+    out_edges: dict = {}
+    for e in job.edges:
+        out_edges.setdefault(e.producer, []).append(e)
+    assigned: set = set()
+    stages: list = []
+    for op_id in order:
+        if op_id in assigned:
+            continue
+        chain = [op_id]
+        cur = op_id
+        while pipelining:
+            outs = out_edges.get(cur, [])
+            if len(outs) != 1:
+                break
+            edge = outs[0]
+            consumer = job.operators[edge.consumer]
+            if not isinstance(edge.connector, OneToOneConnector):
+                break
+            if consumer.num_inputs != 1 or not consumer.streaming:
+                break
+            if (_effective_width(job.operators[cur], num_partitions)
+                    != _effective_width(consumer, num_partitions)):
+                break
+            chain.append(edge.consumer)
+            cur = edge.consumer
+        assigned.update(chain)
+        stages.append(Stage(len(stages), chain))
+    return stages
+
+
+class JobExecutor:
+    """Executes one validated job on a cluster controller.
+
+    ``mode`` and ``pipelining`` come from ``config.executor``; the
+    coordinator (this class) routes connectors and enforces stage
+    barriers on the calling thread, and dispatches per-partition tasks
+    either inline (serial) or one worker per node (parallel).
+    """
+
+    def __init__(self, cluster, job: JobSpecification, profile, span=None):
+        self.cluster = cluster
+        self.job = job
+        self.profile = profile
+        self.span = span
+        self.config = cluster.config
+        self.exec_config = cluster.config.executor
+        registry = get_registry()
+        self._m_stages = registry.counter("hyracks.executor.stages")
+        self._m_tasks = registry.counter("hyracks.executor.tasks")
+        self._m_fused = registry.counter("hyracks.pipeline.fused_chains")
+        self._m_frames = registry.counter("hyracks.pipeline.frames")
+        self._m_frame_tuples = registry.histogram(
+            "hyracks.pipeline.frame_tuples")
+
+    # -- coordinator ---------------------------------------------------------
+
+    def run(self) -> list:
+        job, profile = self.job, self.profile
+        stages = build_stages(job, self.cluster.num_partitions,
+                              self.exec_config.pipelining)
+        # operator profiles are created in topological order, matching the
+        # operator ordering the serial executor always reported
+        op_profiles = {
+            op_id: profile.new_operator(repr(job.operators[op_id]))
+            for op_id in job.topological_order()
+        }
+        outputs: dict = {}
+        result_tuples: list = []
+        for stage in stages:
+            started = time.perf_counter()
+            stage_outputs = self._run_stage(stage, op_profiles, outputs)
+            outputs[stage.tail] = stage_outputs
+            width = _effective_width(job.operators[stage.head],
+                                     self.cluster.num_partitions)
+            self._m_stages.inc()
+            if stage.pipelined:
+                self._m_fused.inc()
+            profile.stages.append({
+                "index": stage.index,
+                "ops": [repr(job.operators[i]) for i in stage.op_ids],
+                "width": width,
+                "pipelined": stage.pipelined,
+                "wall_seconds": time.perf_counter() - started,
+            })
+            if self.span is not None:
+                self.span.add_event(
+                    "stage", index=stage.index, width=width,
+                    pipelined=stage.pipelined,
+                    ops=[repr(job.operators[i]) for i in stage.op_ids],
+                )
+            for op_id in stage.op_ids:
+                op = job.operators[op_id]
+                op_profile = op_profiles[op_id]
+                profile.simulated_us += op_profile.elapsed_us
+                if self.span is not None:
+                    self.span.add_event(
+                        "operator", op_id=op_id, op=repr(op), width=width,
+                        elapsed_us=op_profile.elapsed_us,
+                        tuples_out=op_profile.total_tuples_out,
+                    )
+                if isinstance(op, ResultWriterOp):
+                    result_tuples = op.collected
+        return result_tuples
+
+    def _run_stage(self, stage: Stage, op_profiles, outputs) -> list:
+        job = self.job
+        head_op = job.operators[stage.head]
+        width = _effective_width(head_op, self.cluster.num_partitions)
+        head_profile = op_profiles[stage.head]
+        # route each input edge of the stage head to its partitions
+        routed_per_edge = []
+        for edge in job.inputs_of(stage.head):
+            conn_ctx = _ConnCtx(self.config.cost)
+            routed = edge.connector.route(
+                outputs[edge.producer], width, conn_ctx
+            )
+            self.profile.connector_network_tuples += conn_ctx.network_tuples
+            per_part_net = (
+                conn_ctx.network_tuples
+                * self.config.cost.network_tuple_us / width
+            )
+            per_part_cpu = conn_ctx.cpu_us / width
+            for p in range(width):
+                cost = head_profile.cost(p)
+                cost.network_us += per_part_net
+                cost.cpu_us += per_part_cpu
+            routed_per_edge.append(routed)
+        # interior operators get cost entries for every partition, exactly
+        # as the materializing executor created them
+        for op_id in stage.op_ids[1:]:
+            for p in range(width):
+                op_profiles[op_id].cost(p)
+        # dispatch the partitions
+        stage_outputs: list = [None] * width
+        node_groups: dict = {}
+        for p in range(width):
+            node = (self.cluster.nodes[0] if width == 1
+                    else self.cluster.node_of_partition(p))
+            node_groups.setdefault(node.node_id, (node, []))[1].append(p)
+        self._m_tasks.inc(width)
+
+        def run_group(node, partitions):
+            for p in partitions:
+                stage_outputs[p] = self._run_partition(
+                    stage, node, p, routed_per_edge, op_profiles)
+
+        groups = [node_groups[nid] for nid in sorted(node_groups)]
+        if self.exec_config.parallel and len(groups) > 1:
+            pool = self.cluster.worker_pool()
+            futures = [pool.submit(run_group, node, parts)
+                       for node, parts in groups]
+            errors = []
+            for future in futures:
+                exc = future.exception()
+                if exc is not None:
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
+        else:
+            for node, parts in groups:
+                run_group(node, parts)
+        return stage_outputs
+
+    # -- one (stage, partition) task ----------------------------------------
+
+    def _run_partition(self, stage: Stage, node, partition: int,
+                       routed_per_edge, op_profiles) -> list:
+        job, config = self.job, self.config
+        ops = [job.operators[i] for i in stage.op_ids]
+        head = ops[0]
+        with node.lock:
+            head_ctx = TaskContext(
+                node, config, op_profiles[stage.head].cost(partition))
+            head_inputs = [routed[partition] for routed in routed_per_edge]
+            head_ctx.cost.tuples_in += sum(len(x) for x in head_inputs)
+            if not stage.pipelined:
+                return head.run(head_ctx, partition, head_inputs)
+            tasks = [
+                op.start(
+                    TaskContext(node, config,
+                                op_profiles[op_id].cost(partition)),
+                    partition,
+                )
+                for op_id, op in zip(stage.op_ids[1:], ops[1:])
+            ]
+            sink: list = []
+            frame: list = []
+            frame_size = config.frame_size
+            for tup in head.run_iter(head_ctx, partition, head_inputs):
+                frame.append(tup)
+                if len(frame) >= frame_size:
+                    self._emit_frame(tasks, 0, frame, sink)
+                    frame = []
+            if frame:
+                self._emit_frame(tasks, 0, frame, sink)
+            for i, task in enumerate(tasks):
+                tail = task.finish()
+                if tail:
+                    self._push(tasks, i + 1, tail, sink)
+            return sink
+
+    def _emit_frame(self, tasks, start: int, frame: list, sink: list):
+        self._m_frames.inc()
+        self._m_frame_tuples.observe(len(frame))
+        self._push(tasks, start, frame, sink)
+
+    @staticmethod
+    def _push(tasks, start: int, data: list, sink: list):
+        """Feed ``data`` through ``tasks[start:]``; whatever survives the
+        whole chain lands in ``sink``."""
+        for task in tasks[start:]:
+            task.ctx.cost.tuples_in += len(data)
+            data = task.push(data)
+            if not data:
+                return
+        sink.extend(data)
+
+
+def make_worker_pool(config) -> ThreadPoolExecutor:
+    """The cluster's node-worker pool (one worker per node by default)."""
+    workers = config.executor.workers or config.num_nodes
+    return ThreadPoolExecutor(
+        max_workers=max(1, workers), thread_name_prefix="hyracks-node",
+    )

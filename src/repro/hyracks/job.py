@@ -4,8 +4,22 @@
 of operator descriptors wired by connector descriptors.  An operator runs
 in N partitions; a connector describes how a producer's partitioned output
 is routed to a consumer's input partitions (one-to-one, hash partition,
-broadcast, sorted merge).  The cluster controller executes the DAG in
-dependency order (see :mod:`repro.hyracks.cluster`).
+broadcast, sorted merge).  The executor (:mod:`repro.hyracks.executor`)
+splits the DAG into stages at pipeline breakers and streams frames through
+fused chains of streaming operators; :mod:`repro.hyracks.cluster` drives
+it in dependency order.
+
+Two execution protocols coexist on :class:`OperatorDescriptor`:
+
+* ``run(ctx, partition, inputs)`` — the original list-in/list-out form
+  every operator implements; pipeline breakers only ever run this way.
+* ``start(ctx, partition)``/``run_iter(...)`` — the push/pull streaming
+  forms.  ``streaming = True`` operators return an :class:`OperatorTask`
+  from ``start`` that consumes input one frame at a time; sources may
+  override ``run_iter`` to *produce* output incrementally.  Streaming
+  implementations must issue the exact same cost charges, in the same
+  order, as ``run`` would (defer batch charges to ``finish``), so the
+  simulated clock is byte-identical whichever protocol executes.
 """
 
 from __future__ import annotations
@@ -13,6 +27,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import CompilationError
+
+
+class OperatorTask:
+    """Push-based execution state of one (operator, partition) task.
+
+    The executor feeds routed input through ``push`` one frame at a time
+    and calls ``finish`` exactly once at end-of-stream; both return output
+    tuples (possibly empty).  Tasks must not perform device I/O — a
+    streaming chain runs inside its head operator's I/O accounting window.
+    """
+
+    def __init__(self, op: "OperatorDescriptor", ctx, partition: int):
+        self.op = op
+        self.ctx = ctx
+        self.partition = partition
+
+    def push(self, frame: list) -> list:
+        raise NotImplementedError
+
+    def finish(self) -> list:
+        return []
+
+
+class BufferedOperatorTask(OperatorTask):
+    """Compatibility task: buffers every frame and calls ``run`` at
+    end-of-stream.  Pipeline breakers use this when they end up in a
+    push-based position (they normally head their own stage instead)."""
+
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._buffer: list = []
+
+    def push(self, frame):
+        self._buffer.extend(frame)
+        return []
+
+    def finish(self):
+        return self.op.run(self.ctx, self.partition, [self._buffer])
 
 
 class OperatorDescriptor:
@@ -27,9 +79,26 @@ class OperatorDescriptor:
     #: None = run at full cluster width; 1 = single (global) partition
     partition_count: int | None = None
     name = "op"
+    #: True when the operator can consume its input one frame at a time
+    #: without changing results or cost accounting.  Pipeline breakers —
+    #: sort, group-by, join (its build side must be complete before the
+    #: probe), the result writer, anything that buffers or reorders —
+    #: keep the default False and act as stage boundaries in the
+    #: executor's stage decomposition.
+    streaming = False
 
     def run(self, ctx, partition: int, inputs: list) -> list:
         raise NotImplementedError
+
+    def start(self, ctx, partition: int) -> OperatorTask:
+        """Begin push-based execution; streaming operators override."""
+        return BufferedOperatorTask(self, ctx, partition)
+
+    def run_iter(self, ctx, partition: int, inputs: list):
+        """Generator form of ``run`` for stage heads.  Sources that can
+        emit incrementally (scans) override this with a true generator so
+        a pipelined stage never materializes their full output."""
+        yield from self.run(ctx, partition, inputs)
 
     def __repr__(self):
         return self.name

@@ -1,14 +1,36 @@
-"""Task context: what one operator partition sees while running.
+"""Task context and the streaming-operator protocol.
 
-Gives operators access to the node hosting their partition (storage,
-temp files), the cluster config (frame sizes, memory budgets), and the
-cost-charging hooks that drive the simulated clock.
+:class:`TaskContext` gives operators access to the node hosting their
+partition (storage, temp files), the cluster config (frame sizes, memory
+budgets), and the cost-charging hooks that drive the simulated clock.
+
+This module also re-exports the pipeline protocol pieces operators
+declare themselves against (:class:`OperatorTask`,
+:class:`BufferedOperatorTask`, and the ``streaming`` flag on
+:class:`~repro.hyracks.job.OperatorDescriptor`): a streaming operator
+consumes frames incrementally and may be fused into a pipelined stage;
+pipeline breakers — external sort, group-by, joins (the build side must
+be complete before probing), the result writer — keep ``streaming =
+False`` and start a new stage, which is where the executor materializes.
 """
 
 from __future__ import annotations
 
+import itertools
+
 from repro.common.config import ClusterConfig
+from repro.hyracks.job import (  # noqa: F401  (re-exported protocol)
+    BufferedOperatorTask,
+    OperatorTask,
+)
 from repro.hyracks.profiler import PartitionCost
+
+#: Process-wide monotonic sequence for temp-file names.  ``id(self)`` was
+#: used before, but CPython reuses ids after GC, so two tasks could
+#: collide on the same temp file; a counter is unique for the process
+#: lifetime and safe for concurrent tasks (``itertools.count`` advances
+#: atomically under CPython).
+_TEMP_SEQ = itertools.count(1)
 
 
 class TaskContext:
@@ -18,7 +40,6 @@ class TaskContext:
         self.node = node                  # NodeController hosting this task
         self.config = config
         self.cost = cost
-        self._temp_counter = [0]
 
     # -- cost charging ---------------------------------------------------------
 
@@ -52,8 +73,7 @@ class TaskContext:
         return self.node.get_txn_partition(dataset, partition)
 
     def make_temp_file(self, label: str):
-        self._temp_counter[0] += 1
-        name = f"temp/{label}_{id(self)}_{self._temp_counter[0]}"
+        name = f"temp/{label}_{next(_TEMP_SEQ)}"
         return self.node.fm.create_file(name)
 
     def release_temp_file(self, handle) -> None:

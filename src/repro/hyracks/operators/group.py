@@ -46,6 +46,7 @@ class HashGroupByOp(OperatorDescriptor):
     keys, so per-partition groups are globally correct)."""
 
     name = "hash-group-by"
+    streaming = False     # pipeline breaker: groups close at end-of-stream
 
     def __init__(self, key_fields: list[int], aggregates: list[AggregateCall],
                  memory_frames: int | None = None):

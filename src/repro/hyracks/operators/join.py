@@ -26,6 +26,8 @@ class HybridHashJoinOp(OperatorDescriptor):
 
     num_inputs = 2
     name = "hybrid-hash-join"
+    streaming = False     # pipeline breaker: the build side (port 1) must
+                          # be complete before the probe can start
 
     def __init__(self, left_keys: list[int], right_keys: list[int],
                  kind: str = "inner",

@@ -13,6 +13,7 @@ class ResultWriterOp(OperatorDescriptor):
 
     partition_count = 1
     name = "result-writer"
+    streaming = False     # pipeline breaker: the job's terminal sink
 
     def __init__(self):
         self.collected: list = []

@@ -32,6 +32,10 @@ class InMemorySourceOp(OperatorDescriptor):
         ctx.charge_cpu(len(self.tuples))
         return list(self.tuples)
 
+    def run_iter(self, ctx, partition, inputs):
+        yield from self.tuples
+        ctx.charge_cpu(len(self.tuples))
+
 
 class DatasetScanOp(OperatorDescriptor):
     """Full scan of a dataset partition: emits (pk fields..., record).
@@ -46,15 +50,20 @@ class DatasetScanOp(OperatorDescriptor):
         self.dataset = dataset
 
     def run(self, ctx, partition, inputs):
+        return list(self.run_iter(ctx, partition, inputs))
+
+    def run_iter(self, ctx, partition, inputs):
+        """Incremental scan: a pipelined stage pulls tuples one frame at
+        a time instead of materializing the whole partition."""
         storage = ctx.storage_partition(self.dataset, partition)
         before = ctx.node.io_snapshot()
-        out = []
+        count = 0
         for pk, record in storage.scan():
-            out.append((*pk, record))
+            count += 1
+            yield (*pk, record)
         ctx.node.charge_io_delta(ctx, before)
-        ctx.charge_cpu(len(out))
-        ctx.cost.tuples_out += len(out)
-        return out
+        ctx.charge_cpu(count)
+        ctx.cost.tuples_out += count
 
     def __repr__(self):
         return f"dataset-scan({self.dataset})"
@@ -74,18 +83,21 @@ class ExternalScanOp(OperatorDescriptor):
         self.adapter = adapter      # repro.external adapter object
 
     def run(self, ctx, partition, inputs):
+        return list(self.run_iter(ctx, partition, inputs))
+
+    def run_iter(self, ctx, partition, inputs):
         num_partitions = ctx.node.cluster_num_partitions
-        out = []
+        count = 0
         for split_index, record in self.adapter.read_splits():
             if split_index % num_partitions != partition:
                 continue
-            out.append((record,))
+            count += 1
+            yield (record,)
         # adapters track bytes read; charge sequential page equivalents
         pages = self.adapter.take_bytes_read() // ctx.node.fm.page_size + 1
         ctx.charge_io(0, 0, pages, 0)
-        ctx.charge_cpu(len(out))
-        ctx.cost.tuples_out += len(out)
-        return out
+        ctx.charge_cpu(count)
+        ctx.cost.tuples_out += count
 
     def __repr__(self):
         return f"external-scan({self.adapter!r})"

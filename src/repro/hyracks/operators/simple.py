@@ -1,17 +1,26 @@
 """Streaming operators: assign, select, project, limit, union, unnest,
-distinct."""
+distinct.
+
+Most operators here set ``streaming = True`` and provide an
+:class:`~repro.hyracks.job.OperatorTask` so the executor can fuse them
+into pipelined stages.  Every streaming task defers its batch cost
+charges to ``finish`` using the same integer counts ``run`` would use,
+so the simulated clock is bit-identical whether a query executes
+materialized or pipelined (see docs/ARCHITECTURE.md, "Job execution").
+"""
 
 from __future__ import annotations
 
 from repro.adm.values import MISSING, Multiset, canonical_bytes
 from repro.hyracks.expressions import RuntimeExpr, evaluate_predicate
-from repro.hyracks.job import OperatorDescriptor
+from repro.hyracks.job import OperatorDescriptor, OperatorTask
 
 
 class AssignOp(OperatorDescriptor):
     """Append one computed field per expression to each tuple."""
 
     name = "assign"
+    streaming = True
 
     def __init__(self, exprs: list[RuntimeExpr]):
         self.exprs = list(exprs)
@@ -25,14 +34,35 @@ class AssignOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(out)
         return out
 
+    def start(self, ctx, partition):
+        return _AssignTask(self, ctx, partition)
+
     def __repr__(self):
         return f"assign({len(self.exprs)} exprs)"
+
+
+class _AssignTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._count = 0
+
+    def push(self, frame):
+        exprs = self.op.exprs
+        out = [tup + tuple(e.evaluate(tup) for e in exprs) for tup in frame]
+        self._count += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.charge_cpu(self._count * max(1, len(self.op.exprs)))
+        self.ctx.cost.tuples_out += self._count
+        return []
 
 
 class SelectOp(OperatorDescriptor):
     """Filter: keep tuples whose condition evaluates to True."""
 
     name = "select"
+    streaming = True
 
     def __init__(self, condition: RuntimeExpr):
         self.condition = condition
@@ -43,14 +73,37 @@ class SelectOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(out)
         return out
 
+    def start(self, ctx, partition):
+        return _SelectTask(self, ctx, partition)
+
     def __repr__(self):
         return f"select({self.condition!r})"
+
+
+class _SelectTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._seen = 0
+        self._kept = 0
+
+    def push(self, frame):
+        self._seen += len(frame)
+        cond = self.op.condition
+        out = [t for t in frame if evaluate_predicate(cond, t)]
+        self._kept += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.charge_cpu(self._seen)
+        self.ctx.cost.tuples_out += self._kept
+        return []
 
 
 class ProjectOp(OperatorDescriptor):
     """Keep only the named field positions, in order."""
 
     name = "project"
+    streaming = True
 
     def __init__(self, fields: list[int]):
         self.fields = list(fields)
@@ -62,8 +115,28 @@ class ProjectOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(out)
         return out
 
+    def start(self, ctx, partition):
+        return _ProjectTask(self, ctx, partition)
+
     def __repr__(self):
         return f"project({self.fields})"
+
+
+class _ProjectTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._count = 0
+
+    def push(self, frame):
+        fields = self.op.fields
+        out = [tuple(t[i] for i in fields) for t in frame]
+        self._count += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.charge_cpu(self._count)
+        self.ctx.cost.tuples_out += self._count
+        return []
 
 
 class LimitOp(OperatorDescriptor):
@@ -71,6 +144,7 @@ class LimitOp(OperatorDescriptor):
 
     partition_count = 1
     name = "limit"
+    streaming = True
 
     def __init__(self, limit: int | None, offset: int = 0):
         self.limit = limit
@@ -83,8 +157,35 @@ class LimitOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(data)
         return list(data)
 
+    def start(self, ctx, partition):
+        return _LimitTask(self, ctx, partition)
+
     def __repr__(self):
         return f"limit({self.limit}, offset={self.offset})"
+
+
+class _LimitTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._skipped = 0
+        self._emitted = 0
+
+    def push(self, frame):
+        out = []
+        limit = self.op.limit
+        for tup in frame:
+            if self._skipped < self.op.offset:
+                self._skipped += 1
+                continue
+            if limit is not None and self._emitted >= limit:
+                break
+            out.append(tup)
+            self._emitted += 1
+        return out
+
+    def finish(self):
+        self.ctx.cost.tuples_out += self._emitted
+        return []
 
 
 class UnionAllOp(OperatorDescriptor):
@@ -107,6 +208,7 @@ class UnnestOp(OperatorDescriptor):
     semantics); ``outer=True`` keeps the input tuple with MISSING."""
 
     name = "unnest"
+    streaming = True
 
     def __init__(self, collection: RuntimeExpr, outer: bool = False,
                  positional: bool = False):
@@ -114,24 +216,49 @@ class UnnestOp(OperatorDescriptor):
         self.outer = outer
         self.positional = positional
 
+    def _expand(self, tup) -> list:
+        coll = self.collection.evaluate(tup)
+        items = coll if isinstance(coll, (list, Multiset)) else []
+        if not items and self.outer:
+            extra = (MISSING, 0) if self.positional else (MISSING,)
+            return [tup + extra]
+        if self.positional:
+            return [tup + (item, pos) for pos, item in enumerate(items)]
+        return [tup + (item,) for item in items]
+
     def run(self, ctx, partition, inputs):
         out = []
         for tup in inputs[0]:
-            coll = self.collection.evaluate(tup)
-            items = coll if isinstance(coll, (list, Multiset)) else []
-            if not items and self.outer:
-                extra = (MISSING, 0) if self.positional else (MISSING,)
-                out.append(tup + extra)
-                continue
-            for pos, item in enumerate(items):
-                extra = (item, pos) if self.positional else (item,)
-                out.append(tup + extra)
+            out.extend(self._expand(tup))
         ctx.charge_cpu(len(out) + len(inputs[0]))
         ctx.cost.tuples_out += len(out)
         return out
 
+    def start(self, ctx, partition):
+        return _UnnestTask(self, ctx, partition)
+
     def __repr__(self):
         return f"unnest({self.collection!r})"
+
+
+class _UnnestTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._seen = 0
+        self._emitted = 0
+
+    def push(self, frame):
+        out = []
+        for tup in frame:
+            out.extend(self.op._expand(tup))
+        self._seen += len(frame)
+        self._emitted += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.charge_cpu(self._emitted + self._seen)
+        self.ctx.cost.tuples_out += self._emitted
+        return []
 
 
 class DistinctOp(OperatorDescriptor):
@@ -140,6 +267,7 @@ class DistinctOp(OperatorDescriptor):
     globally correct)."""
 
     name = "distinct"
+    streaming = True
 
     def __init__(self, fields: list[int] | None = None):
         self.fields = fields    # None = whole tuple
@@ -159,9 +287,41 @@ class DistinctOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(out)
         return out
 
+    def start(self, ctx, partition):
+        return _DistinctTask(self, ctx, partition)
+
+
+class _DistinctTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._seen_keys = set()
+        self._seen = 0
+        self._kept = 0
+
+    def push(self, frame):
+        out = []
+        fields = self.op.fields
+        for tup in frame:
+            key_parts = (tup if fields is None
+                         else tuple(tup[i] for i in fields))
+            key = b"|".join(canonical_bytes(v) for v in key_parts)
+            self.ctx.charge_hash(1)
+            if key not in self._seen_keys:
+                self._seen_keys.add(key)
+                out.append(tup)
+        self._seen += len(frame)
+        self._kept += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.charge_cpu(self._seen)
+        self.ctx.cost.tuples_out += self._kept
+        return []
+
 
 class MaterializeOp(OperatorDescriptor):
-    """Identity operator used as an explicit stage boundary."""
+    """Identity operator used as an explicit stage boundary (stays
+    non-streaming on purpose — its whole job is to break a pipeline)."""
 
     name = "materialize"
 
@@ -175,8 +335,28 @@ class RunningAggregateOp(OperatorDescriptor):
 
     partition_count = 1
     name = "running-aggregate"
+    streaming = True
 
     def run(self, ctx, partition, inputs):
         out = [tup + (i + 1,) for i, tup in enumerate(inputs[0])]
         ctx.cost.tuples_out += len(out)
         return out
+
+    def start(self, ctx, partition):
+        return _RunningAggregateTask(self, ctx, partition)
+
+
+class _RunningAggregateTask(OperatorTask):
+    def __init__(self, op, ctx, partition):
+        super().__init__(op, ctx, partition)
+        self._count = 0
+
+    def push(self, frame):
+        start = self._count
+        out = [tup + (start + i + 1,) for i, tup in enumerate(frame)]
+        self._count += len(out)
+        return out
+
+    def finish(self):
+        self.ctx.cost.tuples_out += self._count
+        return []

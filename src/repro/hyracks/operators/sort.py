@@ -49,6 +49,8 @@ class ExternalSortOp(OperatorDescriptor):
     """Budgeted external merge sort of one partition's stream."""
 
     name = "external-sort"
+    streaming = False     # pipeline breaker: output exists only after the
+                          # last input tuple has been seen
 
     def __init__(self, fields: list[int], descending: list[bool] | None = None,
                  memory_frames: int | None = None):
@@ -130,6 +132,7 @@ class TopKSortOp(OperatorDescriptor):
     heap (the optimizer's limit-pushdown rewrite targets this)."""
 
     name = "topk-sort"
+    streaming = False     # pipeline breaker (bounded buffer, but reorders)
 
     def __init__(self, fields: list[int], k: int,
                  descending: list[bool] | None = None):

@@ -76,6 +76,9 @@ class JobProfile:
 
     cost_model: CostModel
     operators: list = field(default_factory=list)
+    #: One dict per executed stage (index, ops, width, pipelined,
+    #: wall_seconds) — filled in by the executor's stage scheduler.
+    stages: list = field(default_factory=list)
     connector_network_tuples: int = 0
     physical_reads: int = 0
     physical_writes: int = 0
@@ -99,6 +102,7 @@ class JobProfile:
             "physical_writes": self.physical_writes,
             "connector_network_tuples": self.connector_network_tuples,
             "operators": [op.to_dict() for op in self.operators],
+            "stages": [dict(s) for s in self.stages],
         }
 
     def describe(self) -> str:

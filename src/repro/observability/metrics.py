@@ -33,21 +33,29 @@ class MetricError(AsterixError):
 
 
 class Counter:
-    """A monotonically increasing count of events."""
+    """A monotonically increasing count of events.
 
-    __slots__ = ("name", "value")
+    Updates are lock-protected: the parallel job executor bumps metrics
+    from several node-worker threads at once, and ``value += n`` on its
+    own is not atomic in CPython.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise MetricError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self):
         return f"Counter({self.name}={self.value})"
@@ -56,23 +64,28 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. pinned pages, open txns)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def __repr__(self):
         return f"Gauge({self.name}={self.value})"
@@ -87,7 +100,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "max_samples", "count", "sum", "min", "max",
-                 "_sorted", "_order")
+                 "_sorted", "_order", "_lock")
 
     def __init__(self, name: str, max_samples: int = 4096):
         self.name = name
@@ -98,21 +111,23 @@ class Histogram:
         self.max = None
         self._sorted: list[float] = []
         self._order: list[float] = []    # insertion order, for eviction
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._order) >= self.max_samples:
-            oldest = self._order.pop(0)
-            idx = self._index_of(oldest)
-            if idx is not None:
-                self._sorted.pop(idx)
-        insort(self._sorted, value)
-        self._order.append(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._order) >= self.max_samples:
+                oldest = self._order.pop(0)
+                idx = self._index_of(oldest)
+                if idx is not None:
+                    self._sorted.pop(idx)
+            insort(self._sorted, value)
+            self._order.append(value)
 
     def _index_of(self, value: float):
         from bisect import bisect_left
@@ -137,12 +152,13 @@ class Histogram:
         return self._sorted[rank]
 
     def reset(self) -> None:
-        self.count = 0
-        self.sum = 0.0
-        self.min = None
-        self.max = None
-        self._sorted.clear()
-        self._order.clear()
+        with self._lock:
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
+            self._sorted.clear()
+            self._order.clear()
 
     def summary(self) -> dict:
         return {

@@ -10,6 +10,7 @@ directly.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 from repro.common.errors import StorageError
@@ -122,6 +123,8 @@ class FileManager:
             handle.device.stats.seq_reads += 1
         else:
             handle.device.stats.reads += 1
+        if handle.device.latency_us:
+            time.sleep(handle.device.latency_us / 1e6)
         buf = bytearray(self.page_size)
         buf[: len(data)] = data
         return buf
@@ -141,6 +144,8 @@ class FileManager:
             handle.device.stats.seq_writes += 1
         else:
             handle.device.stats.writes += 1
+        if handle.device.latency_us:
+            time.sleep(handle.device.latency_us / 1e6)
         if page_no >= handle.num_pages:
             handle.num_pages = page_no + 1
 

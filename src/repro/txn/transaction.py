@@ -30,6 +30,16 @@ class TransactionManager:
     def next_txn_id(self) -> int:
         return next(self._ids)
 
+    def seed_ids(self, min_txn_id: int) -> None:
+        """Restart the id sequence at ``min_txn_id``.
+
+        Recovery calls this after scanning the WAL so new transaction ids
+        continue past the log's maximum — an old uncommitted entity
+        transaction can then never be confused with a new committed one
+        during a later recovery pass.
+        """
+        self._ids = itertools.count(min_txn_id)
+
     def checkpoint(self, partitions) -> int:
         """Write a checkpoint at the min durable LSN over ``partitions``."""
         low_water = min(

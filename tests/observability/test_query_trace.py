@@ -59,8 +59,15 @@ class TestTracedExecution:
     def test_execute_span_has_operator_events(self, db):
         trace = db.execute(QUERY, trace=True).trace
         events = trace.find_phase("execute").events
-        assert events and all(e["name"] == "operator" for e in events)
-        assert {e["op"] for e in events} >= {"result-writer"}
+        assert events and all(e["name"] in ("operator", "stage")
+                              for e in events)
+        op_events = [e for e in events if e["name"] == "operator"]
+        stage_events = [e for e in events if e["name"] == "stage"]
+        assert op_events and stage_events
+        assert {e["op"] for e in op_events} >= {"result-writer"}
+        # every operator is covered by exactly one stage
+        staged_ops = [op for e in stage_events for op in e["ops"]]
+        assert sorted(staged_ops) == sorted(e["op"] for e in op_events)
 
     def test_buffer_cache_and_lsm_counters_present(self, db):
         trace = db.execute(QUERY, trace=True).trace

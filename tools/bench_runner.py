@@ -1,0 +1,225 @@
+#!/usr/bin/env python
+"""Benchmark runner: wall-clock + simulated time, serial vs parallel.
+
+Runs a small suite of end-to-end workloads against the embedded instance
+and writes a JSON report (default ``BENCH_PR2.json``) with, for each
+benchmark, wall-clock seconds and the simulated-clock microseconds, plus
+a head-to-head of the serial materialize-everything executor against the
+pipelined parallel one on a scan/sort-heavy multi-partition job.
+
+The head-to-head runs with ``NodeConfig.io_latency_us`` set, emulating a
+device where every page touch costs real microseconds (the sleep releases
+the GIL, so the parallel executor overlaps it across nodes) — wall-clock
+differs, the simulated clock and the result tuples must not.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runner.py --quick
+    PYTHONPATH=src python tools/bench_runner.py --quick -o out.json
+
+``--quick`` trims dataset sizes and repetitions for CI smoke runs; the
+default (full) mode uses larger datasets for more stable figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import connect                                    # noqa: E402
+from repro.common.config import (                            # noqa: E402
+    ClusterConfig,
+    ExecutorConfig,
+    NodeConfig,
+)
+
+SCHEMA = """
+CREATE TYPE UserType AS { id: int, alias: string, age: int };
+CREATE TYPE MessageType AS { messageId: int, authorId: int,
+                             message: string };
+CREATE DATASET Users(UserType) PRIMARY KEY id;
+CREATE DATASET Messages(MessageType) PRIMARY KEY messageId;
+CREATE INDEX byAge ON Users(age);
+"""
+
+
+def load_data(db, n_users: int, n_messages: int) -> None:
+    for i in range(n_users):
+        db.cluster.insert_record("Default.Users", {
+            "id": i, "alias": f"u{i}", "age": 18 + i % 40,
+        })
+    for i in range(n_messages):
+        db.cluster.insert_record("Default.Messages", {
+            "messageId": i, "authorId": i % max(1, n_users),
+            "message": f"msg-{i} " + "x" * (i % 40),
+        })
+    db.flush_dataset("Users")
+    db.flush_dataset("Messages")
+
+
+QUERY_BENCHMARKS = [
+    ("scan_filter",
+     "SELECT VALUE u.alias FROM Users u WHERE u.age > 40;"),
+    ("secondary_index_lookup",
+     "SELECT VALUE u.alias FROM Users u WHERE u.age = 25;"),
+    ("sort_limit",
+     "SELECT VALUE m.messageId FROM Messages m "
+     "ORDER BY m.message DESC LIMIT 20;"),
+    ("join_groupby",
+     "SELECT age, COUNT(*) AS n "
+     "FROM Users u JOIN Messages m ON m.authorId = u.id "
+     "GROUP BY u.age AS age ORDER BY age;"),
+]
+
+
+def run_query_benchmarks(base_dir: str, quick: bool) -> list:
+    n_users = 200 if quick else 1000
+    n_messages = 1000 if quick else 8000
+    repeats = 2 if quick else 5
+    config = ClusterConfig(num_nodes=2, partitions_per_node=2,
+                           node=NodeConfig(buffer_cache_pages=256))
+    results = []
+    with connect(os.path.join(base_dir, "queries"), config) as db:
+        db.execute(SCHEMA)
+        load_data(db, n_users, n_messages)
+        for name, query in QUERY_BENCHMARKS:
+            best_wall = None
+            simulated_us = None
+            rows = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = db.execute(query)
+                wall = time.perf_counter() - started
+                best_wall = wall if best_wall is None else min(best_wall,
+                                                               wall)
+                simulated_us = result.profile.simulated_us
+                rows = len(result.rows)
+            results.append({
+                "name": name,
+                "wall_seconds": round(best_wall, 6),
+                "simulated_us": round(simulated_us, 3),
+                "rows": rows,
+            })
+    return results
+
+
+def run_serial_vs_parallel(base_dir: str, quick: bool) -> dict:
+    """Scan/sort-heavy job on a multi-partition cluster with emulated
+    device latency: the parallel executor overlaps the (GIL-releasing)
+    page-latency sleeps across nodes; the serial one pays them in line.
+    """
+    n_messages = 2000 if quick else 8000
+    io_latency_us = 400.0
+    repeats = 2 if quick else 4
+    query = ("SELECT VALUE m.messageId FROM Messages m "
+             "ORDER BY m.message LIMIT 50;")
+
+    def build(mode: str):
+        # the cache is deliberately tiny relative to the dataset so every
+        # scan pays device latency — the thing the parallel executor
+        # overlaps across nodes
+        config = ClusterConfig(
+            num_nodes=4, partitions_per_node=1,
+            node=NodeConfig(buffer_cache_pages=16,
+                            memory_component_pages=32,
+                            sort_memory_frames=4,
+                            io_latency_us=io_latency_us),
+            executor=ExecutorConfig(mode=mode),
+        )
+        db = connect(os.path.join(base_dir, f"cmp_{mode}"), config)
+        db.execute("""
+            CREATE TYPE MessageType AS { messageId: int, authorId: int,
+                                         message: string };
+            CREATE DATASET Messages(MessageType) PRIMARY KEY messageId;
+        """)
+        for i in range(n_messages):
+            db.cluster.insert_record("Default.Messages", {
+                "messageId": i, "authorId": i % 97,
+                "message": f"m{i * 7919 % n_messages:06d}" + "y" * 600,
+            })
+        db.flush_dataset("Messages")
+        return db
+
+    observed = {}
+    for mode in ("serial", "parallel"):
+        with build(mode) as db:
+            best_wall = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = db.execute(query)
+                wall = time.perf_counter() - started
+                best_wall = wall if best_wall is None else min(best_wall,
+                                                               wall)
+            observed[mode] = {
+                "wall_seconds": best_wall,
+                "simulated_us": result.profile.simulated_us,
+                "rows": result.rows,
+            }
+    serial, parallel = observed["serial"], observed["parallel"]
+    speedup = serial["wall_seconds"] / parallel["wall_seconds"]
+    return {
+        "workload": "scan+sort over 4 nodes, "
+                    f"{n_messages} records, io_latency_us={io_latency_us}",
+        "serial_wall_seconds": round(serial["wall_seconds"], 6),
+        "parallel_wall_seconds": round(parallel["wall_seconds"], 6),
+        "speedup": round(speedup, 3),
+        "identical_results": serial["rows"] == parallel["rows"],
+        "identical_simulated_us":
+            serial["simulated_us"] == parallel["simulated_us"],
+        "simulated_us": round(serial["simulated_us"], 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets / few repeats (CI smoke)")
+    parser.add_argument("-o", "--output", default="BENCH_PR2.json",
+                        help="report path (default: BENCH_PR2.json)")
+    args = parser.parse_args(argv)
+
+    base_dir = tempfile.mkdtemp(prefix="bench_runner_")
+    try:
+        started = time.perf_counter()
+        benchmarks = run_query_benchmarks(base_dir, args.quick)
+        comparison = run_serial_vs_parallel(base_dir, args.quick)
+        report = {
+            "mode": "quick" if args.quick else "full",
+            "benchmarks": benchmarks,
+            "serial_vs_parallel": comparison,
+            "total_seconds": round(time.perf_counter() - started, 3),
+        }
+    finally:
+        shutil.rmtree(base_dir, ignore_errors=True)
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    print(f"wrote {args.output}")
+    for bench in benchmarks:
+        print(f"  {bench['name']:<24} wall {bench['wall_seconds']*1e3:8.2f} ms"
+              f"   simulated {bench['simulated_us']/1e3:10.2f} ms")
+    print(f"  serial vs parallel: {comparison['serial_wall_seconds']*1e3:.2f}"
+          f" ms vs {comparison['parallel_wall_seconds']*1e3:.2f} ms"
+          f"  (speedup {comparison['speedup']}x)")
+
+    ok = (comparison["identical_results"]
+          and comparison["identical_simulated_us"]
+          and comparison["speedup"] >= 1.5)
+    if not ok:
+        print("FAIL: parallel executor did not meet the bar "
+              "(identical results + >=1.5x wall-clock)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
