@@ -78,7 +78,12 @@ class Result:
 class AsterixInstance:
     """An embedded Big Data Management System instance."""
 
-    def __init__(self, base_dir: str, config: ClusterConfig | None = None):
+    def __init__(self, base_dir: str, config: ClusterConfig | None = None,
+                 injector=None):
+        """``injector`` (a :class:`~repro.resilience.FaultInjector`) wires
+        deterministic fault injection through every node's storage, WAL,
+        and executor paths; tests and the chaos harness arm it with a
+        :class:`~repro.resilience.FaultSchedule` after setup."""
         self.base_dir = base_dir
         self._hdfs: SimulatedHDFS | None = None
         marker = os.path.join(base_dir, "instance.json")
@@ -86,7 +91,7 @@ class AsterixInstance:
         if reopening:
             config = self._load_config(marker)
         self.cluster = ClusterController(os.path.join(base_dir, "cluster"),
-                                         config)
+                                         config, injector=injector)
         if reopening:
             self.metadata = MetadataManager.reopen(
                 self.cluster, self._reopen_adapter)
@@ -98,7 +103,12 @@ class AsterixInstance:
     def _load_config(marker: str) -> ClusterConfig:
         import json
 
-        from repro.common.config import CostModel, ExecutorConfig, NodeConfig
+        from repro.common.config import (
+            CostModel,
+            ExecutorConfig,
+            NodeConfig,
+            ResilienceConfig,
+        )
 
         with open(marker) as f:
             data = json.load(f)
@@ -110,6 +120,7 @@ class AsterixInstance:
             node=NodeConfig(**data["node"]),
             cost=CostModel(**data["cost"]),
             executor=ExecutorConfig(**data.get("executor", {})),
+            resilience=ResilienceConfig(**data.get("resilience", {})),
         )
 
     def _save_config(self, marker: str) -> None:
@@ -441,7 +452,7 @@ class AsterixInstance:
         self.cluster.checkpoint()
 
 
-def connect(base_dir: str,
-            config: ClusterConfig | None = None) -> AsterixInstance:
+def connect(base_dir: str, config: ClusterConfig | None = None,
+            injector=None) -> AsterixInstance:
     """Create (or open) an embedded instance under ``base_dir``."""
-    return AsterixInstance(base_dir, config)
+    return AsterixInstance(base_dir, config, injector=injector)

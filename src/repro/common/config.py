@@ -78,6 +78,28 @@ class ExecutorConfig:
 
 
 @dataclass
+class ResilienceConfig:
+    """Failure handling knobs (docs/RESILIENCE.md).
+
+    Job-level failure detection retries a failed Hyracks job up to
+    ``max_job_attempts`` extra times with capped exponential backoff
+    (``retry_base_us * retry_multiplier**(k-1)``, capped at
+    ``retry_cap_us``) on the cluster's *simulated* clock — no wall-clock
+    sleeping.  ``detection_delay_us`` is the simulated failure-detection
+    latency charged before a crashed node restarts;
+    ``feed_retry_attempts`` bounds how often one pump re-pulls a feed
+    source (or re-applies one record) before giving up for the round.
+    """
+
+    max_job_attempts: int = 3
+    retry_base_us: float = 1000.0
+    retry_multiplier: float = 2.0
+    retry_cap_us: float = 64000.0
+    detection_delay_us: float = 500.0
+    feed_retry_attempts: int = 4
+
+
+@dataclass
 class ClusterConfig:
     """Whole-cluster configuration: topology plus per-node budgets."""
 
@@ -88,6 +110,7 @@ class ClusterConfig:
     node: NodeConfig = field(default_factory=NodeConfig)
     cost: CostModel = field(default_factory=CostModel)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     @property
     def num_partitions(self) -> int:

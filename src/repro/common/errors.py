@@ -124,3 +124,15 @@ class TransactionError(AsterixError):
     """Transaction subsystem failure (lock timeout, aborted txn reuse...)."""
 
     code = 3100
+
+
+class TransactionStateError(TransactionError):
+    """Illegal entity-transaction state transition (e.g. commit after
+    abort).  Abort itself is idempotent — re-aborting a finished
+    transaction is a no-op, which lets retry paths abort defensively —
+    but commit on a finished transaction raises this."""
+
+    code = 3101
+
+
+# --- resilience faults (35xx) live in repro.resilience.faults ------------

@@ -11,6 +11,14 @@ recoverable like any others, and LSM memory components do the
 Semantics: at-least-once with upsert idempotence — a batch interrupted
 mid-way re-applies cleanly, the same guarantee the real feeds framework
 settled on.
+
+Resilience (docs/RESILIENCE.md): each pulled batch is staged in the
+feed's ``pending`` buffer *before* ingestion and cleared only after every
+record landed, so a fault mid-batch — an injected
+:class:`~repro.resilience.FeedSourceFault` at the ``feed.next_batch``
+site, a node crash mid-insert — never loses data: sources are re-pulled
+after simulated-clock backoff, and pending records are replayed through
+the same upsert path, de-duplicated by primary key.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from repro.common.errors import (
     DuplicateError,
     UnknownEntityError,
 )
+from repro.observability.metrics import get_registry
+from repro.resilience import FeedSourceFault, ResilienceFault
 
 
 @dataclass
@@ -30,6 +40,9 @@ class FeedStats:
     batches: int = 0
     records: int = 0
     failures: int = 0
+    source_faults: int = 0      # FeedSourceFault firings survived
+    replays: int = 0            # pending-buffer / mid-batch replays
+    records_replayed: int = 0
 
 
 class FeedSource:
@@ -87,6 +100,9 @@ class Feed:
     state: str = "created"          # created | connected | running | stopped
     batch_size: int = 64
     stats: FeedStats = field(default_factory=FeedStats)
+    #: The staged batch currently being ingested; survives a faulted pump
+    #: and is replayed (upsert-deduplicated) by the next one.
+    pending: list = field(default_factory=list)
 
 
 class FeedManager:
@@ -136,7 +152,11 @@ class FeedManager:
              max_batches: int | None = None) -> int:
         """Pull batches from running feeds into their datasets; returns
         records ingested.  (Real feeds run continuously; the simulator
-        pumps explicitly so tests and benchmarks stay deterministic.)"""
+        pumps explicitly so tests and benchmarks stay deterministic.)
+
+        At-least-once: a batch left in ``feed.pending`` by an earlier
+        faulted pump is replayed before any new data is pulled; replays
+        go through the upsert path, so primary-key duplicates collapse."""
         feeds = ([self._feed(name)] if name is not None
                  else [f for f in self.feeds.values()
                        if f.state == "running"])
@@ -146,19 +166,78 @@ class FeedManager:
                 continue
             batches = 0
             while max_batches is None or batches < max_batches:
-                batch = feed.source.next_batch(feed.batch_size)
-                if not batch:
-                    break
-                for record in batch:
-                    try:
-                        self.instance.cluster.insert_record(
-                            feed.dataset, record, upsert=True)
-                        feed.stats.records += 1
-                        total += 1
-                    except AsterixError:
-                        feed.stats.failures += 1
+                if feed.pending:
+                    batch = feed.pending
+                    feed.stats.replays += 1
+                    feed.stats.records_replayed += len(batch)
+                    get_registry().counter(
+                        "resilience.feed_replays").inc()
+                else:
+                    batch = self._next_batch(feed)
+                    if not batch:
+                        break
+                    feed.pending = list(batch)
+                total += self._ingest(feed, batch)
+                feed.pending = []
                 feed.stats.batches += 1
                 batches += 1
                 if max_batches is None and batches >= 1000:
                     break   # safety valve for unbounded sources
         return total
+
+    def _next_batch(self, feed: Feed) -> list:
+        """Pull one batch, surviving injected source faults.
+
+        The ``feed.next_batch`` injection site fires *before* the source
+        cursor advances, so a retried pull re-reads the same data — the
+        fault costs simulated backoff time, never records."""
+        cluster = self.instance.cluster
+        limit = cluster.config.resilience.feed_retry_attempts
+        attempts = 0
+        while True:
+            try:
+                cluster.injector.hit("feed.next_batch", feed=feed.name)
+            except ResilienceFault as fault:
+                attempts += 1
+                if isinstance(fault, FeedSourceFault):
+                    feed.stats.source_faults += 1
+                    get_registry().counter(
+                        "resilience.feed_source_faults").inc()
+                else:
+                    cluster.handle_fault(fault)
+                if attempts >= limit:
+                    raise
+                cluster.retry_policy.backoff(attempts, cluster.clock)
+                continue
+            return feed.source.next_batch(feed.batch_size)
+
+    def _ingest(self, feed: Feed, batch: list) -> int:
+        """Upsert ``batch`` record by record; a resilience fault mid-way
+        recovers the cluster (node restart + WAL replay for crashes) and
+        retries from the *same* record — it may or may not have committed
+        before the fault, and the upsert makes either answer correct."""
+        cluster = self.instance.cluster
+        limit = cluster.config.resilience.feed_retry_attempts
+        ingested = 0
+        attempts = 0
+        i = 0
+        while i < len(batch):
+            try:
+                cluster.insert_record(feed.dataset, batch[i], upsert=True)
+            except ResilienceFault as fault:
+                attempts += 1
+                if attempts >= limit:
+                    raise
+                cluster.handle_fault(fault)
+                cluster.retry_policy.backoff(attempts, cluster.clock)
+                feed.stats.replays += 1
+                feed.stats.records_replayed += 1
+                get_registry().counter("resilience.feed_replays").inc()
+                continue
+            except AsterixError:
+                feed.stats.failures += 1
+            else:
+                feed.stats.records += 1
+                ingested += 1
+            i += 1
+        return ingested

@@ -42,6 +42,7 @@ docs/OBSERVABILITY.md and docs/ARCHITECTURE.md for the full tour).
 from __future__ import annotations
 
 import os
+import shutil
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,6 +53,15 @@ from repro.hyracks.executor import JobExecutor, make_worker_pool
 from repro.hyracks.job import JobSpecification
 from repro.hyracks.profiler import JobProfile
 from repro.observability.metrics import get_registry
+from repro.resilience import (
+    NO_FAULTS,
+    FaultInjector,
+    NodeCrashFault,
+    NodeState,
+    ResilienceFault,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.storage.buffer_cache import BufferCache
 from repro.storage.dataset_storage import PartitionStorage, SecondaryIndexSpec
 from repro.storage.file_manager import FileManager
@@ -66,12 +76,27 @@ from repro.txn import (
 
 
 class NodeController:
-    """One shared-nothing node: devices, cache, WAL, and its partitions."""
+    """One shared-nothing node: devices, cache, WAL, and its partitions.
 
-    def __init__(self, node_id: int, root: str, config: ClusterConfig):
+    A node is a :class:`~repro.resilience.NodeState` lifecycle: ALIVE
+    until :meth:`crash` (LSM memory components, buffer cache contents,
+    un-fsynced WAL tail, and temp runfiles are lost; sealed disk
+    components and the fsynced WAL prefix survive in the node's real
+    directories), then FAILED until the cluster drives
+    :meth:`begin_restart` / ``recover_partition...`` / WAL replay /
+    :meth:`finish_restart` back to ALIVE.
+    """
+
+    def __init__(self, node_id: int, root: str, config: ClusterConfig,
+                 injector: FaultInjector | None = None):
         self.node_id = node_id
         self.config = config
         self.root = root
+        self.state = NodeState.ALIVE
+        #: Node-scoped fault injector: every hit from this node's
+        #: components carries ``node=node_id``, so schedules can pin
+        #: rules to one node's (serialized, deterministic) hit stream.
+        self.injector = (injector or NO_FAULTS).bind(node=node_id)
         #: Serializes task execution on this node: the parallel executor
         #: runs one task at a time per node (in ascending partition
         #: order), so the buffer cache, WAL, and file manager see the
@@ -82,18 +107,83 @@ class NodeController:
                      latency_us=config.node.io_latency_us)
             for d in range(config.node.num_io_devices)
         ]
-        self.fm = FileManager(self.devices, config.page_size)
+        self.fm = FileManager(self.devices, config.page_size,
+                              injector=self.injector)
         self.cache = BufferCache(self.fm, config.node.buffer_cache_pages)
-        self.log = LogManager(os.path.join(root, "txnlog", "log"))
+        self.log = LogManager(os.path.join(root, "txnlog", "log"),
+                              injector=self.injector)
         self.txn = TransactionManager(self.log)
         self.partitions: dict[tuple, PartitionStorage] = {}
         self.txn_partitions: dict[tuple, TransactionalPartition] = {}
         self.cluster_num_partitions = config.num_partitions
+        self._crash_validators: dict[tuple, object] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _require_alive(self) -> None:
+        if self.state is not NodeState.ALIVE:
+            raise NodeCrashFault(
+                f"node {self.node_id} is {self.state.value}",
+                site="node.access", node=self.node_id,
+            )
+
+    def crash(self) -> None:
+        """Simulate node death.  Volatile state dies: LSM memory
+        components (the partition objects), dirty buffer-cache pages,
+        the WAL tail past the last fsync, temp runfiles.  Durable state
+        — sealed components, manifests, the fsynced WAL prefix — stays
+        on disk for :meth:`begin_restart` to reopen."""
+        if self.state is not NodeState.ALIVE:
+            return
+        self.state = NodeState.FAILED
+        # catalog-installed record validators are node-memory state the
+        # restart must re-install onto the recovered partitions
+        self._crash_validators = {
+            key: ps.validator for key, ps in self.partitions.items()
+            if ps.validator is not None
+        }
+        self.partitions.clear()
+        self.txn_partitions.clear()
+        self.log.crash()
+        self.fm.close()
+        for device in self.devices:
+            shutil.rmtree(os.path.join(device.root, "temp"),
+                          ignore_errors=True)
+
+    def begin_restart(self) -> None:
+        """Reopen OS-level resources over the node's directories; the
+        caller then recovers partitions and replays the WAL."""
+        if self.state is not NodeState.FAILED:
+            raise MetadataError(
+                f"node {self.node_id} is {self.state.value}, not failed"
+            )
+        self.state = NodeState.RESTARTING
+        self.fm = FileManager(self.devices, self.config.page_size,
+                              injector=self.injector)
+        self.cache = BufferCache(self.fm,
+                                 self.config.node.buffer_cache_pages)
+        self.log = LogManager(os.path.join(self.root, "txnlog", "log"),
+                              injector=self.injector)
+        self.txn = TransactionManager(self.log)
+
+    def finish_restart(self) -> None:
+        if self.state is not NodeState.RESTARTING:
+            raise MetadataError(
+                f"node {self.node_id} is {self.state.value}, "
+                f"not restarting"
+            )
+        for key, validator in self._crash_validators.items():
+            storage = self.partitions.get(key)
+            if storage is not None:
+                storage.validator = validator
+        self._crash_validators = {}
+        self.state = NodeState.ALIVE
 
     # -- partition management -------------------------------------------------
 
     def create_partition(self, dataset: str, partition_id: int,
                          pk_fields: tuple) -> PartitionStorage:
+        self._require_alive()
         key = (dataset, partition_id)
         if key in self.partitions:
             raise MetadataError(
@@ -149,6 +239,7 @@ class NodeController:
             storage.drop()
 
     def get_partition(self, dataset: str, partition_id: int):
+        self._require_alive()
         try:
             return self.partitions[(dataset, partition_id)]
         except KeyError:
@@ -158,6 +249,7 @@ class NodeController:
             ) from None
 
     def get_txn_partition(self, dataset: str, partition_id: int):
+        self._require_alive()
         try:
             return self.txn_partitions[(dataset, partition_id)]
         except KeyError:
@@ -198,14 +290,32 @@ class JobResult:
 
 
 class ClusterController:
-    """Topology + catalog-of-partitions + job executor."""
+    """Topology + catalog-of-partitions + job executor.
 
-    def __init__(self, base_dir: str, config: ClusterConfig | None = None):
+    Also the failure detector and recovery coordinator: faults surfaced
+    by a job (via :class:`~repro.resilience.ResilienceFault`) abort the
+    in-flight stages, crashed nodes are restarted (partition recovery
+    from LSM manifests + WAL replay + transaction-id reseeding), and the
+    whole job is retried under the capped exponential backoff of
+    ``config.resilience`` — against a simulated clock, so tests and the
+    chaos harness never actually sleep."""
+
+    def __init__(self, base_dir: str, config: ClusterConfig | None = None,
+                 injector: FaultInjector | None = None):
         self.config = config or ClusterConfig()
         self.base_dir = base_dir
+        self.injector = injector or NO_FAULTS
+        self.clock = SimulatedClock()
+        res = self.config.resilience
+        self.retry_policy = RetryPolicy(
+            max_attempts=res.max_job_attempts,
+            base_delay_us=res.retry_base_us,
+            multiplier=res.retry_multiplier,
+            cap_us=res.retry_cap_us,
+        )
         self.nodes = [
             NodeController(n, os.path.join(base_dir, f"node{n}"),
-                           self.config)
+                           self.config, injector=self.injector)
             for n in range(self.config.num_nodes)
         ]
         self.datasets: dict[str, DatasetInfo] = {}
@@ -314,8 +424,46 @@ class ClusterController:
                 span: object = None) -> JobResult:
         """Execute a job DAG; ``span`` (a tracing Span) gets one ``stage``
         event per executed stage and one ``operator`` event per operator
-        with its simulated costs."""
+        with its simulated costs.
+
+        Fault handling: a :class:`~repro.resilience.ResilienceFault`
+        raised anywhere in an attempt aborts the whole attempt (the
+        executor joins every in-flight task before re-raising, so no
+        stage is left half-running), crashed nodes are restarted with WAL
+        replay, and the job is retried from scratch under capped
+        exponential backoff — up to ``config.resilience.max_job_attempts``
+        attempts total."""
         job.validate()
+        attempt = 1
+        while True:
+            self.ensure_alive(span)
+            try:
+                return self._run_job_once(job, span)
+            except ResilienceFault as fault:
+                registry = get_registry()
+                if isinstance(fault, NodeCrashFault) \
+                        and fault.node is not None:
+                    self.crash_node(fault.node, span)
+                if attempt >= self.retry_policy.max_attempts:
+                    registry.counter("resilience.job_failures").inc()
+                    if span is not None:
+                        span.add_event(
+                            "job_failed", attempt=attempt,
+                            fault=type(fault).__name__, site=fault.site,
+                        )
+                    raise
+                delay = self.retry_policy.backoff(attempt, self.clock)
+                registry.counter("resilience.job_retries").inc()
+                if span is not None:
+                    span.add_event(
+                        "job_retry", attempt=attempt,
+                        fault=type(fault).__name__, site=fault.site,
+                        backoff_us=delay,
+                    )
+                attempt += 1
+
+    def _run_job_once(self, job: JobSpecification,
+                      span: object = None) -> JobResult:
         profile = JobProfile(self.config.cost)
         started = time.perf_counter()
         io_before = self._total_io()
@@ -333,6 +481,63 @@ class ClusterController:
         registry.histogram("hyracks.job_wall_seconds").observe(
             profile.wall_seconds)
         return JobResult(result_tuples, profile)
+
+    # -- failure detection & recovery -------------------------------------------
+
+    def crash_node(self, node_id: int, span: object = None) -> None:
+        """Kill a node (idempotent): volatile state is lost, durable
+        files survive.  ``resilience.node_crashes`` counts real
+        transitions only."""
+        node = self.nodes[node_id]
+        if node.state is not NodeState.ALIVE:
+            return
+        node.crash()
+        get_registry().counter("resilience.node_crashes").inc()
+        if span is not None:
+            span.add_event("node_crash", node=node_id)
+
+    def restart_node(self, node_id: int, span: object = None) -> int:
+        """Bring a FAILED node back: advance the simulated clock by the
+        detection delay, reopen its files, recover every partition it
+        hosts from the LSM manifests, reseed transaction ids, replay the
+        WAL, and re-install catalog validators.  Returns the number of
+        WAL operations replayed."""
+        node = self.nodes[node_id]
+        if node.state is NodeState.ALIVE:
+            return 0
+        self.clock.advance(self.config.resilience.detection_delay_us)
+        node.begin_restart()
+        for name, info in self.datasets.items():
+            specs = tuple(info.indexes.values())
+            for p in range(self.num_partitions):
+                if self.node_of_partition(p) is node:
+                    node.recover_partition(name, p, info.pk_fields, specs)
+        node.seed_txn_ids_from_log()
+        replayed = node.replay_wal()
+        node.finish_restart()
+        registry = get_registry()
+        registry.counter("resilience.node_restarts").inc()
+        registry.counter("resilience.wal_replays").inc()
+        registry.counter("resilience.wal_records_replayed").inc(replayed)
+        if span is not None:
+            span.add_event("node_restart", node=node_id,
+                           wal_records_replayed=replayed)
+        return replayed
+
+    def ensure_alive(self, span: object = None) -> None:
+        """Restart any node that is not ALIVE (the failure detector)."""
+        for node in self.nodes:
+            if node.state is not NodeState.ALIVE:
+                self.restart_node(node.node_id, span)
+
+    def handle_fault(self, fault: ResilienceFault,
+                     span: object = None) -> None:
+        """Recover the cluster after ``fault`` surfaced outside a job
+        (e.g. during direct record routing): crash-then-restart the named
+        node for crash faults, and make sure every node is ALIVE."""
+        if isinstance(fault, NodeCrashFault) and fault.node is not None:
+            self.crash_node(fault.node, span)
+        self.ensure_alive(span)
 
     def worker_pool(self):
         """The lazily-created node-worker pool used by the parallel

@@ -45,6 +45,7 @@ from repro.hyracks.job import JobSpecification
 from repro.hyracks.operators.base import TaskContext
 from repro.hyracks.operators.result import ResultWriterOp
 from repro.observability.metrics import get_registry
+from repro.resilience import NodeCrashFault, NodeState
 
 
 class _ConnCtx:
@@ -271,6 +272,16 @@ class JobExecutor:
         ops = [job.operators[i] for i in stage.op_ids]
         head = ops[0]
         with node.lock:
+            # a task scheduled onto a dead node surfaces the crash to the
+            # coordinator, which aborts the attempt and retries the job
+            if node.state is not NodeState.ALIVE:
+                raise NodeCrashFault(
+                    f"task for partition {partition} scheduled on "
+                    f"{node.state.value} node {node.node_id}",
+                    site="executor.task", node=node.node_id,
+                )
+            node.injector.hit("executor.operator", partition=partition,
+                              op=repr(head), stage=stage.index)
             head_ctx = TaskContext(
                 node, config, op_profiles[stage.head].cost(partition))
             head_inputs = [routed[partition] for routed in routed_per_edge]

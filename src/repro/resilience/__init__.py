@@ -1,0 +1,54 @@
+"""Resilience: deterministic fault injection, node failure, retry.
+
+The subsystem has three small parts, wired through every layer below the
+API (docs/RESILIENCE.md is the guide):
+
+* :mod:`repro.resilience.faults` — typed faults and the node lifecycle
+  (:class:`NodeState`);
+* :mod:`repro.resilience.injector` — named injection sites evaluated
+  against seeded, deterministic :class:`FaultSchedule` rules;
+* :mod:`repro.resilience.retry` — capped exponential backoff on a
+  simulated clock.
+
+Recovery itself (WAL replay into reopened LSM partitions) lives in
+:mod:`repro.txn` — this package decides *when* a node crashes and
+*when* it restarts; `repro.hyracks.cluster` carries out both.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    DiskIOFault,
+    FeedSourceFault,
+    NodeCrashFault,
+    NodeState,
+    OperatorFault,
+    ResilienceFault,
+)
+from repro.resilience.injector import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    FaultScheduleError,
+    ScopedInjector,
+)
+from repro.resilience.retry import RetryPolicy, SimulatedClock, call_with_retry
+
+__all__ = [
+    "FAULT_KINDS",
+    "DiskIOFault",
+    "FaultInjector",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultScheduleError",
+    "FeedSourceFault",
+    "NO_FAULTS",
+    "NodeCrashFault",
+    "NodeState",
+    "OperatorFault",
+    "ResilienceFault",
+    "RetryPolicy",
+    "ScopedInjector",
+    "SimulatedClock",
+    "call_with_retry",
+]

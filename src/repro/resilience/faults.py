@@ -1,0 +1,119 @@
+"""The failure model: typed faults and the node lifecycle.
+
+The paper's feature contract promises NoSQL-style record-level
+transactions with WAL-backed recovery (Section III, feature 9), and the
+companion fault-tolerant-feeds work (Grover & Carey) makes surviving
+mid-job node failures a first-class system property.  This module is the
+*vocabulary* of that story: every injectable failure is a typed exception
+carrying the injection site and node it fired on, and every simulated
+node is in exactly one :class:`NodeState` at any time.
+
+Faults are :class:`~repro.common.errors.AsterixError` subclasses (codes
+35xx) so existing error handling — tests matching on codes, the API
+layer's error reporting — treats them like any other system error, while
+the resilience machinery (`repro.hyracks.cluster` retries,
+`repro.feeds.feed` buffer-and-replay) can catch :class:`ResilienceFault`
+specifically and react per type:
+
+* :class:`NodeCrashFault` — the hosting node dies: its LSM memory
+  components and temp runfiles are gone, durable files survive, and the
+  node must be restarted (WAL replay) before it serves again.
+* :class:`DiskIOFault` — one page read/write failed transiently; the
+  enclosing job/entity operation is retried without a node restart.
+* :class:`OperatorFault` — a Hyracks operator task failed; the job is
+  aborted and retried.
+* :class:`FeedSourceFault` — the external source of a feed dropped; the
+  feed layer backs off, re-pulls, and replays its pending batch with
+  at-least-once, primary-key-deduplicated delivery.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import AsterixError
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a simulated node (`repro.hyracks.cluster`).
+
+    ALIVE — serving; FAILED — crashed, memory state lost, awaiting
+    restart; RESTARTING — reopening partitions from manifests and
+    replaying the WAL.  Transitions: ALIVE -> FAILED (crash),
+    FAILED -> RESTARTING -> ALIVE (recovery).
+    """
+
+    ALIVE = "alive"
+    FAILED = "failed"
+    RESTARTING = "restarting"
+
+
+class ResilienceFault(AsterixError):
+    """Base class of all injectable faults.
+
+    Attributes:
+        site: the named injection site that raised it (e.g.
+            ``"disk.read_page"``; docs/RESILIENCE.md lists them all).
+        node: node id the fault fired on (None for node-less sites such
+            as ``feed.next_batch``).
+        context: the full site context passed to
+            :meth:`~repro.resilience.injector.FaultInjector.hit`.
+    """
+
+    code = 3500
+    #: Transient faults are retried in place; non-transient ones require
+    #: node recovery (crash) or source recovery (feed) first.
+    transient = True
+
+    def __init__(self, message: str = "", *, site: str = "",
+                 node: int | None = None, context: dict | None = None):
+        self.site = site
+        self.node = node
+        self.context = dict(context or {})
+        where = site or "unknown site"
+        if node is not None:
+            where += f" on node {node}"
+        super().__init__(message or f"injected {type(self).__name__} "
+                         f"at {where}")
+
+
+class NodeCrashFault(ResilienceFault):
+    """The hosting node crashed: memory components and temp runfiles are
+    lost; only durable files (sealed LSM components, the fsynced WAL
+    prefix) survive."""
+
+    code = 3501
+    transient = False
+
+
+class DiskIOFault(ResilienceFault):
+    """A physical page read/write failed (transient media error)."""
+
+    code = 3502
+
+
+class OperatorFault(ResilienceFault):
+    """A Hyracks operator task failed mid-stage."""
+
+    code = 3503
+
+
+class FeedSourceFault(ResilienceFault):
+    """The external source behind a feed dropped its connection."""
+
+    code = 3504
+    transient = False
+
+
+#: Schedule-file names -> fault classes (docs/RESILIENCE.md, "Schedule
+#: format"); :meth:`FaultSchedule.from_dict` resolves through this.
+FAULT_KINDS = {
+    "node_crash": NodeCrashFault,
+    "disk_io": DiskIOFault,
+    "operator": OperatorFault,
+    "feed_source": FeedSourceFault,
+}
+
+#: Reverse map for serializing schedules and metric suffixes
+#: (``resilience.faults.<kind>``).
+KIND_OF_FAULT = {cls: kind for kind, cls in FAULT_KINDS.items()}

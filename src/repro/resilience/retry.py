@@ -1,0 +1,75 @@
+"""Retry with capped exponential backoff on a simulated clock.
+
+Job retries (``ClusterController.run_job``) and feed source re-pulls
+(``FeedManager.pump``) share this policy.  Backoff advances a
+:class:`SimulatedClock` instead of sleeping — retries are instantaneous
+in wall-clock terms but their cost is visible on the simulated timeline
+and in the ``resilience.backoff_simulated_us`` histogram, the same
+two-clock discipline the executor uses (docs/OBSERVABILITY.md, "Two
+clocks").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.observability.metrics import get_registry
+
+
+class SimulatedClock:
+    """A monotone microsecond counter advanced by simulated waiting."""
+
+    def __init__(self):
+        self.now_us = 0.0
+        self._lock = threading.Lock()
+
+    def advance(self, us: float) -> float:
+        """Advance time by ``us`` microseconds; returns the new now."""
+        with self._lock:
+            self.now_us += max(0.0, us)
+            return self.now_us
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: attempt k (1-based) waits
+    ``min(cap_us, base_delay_us * multiplier**(k-1))`` simulated
+    microseconds; after ``max_attempts`` retries the fault propagates."""
+
+    max_attempts: int = 3
+    base_delay_us: float = 1000.0
+    multiplier: float = 2.0
+    cap_us: float = 64000.0
+
+    def delay_us(self, attempt: int) -> float:
+        if attempt < 1:
+            attempt = 1
+        return min(self.cap_us,
+                   self.base_delay_us * self.multiplier ** (attempt - 1))
+
+    def backoff(self, attempt: int, clock: SimulatedClock,
+                metric: str = "resilience.backoff_simulated_us") -> float:
+        """Advance ``clock`` by attempt k's delay and record it."""
+        delay = self.delay_us(attempt)
+        clock.advance(delay)
+        get_registry().histogram(metric).observe(delay)
+        return delay
+
+
+def call_with_retry(fn, policy: RetryPolicy, clock: SimulatedClock, *,
+                    retry_on: tuple = (Exception,), on_fault=None):
+    """Run ``fn()`` under ``policy``: on a ``retry_on`` error, invoke
+    ``on_fault(fault, attempt)`` (if given), back off on the simulated
+    clock, and try again; re-raises once retries are exhausted."""
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as fault:
+            attempt += 1
+            if on_fault is not None:
+                on_fault(fault, attempt)
+            if attempt > policy.max_attempts:
+                raise
+            policy.backoff(attempt, clock)

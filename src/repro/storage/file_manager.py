@@ -37,11 +37,16 @@ class FileHandle:
 class FileManager:
     """Creates, opens, grows, and deletes page files on a node's devices."""
 
-    def __init__(self, devices: list[IODevice], page_size: int):
+    def __init__(self, devices: list[IODevice], page_size: int,
+                 injector=None):
         if not devices:
             raise StorageError("a node needs at least one I/O device")
         self.devices = devices
         self.page_size = page_size
+        #: Optional fault injector (duck-typed: ``hit(site, **ctx)``);
+        #: armed schedules can fail individual page accesses at the
+        #: ``disk.read_page`` / ``disk.write_page`` sites.
+        self.injector = injector
         self._next_file_id = 0
         self._files: dict[int, FileHandle] = {}
 
@@ -117,6 +122,9 @@ class FileManager:
                 f"page {page_no} out of range for {handle.rel_path} "
                 f"({handle.num_pages} pages)"
             )
+        if self.injector is not None:
+            self.injector.hit("disk.read_page", path=handle.rel_path,
+                              page=page_no)
         handle._fd.seek(page_no * self.page_size)
         data = handle._fd.read(self.page_size)
         if sequential:
@@ -138,6 +146,9 @@ class FileManager:
                 f"page write of {len(data)} bytes (page size "
                 f"{self.page_size})"
             )
+        if self.injector is not None:
+            self.injector.hit("disk.write_page", path=handle.rel_path,
+                              page=page_no)
         handle._fd.seek(page_no * self.page_size)
         handle._fd.write(data)
         if sequential:

@@ -3,12 +3,15 @@
 from repro.txn.lock_manager import LockManager
 from repro.txn.log_manager import LogManager, LogRecord, LogRecordType
 from repro.txn.transaction import (
+    EntityTransaction,
     RecoveryManager,
     TransactionManager,
     TransactionalPartition,
+    TxnState,
 )
 
 __all__ = [
+    "EntityTransaction",
     "LockManager",
     "LogManager",
     "LogRecord",
@@ -16,4 +19,5 @@ __all__ = [
     "RecoveryManager",
     "TransactionManager",
     "TransactionalPartition",
+    "TxnState",
 ]

@@ -103,8 +103,14 @@ class LogManager:
 
     MAGIC = b"ALOG0001"
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, injector=None):
         self.path = path
+        #: Optional fault injector (duck-typed: anything with
+        #: ``hit(site, **ctx)``); the ``wal.flush`` site fires *before*
+        #: the fsync, so a scheduled crash there loses exactly the
+        #: commits since the previous flush — the crash-point boundary
+        #: tests/resilience/test_crash_recovery.py sweeps.
+        self.injector = injector
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         self._fd = open(path, "a+b")
         self._fd.seek(0, os.SEEK_END)
@@ -113,8 +119,12 @@ class LogManager:
             # "nothing durable", never "durable through the first record"
             self._fd.write(self.MAGIC)
         self._append_lsn = self._fd.tell()
+        #: Everything at offsets < durable_lsn has been fsynced (existing
+        #: bytes at open time count: they survived their writer).
+        self.durable_lsn = self._append_lsn
         self.appends = 0
         self.flushes = 0
+        self.crashed = False
 
     @property
     def tail_lsn(self) -> int:
@@ -131,9 +141,26 @@ class LogManager:
 
     def flush(self) -> None:
         """Force the log to stable storage (entity-commit durability)."""
+        if self.injector is not None:
+            self.injector.hit("wal.flush", lsn=self._append_lsn)
         self._fd.flush()
         os.fsync(self._fd.fileno())
+        self.durable_lsn = self._append_lsn
         self.flushes += 1
+
+    def crash(self) -> None:
+        """Simulate losing the process: discard every appended-but-not-
+        fsynced byte, exactly what a real crash does to a buffered WAL
+        tail.  The manager is unusable afterwards; node restart opens a
+        fresh :class:`LogManager` on the same path."""
+        if self.crashed:
+            return
+        self.crashed = True
+        # closing flushes Python's buffer into the file; truncating back
+        # to the durable tail then drops everything past the last fsync
+        self._fd.close()
+        with open(self.path, "r+b") as f:
+            f.truncate(self.durable_lsn)
 
     def scan(self, from_lsn: int = 0):
         """Yield records with lsn >= from_lsn, in order."""
@@ -175,4 +202,5 @@ class LogManager:
         return lsn
 
     def close(self) -> None:
-        self._fd.close()
+        if not self.crashed:
+            self._fd.close()

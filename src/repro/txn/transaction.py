@@ -6,16 +6,87 @@ UPDATE log record, apply the mutation to the LSM memory components, write
 ENTITY_COMMIT, force the log, release the lock.  The
 :class:`TransactionalPartition` wrapper enforces this protocol around a
 :class:`~repro.storage.dataset_storage.PartitionStorage`.
+
+Each entity transaction is an explicit :class:`EntityTransaction` state
+machine (ACTIVE -> COMMITTED | ABORTED).  A failed operation — a
+duplicate key, an injected :class:`~repro.resilience.faults.DiskIOFault`,
+a node crash mid-commit — aborts it, appending an ABORT record so the log
+tells the whole story.  ``abort`` is **idempotent**: retry and resilience
+paths abort defensively without knowing whether the fault struck before
+or after the commit, and re-aborting a finished transaction is a no-op.
+``commit`` on a finished transaction raises
+:class:`~repro.common.errors.TransactionStateError` — committing twice,
+or after an abort, is a protocol bug, never silently absorbed.
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
 
 from repro.adm.serializer import deserialize, serialize
+from repro.common.errors import TransactionStateError
+from repro.observability.metrics import get_registry
 from repro.storage.dataset_storage import PartitionStorage
 from repro.txn.lock_manager import LockManager
 from repro.txn.log_manager import LogManager, LogRecord, LogRecordType
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class EntityTransaction:
+    """One record-level transaction with an explicit lifecycle."""
+
+    def __init__(self, manager: "TransactionManager", txn_id: int):
+        self.manager = manager
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+
+    def commit(self, dataset: str, partition: int, key: tuple) -> None:
+        """Seal the transaction: append ENTITY_COMMIT and force the log.
+
+        Raises :class:`TransactionStateError` unless ACTIVE — commit is
+        not idempotent; a double commit (or commit-after-abort) means the
+        entity protocol was violated.
+        """
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionStateError(
+                f"cannot commit txn {self.txn_id}: already "
+                f"{self.state.value}"
+            )
+        self.manager.log.append(LogRecord(
+            LogRecordType.ENTITY_COMMIT, txn_id=self.txn_id,
+            dataset=dataset, partition=partition, key=key,
+        ))
+        self.manager.log.flush()
+        self.state = TxnState.COMMITTED
+        self.manager.commits += 1
+
+    def abort(self, dataset: str = "", partition: int = 0,
+              key: tuple = ()) -> bool:
+        """Abort if still ACTIVE; returns whether this call aborted.
+
+        Idempotent by design: aborting an already-aborted *or committed*
+        transaction is a no-op returning False, so recovery/retry code
+        can abort defensively after any failure without corrupting a
+        commit that already happened.  The ABORT record is appended but
+        not forced — aborted transactions are skipped by recovery whether
+        or not the record survives.
+        """
+        if self.state is not TxnState.ACTIVE:
+            return False
+        self.manager.log.append(LogRecord(
+            LogRecordType.ABORT, txn_id=self.txn_id,
+            dataset=dataset, partition=partition, key=key,
+        ))
+        self.state = TxnState.ABORTED
+        self.manager.aborts += 1
+        get_registry().counter("resilience.txn_aborts").inc()
+        return True
 
 
 class TransactionManager:
@@ -26,9 +97,14 @@ class TransactionManager:
         self.locks = LockManager()
         self._ids = itertools.count(1)
         self.commits = 0
+        self.aborts = 0
 
     def next_txn_id(self) -> int:
         return next(self._ids)
+
+    def begin(self) -> EntityTransaction:
+        """Start a new entity transaction."""
+        return EntityTransaction(self, self.next_txn_id())
 
     def seed_ids(self, min_txn_id: int) -> None:
         """Restart the id sequence at ``min_txn_id``.
@@ -57,24 +133,25 @@ class TransactionalPartition:
 
     def _entity_op(self, pk: tuple, value: bytes, is_delete: bool,
                    apply_fn):
-        txn_id = self.txn.next_txn_id()
+        txn = self.txn.begin()
         ds, part = self.storage.dataset_name, self.storage.partition_id
-        self.txn.locks.acquire(txn_id, ds, part, pk)
+        self.txn.locks.acquire(txn.txn_id, ds, part, pk)
         try:
             lsn = self.txn.log.append(LogRecord(
-                LogRecordType.UPDATE, txn_id=txn_id, dataset=ds,
+                LogRecordType.UPDATE, txn_id=txn.txn_id, dataset=ds,
                 partition=part, key=pk, value=value, is_delete=is_delete,
             ))
             result = apply_fn(lsn)
-            self.txn.log.append(LogRecord(
-                LogRecordType.ENTITY_COMMIT, txn_id=txn_id, dataset=ds,
-                partition=part, key=pk,
-            ))
-            self.txn.log.flush()
-            self.txn.commits += 1
+            txn.commit(ds, part, pk)
             return result
+        except BaseException:
+            # defensive, idempotent: a fault raised from inside commit's
+            # log flush leaves the txn ACTIVE (aborted here); any error
+            # after the commit sealed is a no-op
+            txn.abort(ds, part, pk)
+            raise
         finally:
-            self.txn.locks.release_all(txn_id)
+            self.txn.locks.release_all(txn.txn_id)
 
     def insert(self, record: dict):
         pk = self.storage.extract_pk(record)
@@ -124,17 +201,20 @@ class RecoveryManager:
         operations replayed."""
         start = self.log.last_checkpoint_lsn()
         committed: set[int] = set()
+        aborted: set[int] = set()
         updates: list[LogRecord] = []
         for record in self.log.scan(start):
             if record.type is LogRecordType.ENTITY_COMMIT:
                 committed.add(record.txn_id)
+            elif record.type is LogRecordType.ABORT:
+                aborted.add(record.txn_id)
             elif record.type is LogRecordType.UPDATE:
                 updates.append(record)
         self.replayed = 0
         self.skipped = 0
         durable = {key: ps.durable_lsn() for key, ps in partitions.items()}
         for record in updates:
-            if record.txn_id not in committed:
+            if record.txn_id not in committed or record.txn_id in aborted:
                 self.skipped += 1
                 continue
             key = (record.dataset, record.partition)

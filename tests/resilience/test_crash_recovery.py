@@ -1,0 +1,150 @@
+"""Crash-point tests: kill a node at every WAL flush boundary.
+
+Each entity transaction forces the log exactly once (at ENTITY_COMMIT),
+so during a K-record insert sequence the ``wal.flush`` site is hit K
+times — and a crash scheduled at hit N must leave exactly the first
+N - 1 records durable.  The parameterized sweep below proves that for
+every boundary: post-recovery contents == the committed prefix, and the
+at-least-once retry of the interrupted insert then converges to the full
+dataset.
+"""
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.hyracks.cluster import ClusterController
+from repro.observability.metrics import get_registry
+from repro.resilience import (
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    NodeCrashFault,
+    NodeState,
+)
+
+RECORDS = 6
+
+
+@pytest.fixture
+def single_node(tmp_path):
+    injector = FaultInjector()
+    cluster = ClusterController(
+        str(tmp_path / "cluster"),
+        ClusterConfig(num_nodes=1, partitions_per_node=1),
+        injector=injector,
+    )
+    cluster.create_dataset("Users", ("id",))
+    yield cluster, injector
+    cluster.close()
+
+
+def crash_at_flush(injector, hit, node=0):
+    injector.arm(FaultSchedule(rules=[
+        FaultRule(site="wal.flush", fault=NodeCrashFault, at_hit=hit,
+                  node=node),
+    ]))
+
+
+class TestEveryFlushBoundary:
+    @pytest.mark.parametrize("crash_at", range(1, RECORDS + 1))
+    def test_post_recovery_contents_equal_committed_prefix(
+            self, single_node, crash_at):
+        cluster, injector = single_node
+        crash_at_flush(injector, crash_at)
+        before = get_registry().snapshot()
+
+        interrupted = None
+        for i in range(RECORDS):
+            record = {"id": i, "alias": f"u{i}"}
+            try:
+                cluster.insert_record("Users", record)
+            except NodeCrashFault as fault:
+                interrupted = i
+                assert fault.node == 0
+                cluster.handle_fault(fault)   # crash + restart + replay
+                # the recovered node holds exactly the committed prefix:
+                # commits 1..crash_at-1 were fsynced, the interrupted
+                # transaction's records died in the truncated WAL tail
+                ids = sorted(rec["id"] for _, rec in
+                             cluster.scan_dataset("Users"))
+                assert ids == list(range(crash_at - 1))
+                # at-least-once: retry the interrupted insert
+                cluster.insert_record("Users", record)
+
+        assert interrupted == crash_at - 1   # hit N fires in insert N
+        assert cluster.nodes[0].state is NodeState.ALIVE
+        ids = sorted(rec["id"] for _, rec in cluster.scan_dataset("Users"))
+        assert ids == list(range(RECORDS))
+
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.node_crashes") == 1
+        assert delta.get("resilience.node_restarts") == 1
+        assert delta.get("resilience.wal_replays") == 1
+        assert delta.get("resilience.wal_records_replayed",
+                         0) == crash_at - 1
+        assert delta.get("resilience.faults.node_crash") == 1
+
+    def test_flushed_components_survive_without_replay(self, single_node):
+        """Records sealed into a disk component before the crash are not
+        re-replayed from the WAL — only the memory-resident suffix is."""
+        cluster, injector = single_node
+        for i in range(4):
+            cluster.insert_record("Users", {"id": i, "alias": f"u{i}"})
+        cluster.flush_dataset("Users")       # ids 0..3 now durable (LSM)
+        for i in range(4, RECORDS):
+            cluster.insert_record("Users", {"id": i, "alias": f"u{i}"})
+
+        injector.arm(FaultSchedule())        # nothing scheduled
+        before = get_registry().snapshot()
+        cluster.crash_node(0)
+        assert cluster.nodes[0].state is NodeState.FAILED
+        replayed = cluster.restart_node(0)
+
+        assert replayed == RECORDS - 4       # only the WAL-only suffix
+        ids = sorted(rec["id"] for _, rec in cluster.scan_dataset("Users"))
+        assert ids == list(range(RECORDS))
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.wal_records_replayed") == RECORDS - 4
+
+    def test_crash_and_restart_are_idempotent(self, single_node):
+        cluster, _ = single_node
+        cluster.insert_record("Users", {"id": 1, "alias": "a"})
+        cluster.crash_node(0)
+        cluster.crash_node(0)                # second crash: no-op
+        cluster.restart_node(0)
+        assert cluster.restart_node(0) == 0  # already alive: no-op
+        assert [rec["id"] for _, rec in cluster.scan_dataset("Users")] == [1]
+
+
+class TestMultiNode:
+    def test_surviving_node_keeps_serving(self, tmp_path):
+        injector = FaultInjector()
+        cluster = ClusterController(
+            str(tmp_path / "cluster"),
+            ClusterConfig(num_nodes=2, partitions_per_node=1),
+            injector=injector,
+        )
+        cluster.create_dataset("Users", ("id",))
+        records = [{"id": i, "alias": f"u{i}"} for i in range(20)]
+        # split by the cluster's own routing
+        on_node0 = [r for r in records
+                    if cluster.node_of_partition(
+                        cluster.partition_of_key((r["id"],))).node_id == 0]
+        assert on_node0 and len(on_node0) < len(records)
+
+        for r in records:
+            cluster.insert_record("Users", r)
+        cluster.crash_node(0)
+
+        # node 1's partitions are untouched by node 0's death
+        survivor = [r for r in records if r not in on_node0]
+        for r in survivor:
+            assert cluster.get_record("Users", (r["id"],)) is not None
+        # node 0's are unreachable until restart
+        with pytest.raises(NodeCrashFault):
+            cluster.get_record("Users", (on_node0[0]["id"],))
+
+        cluster.restart_node(0)
+        ids = sorted(rec["id"] for _, rec in cluster.scan_dataset("Users"))
+        assert ids == list(range(20))
+        cluster.close()

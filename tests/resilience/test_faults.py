@@ -1,0 +1,181 @@
+"""Unit tests for the fault injector, schedules, and retry policy."""
+
+import pytest
+
+from repro.resilience import (
+    DiskIOFault,
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    FaultScheduleError,
+    NodeCrashFault,
+    OperatorFault,
+    ResilienceFault,
+    RetryPolicy,
+    SimulatedClock,
+    call_with_retry,
+)
+
+
+class TestFaultRuleValidation:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(FaultScheduleError, match="exactly one"):
+            FaultRule(site="s")
+        with pytest.raises(FaultScheduleError, match="exactly one"):
+            FaultRule(site="s", at_hit=1, probability=0.5)
+
+    def test_at_hit_is_one_based(self):
+        with pytest.raises(FaultScheduleError, match="1-based"):
+            FaultRule(site="s", at_hit=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultScheduleError):
+            FaultRule(site="s", probability=0.0)
+        with pytest.raises(FaultScheduleError):
+            FaultRule(site="s", probability=1.5)
+
+    def test_site_required(self):
+        with pytest.raises(FaultScheduleError, match="site"):
+            FaultRule(site="", at_hit=1)
+
+    def test_fault_must_be_resilience_fault(self):
+        with pytest.raises(FaultScheduleError, match="subclass"):
+            FaultRule(site="s", at_hit=1, fault=ValueError)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultScheduleError, match="unknown fault kind"):
+            FaultRule.from_dict({"site": "s", "fault": "gremlin",
+                                 "at_hit": 1})
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip(self):
+        schedule = FaultSchedule(seed=7, rules=[
+            FaultRule(site="wal.flush", fault=NodeCrashFault, at_hit=3,
+                      node=1),
+            FaultRule(site="disk.read_page", fault=DiskIOFault,
+                      probability=0.25, max_fires=5),
+        ])
+        clone = FaultSchedule.from_dict(schedule.to_dict())
+        assert clone.seed == 7
+        assert clone.rules == schedule.rules
+
+
+class TestInjector:
+    def test_disarmed_is_noop(self):
+        injector = FaultInjector()
+        for _ in range(100):
+            injector.hit("disk.read_page", node=0)
+        assert injector.history == []
+
+    def test_fires_on_exact_nth_hit(self):
+        injector = FaultInjector(FaultSchedule(rules=[
+            FaultRule(site="s", fault=OperatorFault, at_hit=3),
+        ]))
+        injector.hit("s", node=0)
+        injector.hit("s", node=0)
+        with pytest.raises(OperatorFault) as exc:
+            injector.hit("s", node=0)
+        assert exc.value.site == "s"
+        assert exc.value.node == 0
+        # max_fires=1 consumed: later hits pass
+        injector.hit("s", node=0)
+        assert [h["hit"] for h in injector.history] == [3]
+
+    def test_streams_are_per_site_and_node(self):
+        injector = FaultInjector(FaultSchedule(rules=[
+            FaultRule(site="s", fault=OperatorFault, at_hit=2, node=1),
+        ]))
+        # node 0's stream never matches the node-pinned rule
+        for _ in range(5):
+            injector.hit("s", node=0)
+        injector.hit("s", node=1)
+        with pytest.raises(OperatorFault):
+            injector.hit("s", node=1)
+
+    def test_probability_is_deterministic_per_seed(self):
+        def firing_pattern():
+            injector = FaultInjector(FaultSchedule(seed=42, rules=[
+                FaultRule(site="s", fault=DiskIOFault, probability=0.3,
+                          max_fires=1000),
+            ]))
+            pattern = []
+            for _ in range(50):
+                try:
+                    injector.hit("s", node=0)
+                    pattern.append(0)
+                except DiskIOFault:
+                    pattern.append(1)
+            return pattern
+
+        first = firing_pattern()
+        assert first == firing_pattern()
+        assert 1 in first   # p=0.3 over 50 draws fires at least once
+
+    def test_arm_resets_counters(self):
+        injector = FaultInjector()
+        schedule = FaultSchedule(rules=[
+            FaultRule(site="s", fault=OperatorFault, at_hit=2),
+        ])
+        injector.arm(schedule)
+        injector.hit("s", node=0)
+        injector.arm(schedule)       # re-arm: hit counter back to zero
+        injector.hit("s", node=0)    # hit 1 again, no fire
+        with pytest.raises(OperatorFault):
+            injector.hit("s", node=0)
+
+    def test_scoped_injector_merges_context(self):
+        injector = FaultInjector(FaultSchedule(rules=[
+            FaultRule(site="s", fault=OperatorFault, at_hit=1, node=2),
+        ]))
+        scoped = injector.bind(node=2)
+        with pytest.raises(OperatorFault) as exc:
+            scoped.hit("s", extra="x")
+        assert exc.value.node == 2
+        assert exc.value.context["extra"] == "x"
+
+    def test_fault_carries_typed_code(self):
+        assert NodeCrashFault.code == 3501
+        assert not NodeCrashFault.transient
+        assert DiskIOFault.transient
+        assert issubclass(NodeCrashFault, ResilienceFault)
+
+
+class TestRetryPolicy:
+    def test_capped_exponential_delays(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_us=100.0,
+                             multiplier=2.0, cap_us=350.0)
+        assert [policy.delay_us(a) for a in (1, 2, 3, 4)] == \
+            [100.0, 200.0, 350.0, 350.0]
+
+    def test_backoff_advances_simulated_clock_only(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(base_delay_us=500.0)
+        delay = policy.backoff(1, clock)
+        assert delay == 500.0
+        assert clock.now_us == 500.0
+
+    def test_call_with_retry_succeeds_after_transients(self):
+        clock = SimulatedClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise DiskIOFault(site="s")
+            return "ok"
+
+        result = call_with_retry(
+            flaky, RetryPolicy(max_attempts=4), clock,
+            retry_on=(DiskIOFault,))
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert clock.now_us > 0
+
+    def test_call_with_retry_exhausts(self):
+        def always():
+            raise DiskIOFault(site="s")
+
+        with pytest.raises(DiskIOFault):
+            call_with_retry(always, RetryPolicy(max_attempts=2),
+                            SimulatedClock(), retry_on=(DiskIOFault,))

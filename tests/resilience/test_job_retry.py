@@ -1,0 +1,126 @@
+"""Job-level failure detection and retry, driven through the SQL++ API.
+
+Faults injected into an executing job must abort the attempt, recover
+whatever broke (node restart + WAL replay for crashes, nothing for
+transient faults), and transparently retry — the caller sees correct
+results, and only the ``resilience.*`` metrics betray that anything
+happened.
+"""
+
+import pytest
+
+from repro import connect
+from repro.observability.metrics import get_registry
+from repro.resilience import (
+    DiskIOFault,
+    FaultInjector,
+    FaultRule,
+    FaultSchedule,
+    NodeCrashFault,
+    OperatorFault,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    injector = FaultInjector()
+    instance = connect(str(tmp_path / "db"), injector=injector)
+    instance.execute("""
+        CREATE TYPE UserType AS { id: int, alias: string };
+        CREATE DATASET Users(UserType) PRIMARY KEY id;
+    """)
+    for i in range(10):
+        instance.execute(
+            f'INSERT INTO Users ({{"id": {i}, "alias": "u{i}"}});')
+    yield instance, injector
+    injector.disarm()
+    instance.close()
+
+
+COUNT = "SELECT VALUE COUNT(*) FROM Users u;"
+
+
+class TestJobRetry:
+    def test_operator_fault_retries_transparently(self, db):
+        instance, injector = db
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="executor.operator", fault=OperatorFault,
+                      at_hit=1),
+        ]))
+        before = get_registry().snapshot()
+        assert instance.query(COUNT) == [10]
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.faults.operator") == 1
+        assert delta.get("resilience.job_retries") == 1
+        assert "resilience.job_failures" not in delta
+
+    def test_disk_fault_retries_transparently(self, db):
+        instance, injector = db
+        instance.flush_dataset("Users")      # seal records into pages
+        for node in instance.cluster.nodes:  # cold caches: reads go to
+            instance.cluster.crash_node(node.node_id)     # real files
+            instance.cluster.restart_node(node.node_id)
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="disk.read_page", fault=DiskIOFault, at_hit=1),
+        ]))
+        before = get_registry().snapshot()
+        assert instance.query(COUNT) == [10]
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.faults.disk_io") == 1
+        assert delta.get("resilience.job_retries") == 1
+
+    def test_node_crash_mid_query_recovers_and_retries(self, db):
+        instance, injector = db
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="executor.operator", fault=NodeCrashFault,
+                      at_hit=1, node=0),
+        ]))
+        before = get_registry().snapshot()
+        assert instance.query(COUNT) == [10]
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.node_crashes") == 1
+        assert delta.get("resilience.node_restarts") == 1
+        assert delta.get("resilience.wal_replays") == 1
+        assert delta.get("resilience.job_retries") == 1
+        # no records lost: the WAL replayed the memory-resident ones
+        assert instance.query(COUNT) == [10]
+
+    def test_retry_exhaustion_raises_and_counts_failure(self, db):
+        instance, injector = db
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="executor.operator", fault=OperatorFault,
+                      probability=1.0, max_fires=10_000),
+        ]))
+        before = get_registry().snapshot()
+        with pytest.raises(OperatorFault):
+            instance.query(COUNT)
+        delta = get_registry().delta(before)
+        assert delta.get("resilience.job_failures") == 1
+        max_attempts = instance.cluster.config.resilience.max_job_attempts
+        assert delta.get("resilience.job_retries") == max_attempts - 1
+        # disarm: the instance is healthy again
+        injector.disarm()
+        assert instance.query(COUNT) == [10]
+
+    def test_backoff_runs_on_simulated_clock(self, db):
+        instance, injector = db
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="executor.operator", fault=OperatorFault,
+                      at_hit=1),
+        ]))
+        clock_before = instance.cluster.clock.now_us
+        instance.query(COUNT)
+        assert instance.cluster.clock.now_us > clock_before
+
+    def test_retry_events_land_on_trace_span(self, db):
+        instance, injector = db
+        injector.arm(FaultSchedule(rules=[
+            FaultRule(site="executor.operator", fault=OperatorFault,
+                      at_hit=1),
+        ]))
+        result = instance.execute(COUNT, trace=True)
+        assert result.rows == [10]
+        execute_span = next(s for s in result.trace.phases
+                            if s.name == "execute")
+        events = [e["name"] for e in execute_span.events]
+        assert "job_retry" in events

@@ -158,6 +158,82 @@ class TestEntityTransactions:
         assert txn.locks.active_locks == 0
 
 
+class TestTransactionStateMachine:
+    def test_abort_is_idempotent(self, stack):
+        from repro.txn import TxnState
+
+        _, _, log = stack
+        manager = TransactionManager(log)
+        txn = manager.begin()
+        assert txn.abort("ds", 0, (1,)) is True
+        assert txn.state is TxnState.ABORTED
+        assert txn.abort("ds", 0, (1,)) is False   # no-op, not an error
+        assert manager.aborts == 1                 # counted once
+
+    def test_abort_after_commit_is_noop(self, stack):
+        from repro.txn import TxnState
+
+        _, _, log = stack
+        manager = TransactionManager(log)
+        txn = manager.begin()
+        txn.commit("ds", 0, (1,))
+        assert txn.abort("ds", 0, (1,)) is False
+        assert txn.state is TxnState.COMMITTED     # commit stands
+        assert manager.aborts == 0
+
+    def test_commit_after_abort_raises(self, stack):
+        from repro.common.errors import TransactionStateError
+
+        _, _, log = stack
+        manager = TransactionManager(log)
+        txn = manager.begin()
+        txn.abort("ds", 0, (1,))
+        with pytest.raises(TransactionStateError, match="aborted"):
+            txn.commit("ds", 0, (1,))
+
+    def test_double_commit_raises(self, stack):
+        from repro.common.errors import TransactionStateError
+
+        _, _, log = stack
+        manager = TransactionManager(log)
+        txn = manager.begin()
+        txn.commit("ds", 0, (1,))
+        with pytest.raises(TransactionStateError, match="committed"):
+            txn.commit("ds", 0, (1,))
+
+    def test_failed_op_writes_abort_record(self, stack):
+        from repro.common.errors import DuplicateKeyError
+
+        fm, cache, log = stack
+        txn = TransactionManager(log)
+        tp = TransactionalPartition(make_partition(fm, cache), txn)
+        tp.insert({"id": 1})
+        with pytest.raises(DuplicateKeyError):
+            tp.insert({"id": 1})
+        types = [r.type for r in log.scan()]
+        assert types == [LogRecordType.UPDATE, LogRecordType.ENTITY_COMMIT,
+                         LogRecordType.UPDATE, LogRecordType.ABORT]
+        assert txn.aborts == 1
+
+    def test_recovery_skips_aborted_transactions(self, stack, tmp_path):
+        fm, cache, log = stack
+        txn = TransactionManager(log)
+        tp = TransactionalPartition(make_partition(fm, cache), txn)
+        tp.insert({"id": 1, "x": "keep"})
+        # a hand-rolled aborted transaction whose UPDATE is in the log
+        bad = txn.begin()
+        log.append(LogRecord(LogRecordType.UPDATE, txn_id=bad.txn_id,
+                             dataset="ds", partition=0, key=(2,),
+                             value=serialize({"id": 2, "x": "drop"})))
+        bad.abort("ds", 0, (2,))
+        log.flush()
+        ps, recovery, fm2 = crash_and_recover(tmp_path, fm, cache, log)
+        assert recovery.replayed == 1
+        assert ps.get((1,)) is not None
+        assert ps.get((2,)) is None
+        fm2.close()
+
+
 def crash_and_recover(tmp_path, fm, cache, log, *, with_secondary=False):
     """Simulate a crash: drop all in-memory state, reopen from disk +
     manifest, replay the WAL."""

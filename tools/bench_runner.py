@@ -2,10 +2,13 @@
 """Benchmark runner: wall-clock + simulated time, serial vs parallel.
 
 Runs a small suite of end-to-end workloads against the embedded instance
-and writes a JSON report (default ``BENCH_PR2.json``) with, for each
+and writes a JSON report (default ``BENCH_PR3.json``) with, for each
 benchmark, wall-clock seconds and the simulated-clock microseconds, plus
 a head-to-head of the serial materialize-everything executor against the
-pipelined parallel one on a scan/sort-heavy multi-partition job.
+pipelined parallel one on a scan/sort-heavy multi-partition job, and a
+fault-free vs fault-injected comparison of the same query+ingest
+workload (the resilience tax: retries, a node restart with WAL replay,
+and simulated backoff, with results verified identical).
 
 The head-to-head runs with ``NodeConfig.io_latency_us`` set, emulating a
 device where every page touch costs real microseconds (the sleep releases
@@ -177,12 +180,50 @@ def run_serial_vs_parallel(base_dir: str, quick: bool) -> dict:
     }
 
 
+def run_fault_overhead(base_dir: str, quick: bool) -> dict:
+    """The same query+ingest workload, fault-free vs fault-injected.
+
+    Reuses the chaos harness workload so the injected faults exercise a
+    job retry, a node crash with WAL replay, and a feed source re-pull;
+    reports the wall-clock overhead and the simulated backoff/detection
+    time the faults cost, with results verified identical."""
+    import chaos_runner
+
+    observed = {}
+    schedule = chaos_runner.make_schedule(seed=1337)
+    for label, sched in (("fault_free", None), ("fault_injected", schedule)):
+        started = time.perf_counter()
+        run = chaos_runner.run_workload(
+            os.path.join(base_dir, f"chaos_{label}"), sched)
+        observed[label] = {
+            "wall_seconds": time.perf_counter() - started,
+            "state_sha256": run["state_sha256"],
+            "simulated_clock_us": run["simulated_clock_us"],
+            "metrics": run["metrics"],
+        }
+    clean, faulted = observed["fault_free"], observed["fault_injected"]
+    return {
+        "workload": "chaos_runner query+ingest workload (seed 1337)",
+        "fault_free_wall_seconds": round(clean["wall_seconds"], 6),
+        "fault_injected_wall_seconds": round(faulted["wall_seconds"], 6),
+        "overhead_ratio": round(
+            faulted["wall_seconds"] / clean["wall_seconds"], 3),
+        "simulated_recovery_us": round(
+            faulted["simulated_clock_us"] - clean["simulated_clock_us"], 3),
+        "identical_state": (clean["state_sha256"]
+                            == faulted["state_sha256"]),
+        "faults_injected": faulted["metrics"].get(
+            "resilience.faults_injected", 0),
+        "resilience_metrics": faulted["metrics"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small datasets / few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default="BENCH_PR2.json",
-                        help="report path (default: BENCH_PR2.json)")
+    parser.add_argument("-o", "--output", default="BENCH_PR3.json",
+                        help="report path (default: BENCH_PR3.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
@@ -190,10 +231,12 @@ def main(argv=None) -> int:
         started = time.perf_counter()
         benchmarks = run_query_benchmarks(base_dir, args.quick)
         comparison = run_serial_vs_parallel(base_dir, args.quick)
+        fault_overhead = run_fault_overhead(base_dir, args.quick)
         report = {
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
             "serial_vs_parallel": comparison,
+            "fault_overhead": fault_overhead,
             "total_seconds": round(time.perf_counter() - started, 3),
         }
     finally:
@@ -210,13 +253,21 @@ def main(argv=None) -> int:
     print(f"  serial vs parallel: {comparison['serial_wall_seconds']*1e3:.2f}"
           f" ms vs {comparison['parallel_wall_seconds']*1e3:.2f} ms"
           f"  (speedup {comparison['speedup']}x)")
+    print(f"  fault overhead: "
+          f"{fault_overhead['fault_free_wall_seconds']*1e3:.2f} ms clean vs "
+          f"{fault_overhead['fault_injected_wall_seconds']*1e3:.2f} ms "
+          f"faulted ({fault_overhead['overhead_ratio']}x, "
+          f"{fault_overhead['faults_injected']} faults)")
 
     ok = (comparison["identical_results"]
           and comparison["identical_simulated_us"]
-          and comparison["speedup"] >= 1.5)
+          and comparison["speedup"] >= 1.5
+          and fault_overhead["identical_state"]
+          and fault_overhead["faults_injected"] >= 3)
     if not ok:
-        print("FAIL: parallel executor did not meet the bar "
-              "(identical results + >=1.5x wall-clock)", file=sys.stderr)
+        print("FAIL: parallel executor or resilience layer did not meet "
+              "the bar (identical results, >=1.5x wall-clock, identical "
+              "faulted state)", file=sys.stderr)
         return 1
     return 0
 
