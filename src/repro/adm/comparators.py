@@ -19,7 +19,6 @@ import functools
 
 from repro.adm.values import (
     MISSING,
-    Multiset,
     TypeTag,
     is_numeric_tag,
     tag_of,

@@ -18,7 +18,7 @@ instance validation used by INSERT/UPSERT/LOAD.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.adm.values import (
     MISSING,

@@ -42,6 +42,8 @@ from repro.algebricks.expressions import (
     conjuncts,
     to_runtime,
 )
+from repro.analysis.plan_verifier import verify_job, verify_stream
+from repro.analysis.verify import plan_verification_enabled
 from repro.common.errors import CompilationError
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks import (
@@ -142,6 +144,8 @@ class JobGenerator:
                 f"plan root must be DistributeResult or InsertDelete, "
                 f"got {type(root).__name__}"
             )
+        if plan_verification_enabled():
+            verify_job(self.job)
         return self.job, self.result_op
 
     # -- helpers ---------------------------------------------------------------
@@ -177,7 +181,10 @@ class JobGenerator:
             raise CompilationError(
                 f"no physical translation for {type(op).__name__}"
             )
-        return method(op)
+        stream = method(op)
+        if plan_verification_enabled():
+            verify_stream(op, stream)
+        return stream
 
     def _compile_EmptyTupleSource(self, op) -> Stream:
         op_id = self._add(EmptyTupleSourceOp())
@@ -244,6 +251,12 @@ class JobGenerator:
         cols = [child.col(v) for v in op.vars]
         out = self._chain(child, ProjectOp(cols), schema=op.schema())
         out.order = [pair for pair in child.order if pair[0] in op.vars]
+        if out.partitioning and out.partitioning[0] == "hash" and \
+                not set(out.partitioning[1]) <= set(op.vars):
+            # the hash-key columns were projected away: the data is still
+            # partitioned that way, but no downstream operator can prove
+            # (or reuse) it, so stop claiming the property
+            out.partitioning = RANDOM
         return out
 
     def _compile_Unnest(self, op) -> Stream:

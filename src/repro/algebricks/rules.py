@@ -578,10 +578,18 @@ _ACCESS_RULES = [
 
 
 def _apply_rule(rule, op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
-    """Invoke one rule; report the attempt to the recorder if tracing."""
+    """Invoke one rule; report the attempt to the recorder if tracing.
+
+    When plan verification is on (repro.analysis), every *firing* rule is
+    immediately followed by a structural check of the subtree it
+    rewrote — producers always sit below their users, so verifying the
+    rewritten subtree is sound — and a violation names the rule."""
     recorder = ctx.recorder
     if recorder is None:
-        return rule(op, ctx)
+        op, changed = rule(op, ctx)
+        if changed:
+            _maybe_verify(op, rule)
+        return op, changed
     import time
 
     target = op.label()
@@ -592,7 +600,25 @@ def _apply_rule(rule, op: LogicalOp, ctx) -> tuple[LogicalOp, bool]:
         (time.perf_counter() - started) * 1e6,
         fired=changed, target=target,
     )
+    if changed:
+        _maybe_verify(op, rule)
     return op, changed
+
+
+def _maybe_verify(op: LogicalOp, rule=None) -> None:
+    """Verify ``op``'s subtree if the global switch is on; blames
+    ``rule`` (a rule function) in the failure message."""
+    from repro.analysis.plan_verifier import verify_plan
+    from repro.analysis.verify import plan_verification_enabled
+
+    if not plan_verification_enabled():
+        return
+    name = None
+    if rule is not None:
+        name = rule.__name__
+        if name.startswith("rule_"):
+            name = name[len("rule_"):]
+    verify_plan(op, rule=name)
 
 
 def optimize(root: LogicalOp, metadata: MetadataView, *,
@@ -609,6 +635,7 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
     ctx = OptimizerContext(metadata=metadata,
                            enable_index_access=enable_index_access,
                            recorder=recorder)
+    _maybe_verify(root)        # the translator's plan must be sound too
     for _ in range(max_passes):
         for _ in range(max_passes):
             root, changed = _apply_bottom_up(root, ctx, _NORMALIZE_RULES)
@@ -623,6 +650,7 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
             recorder.end_pass(plan_signature(root))
         if not access_changed:
             break
+    _maybe_verify(root)
     return root
 
 

@@ -1,0 +1,35 @@
+"""Static analysis for the compiler: semantic checks, plan verification.
+
+Three layers (docs/STATIC_ANALYSIS.md):
+
+* :func:`analyze_statement` — the semantic analyzer, run between parsing
+  and translation for both AQL and SQL++ (4xxx errors);
+* :func:`verify_plan` / :func:`verify_job` — structural invariants of
+  Algebricks plans and generated Hyracks jobs, hooked after every
+  rewrite-rule firing when enabled (41xx errors);
+* ``tools/lint`` — the repository's own AST linter (not imported here;
+  it must run without the package installed).
+"""
+
+from repro.analysis.plan_verifier import (
+    verify_job,
+    verify_plan,
+    verify_stream,
+)
+from repro.analysis.semantic import SemanticAnalyzer, analyze_statement
+from repro.analysis.verify import (
+    plan_verification,
+    plan_verification_enabled,
+    set_plan_verification,
+)
+
+__all__ = [
+    "SemanticAnalyzer",
+    "analyze_statement",
+    "plan_verification",
+    "plan_verification_enabled",
+    "set_plan_verification",
+    "verify_job",
+    "verify_plan",
+    "verify_stream",
+]

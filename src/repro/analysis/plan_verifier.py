@@ -1,0 +1,281 @@
+"""Structural verification of Algebricks plans and Hyracks jobs.
+
+The rule-based rewriter (:mod:`repro.algebricks.rules`) is only correct
+while a set of invariants nothing used to check keeps holding:
+
+* **tree-ness** — a plan is a tree; a rule that aliases a subtree into
+  two parents corrupts later mutating rewrites;
+* **input arity** — every operator has exactly the inputs its kind
+  demands (joins two, scans zero, everything else one);
+* **def-before-use** — every variable an operator's expressions use is
+  in some input's schema (i.e. has a producer below);
+* **single producer, no shadowing** — a variable is produced by exactly
+  one operator and never re-produced over a schema that already has it;
+* **schema sanity** — no operator emits a duplicate column; projections
+  and distincts only name columns their input has;
+* **jobgen contracts** — ORDER BY sort keys and GROUP BY grouping keys
+  are variable references (the job generator hard-requires this), and
+  index-search bounds are closed (no free variables: they are lowered
+  with an empty variable map);
+* **root shape** — a complete plan is rooted at DistributeResult or
+  InsertDelete.
+
+:func:`verify_plan` checks all of these on any (sub)tree and raises
+:class:`~repro.common.errors.PlanInvariantError` naming the offending
+rewrite rule when one was in flight.  :func:`verify_stream` and
+:func:`verify_job` extend the checks across the physical boundary: the
+partitioning/ordering properties a compiled stream claims must actually
+be established (claimed variables exist in the stream's tuple layout,
+which must equal the logical operator's schema), and the generated job
+DAG must be structurally sound (dense ports, no dangling edges, single
+result sink).
+
+Verification is enabled by :func:`repro.analysis.set_plan_verification`
+(on by default under pytest and the chaos/bench runners — see
+``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+from repro.algebricks import logical as L
+from repro.algebricks.expressions import LVar, free_vars
+from repro.common.errors import JobInvariantError, PlanInvariantError
+
+#: operator class -> required number of inputs
+_ARITY = {
+    L.EmptyTupleSource: 0,
+    L.DataSourceScan: 0,
+    L.ExternalScan: 0,
+    L.PrimaryIndexSearch: 0,
+    L.SecondaryIndexSearch: 0,
+    L.Join: 2,
+    L.UnionAll: 2,
+}
+
+
+def produced_vars(op: L.LogicalOp) -> list:
+    """The variables ``op`` itself introduces (not pass-through)."""
+    if isinstance(op, (L.DataSourceScan, L.PrimaryIndexSearch,
+                       L.SecondaryIndexSearch)):
+        return [*op.pk_vars, op.record_var]
+    if isinstance(op, L.ExternalScan):
+        return [op.record_var]
+    if isinstance(op, L.Assign):
+        return [op.var]
+    if isinstance(op, L.Unnest):
+        out = [op.var]
+        if op.positional_var is not None:
+            out.append(op.positional_var)
+        return out
+    if isinstance(op, L.GroupBy):
+        return [v for v, _ in op.keys] + [a.var for a in op.aggregates]
+    if isinstance(op, L.Aggregate):
+        return [a.var for a in op.aggregates]
+    if isinstance(op, L.UnionAll):
+        return [op.var]
+    return []
+
+
+def _fail(message: str, op: L.LogicalOp, *, rule, invariant: str):
+    raise PlanInvariantError(
+        f"{message} at [{op.describe()}]",
+        rule=rule, invariant=invariant,
+    )
+
+
+def _verify_op(op: L.LogicalOp, rule) -> None:
+    """Per-operator invariants (arity, def-before-use, schemas)."""
+    expected = _ARITY.get(type(op), 1)
+    if len(op.inputs) != expected:
+        _fail(
+            f"{type(op).__name__} must have {expected} input(s), "
+            f"has {len(op.inputs)}", op, rule=rule, invariant="input-arity",
+        )
+
+    child_vars: set[int] = set()
+    for child in op.inputs:
+        child_vars |= set(child.schema())
+
+    used = op.used_vars()
+    missing = used - child_vars
+    if missing:
+        _fail(
+            f"uses {sorted('$$%d' % v for v in missing)} produced by no "
+            f"input (inputs provide "
+            f"{sorted('$$%d' % v for v in child_vars)})",
+            op, rule=rule, invariant="def-before-use",
+        )
+
+    shadowed = set(produced_vars(op)) & child_vars
+    if shadowed:
+        _fail(
+            f"re-produces {sorted('$$%d' % v for v in shadowed)} already "
+            f"in its input schema", op, rule=rule, invariant="shadowing",
+        )
+
+    schema = op.schema()
+    if len(schema) != len(set(schema)):
+        dupes = sorted({v for v in schema if schema.count(v) > 1})
+        _fail(f"schema has duplicate column(s) {dupes}", op,
+              rule=rule, invariant="schema-duplicates")
+
+    if isinstance(op, L.Project):
+        stray = set(op.vars) - child_vars
+        if stray:
+            _fail(
+                f"projects {sorted('$$%d' % v for v in stray)} not in its "
+                f"input schema", op, rule=rule, invariant="def-before-use",
+            )
+
+    # jobgen contracts ------------------------------------------------------
+    if isinstance(op, L.Order):
+        for expr, _ in op.pairs:
+            if not isinstance(expr, LVar):
+                _fail(
+                    f"sort key {expr!r} is not a variable reference "
+                    f"(jobgen requires pre-assigned sort keys)",
+                    op, rule=rule, invariant="sort-key-variable",
+                )
+    if isinstance(op, L.GroupBy):
+        for _, expr in op.keys:
+            if not isinstance(expr, LVar):
+                _fail(
+                    f"group key {expr!r} is not a variable reference "
+                    f"(jobgen requires pre-assigned group keys)",
+                    op, rule=rule, invariant="group-key-variable",
+                )
+    if isinstance(op, (L.PrimaryIndexSearch, L.SecondaryIndexSearch)):
+        bounds = [*(op.lo or ()), *(op.hi or ())]
+        if isinstance(op, L.SecondaryIndexSearch):
+            bounds += [e for e in (op.window, op.text) if e is not None]
+        for expr in bounds:
+            if free_vars(expr):
+                _fail(
+                    f"index bound {expr!r} has free variables (bounds are "
+                    f"lowered with an empty variable map)",
+                    op, rule=rule, invariant="closed-index-bounds",
+                )
+    if isinstance(op, L.UnionAll):
+        for i, child in enumerate(op.inputs):
+            if len(child.schema()) != 1:
+                _fail(
+                    f"union branch {i} has schema width "
+                    f"{len(child.schema())}, expected 1",
+                    op, rule=rule, invariant="union-branch-width",
+                )
+
+
+def verify_plan(root: L.LogicalOp, *, rule: str | None = None,
+                require_root: bool = False) -> None:
+    """Verify every invariant on the (sub)tree under ``root``.
+
+    ``rule`` names the rewrite rule that just ran, for blame in the
+    error message.  ``require_root=True`` additionally asserts the
+    complete-plan root shape (DistributeResult | InsertDelete).
+    """
+    if require_root and not isinstance(
+            root, (L.DistributeResult, L.InsertDelete)):
+        _fail(
+            f"plan root must be DistributeResult or InsertDelete, got "
+            f"{type(root).__name__}", root, rule=rule, invariant="root-shape",
+        )
+
+    seen: set[int] = set()
+    producers: dict[int, L.LogicalOp] = {}
+    for op in L.walk(root):
+        if id(op) in seen:
+            _fail("operator appears twice (plan is not a tree)", op,
+                  rule=rule, invariant="tree-shape")
+        seen.add(id(op))
+        for var in produced_vars(op):
+            other = producers.get(var)
+            if other is not None:
+                _fail(
+                    f"variable $${var} produced twice (also at "
+                    f"[{other.describe()}])", op,
+                    rule=rule, invariant="single-producer",
+                )
+            producers[var] = op
+        _verify_op(op, rule)
+
+
+# --- the physical boundary ---------------------------------------------------
+
+def verify_stream(op: L.LogicalOp, stream) -> None:
+    """Check a compiled :class:`~repro.algebricks.jobgen.Stream` against
+    its logical operator: the tuple layout must equal the operator's
+    schema, and the partitioning/ordering properties the stream claims
+    must be over columns it actually carries."""
+    if list(stream.schema) != list(op.schema()):
+        raise JobInvariantError(
+            f"stream layout {stream.schema} != logical schema "
+            f"{op.schema()} for [{op.describe()}]"
+        )
+    _verify_stream_properties(stream, what=f"[{op.describe()}]")
+
+
+def _verify_stream_properties(stream, *, what: str) -> None:
+    in_schema = set(stream.schema)
+    if stream.partitioning and stream.partitioning[0] == "hash":
+        claimed = set(stream.partitioning[1])
+        if not claimed <= in_schema:
+            raise JobInvariantError(
+                f"stream claims hash partitioning on "
+                f"{sorted(claimed - in_schema)} not in its layout "
+                f"{stream.schema} for {what}"
+            )
+    for var, _ in stream.order:
+        if var not in in_schema:
+            raise JobInvariantError(
+                f"stream claims ordering on $${var} not in its layout "
+                f"{stream.schema} for {what}"
+            )
+
+
+def verify_job(job) -> None:
+    """Structural invariants of a generated Hyracks job DAG."""
+    n = len(job.operators)
+    ports: dict[int, list] = {}
+    consumers_of: dict[int, list] = {}
+    for edge in job.edges:
+        if not (0 <= edge.producer < n) or not (0 <= edge.consumer < n):
+            raise JobInvariantError(
+                f"edge {edge.producer}->{edge.consumer} references an "
+                f"operator outside 0..{n - 1}"
+            )
+        ports.setdefault(edge.consumer, []).append(edge.port)
+        consumers_of.setdefault(edge.producer, []).append(edge.consumer)
+
+    for op_id, op in enumerate(job.operators):
+        got = sorted(ports.get(op_id, []))
+        want = list(range(op.num_inputs)) if got or op.num_inputs else []
+        if got and got != want:
+            raise JobInvariantError(
+                f"operator {op_id} ({op!r}) has input ports {got}, "
+                f"expected dense 0..{op.num_inputs - 1}"
+            )
+
+    sinks = [op_id for op_id in range(n) if not consumers_of.get(op_id)]
+    if len(sinks) != 1:
+        raise JobInvariantError(
+            f"job must have exactly one sink, found {len(sinks)}: {sinks}"
+        )
+
+    # acyclicity via DFS colouring over producer -> consumer edges
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * n
+
+    def visit(op_id: int):
+        colour[op_id] = GREY
+        for nxt in consumers_of.get(op_id, ()):
+            if colour[nxt] is GREY:
+                raise JobInvariantError(
+                    f"job DAG has a cycle through operator {nxt}"
+                )
+            if colour[nxt] is WHITE:
+                visit(nxt)
+        colour[op_id] = BLACK
+
+    for op_id in range(n):
+        if colour[op_id] is WHITE:
+            visit(op_id)

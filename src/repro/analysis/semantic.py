@@ -1,0 +1,534 @@
+"""The semantic analyzer: the phase between parsing and translation.
+
+Both AQL and SQL++ parse to the shared core AST
+(:mod:`repro.lang.core_ast`), so one analyzer serves both languages —
+the same structural trick that let the project "implement SQL++ fairly
+quickly as a peer of AQL" (paper §IV-A) pays off again here.  The
+analyzer walks a statement *before* any plan exists and rejects:
+
+* FROM/INSERT/DELETE references to datasets the catalog does not have
+  (:class:`UnknownDatasetError`, ASX4002);
+* references to variables bound nowhere in scope
+  (:class:`UndefinedVariableError`, ASX4001);
+* calls to functions that are neither scalar builtins nor aggregates
+  (:class:`UnknownFunctionError`, ASX4003), and scalar calls with the
+  wrong number of arguments (:class:`ArityError`, ASX4006);
+* field access that the ADM type system can statically refute: an
+  undeclared field of a CLOSED type (:class:`UnknownFieldError`,
+  ASX4004) or a field access on a declared primitive-typed field
+  (:class:`TypeMismatchError`, ASX4005);
+* two FROM terms binding one alias (:class:`DuplicateAliasError`,
+  ASX4007).
+
+The analyzer mirrors the translator's scoping rules exactly
+(WITH -> FROM -> LET -> WHERE -> GROUP BY -> HAVING -> SELECT ->
+ORDER BY), including the SQL-92 aggregate-sugar extraction: in a
+grouped (or implicitly aggregating) query, aggregate-call arguments are
+checked against the *pre*-group scope while the surrounding expression
+is checked against the *post*-group scope.  Where the translator has a
+narrower special case (inline subqueries, quantifiers over datasets,
+LIMIT constants, ORDER BY after DISTINCT), the analyzer stays
+deliberately permissive and lets the translator report its own, more
+specific error — the analyzer must never reject a statement the
+translator accepts.
+
+Type information is tracked only where it is reliable: a FROM term over
+a dataset binds its alias to the dataset's declared ADM type, and field
+access narrows it.  Anything else (LET bindings, group outputs, open
+types, ``any``-typed system datasets) degrades to "unknown", which
+disables type checks rather than guessing.
+"""
+
+from __future__ import annotations
+
+from repro.adm.types import (
+    AnyType,
+    MultisetType,
+    ObjectType,
+    OrderedListType,
+    PrimitiveType,
+    TypeReference,
+)
+from repro.common.errors import (
+    ArityError,
+    DuplicateAliasError,
+    TypeMismatchError,
+    UndefinedVariableError,
+    UnknownDatasetError,
+    UnknownFieldError,
+    UnknownFunctionError,
+)
+from repro.functions.registry import is_scalar, resolve
+from repro.lang import core_ast as ast
+
+#: SQL-92 aggregate sugar the translator extracts from SELECT/HAVING/ORDER
+#: expressions (repro.lang.translator._SQL_AGGREGATES).
+_AGG_SUGAR = frozenset(
+    {"count", "sum", "min", "max", "avg", "count_star"}
+)
+
+
+def _canonical(name: str) -> str:
+    return name.lower().replace("-", "_")
+
+
+class _TypeInfo:
+    """A (resolved ADM type, owning registry) pair; registry resolves
+    TypeReference fields lazily, mirroring instance validation."""
+
+    __slots__ = ("adm_type", "registry")
+
+    def __init__(self, adm_type, registry):
+        self.adm_type = adm_type
+        self.registry = registry
+
+    def resolved(self):
+        """Chase TypeReference links; None when unresolvable."""
+        t, hops = self.adm_type, 0
+        while isinstance(t, TypeReference):
+            if self.registry is None or hops > 16:
+                return None
+            try:
+                t = self.registry.resolve(t.ref_name)
+            except Exception:
+                return None
+            hops += 1
+        return t
+
+
+class SemanticAnalyzer:
+    """Per-statement semantic checks against one metadata catalog."""
+
+    def __init__(self, metadata):
+        self.metadata = metadata
+
+    # ===== statements =====================================================
+
+    def analyze(self, stmt) -> None:
+        """Check one statement; raises a SemanticError subclass (4xxx)."""
+        if isinstance(stmt, ast.QueryStatement):
+            self._check_query(stmt.query)
+        elif isinstance(stmt, ast.InsertStatement):
+            self._require_dataset(stmt.dataset)
+            if isinstance(stmt.payload, ast.SubqueryExpr):
+                self._check_select(stmt.payload.query, {})
+            else:
+                self._check_expr(stmt.payload, {})
+        elif isinstance(stmt, ast.DeleteStatement):
+            info = self._require_dataset(stmt.dataset)
+            if stmt.where is not None:
+                alias = stmt.alias or stmt.dataset
+                self._check_expr(stmt.where, {alias: info})
+
+    def _check_query(self, query) -> None:
+        if isinstance(query, ast.UnionQuery):
+            for branch in query.branches:
+                self._check_select(branch, {})
+        elif isinstance(query, ast.SelectQuery):
+            self._check_select(query, {})
+        else:
+            self._check_expr(query, {})
+
+    # ===== datasets =======================================================
+
+    def _dataset_name_of(self, expr):
+        """Mirror of Translator._dataset_name_of."""
+        if isinstance(expr, ast.VarRef) and \
+                self.metadata.dataset_exists(expr.name):
+            return expr.name
+        if isinstance(expr, ast.FieldAccess) and \
+                isinstance(expr.base, ast.VarRef):
+            qualified = f"{expr.base.name}.{expr.field}"
+            if self.metadata.dataset_exists(qualified):
+                return qualified
+        if isinstance(expr, ast.Call) and expr.function.lower() == "dataset":
+            arg = expr.args[0] if expr.args else None
+            if isinstance(arg, ast.Literal):
+                return arg.value
+            if isinstance(arg, ast.VarRef):
+                return arg.name
+        return None
+
+    def _require_dataset(self, name: str) -> _TypeInfo:
+        if not self.metadata.dataset_exists(name):
+            raise UnknownDatasetError(f"unknown dataset {name}")
+        return self._dataset_info(name)
+
+    def _dataset_info(self, name: str) -> _TypeInfo:
+        try:
+            entry = self.metadata.dataset_entry(name)
+            registry = self.metadata.type_registry(entry.dataverse)
+            return _TypeInfo(registry.resolve(entry.type_name), registry)
+        except Exception:
+            return _TypeInfo(AnyType(), None)
+
+    # ===== the select core ================================================
+
+    def _check_select(self, q: ast.SelectQuery, outer_env: dict) -> None:
+        env = dict(outer_env)
+
+        for name, expr in q.with_clauses:
+            self._check_expr(expr, env)
+            env[name] = None
+
+        for term in q.from_terms:
+            self._check_from_term(term, env)
+
+        for name, expr in q.let_clauses:
+            self._check_expr(expr, env)
+            env[name] = None
+
+        if q.where is not None:
+            self._check_where(q.where, env)
+
+        # GROUP BY / SQL-92 aggregate sugar (mirrors Translator._select)
+        has_group = bool(q.group_keys) or bool(q.group_as) \
+            or bool(getattr(q, "aql_group_with", None))
+        post_exprs = []
+        if q.select.value_expr is not None:
+            post_exprs.append(q.select.value_expr)
+        post_exprs.extend(p.expr for p in q.select.projections if not p.star)
+        if q.having is not None:
+            post_exprs.append(q.having)
+        post_exprs.extend(item.expr for item in q.order_by)
+        found_any_agg = any(self._has_aggregate(e) for e in post_exprs)
+
+        pre_env = env
+        if has_group:
+            post_env: dict = {}
+            for gk in q.group_keys:
+                post_env[gk.alias] = self._static_type(gk.expr, pre_env,
+                                                       check=True)
+            if q.group_as:
+                post_env[q.group_as] = None
+            for name in getattr(q, "aql_group_with", None) or ():
+                if name not in pre_env:
+                    raise UndefinedVariableError(
+                        f"unknown group variable ${name}"
+                    )
+                post_env[name] = None
+            env = post_env
+        elif found_any_agg:
+            env = {}    # implicit global aggregation empties the scope
+
+        agg_mode = has_group or found_any_agg
+
+        def check_post(expr):
+            if agg_mode:
+                self._check_post_expr(expr, env, pre_env)
+            else:
+                self._check_expr(expr, env)
+
+        if q.having is not None:
+            check_post(q.having)
+
+        if q.select.value_expr is not None:
+            check_post(q.select.value_expr)
+        else:
+            for proj in q.select.projections:
+                if proj.star:
+                    continue
+                check_post(proj.expr)
+                env[proj.alias] = None   # ORDER BY may use the alias
+
+        # after DISTINCT the translator collapses the scope; stay
+        # permissive and let it report ORDER BY resolution itself
+        if not q.select.distinct:
+            for item in q.order_by:
+                check_post(item.expr)
+
+        # LIMIT/OFFSET must be constants — the translator enforces it
+
+    def _check_from_term(self, term: ast.FromTerm, env: dict) -> None:
+        if term.kind == "from":
+            info = self._check_source(term.expr, env)
+            if self._dataset_name_of(term.expr) is not None \
+                    and term.alias in env:
+                raise DuplicateAliasError(f"duplicate alias {term.alias}")
+            env[term.alias] = info
+            if term.positional_alias:
+                env[term.positional_alias] = None
+            return
+        if term.kind in ("join", "leftjoin"):
+            # the right side is built with an EMPTY scope (uncorrelated)
+            right_info = self._check_source(term.expr, {})
+            env[term.alias] = right_info
+            if term.condition is not None:
+                self._check_expr(term.condition, env)
+            return
+        if term.kind in ("unnest", "leftunnest"):
+            self._check_expr(term.expr, env)
+            env[term.alias] = self._item_info(
+                self._static_type(term.expr, env, check=False))
+            if term.positional_alias:
+                env[term.positional_alias] = None
+
+    def _check_source(self, expr, env: dict):
+        """A FROM/JOIN source: dataset reference or collection expression.
+        Returns the element type info for the bound alias."""
+        ds = self._dataset_name_of(expr)
+        if ds is not None:
+            # the dataset(...) call form names a dataset whether or not it
+            # exists, so existence still has to be checked here
+            return self._require_dataset(ds)
+        if isinstance(expr, ast.Call) and expr.function.lower() == "dataset":
+            arg = expr.args[0] if expr.args else None
+            name = arg.value if isinstance(arg, ast.Literal) else None
+            raise UnknownDatasetError(f"unknown dataset {name}")
+        if isinstance(expr, ast.VarRef) and expr.name not in env:
+            raise UnknownDatasetError(
+                f"unknown dataset or in-scope collection {expr.name}"
+            )
+        self._check_expr(expr, env)
+        return self._item_info(self._static_type(expr, env, check=False))
+
+    @staticmethod
+    def _item_info(info):
+        """Element type of iterating a collection-typed expression."""
+        if info is None:
+            return None
+        t = info.resolved()
+        if isinstance(t, (OrderedListType, MultisetType)):
+            return _TypeInfo(t.item, info.registry)
+        return None
+
+    # ===== WHERE (quantifier/EXISTS decorrelation) ========================
+
+    def _check_where(self, where, env: dict) -> None:
+        for conjunct in self._conjuncts(where):
+            self._check_conjunct(conjunct, env)
+
+    @classmethod
+    def _conjuncts(cls, expr):
+        if isinstance(expr, ast.Call) and expr.function.lower() == "and":
+            out = []
+            for arg in expr.args:
+                out.extend(cls._conjuncts(arg))
+            return out
+        return [expr]
+
+    def _check_conjunct(self, conjunct, env: dict) -> None:
+        if isinstance(conjunct, ast.QuantifiedExpr):
+            ds = self._dataset_name_of(conjunct.collection)
+            if ds is not None:      # decorrelated into a semi/anti join
+                inner = dict(env)
+                inner[conjunct.var] = self._dataset_info(ds)
+                self._check_expr(conjunct.predicate, inner)
+                return
+        if isinstance(conjunct, ast.ExistsExpr) and \
+                isinstance(conjunct.subquery, ast.SubqueryExpr):
+            sub = conjunct.subquery.query
+            if (len(sub.from_terms) == 1 and not sub.group_keys
+                    and not sub.let_clauses and not sub.order_by):
+                ds = self._dataset_name_of(sub.from_terms[0].expr)
+                if ds is not None:
+                    inner = dict(env)
+                    inner[sub.from_terms[0].alias] = self._dataset_info(ds)
+                    if sub.where is not None:
+                        self._check_expr(sub.where, inner)
+                    return
+        self._check_expr(conjunct, env)
+
+    # ===== aggregate-aware expression checking ============================
+
+    def _has_aggregate(self, expr) -> bool:
+        """Does _extract_aggregates find sugar here?  Mirrors its
+        traversal: it does NOT descend into quantifiers or subqueries."""
+        if isinstance(expr, ast.Call):
+            if expr.function.lower() in _AGG_SUGAR:
+                return True
+            return any(self._has_aggregate(a) for a in expr.args)
+        if isinstance(expr, ast.FieldAccess):
+            return self._has_aggregate(expr.base)
+        if isinstance(expr, ast.IndexAccess):
+            return self._has_aggregate(expr.base) \
+                or self._has_aggregate(expr.index)
+        if isinstance(expr, ast.ObjectExpr):
+            return any(self._has_aggregate(n) or self._has_aggregate(v)
+                       for n, v in expr.pairs)
+        if isinstance(expr, ast.ArrayExpr):
+            return any(self._has_aggregate(i) for i in expr.items)
+        if isinstance(expr, ast.CaseWhen):
+            return any(self._has_aggregate(c) or self._has_aggregate(r)
+                       for c, r in expr.whens) \
+                or self._has_aggregate(expr.default)
+        return False
+
+    def _check_post_expr(self, expr, post_env: dict, pre_env: dict) -> None:
+        """Check a SELECT/HAVING/ORDER expression of an aggregating query:
+        aggregate-call arguments see the pre-group scope, everything else
+        the post-group scope (mirroring the extraction rewrite)."""
+        if isinstance(expr, ast.Call):
+            if expr.function.lower() in _AGG_SUGAR:
+                for arg in expr.args:
+                    self._check_expr(arg, pre_env)
+                return
+            self._check_function(expr)
+            for arg in expr.args:
+                self._check_post_expr(arg, post_env, pre_env)
+            return
+        if isinstance(expr, ast.FieldAccess):
+            self._check_post_expr(expr.base, post_env, pre_env)
+            self._check_field(expr, self._static_type(
+                expr.base, post_env, check=False), check=True)
+            return
+        if isinstance(expr, ast.IndexAccess):
+            self._check_post_expr(expr.base, post_env, pre_env)
+            self._check_post_expr(expr.index, post_env, pre_env)
+            return
+        if isinstance(expr, ast.ObjectExpr):
+            for n, v in expr.pairs:
+                self._check_post_expr(n, post_env, pre_env)
+                self._check_post_expr(v, post_env, pre_env)
+            return
+        if isinstance(expr, ast.ArrayExpr):
+            for item in expr.items:
+                self._check_post_expr(item, post_env, pre_env)
+            return
+        if isinstance(expr, ast.CaseWhen):
+            for c, r in expr.whens:
+                self._check_post_expr(c, post_env, pre_env)
+                self._check_post_expr(r, post_env, pre_env)
+            self._check_post_expr(expr.default, post_env, pre_env)
+            return
+        # extraction does not descend further; neither do we
+        self._check_expr(expr, post_env)
+
+    # ===== expressions ====================================================
+
+    def _check_expr(self, e, env: dict) -> None:
+        """Scope- and type-check an expression against ``env``
+        (name -> _TypeInfo | None)."""
+        if isinstance(e, ast.Literal):
+            return
+        if isinstance(e, ast.VarRef):
+            if e.name in env:
+                return
+            if self.metadata.dataset_exists(e.name):
+                return   # translator reports dataset-used-as-value itself
+            raise UndefinedVariableError(f"unresolved identifier {e.name}")
+        if isinstance(e, ast.FieldAccess):
+            self._check_expr(e.base, env)
+            self._static_type(e, env, check=True)
+            return
+        if isinstance(e, ast.IndexAccess):
+            self._check_expr(e.base, env)
+            self._check_expr(e.index, env)
+            return
+        if isinstance(e, ast.Call):
+            self._check_function(e)
+            for arg in e.args:
+                self._check_expr(arg, env)
+            return
+        if isinstance(e, ast.QuantifiedExpr):
+            inner = dict(env)
+            if self._dataset_name_of(e.collection) is None:
+                self._check_expr(e.collection, env)
+                inner[e.var] = self._item_info(
+                    self._static_type(e.collection, env, check=False))
+            else:
+                inner[e.var] = self._dataset_info(
+                    self._dataset_name_of(e.collection))
+            self._check_expr(e.predicate, inner)
+            return
+        if isinstance(e, ast.CaseWhen):
+            for c, r in e.whens:
+                self._check_expr(c, env)
+                self._check_expr(r, env)
+            self._check_expr(e.default, env)
+            return
+        if isinstance(e, ast.ObjectExpr):
+            for n, v in e.pairs:
+                self._check_expr(n, env)
+                self._check_expr(v, env)
+            return
+        if isinstance(e, ast.ArrayExpr):
+            for item in e.items:
+                self._check_expr(item, env)
+            return
+        if isinstance(e, ast.SubqueryExpr):
+            self._check_inline_subquery(e.query, env)
+            return
+        if isinstance(e, ast.ExistsExpr):
+            self._check_expr(e.subquery, env)
+            return
+        # unknown node kind: the translator will reject it
+
+    def _check_function(self, call: ast.Call) -> None:
+        fn = _canonical(call.function)
+        if fn in _AGG_SUGAR or fn == "dataset":
+            return      # context-dependent; the translator arbitrates
+        if not is_scalar(fn):
+            raise UnknownFunctionError(f"unknown function {call.function}")
+        func = resolve(fn)
+        if not func.check_arity(len(call.args)):
+            raise ArityError(
+                f"wrong number of arguments for {call.function}: "
+                f"got {len(call.args)}"
+            )
+
+    def _check_inline_subquery(self, q: ast.SelectQuery, env: dict) -> None:
+        """Subquery-as-expression: FROM aliases become lambda bindings
+        over the enclosing scope.  The translator rejects datasets and
+        GROUP/ORDER/LIMIT here, so stay permissive on those."""
+        if q.group_keys or q.group_as or q.order_by or q.limit is not None:
+            return
+        inner = dict(env)
+        for term in q.from_terms:
+            if term.kind not in ("from", "unnest"):
+                return
+            if self._dataset_name_of(term.expr) is None:
+                self._check_expr(term.expr, inner)
+            inner[term.alias] = None
+        for name, expr in q.let_clauses:
+            self._check_expr(expr, inner)
+            inner[name] = None
+        if q.where is not None:
+            self._check_expr(q.where, inner)
+        if q.select.value_expr is not None:
+            self._check_expr(q.select.value_expr, inner)
+        else:
+            for proj in q.select.projections:
+                if not proj.star:
+                    self._check_expr(proj.expr, inner)
+
+    # ===== static typing ==================================================
+
+    def _static_type(self, expr, env: dict, *, check: bool):
+        """Best-effort static ADM type of ``expr``; None = unknown.
+        With ``check=True``, field accesses that the type system refutes
+        raise (UnknownFieldError / TypeMismatchError)."""
+        if isinstance(expr, ast.VarRef):
+            return env.get(expr.name)
+        if isinstance(expr, ast.FieldAccess):
+            base = self._static_type(expr.base, env, check=check)
+            return self._check_field(expr, base, check=check)
+        return None
+
+    def _check_field(self, access: ast.FieldAccess, base_info, *,
+                     check: bool):
+        """Type of ``base.field`` given the base's type info."""
+        if base_info is None:
+            return None
+        base = base_info.resolved()
+        if isinstance(base, ObjectType):
+            ft = base.field_type(access.field)
+            if ft is not None:
+                return _TypeInfo(ft, base_info.registry)
+            if not base.is_open and check:
+                raise UnknownFieldError(
+                    f"field {access.field} is not declared by closed "
+                    f"type {base.name}"
+                )
+            return None
+        if isinstance(base, PrimitiveType) and check:
+            raise TypeMismatchError(
+                f"field access .{access.field} on {base.name}-typed "
+                f"expression"
+            )
+        return None
+
+
+def analyze_statement(stmt, metadata) -> None:
+    """Semantic-check one parsed statement against the catalog."""
+    SemanticAnalyzer(metadata).analyze(stmt)

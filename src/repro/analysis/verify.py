@@ -1,0 +1,49 @@
+"""The global plan-verification switch.
+
+Plan verification (:mod:`repro.analysis.plan_verifier`) is cheap but not
+free — it walks the plan after every rewrite-rule firing — so production
+embedders leave it off, while the test suite, the chaos harness, and the
+bench runner turn it on and make every compiled query a verifier test
+case.  The switch lives here so the optimizer and the job generator can
+consult it without importing each other.
+
+Enable with the environment variable ``REPRO_VERIFY_PLANS=1``, or
+programmatically::
+
+    from repro.analysis import set_plan_verification
+    set_plan_verification(True)
+
+``tests/conftest.py`` enables it for the whole tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_TRUE = ("1", "true", "yes", "on")
+
+_enabled = os.environ.get("REPRO_VERIFY_PLANS", "").lower() in _TRUE
+
+
+def plan_verification_enabled() -> bool:
+    """Is plan/job verification currently on?"""
+    return _enabled
+
+
+def set_plan_verification(on: bool) -> bool:
+    """Turn plan/job verification on or off; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+@contextmanager
+def plan_verification(on: bool):
+    """Scoped override, for tests exercising both modes."""
+    previous = set_plan_verification(on)
+    try:
+        yield
+    finally:
+        set_plan_verification(previous)

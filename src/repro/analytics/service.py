@@ -13,7 +13,7 @@ sequence number), reports per-link lag, and serves SQL++ over the shadows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analytics.kv_store import KVStore, MutationKind
 from repro.common.errors import DuplicateError, UnknownEntityError

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.adm.values import ADateTime
 from repro.algebricks import compile_plan, explain as explain_plan, optimize
+from repro.analysis import analyze_statement
 from repro.common.config import ClusterConfig
 from repro.common.errors import AsterixError, MetadataError
 from repro.external import HDFSAdapter, LocalFSAdapter, SimulatedHDFS
@@ -215,6 +216,12 @@ class AsterixInstance:
         if not statements:
             raise AsterixError("nothing to explain")
         stmt = statements[-1]
+        started = time.perf_counter()
+        if isinstance(stmt, (ast.QueryStatement, ast.InsertStatement,
+                             ast.DeleteStatement)):
+            analyze_statement(stmt, self.metadata)
+        phases.append({"name": "analyze",
+                       "duration_us": (time.perf_counter() - started) * 1e6})
         translator = Translator(self.metadata)
         started = time.perf_counter()
         if isinstance(stmt, ast.QueryStatement):
@@ -299,18 +306,24 @@ class AsterixInstance:
             return self._run_load(stmt, trace)
         if isinstance(stmt, ast.InsertStatement):
             registry.counter("api.dml").inc()
+            with maybe_phase(trace, "analyze"):
+                analyze_statement(stmt, self.metadata)
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_insert(stmt)
             return self._run_plan(plan, "dml", explain,
                                   enable_index_access, trace)
         if isinstance(stmt, ast.DeleteStatement):
             registry.counter("api.dml").inc()
+            with maybe_phase(trace, "analyze"):
+                analyze_statement(stmt, self.metadata)
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_delete(stmt)
             return self._run_plan(plan, "dml", explain,
                                   enable_index_access, trace)
         if isinstance(stmt, ast.QueryStatement):
             registry.counter("api.queries").inc()
+            with maybe_phase(trace, "analyze"):
+                analyze_statement(stmt, self.metadata)
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_query(stmt.query)
             return self._run_plan(plan, "query", explain,

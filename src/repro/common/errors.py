@@ -6,9 +6,31 @@ handling and feedback" because research prototypes tend to cover only the
 happy path.  This module is that makeover applied from day one: every
 subsystem raises a subclass of :class:`AsterixError` carrying a numeric code
 and a formatted message, so callers (and tests) can match on either.
+
+This module is also the central **code registry**: every error class in the
+system — including the ones defined next to their subsystem
+(:mod:`repro.resilience.faults`, :mod:`repro.observability.metrics`) — must
+carry a unique code inside one of the documented :data:`CODE_BANDS`.
+``tests/common/test_error_registry.py`` enforces uniqueness, band
+membership, and that every class documents itself with a docstring.
 """
 
 from __future__ import annotations
+
+#: The documented code bands.  A band is (lo, hi, category); every concrete
+#: error class's ``code`` must fall in exactly one band, and the band must
+#: match the subsystem that raises it.
+CODE_BANDS = (
+    (1000, 1099, "compilation (lexing, parsing, translation)"),
+    (1100, 1199, "metadata / catalog"),
+    (2000, 2099, "runtime expression evaluation"),
+    (3000, 3099, "storage"),
+    (3100, 3199, "transactions"),
+    (3500, 3599, "resilience faults (repro.resilience.faults)"),
+    (3900, 3999, "observability (repro.observability.metrics)"),
+    (4000, 4099, "semantic analysis (repro.analysis.semantic)"),
+    (4100, 4199, "plan/job verification (repro.analysis.plan_verifier)"),
+)
 
 
 class AsterixError(Exception):
@@ -135,4 +157,134 @@ class TransactionStateError(TransactionError):
     code = 3101
 
 
-# --- resilience faults (35xx) live in repro.resilience.faults ------------
+# --- semantic analysis errors (40xx) --------------------------------------
+
+class SemanticError(AsterixError):
+    """A statement is well-formed syntax but semantically invalid; raised
+    by the pre-translation analyzer (:mod:`repro.analysis.semantic`) so a
+    bad statement never reaches job generation."""
+
+    code = 4000
+
+
+class UndefinedVariableError(SemanticError, IdentifierError):
+    """An expression references a variable bound nowhere in scope."""
+
+    code = 4001
+
+
+class UnknownDatasetError(SemanticError, IdentifierError):
+    """A FROM term / DML target names a dataset the catalog doesn't have."""
+
+    code = 4002
+
+
+class UnknownFunctionError(SemanticError, IdentifierError):
+    """A call names a function that is neither scalar nor aggregate."""
+
+    code = 4003
+
+
+class UnknownFieldError(SemanticError, TypeError_):
+    """Field access on a CLOSED type that does not declare the field."""
+
+    code = 4004
+
+
+class TypeMismatchError(SemanticError, TypeError_):
+    """An expression is statically ill-typed against the ADM schema
+    (e.g. field access on a declared primitive-typed field)."""
+
+    code = 4005
+
+
+class ArityError(SemanticError):
+    """A builtin function call has the wrong number of arguments."""
+
+    code = 4006
+
+
+class DuplicateAliasError(SemanticError):
+    """Two FROM terms in one query bind the same alias."""
+
+    code = 4007
+
+
+# --- plan/job verification errors (41xx) -----------------------------------
+
+class PlanInvariantError(AsterixError):
+    """An Algebricks logical plan violates a structural invariant
+    (def-before-use, schema consistency, jobgen contracts).  When raised
+    mid-rewrite, :attr:`rule` names the rule that broke the plan."""
+
+    code = 4100
+
+    def __init__(self, message: str, *, rule: str | None = None,
+                 invariant: str = ""):
+        self.rule = rule
+        self.invariant = invariant
+        blame = f" [after rule '{rule}']" if rule else ""
+        tag = f" ({invariant})" if invariant else ""
+        super().__init__(f"plan invariant violated{tag}{blame}: {message}")
+
+
+class JobInvariantError(AsterixError):
+    """A generated Hyracks job violates a structural or physical-property
+    invariant (dangling edges, non-dense ports, unestablished
+    partitioning/ordering claims)."""
+
+    code = 4101
+
+
+# --- resilience faults (35xx) live in repro.resilience.faults -------------
+# --- observability errors (39xx) live in repro.observability.metrics ------
+
+
+def iter_error_classes():
+    """Yield every error class in the system (the registry view).
+
+    Imports the subsystem modules that define error classes outside this
+    file, then walks the :class:`AsterixError` subclass tree.
+    """
+    import repro.observability.metrics  # noqa: F401  (defines MetricError)
+    import repro.resilience.faults      # noqa: F401  (defines 35xx faults)
+
+    seen = set()
+    stack = [AsterixError]
+    while stack:
+        cls = stack.pop()
+        if cls in seen:
+            continue
+        seen.add(cls)
+        yield cls
+        stack.extend(cls.__subclasses__())
+
+
+def code_table() -> dict:
+    """code -> error class, for every registered class.
+
+    Raises ``ValueError`` on a duplicate code, so importing callers (and
+    the registry test) notice a collision immediately.
+    """
+    table: dict[int, type] = {}
+    for cls in iter_error_classes():
+        if cls is AsterixError:
+            continue
+        code = cls.__dict__.get("code")
+        if code is None:
+            continue             # inherits its parent's code (same band)
+        if code in table:
+            raise ValueError(
+                f"duplicate error code {code}: {table[code].__name__} "
+                f"and {cls.__name__}"
+            )
+        table[code] = cls
+    return table
+
+
+def band_of(code: int):
+    """The (lo, hi, category) band containing ``code``, or None."""
+    for lo, hi, category in CODE_BANDS:
+        if lo <= code <= hi:
+            return (lo, hi, category)
+    return None

@@ -17,7 +17,6 @@ from repro.adm.values import (
     AInterval,
     ATime,
     TypeTag,
-    tag_of,
 )
 from repro.common.errors import InvalidArgumentError, TypeError_
 from repro.functions.registry import register

@@ -18,7 +18,7 @@ record fetch (the part the paper found dominates) is added on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.adm.values import APoint, ARectangle
 from repro.index.grid import GridScheme

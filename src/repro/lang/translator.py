@@ -122,19 +122,23 @@ class Translator:
 
     def _union(self, union: ast.UnionQuery):
         """UNION ALL: each branch projects its result to one variable;
-        branches fold left through UnionAll operators."""
-        var = self.new_var()
-        branch_plans = []
+        branches fold left through UnionAll operators, each union level
+        producing a fresh variable (re-using one variable across levels
+        would make an outer union re-produce a variable its own input
+        already emits)."""
+        branch_outs = []
         for branch in union.branches:
             plan, result = self._select(branch, {})
             bvar = self.new_var()
             plan = L.Assign(bvar, result, inputs=[plan])
             plan = L.Project([bvar], inputs=[plan])
-            branch_plans.append(plan)
-        combined = branch_plans[0]
-        for right in branch_plans[1:]:
-            combined = L.UnionAll(var, inputs=[combined, right])
-        return combined, LVar(var)
+            branch_outs.append((plan, bvar))
+        combined, out_var = branch_outs[0]
+        for right_plan, _ in branch_outs[1:]:
+            var = self.new_var()
+            combined = L.UnionAll(var, inputs=[combined, right_plan])
+            out_var = var
+        return combined, LVar(out_var)
 
     # ===== the select core ========================================================
 

@@ -31,6 +31,8 @@ from repro.common.errors import AsterixError
 class MetricError(AsterixError):
     """Metric name registered twice with conflicting types."""
 
+    code = 3900
+
 
 class Counter:
     """A monotonically increasing count of events.

@@ -25,7 +25,8 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
 #: The pipeline phases a fully traced query reports, in order.
-QUERY_PHASES = ("parse", "translate", "optimize", "jobgen", "execute")
+QUERY_PHASES = ("parse", "analyze", "translate", "optimize", "jobgen",
+                "execute")
 
 
 @dataclass

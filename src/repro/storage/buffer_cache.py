@@ -16,7 +16,7 @@ pin/unpin buffer pool with CLOCK replacement:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import BufferCacheError
 from repro.observability.metrics import get_registry

@@ -17,7 +17,7 @@ spatial query time) is the punchline of experiment E1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.adm.comparators import tuple_key
 from repro.adm.serializer import deserialize, serialize

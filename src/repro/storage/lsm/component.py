@@ -10,7 +10,7 @@ flushes and merges, and destroyed after merges.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.observability.metrics import get_registry
 

@@ -1,0 +1,134 @@
+"""Property test: every optimized plan satisfies the verifier.
+
+Hypothesis generates random SQL++ queries from a datagen-style grammar
+(the shapes the paper's workloads exercise: filters, joins, grouping,
+ordering, quantifiers).  Plan verification is on for the whole test
+suite (tests/conftest.py), so the verifier re-checks the plan after
+every rewrite-rule firing and the job after generation — any rule that
+corrupts a plan fails here naming itself.
+"""
+
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st              # noqa: E402
+
+from repro import connect                            # noqa: E402
+from repro.analysis import plan_verification_enabled  # noqa: E402
+
+FIELDS = ("age", "score", "city", "id")
+CITIES = ("irvine", "riverside", "sandiego", "la", "sf")
+
+_DB = None
+
+
+def db():
+    global _DB
+    if _DB is None:
+        _DB = connect(tempfile.mkdtemp() + "/db")
+        _DB.execute("""
+            CREATE TYPE RecType AS { id: int, age: int, score: double,
+                                     city: string };
+            CREATE TYPE OrderType AS { oid: int, cust: int };
+            CREATE DATASET Recs(RecType) PRIMARY KEY id;
+            CREATE DATASET Orders(OrderType) PRIMARY KEY oid;
+            CREATE INDEX byAge ON Recs(age);
+            CREATE INDEX byCity ON Recs(city);
+        """)
+        for i in range(40):
+            _DB.cluster.insert_record("Default.Recs", {
+                "id": i, "age": 18 + (i * 7) % 45,
+                "score": (i * 13 % 100) / 10.0,
+                "city": CITIES[i % len(CITIES)],
+            })
+        for i in range(30):
+            _DB.cluster.insert_record("Default.Orders", {
+                "oid": i, "cust": i % 40,
+            })
+        _DB.flush_dataset("Recs")
+    return _DB
+
+
+# --- the grammar ------------------------------------------------------------
+
+comparison = st.builds(
+    lambda field, op, against: f"r.{field} {op} {against}",
+    st.sampled_from(FIELDS),
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    st.one_of(
+        st.integers(min_value=0, max_value=70).map(str),
+        st.sampled_from([f"'{c}'" for c in CITIES]),
+    ),
+)
+
+# parenthesized so a following AND starts a new conjunct instead of
+# being absorbed into the SATISFIES body
+quantifier = st.builds(
+    lambda op, age: f"({op} o IN dataset('Orders') SATISFIES "
+                    f"o.cust = r.id"
+                    + (f" AND o.oid > {age}" if op == "SOME" else "") + ")",
+    st.sampled_from(["SOME", "EVERY"]),
+    st.integers(min_value=0, max_value=20),
+)
+
+predicate = st.one_of(comparison, quantifier)
+
+where_clause = st.lists(predicate, min_size=0, max_size=3).map(
+    lambda ps: (" WHERE " + " AND ".join(ps)) if ps else "")
+
+order_limit = st.one_of(
+    st.just(""),
+    st.just(" ORDER BY r.age"),
+    st.builds(lambda n: f" ORDER BY r.score DESC LIMIT {n}",
+              st.integers(min_value=1, max_value=10)),
+)
+
+
+@st.composite
+def select_query(draw):
+    where = draw(where_clause)
+    shape = draw(st.sampled_from(["value", "fields", "group", "join"]))
+    if shape == "value":
+        field = draw(st.sampled_from(FIELDS))
+        tail = draw(order_limit)
+        return f"SELECT VALUE r.{field} FROM Recs r{where}{tail};"
+    if shape == "fields":
+        fields = draw(st.lists(st.sampled_from(FIELDS), min_size=1,
+                               max_size=3, unique=True))
+        projs = ", ".join(f"r.{f} AS {f}" for f in fields)
+        tail = draw(order_limit)
+        return f"SELECT {projs} FROM Recs r{where}{tail};"
+    if shape == "group":
+        agg = draw(st.sampled_from(
+            ["COUNT(*)", "SUM(r.age)", "MIN(r.score)", "MAX(r.age)"]))
+        return (f"SELECT c AS city, {agg} AS m FROM Recs r{where} "
+                f"GROUP BY r.city AS c ORDER BY c;")
+    return (f"SELECT VALUE [r.id, o.oid] FROM Recs r "
+            f"JOIN Orders o ON o.cust = r.id{where};")
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(query=select_query())
+def test_every_optimized_plan_verifies(query):
+    assert plan_verification_enabled()
+    instance = db()
+    # the assertion is the verifier itself: any rule that breaks an
+    # invariant raises PlanInvariantError naming the rule, and a bad
+    # generated job raises JobInvariantError
+    rows = instance.query(query)
+    assert isinstance(rows, list)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(query=select_query())
+def test_index_paths_verify_too(query):
+    instance = db()
+    with_idx = instance.query(query)
+    without = instance.query(query, enable_index_access=False)
+    if "EVERY" not in query:     # answers must agree as well
+        assert sorted(map(repr, with_idx)) == sorted(map(repr, without))

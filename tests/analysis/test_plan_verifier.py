@@ -1,0 +1,221 @@
+"""Plan/stream/job verifier: each invariant caught on a hand-built
+broken plan, and sound plans pass.
+"""
+
+import pytest
+
+from repro.algebricks import logical as L
+from repro.algebricks.expressions import LCall, LConst, LVar
+from repro.algebricks.jobgen import RANDOM, SINGLETON, Stream
+from repro.analysis import verify_job, verify_plan, verify_stream
+from repro.common.errors import JobInvariantError, PlanInvariantError
+from repro.hyracks.job import JobSpecification, OperatorDescriptor
+
+
+def scan(pk=1, rec=2, dataset="D"):
+    return L.DataSourceScan(dataset, [pk], rec)
+
+
+def invariant_of(excinfo) -> str:
+    return excinfo.value.invariant
+
+
+class TestPlanInvariants:
+    def test_sound_plan_passes(self):
+        plan = L.DistributeResult(
+            LVar(3),
+            inputs=[L.Project([3], inputs=[
+                L.Assign(3, LCall("field_access",
+                                  [LVar(2), LConst("name")]),
+                         inputs=[scan()]),
+            ])],
+        )
+        verify_plan(plan, require_root=True)
+
+    def test_input_arity(self):
+        op = L.Select(LConst(True), inputs=[scan(), scan(pk=5, rec=6)])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "input-arity"
+
+    def test_def_before_use(self):
+        # $$9 has no producer below the Select
+        op = L.Select(LCall("gt", [LVar(9), LConst(0)]), inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "def-before-use"
+
+    def test_shadowing(self):
+        # Assign re-produces $$2, the scan's record var
+        op = L.Assign(2, LConst(1), inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "shadowing"
+
+    def test_single_producer(self):
+        # two union branches both produce $$7 under distinct operators
+        left = L.Project([7], inputs=[
+            L.Assign(7, LConst(1), inputs=[scan(pk=1, rec=2)])])
+        right = L.Project([7], inputs=[
+            L.Assign(7, LConst(2), inputs=[scan(pk=3, rec=4)])])
+        op = L.UnionAll(9, inputs=[left, right])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "single-producer"
+
+    def test_schema_duplicates(self):
+        # joining two branches that carry the same variable duplicates it
+        # in the join's output schema
+        shared_var_left = scan(pk=1, rec=2)
+        shared_var_right = scan(pk=1, rec=2, dataset="E")
+        op = L.Join(LConst(True),
+                    inputs=[shared_var_left, shared_var_right])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) in ("schema-duplicates", "single-producer")
+
+    def test_tree_shape(self):
+        shared = L.Project([7], inputs=[
+            L.Assign(7, LConst(1), inputs=[scan()])])
+        op = L.UnionAll(9, inputs=[shared, shared])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "tree-shape"
+
+    def test_project_containment(self):
+        op = L.Project([99], inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "def-before-use"
+
+    def test_sort_key_must_be_variable(self):
+        # jobgen requires ORDER BY keys pre-assigned to variables
+        op = L.Order([(LCall("field_access",
+                             [LVar(2), LConst("age")]), False)],
+                     inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "sort-key-variable"
+
+    def test_group_key_must_be_variable(self):
+        op = L.GroupBy([(5, LConst(1))], [], inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "group-key-variable"
+
+    def test_group_by_variable_key_passes(self):
+        op = L.GroupBy([(5, LVar(1))],
+                       [L.AggCall(6, "count", LVar(2))],
+                       inputs=[scan()])
+        verify_plan(op)
+
+    def test_union_branch_width(self):
+        # scan schema is [pk, rec]: width 2, union needs width 1
+        op = L.UnionAll(9, inputs=[scan(), scan(pk=5, rec=6)])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op)
+        assert invariant_of(exc) == "union-branch-width"
+
+    def test_root_shape(self):
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(scan(), require_root=True)
+        assert invariant_of(exc) == "root-shape"
+        verify_plan(scan())          # fine as a subtree
+
+    def test_rule_blame_in_message(self):
+        op = L.Project([99], inputs=[scan()])
+        with pytest.raises(PlanInvariantError) as exc:
+            verify_plan(op, rule="push_project")
+        assert exc.value.rule == "push_project"
+        assert "push_project" in str(exc.value)
+        assert exc.value.code == 4100
+
+
+class TestStreamInvariants:
+    def test_layout_must_match_schema(self):
+        op = scan()
+        stream = Stream(op_id=0, schema=[1], width=1)   # dropped $$2
+        with pytest.raises(JobInvariantError):
+            verify_stream(op, stream)
+
+    def test_hash_claim_must_be_in_layout(self):
+        op = scan()
+        stream = Stream(op_id=0, schema=[1, 2], width=2,
+                        partitioning=("hash", [42]))
+        with pytest.raises(JobInvariantError) as exc:
+            verify_stream(op, stream)
+        assert "hash partitioning" in str(exc.value)
+
+    def test_order_claim_must_be_in_layout(self):
+        op = scan()
+        stream = Stream(op_id=0, schema=[1, 2], width=1,
+                        partitioning=SINGLETON, order=[(42, False)])
+        with pytest.raises(JobInvariantError):
+            verify_stream(op, stream)
+
+    def test_sound_stream_passes(self):
+        op = scan()
+        verify_stream(op, Stream(op_id=0, schema=[1, 2], width=2,
+                                 partitioning=("hash", [1]),
+                                 order=[(1, False)]))
+        verify_stream(op, Stream(op_id=0, schema=[1, 2], width=2,
+                                 partitioning=RANDOM))
+
+
+class _Op(OperatorDescriptor):
+    def __init__(self, name="op", num_inputs=1):
+        self.name = name
+        self.num_inputs = num_inputs
+
+
+class _Conn:
+    def __repr__(self):
+        return "conn"
+
+
+class TestJobInvariants:
+    def test_sound_job_passes(self):
+        job = JobSpecification()
+        a = job.add_operator(_Op("src", num_inputs=0))
+        b = job.add_operator(_Op("sink", num_inputs=1))
+        job.connect(_Conn(), a, b, port=0)
+        verify_job(job)
+
+    def test_two_sinks_rejected(self):
+        job = JobSpecification()
+        job.add_operator(_Op("a", num_inputs=0))
+        job.add_operator(_Op("b", num_inputs=0))
+        with pytest.raises(JobInvariantError) as exc:
+            verify_job(job)
+        assert "exactly one sink" in str(exc.value)
+
+    def test_non_dense_ports_rejected(self):
+        job = JobSpecification()
+        a = job.add_operator(_Op("src", num_inputs=0))
+        b = job.add_operator(_Op("join", num_inputs=2))
+        job.connect(_Conn(), a, b, port=1)    # port 0 never wired
+        with pytest.raises(JobInvariantError) as exc:
+            verify_job(job)
+        assert "ports" in str(exc.value)
+
+    def test_cycle_rejected(self):
+        job = JobSpecification()
+        a = job.add_operator(_Op("a", num_inputs=1))
+        b = job.add_operator(_Op("b", num_inputs=1))
+        c = job.add_operator(_Op("sink", num_inputs=1))
+        job.connect(_Conn(), a, b, port=0)
+        job.connect(_Conn(), b, a, port=0)
+        job.connect(_Conn(), b, c, port=0)
+        with pytest.raises(JobInvariantError) as exc:
+            verify_job(job)
+        assert "cycle" in str(exc.value)
+
+    def test_dangling_edge_rejected(self):
+        job = JobSpecification()
+        job.add_operator(_Op("only", num_inputs=0))
+        # bypass connect()'s own bounds check to exercise the verifier
+        from repro.hyracks.job import _Edge
+        job.edges.append(_Edge(_Conn(), 0, 5, 0))
+        with pytest.raises(JobInvariantError) as exc:
+            verify_job(job)
+        assert "outside" in str(exc.value)

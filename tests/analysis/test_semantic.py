@@ -1,0 +1,154 @@
+"""Semantic analyzer: bad statements fail *before* execution with
+distinct 4xxx codes, identically for SQL++ and AQL (both languages share
+the core AST the analyzer walks).
+"""
+
+import pytest
+
+from repro import connect
+from repro.analysis import analyze_statement
+from repro.common.errors import (
+    ArityError,
+    DuplicateAliasError,
+    SemanticError,
+    UndefinedVariableError,
+    UnknownDatasetError,
+    UnknownFieldError,
+    UnknownFunctionError,
+)
+from repro.lang.aql.parser import parse_aql
+from repro.lang.sqlpp.parser import parse_sqlpp
+
+
+@pytest.fixture
+def db(tmp_path):
+    instance = connect(str(tmp_path / "db"))
+    instance.execute("""
+        CREATE TYPE ClosedUser AS CLOSED { id: int, name: string };
+        CREATE TYPE OpenMsg AS { messageId: int, authorId: int };
+        CREATE DATASET Users(ClosedUser) PRIMARY KEY id;
+        CREATE DATASET Messages(OpenMsg) PRIMARY KEY messageId;
+    """)
+    instance.execute(
+        'INSERT INTO Users ({"id": 1, "name": "ann"});')
+    yield instance
+    instance.close()
+
+
+def analyze_sqlpp(db, text):
+    (stmt,) = parse_sqlpp(text)
+    analyze_statement(stmt, db.metadata)
+
+
+def analyze_aql(db, text):
+    (stmt,) = parse_aql(text)
+    analyze_statement(stmt, db.metadata)
+
+
+class TestSQLPP:
+    def test_unknown_dataset_is_4002(self, db):
+        with pytest.raises(UnknownDatasetError) as exc:
+            db.query("SELECT VALUE x FROM NoSuchDataset x;")
+        assert exc.value.code == 4002
+        assert "NoSuchDataset" in str(exc.value)
+
+    def test_undefined_variable_is_4001(self, db):
+        with pytest.raises(UndefinedVariableError) as exc:
+            db.query("SELECT VALUE nosuchvar FROM Users u;")
+        assert exc.value.code == 4001
+        assert "nosuchvar" in str(exc.value)
+
+    def test_unknown_function_is_4003(self, db):
+        with pytest.raises(UnknownFunctionError) as exc:
+            db.query("SELECT VALUE frobnicate(u.id) FROM Users u;")
+        assert exc.value.code == 4003
+        assert "frobnicate" in str(exc.value)
+
+    def test_closed_type_field_violation_is_4004(self, db):
+        with pytest.raises(UnknownFieldError) as exc:
+            db.query("SELECT VALUE u.salary FROM Users u;")
+        assert exc.value.code == 4004
+        assert "salary" in str(exc.value)
+
+    def test_open_type_field_passes(self, db):
+        # OpenMsg is open: undeclared fields are a runtime MISSING, not a
+        # compile-time error
+        assert db.query("SELECT VALUE m.whatever FROM Messages m;") == []
+
+    def test_wrong_arity_is_4006(self, db):
+        with pytest.raises(ArityError) as exc:
+            db.query("SELECT VALUE abs(u.id, 2) FROM Users u;")
+        assert exc.value.code == 4006
+
+    def test_duplicate_alias_is_4007(self, db):
+        with pytest.raises(DuplicateAliasError) as exc:
+            db.query("SELECT VALUE u FROM Users u, Messages u;")
+        assert exc.value.code == 4007
+
+    def test_insert_into_unknown_dataset(self, db):
+        with pytest.raises(UnknownDatasetError):
+            db.execute('INSERT INTO Nowhere ({"id": 9});')
+
+    def test_errors_are_semantic_errors(self, db):
+        with pytest.raises(SemanticError):
+            db.query("SELECT VALUE x FROM NoSuchDataset x;")
+
+    def test_valid_queries_pass(self, db):
+        analyze_sqlpp(db, "SELECT VALUE u.name FROM Users u;")
+        analyze_sqlpp(db, """
+            SELECT name AS n, COUNT(*) AS c
+            FROM Users u WHERE u.id > 0
+            GROUP BY u.name AS name ORDER BY n LIMIT 5;
+        """)
+        # Messages is open: m.tags is undeclared but legal to iterate
+        analyze_sqlpp(db, """
+            SELECT VALUE {"id": m.messageId, "tags": (
+                SELECT VALUE t FROM m.tags t)}
+            FROM Messages m;
+        """)
+
+
+class TestAQL:
+    def test_unknown_dataset_is_4002(self, db):
+        with pytest.raises(UnknownDatasetError) as exc:
+            db.query("for $x in dataset NoSuchDataset return $x;",
+                     language="aql")
+        assert exc.value.code == 4002
+
+    def test_undefined_variable_is_4001(self, db):
+        with pytest.raises(UndefinedVariableError) as exc:
+            db.query("for $u in dataset Users return $nosuchvar;",
+                     language="aql")
+        assert exc.value.code == 4001
+
+    def test_unknown_function_is_4003(self, db):
+        with pytest.raises(UnknownFunctionError) as exc:
+            db.query("for $u in dataset Users return frobnicate($u.id);",
+                     language="aql")
+        assert exc.value.code == 4003
+
+    def test_closed_type_field_violation_is_4004(self, db):
+        with pytest.raises(UnknownFieldError) as exc:
+            db.query("for $u in dataset Users return $u.salary;",
+                     language="aql")
+        assert exc.value.code == 4004
+
+    def test_valid_query_passes(self, db):
+        analyze_aql(db, """
+            for $u in dataset Users
+            let $n := $u.name
+            where $u.id >= 0
+            return {"name": $n};
+        """)
+
+
+class TestExplainAnalyzes:
+    def test_explain_reports_semantic_error(self, db):
+        # EXPLAIN runs the analyzer too: a bad statement never reaches
+        # the translator
+        with pytest.raises(UnknownDatasetError):
+            db.explain("SELECT VALUE x FROM NoSuchDataset x;")
+
+    def test_explain_includes_analyze_phase(self, db):
+        ex = db.explain("SELECT VALUE u.name FROM Users u;")
+        assert "analyze" in [p["name"] for p in ex.phases]

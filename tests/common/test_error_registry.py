@@ -1,0 +1,93 @@
+"""The central error-code registry stays coherent.
+
+Enforced here, as promised by :mod:`repro.common.errors`:
+
+* every explicit error code is unique across the whole system,
+* every explicit code falls inside a documented :data:`CODE_BANDS` band,
+* every error class documents itself with a docstring,
+* codes render as stable ``ASX####`` prefixes.
+"""
+
+from repro.common.errors import (
+    AsterixError,
+    CODE_BANDS,
+    PlanInvariantError,
+    SemanticError,
+    band_of,
+    code_table,
+    iter_error_classes,
+)
+
+
+def test_codes_are_unique():
+    # code_table() itself raises ValueError on a collision
+    table = code_table()
+    assert len(table) >= 25
+
+
+def test_every_code_is_in_a_documented_band():
+    for code, cls in code_table().items():
+        band = band_of(code)
+        assert band is not None, \
+            f"{cls.__name__} code {code} falls outside every CODE_BANDS band"
+
+
+def test_bands_do_not_overlap():
+    spans = sorted((lo, hi) for lo, hi, _ in CODE_BANDS)
+    for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+        assert lo1 <= hi1
+        assert hi1 < lo2, f"bands ({lo1},{hi1}) and ({lo2},{hi2}) overlap"
+
+
+def test_every_error_class_has_a_docstring():
+    for cls in iter_error_classes():
+        doc = cls.__dict__.get("__doc__")
+        assert doc and doc.strip(), f"{cls.__name__} has no docstring"
+
+
+def test_semantic_errors_live_in_the_4000_band():
+    for cls in iter_error_classes():
+        if issubclass(cls, SemanticError):
+            assert 4000 <= cls.code <= 4099, \
+                f"{cls.__name__} ({cls.code}) outside the semantic band"
+
+
+def test_asx_prefix_rendering():
+    err = SemanticError("boom")
+    assert str(err).startswith("ASX4000: ")
+    err = PlanInvariantError("bad plan", rule="my_rule", invariant="shape")
+    assert str(err).startswith("ASX4100: ")
+    assert "my_rule" in str(err)
+    assert err.rule == "my_rule"
+    assert err.invariant == "shape"
+
+
+def test_subsystem_modules_register_their_codes():
+    # classes defined next to their subsystem still land in the table
+    table = code_table()
+    bands = {band_of(code)[0] for code in table}
+    assert 3500 in bands, "resilience fault codes missing from registry"
+    assert 3900 in bands, "observability codes missing from registry"
+
+
+def test_legacy_compatibility_inheritance():
+    # 4xxx semantic errors still match the legacy classes callers catch
+    from repro.common.errors import (
+        IdentifierError,
+        TypeError_,
+        UndefinedVariableError,
+        UnknownDatasetError,
+        UnknownFieldError,
+    )
+
+    assert issubclass(UndefinedVariableError, IdentifierError)
+    assert issubclass(UnknownDatasetError, IdentifierError)
+    assert issubclass(UnknownFieldError, TypeError_)
+    assert UndefinedVariableError.code == 4001
+    assert UnknownDatasetError.code == 4002
+    assert UnknownFieldError.code == 4004
+
+
+def test_catching_asterixerror_catches_everything():
+    for cls in iter_error_classes():
+        assert issubclass(cls, AsterixError)

@@ -1,0 +1,11 @@
+"""Suite-wide configuration.
+
+Plan verification (repro.analysis) is ON for the whole tier-1 suite:
+every plan any test compiles — and every rewrite-rule firing along the
+way — doubles as a verifier test case.  Tests that need the production
+default (off) use the ``plan_verification(False)`` context manager.
+"""
+
+from repro.analysis import set_plan_verification
+
+set_plan_verification(True)

@@ -134,7 +134,7 @@ class TestExplain:
         ex = db.explain(QUERY)
         assert "introduce_secondary_index" in ex.fired_rules
         assert [p["name"] for p in ex.phases] == \
-            ["parse", "translate", "optimize", "jobgen"]
+            ["parse", "analyze", "translate", "optimize", "jobgen"]
 
     def test_aql_explain(self, db):
         ex = db.explain(AQL_QUERY, language="aql")

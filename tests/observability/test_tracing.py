@@ -59,8 +59,8 @@ class TestQueryTrace:
             assert span is None
 
     def test_query_phases_constant(self):
-        assert QUERY_PHASES == ("parse", "translate", "optimize",
-                                "jobgen", "execute")
+        assert QUERY_PHASES == ("parse", "analyze", "translate",
+                                "optimize", "jobgen", "execute")
 
     def test_pretty_mentions_rules_and_phases(self):
         trace = QueryTrace(statement="SELECT 1", kind="query")

@@ -219,6 +219,11 @@ def run_fault_overhead(base_dir: str, quick: bool) -> dict:
 
 
 def main(argv=None) -> int:
+    # verification is on for benchmarks too; its cost is part of the
+    # compile phases the reports break out, not of operator runtime
+    from repro.analysis import set_plan_verification
+    set_plan_verification(True)
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small datasets / few repeats (CI smoke)")

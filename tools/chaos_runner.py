@@ -167,6 +167,11 @@ def run_workload(base_dir: str, schedule: FaultSchedule | None) -> dict:
 
 
 def main(argv=None) -> int:
+    # every plan compiled under chaos runs with the verifier on: a rule
+    # corrupting a plan should fail loudly here, not mask a fault bug
+    from repro.analysis import set_plan_verification
+    set_plan_verification(True)
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=1337,
                         help="fault-schedule seed (default: 1337)")

@@ -1,0 +1,18 @@
+"""The repository's own static analyzer (``python -m tools.lint``).
+
+Generic linters cannot know that this codebase simulates its clock, that
+cluster nodes serialize shared-state mutation through ``node.lock``, or
+that the resilience layer's faults must never be silently swallowed —
+those rules exist only because of how this system is built (deterministic
+fault injection, serial-equivalent parallel execution).  This package
+checks them with Python's ``ast`` module.  See docs/STATIC_ANALYSIS.md
+for the rule catalogue and how to add a checker.
+
+Deliberately standalone: imports nothing from ``repro`` so it can lint a
+broken tree.
+"""
+
+from tools.lint.checkers import CHECKERS, Finding, lint_file, lint_source
+from tools.lint.cli import main
+
+__all__ = ["CHECKERS", "Finding", "lint_file", "lint_source", "main"]

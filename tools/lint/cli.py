@@ -1,0 +1,70 @@
+"""Command line driver: ``python -m tools.lint [paths] [-o report.json]``.
+
+Walks the given files/directories (default ``src/repro``), runs every
+registered checker, prints human-readable findings, optionally writes a
+JSON report (the CI artifact), and exits non-zero when anything fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from tools.lint.checkers import CHECKERS, lint_file
+
+
+def iter_python_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.lint",
+        description="Project-specific static checks (docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write a JSON report here")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding output")
+    args = parser.parse_args(argv)
+
+    findings = []
+    files = 0
+    for path in iter_python_files(args.paths):
+        files += 1
+        findings.extend(lint_file(path))
+
+    if not args.quiet:
+        for finding in findings:
+            print(finding.render())
+        print(f"{files} file(s) checked, {len(findings)} finding(s), "
+              f"{len(CHECKERS)} checker(s)")
+
+    if args.output:
+        report = {
+            "files_checked": files,
+            "checkers": [checker.__name__ for checker, _ in CHECKERS],
+            "findings": [f.to_dict() for f in findings],
+        }
+        with open(args.output, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
