@@ -515,9 +515,12 @@ def rule_inline_constant_assigns(op, ctx):
         elif isinstance(node, Join):
             node.condition = sub_expr(node.condition)
         elif isinstance(node, Order):
-            node.pairs = [(sub_expr(e), d) for e, d in node.pairs]
+            # sort keys must stay pre-assigned variable references —
+            # jobgen refuses an LConst key (sort-key-variable invariant)
+            pass
         elif isinstance(node, GroupBy):
-            node.keys = [(v, sub_expr(e)) for v, e in node.keys]
+            # group keys likewise (group-key-variable invariant); the
+            # constant assign stays live as their producer
             for agg in node.aggregates:
                 agg.argument = sub_expr(agg.argument)
         elif hasattr(node, "expr") and node.expr is not None \

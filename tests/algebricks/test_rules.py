@@ -200,6 +200,65 @@ class TestAccessMethodRules:
         assert "SecondaryIndexSearch" not in plan_signature(optimized)
 
 
+class TestConstantInlining:
+    def test_does_not_inline_into_sort_keys(self):
+        # regression: rule_inline_constant_assigns used to substitute a
+        # constant WITH-binding into Order.pairs, leaving an LConst sort
+        # key jobgen refuses (and the sort-key-variable plan invariant
+        # flags, naming the rule)
+        plan = DistributeResult(LVar(2), inputs=[
+            Order([(LVar(5), False)], inputs=[
+                Assign(5, LConst(1), inputs=[scan()])
+            ])
+        ])
+        optimized = optimize(plan, FakeMetadata())
+        order = next(op for op in _walk(optimized) if isinstance(op, Order))
+        (key, _), = order.pairs
+        assert key == LVar(5)
+        # the assign must survive as the key's producer
+        assert any(isinstance(op, Assign) and op.var == 5
+                   for op in _walk(optimized))
+
+    def test_does_not_inline_into_group_keys(self):
+        from repro.algebricks.logical import AggCall, GroupBy
+        plan = DistributeResult(LVar(7), inputs=[
+            GroupBy([(7, LVar(5))], [AggCall(8, "count", LVar(2))],
+                    inputs=[Assign(5, LConst(1), inputs=[scan()])])
+        ])
+        optimized = optimize(plan, FakeMetadata())
+        group = next(op for op in _walk(optimized)
+                     if isinstance(op, GroupBy))
+        (_, key), = group.keys
+        assert key == LVar(5)
+
+    def test_still_inlines_into_predicates(self):
+        plan = DistributeResult(LVar(2), inputs=[
+            Select(LCall("gt", [fa(2, "x"), LVar(5)]), inputs=[
+                Assign(5, LConst(3), inputs=[scan()])
+            ])
+        ])
+        optimized = optimize(plan, FakeMetadata())
+        select = next(op for op in _walk(optimized)
+                      if isinstance(op, Select))
+        assert "LVar(5)" not in repr(select.condition)
+
+    def test_constant_order_by_end_to_end(self, tmp_path):
+        from repro import connect
+        from repro.analysis import plan_verification
+
+        with connect(str(tmp_path / "db")) as db:
+            db.execute('CREATE TYPE T AS { id: int }; '
+                       'CREATE DATASET D(T) PRIMARY KEY id;')
+            db.execute('INSERT INTO D ({"id": 1}); '
+                       'INSERT INTO D ({"id": 2});')
+            with plan_verification(True):
+                assert db.query('WITH c AS 1 SELECT VALUE d.id '
+                                'FROM D d ORDER BY c;') == [1, 2]
+                assert db.query('WITH c AS 1 SELECT k AS k, COUNT(*) AS n '
+                                'FROM D d GROUP BY c AS k;') == \
+                    [{"k": 1, "n": 2}]
+
+
 class TestLimitPushdown:
     def test_limit_into_order(self):
         plan = DistributeResult(LVar(2), inputs=[
