@@ -69,6 +69,23 @@ def eq(a, b) -> bool:
     return compare(a, b) == 0
 
 
+def comparable(a, b) -> bool:
+    """SQL++ comparability: numerics inter-compare by value; anything else
+    only compares within its own type tag.  Query predicates treat a
+    cross-type comparison as *unknown* (null), even though :func:`compare`
+    totally orders all values for index/sort purposes — index range
+    searches must band-filter with this to match predicate semantics."""
+    ta, tb = tag_of(a), tag_of(b)
+    if is_numeric_tag(ta) and is_numeric_tag(tb):
+        return True
+    return ta == tb
+
+
+def comparable_tuples(key, bound) -> bool:
+    """Componentwise :func:`comparable` over a key and a (prefix) bound."""
+    return all(comparable(k, b) for k, b in zip(key, bound))
+
+
 @functools.total_ordering
 class _Key:
     """A wrapper making any ADM value usable as a Python sort key."""

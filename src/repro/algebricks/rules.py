@@ -270,7 +270,7 @@ def rule_introduce_secondary_index(op, ctx):
     # 1) B+ tree indexes: accumulate bounds per indexed field, always
     # keeping the *tightest* bound (multiple predicates on one field
     # intersect: age >= 27 AND age = 55 is the point [55, 55])
-    from repro.adm.comparators import compare as _cmp
+    from repro.adm.comparators import comparable, compare as _cmp
 
     bounds: dict = {}
     consumed: dict = {}
@@ -283,6 +283,14 @@ def rule_introduce_secondary_index(op, ctx):
         entry = bounds.setdefault(
             f, {"lo": None, "hi": None, "lo_inc": True, "hi_inc": True}
         )
+        # bounds of incomparable types can't intersect into one range
+        # (the conjunction is null on every record): leave this field's
+        # predicates unconsumed so the residual selects decide
+        if any(v is not None and not comparable(const, v)
+               for v in (entry["lo"], entry["hi"])):
+            entry["invalid"] = True
+        if entry.get("invalid"):
+            continue
         if lo_k:
             inclusive = cmp_name != "gt"
             if (entry["lo"] is None
@@ -312,7 +320,8 @@ def rule_introduce_secondary_index(op, ctx):
         used_fields = []
         for f in spec.fields:
             b = bounds.get(f)
-            if b is None or (b["lo"] is None and b["hi"] is None):
+            if b is None or b.get("invalid") \
+                    or (b["lo"] is None and b["hi"] is None):
                 break
             is_eq = (b["lo"] is not None and b["hi"] is not None
                      and _cmp(b["lo"], b["hi"]) == 0
@@ -435,8 +444,13 @@ def rule_introduce_primary_index(op, ctx):
             const, name = ra.value, _CMP_SWAP[cond.name]
         else:
             continue
-        from repro.adm.comparators import compare as _cmp
+        from repro.adm.comparators import comparable, compare as _cmp
 
+        # incomparable bounds can't intersect (the conjunction is null
+        # on every record): bail out and let the selects run over the scan
+        if any(v is not None and not comparable(const, v)
+               for v in (lo, hi)):
+            return op, False
         if name in ("eq", "ge", "gt"):
             inclusive = name != "gt"
             if (lo is None or _cmp(const, lo) > 0

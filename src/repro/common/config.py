@@ -42,9 +42,32 @@ class NodeConfig:
     num_io_devices: int = 1
     buffer_cache_pages: int = 256
     memory_component_pages: int = 64   # LSM memory-component budget/dataset
-    sort_memory_frames: int = 32       # working memory per sort
-    join_memory_frames: int = 32       # working memory per join
-    group_memory_frames: int = 32      # working memory per group-by
+    sort_memory_frames: int = 32       # default sort grant request
+    join_memory_frames: int = 32       # default join grant request
+    group_memory_frames: int = 32      # default group-by grant request
+    #: One node-wide working-memory budget (Figure 2's "working memory"
+    #: box), arbitrated by :class:`repro.hyracks.memory.MemoryGovernor`
+    #: across every concurrent operator, query admission, and feed batch
+    #: on the node.  The per-operator ``*_memory_frames`` knobs above are
+    #: *grant requests* against this pool, not private allocations: alone
+    #: on the node an operator receives its full request (so behaviour is
+    #: identical to the pre-governor fixed budgets); under contention the
+    #: grant is reduced and the operator spills more.
+    query_memory_frames: int = 4096
+    #: Frames reserved per admitted query on each node; the reservation
+    #: guarantees every operator of an admitted query at least this much,
+    #: so admitted queries always make progress (no mid-query deadlock).
+    query_admission_frames: int = 4
+    #: Frames a feed pump holds per node while ingesting one batch —
+    #: backpressure: heavy queries holding working memory delay the pump
+    #: instead of letting ingestion buffering grow without bound.
+    feed_memory_frames: int = 4
+    #: Cap, in *wall* milliseconds, on how long an admission (or feed)
+    #: request queues for frames before failing with a typed
+    #: ``MemoryPressureFault`` (ASX3505).  Queueing only ever happens
+    #: under real thread concurrency, so this is a wall-clock knob; it
+    #: never touches the simulated clock.
+    admission_timeout_ms: float = 2000.0
     #: Emulated device latency added to every physical page read/write, in
     #: *real* microseconds (a ``time.sleep`` that releases the GIL).  Zero
     #: by default; benchmarks raise it to make the wall-clock behave like a

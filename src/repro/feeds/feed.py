@@ -177,13 +177,41 @@ class FeedManager:
                     if not batch:
                         break
                     feed.pending = list(batch)
-                total += self._ingest(feed, batch)
+                grants = self._acquire_batch_memory(feed)
+                try:
+                    total += self._ingest(feed, batch)
+                finally:
+                    for grant in grants:
+                        grant.release()
                 feed.pending = []
                 feed.stats.batches += 1
                 batches += 1
                 if max_batches is None and batches >= 1000:
                     break   # safety valve for unbounded sources
         return total
+
+    def _acquire_batch_memory(self, feed: Feed) -> list:
+        """Backpressure: hold ``feed_memory_frames`` on every node's
+        memory governor while a batch ingests, so ingestion competes for
+        the same working-memory pool as queries instead of growing
+        unaccounted.  Under heavy query load the capped admission wait
+        expires as a typed
+        :class:`~repro.resilience.MemoryPressureFault` — the staged
+        batch stays in ``feed.pending`` and replays on the next pump,
+        so backpressure delays data, never loses it."""
+        cluster = self.instance.cluster
+        frames = cluster.config.node.feed_memory_frames
+        timeout_ms = cluster.config.node.admission_timeout_ms
+        grants: list = []
+        try:
+            for node in cluster.nodes:    # ascending: no deadlock with
+                grants.append(node.memory.admit(   # query admission
+                    frames, label="feed", timeout_ms=timeout_ms))
+        except ResilienceFault:
+            for grant in grants:
+                grant.release()
+            raise
+        return grants
 
     def _next_batch(self, feed: Feed) -> list:
         """Pull one batch, surviving injected source faults.

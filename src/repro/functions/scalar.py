@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 import re
 
-from repro.adm.comparators import compare, eq as deep_eq
+from repro.adm.comparators import comparable, compare, eq as deep_eq
 from repro.adm.values import (
     MISSING,
     Multiset,
@@ -142,15 +142,8 @@ def sign(a):
 
 # --- comparison -----------------------------------------------------------------
 
-def _comparable(a, b) -> bool:
-    ta, tb = tag_of(a), tag_of(b)
-    if is_numeric_tag(ta) and is_numeric_tag(tb):
-        return True
-    return ta == tb
-
-
 def _compare_or_null(a, b):
-    if not _comparable(a, b):
+    if not comparable(a, b):
         return None  # incomparable types -> unknown (SQL++ null)
     return compare(a, b)
 

@@ -32,6 +32,7 @@ from repro.hyracks.job import (
     JobSpecification,
     OperatorDescriptor,
 )
+from repro.hyracks.memory import MemoryGovernor, MemoryGrant
 from repro.hyracks.profiler import JobProfile, OperatorProfile, PartitionCost
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "JobProfile",
     "JobResult",
     "JobSpecification",
+    "MemoryGovernor",
+    "MemoryGrant",
     "MergeConnector",
     "NodeController",
     "ObjectConstructor",

@@ -51,11 +51,13 @@ from repro.common.config import ClusterConfig
 from repro.common.errors import MetadataError
 from repro.hyracks.executor import JobExecutor, make_worker_pool
 from repro.hyracks.job import JobSpecification
+from repro.hyracks.memory import MemoryGovernor
 from repro.hyracks.profiler import JobProfile
 from repro.observability.metrics import get_registry
 from repro.resilience import (
     NO_FAULTS,
     FaultInjector,
+    MemoryBudgetFault,
     NodeCrashFault,
     NodeState,
     ResilienceFault,
@@ -109,6 +111,10 @@ class NodeController:
         ]
         self.fm = FileManager(self.devices, config.page_size,
                               injector=self.injector)
+        #: Node-level working-memory arbiter: every operator / query
+        #: admission / feed batch takes its frames from this one budget.
+        self.memory = MemoryGovernor(config.node.query_memory_frames,
+                                     node_id=node_id)
         self.cache = BufferCache(self.fm, config.node.buffer_cache_pages)
         self.log = LogManager(os.path.join(root, "txnlog", "log"),
                               injector=self.injector)
@@ -146,6 +152,9 @@ class NodeController:
         self.txn_partitions.clear()
         self.log.crash()
         self.fm.close()
+        # memory grants die with the node: bump the governor generation
+        # so releases of pre-crash grants become no-ops
+        self.memory.reset()
         for device in self.devices:
             shutil.rmtree(os.path.join(device.root, "temp"),
                           ignore_errors=True)
@@ -257,6 +266,37 @@ class NodeController:
                 f"no partition {partition_id} of {dataset} on node "
                 f"{self.node_id}"
             ) from None
+
+    # -- temp-file accounting -----------------------------------------------
+
+    def live_temp_files(self) -> list[str]:
+        """Paths of run files currently on this node's disks (``temp/``
+        under every I/O device).  A healthy idle node has none: spill
+        consumers release their run files on exhaustion, early abandon,
+        or failure — tests and the chaos harness assert this."""
+        found = []
+        for device in self.devices:
+            temp_root = os.path.join(device.root, "temp")
+            for dirpath, _dirnames, filenames in os.walk(temp_root):
+                found.extend(os.path.join(dirpath, f) for f in filenames)
+        return sorted(found)
+
+    def purge_temp_files(self) -> int:
+        """Delete every temp run file on this node — open handles first,
+        then any stray on-disk files.  The job retry loop calls this
+        between attempts: an aborted attempt's spill files are garbage
+        by definition.  Returns the number of files removed."""
+        purged = 0
+        for handle in self.fm.handles_under("temp/"):
+            self.fm.delete_file(handle)
+            purged += 1
+        for path in self.live_temp_files():
+            try:
+                os.remove(path)
+                purged += 1
+            except FileNotFoundError:
+                pass
+        return purged
 
     # -- I/O accounting ----------------------------------------------------------
 
@@ -444,7 +484,11 @@ class ClusterController:
                 if isinstance(fault, NodeCrashFault) \
                         and fault.node is not None:
                     self.crash_node(fault.node, span)
-                if attempt >= self.retry_policy.max_attempts:
+                # the aborted attempt's spill files are garbage: crashed
+                # nodes cleared theirs in crash(); sweep the alive ones
+                self._purge_attempt_temp_files(span)
+                if isinstance(fault, MemoryBudgetFault) \
+                        or attempt >= self.retry_policy.max_attempts:
                     registry.counter("resilience.job_failures").inc()
                     if span is not None:
                         span.add_event(
@@ -467,7 +511,15 @@ class ClusterController:
         profile = JobProfile(self.config.cost)
         started = time.perf_counter()
         io_before = self._total_io()
-        result_tuples = JobExecutor(self, job, profile, span).run()
+        reservations = self._admit_query(span)
+        try:
+            result_tuples = JobExecutor(
+                self, job, profile, span, reservations=reservations).run()
+        finally:
+            # the executor has joined every task by now, so operator
+            # grants borrowed against these reservations are back
+            for grant in reservations.values():
+                grant.release()
         diff = self._total_io().diff(io_before)
         profile.physical_reads = diff.total_reads
         profile.physical_writes = diff.total_writes
@@ -481,6 +533,43 @@ class ClusterController:
         registry.histogram("hyracks.job_wall_seconds").observe(
             profile.wall_seconds)
         return JobResult(result_tuples, profile)
+
+    def _admit_query(self, span: object = None) -> dict:
+        """Admission control: reserve ``query_admission_frames`` on every
+        node before the job's first task runs, in ascending node order so
+        concurrent queries can never deadlock on partial reservations.
+        The reservation is the floor operator grants borrow against — an
+        admitted query always makes progress, it just spills more.  On
+        failure (capped wait expired, or the request can never fit) the
+        partial reservation is rolled back and the typed 35xx fault
+        propagates to the retry loop."""
+        frames = self.config.node.query_admission_frames
+        timeout_ms = self.config.node.admission_timeout_ms
+        reservations: dict = {}
+        try:
+            for node in self.nodes:
+                reservations[node.node_id] = node.memory.admit(
+                    frames, label="query", timeout_ms=timeout_ms,
+                    span=span)
+        except ResilienceFault:
+            for grant in reservations.values():
+                grant.release()
+            raise
+        return reservations
+
+    def _purge_attempt_temp_files(self, span: object = None) -> None:
+        """Delete spill files a failed attempt left behind on ALIVE
+        nodes (taking each node's lock: the executor has already joined
+        its in-flight tasks, so nothing is mid-write)."""
+        purged = 0
+        for node in self.nodes:
+            if node.state is NodeState.ALIVE:
+                with node.lock:
+                    purged += node.purge_temp_files()
+        if purged:
+            get_registry().counter("hyracks.temp_files_purged").inc(purged)
+            if span is not None:
+                span.add_event("temp_files_purged", files=purged)
 
     # -- failure detection & recovery -------------------------------------------
 

@@ -140,11 +140,15 @@ class JobExecutor:
     either inline (serial) or one worker per node (parallel).
     """
 
-    def __init__(self, cluster, job: JobSpecification, profile, span=None):
+    def __init__(self, cluster, job: JobSpecification, profile, span=None,
+                 reservations=None):
         self.cluster = cluster
         self.job = job
         self.profile = profile
         self.span = span
+        #: node_id -> the query's admission MemoryGrant on that node
+        #: (empty when the caller runs without admission control)
+        self.reservations = reservations or {}
         self.config = cluster.config
         self.exec_config = cluster.config.executor
         registry = get_registry()
@@ -282,8 +286,10 @@ class JobExecutor:
                 )
             node.injector.hit("executor.operator", partition=partition,
                               op=repr(head), stage=stage.index)
+            reservation = self.reservations.get(node.node_id)
             head_ctx = TaskContext(
-                node, config, op_profiles[stage.head].cost(partition))
+                node, config, op_profiles[stage.head].cost(partition),
+                span=self.span, reservation=reservation)
             head_inputs = [routed[partition] for routed in routed_per_edge]
             head_ctx.cost.tuples_in += sum(len(x) for x in head_inputs)
             if not stage.pipelined:
@@ -291,7 +297,8 @@ class JobExecutor:
             tasks = [
                 op.start(
                     TaskContext(node, config,
-                                op_profiles[op_id].cost(partition)),
+                                op_profiles[op_id].cost(partition),
+                                span=self.span, reservation=reservation),
                     partition,
                 )
                 for op_id, op in zip(stage.op_ids[1:], ops[1:])

@@ -34,12 +34,21 @@ _TEMP_SEQ = itertools.count(1)
 
 
 class TaskContext:
-    """Per-(operator, partition) execution context."""
+    """Per-(operator, partition) execution context.
 
-    def __init__(self, node, config: ClusterConfig, cost: PartitionCost):
+    ``span`` (optional) receives ``memory_grant`` events; ``reservation``
+    is the query's admission reservation on this task's node (a
+    :class:`~repro.hyracks.memory.MemoryGrant`), the floor operator
+    grants borrow against.
+    """
+
+    def __init__(self, node, config: ClusterConfig, cost: PartitionCost,
+                 span=None, reservation=None):
         self.node = node                  # NodeController hosting this task
         self.config = config
         self.cost = cost
+        self.span = span
+        self.reservation = reservation
 
     # -- cost charging ---------------------------------------------------------
 
@@ -78,6 +87,22 @@ class TaskContext:
 
     def release_temp_file(self, handle) -> None:
         self.node.fm.delete_file(handle)
+
+    # -- working memory ----------------------------------------------------------
+
+    def acquire_memory(self, desired_frames: int, *, label: str = "op"):
+        """Request ``desired_frames`` working-memory frames from this
+        node's :class:`~repro.hyracks.memory.MemoryGovernor`.  The grant
+        may be smaller under contention (spill accordingly); release it
+        in a ``finally`` via :meth:`release_memory` or the grant's
+        context manager."""
+        return self.node.memory.acquire(
+            desired_frames, label=label, reservation=self.reservation,
+            span=self.span,
+        )
+
+    def release_memory(self, grant) -> None:
+        grant.release()
 
     @property
     def frame_size(self) -> int:

@@ -55,13 +55,15 @@ class HashGroupByOp(OperatorDescriptor):
         self.memory_frames = memory_frames
         self.spill_rounds = 0
 
-    def _budget_groups(self, ctx) -> int:
-        frames = (self.memory_frames if self.memory_frames is not None
-                  else ctx.config.node.group_memory_frames)
-        return max(2, frames * ctx.frame_size)
-
     def run(self, ctx, partition, inputs):
-        out = self._aggregate(ctx, inputs[0], self._budget_groups(ctx), 0)
+        desired = (self.memory_frames if self.memory_frames is not None
+                   else ctx.config.node.group_memory_frames)
+        grant = ctx.acquire_memory(desired, label="group-by")
+        try:
+            budget = max(2, grant.frames * ctx.frame_size)
+            out = self._aggregate(ctx, inputs[0], budget, 0)
+        finally:
+            ctx.release_memory(grant)
         ctx.cost.tuples_out += len(out)
         return out
 
@@ -93,8 +95,10 @@ class HashGroupByOp(OperatorDescriptor):
         out = [_finish_group(key, states) for key, states in groups.values()]
         for writer in overflow:
             reader = writer.finish()
-            spilled = list(reader)
-            reader.close()
+            try:
+                spilled = list(reader)   # exhaustion auto-releases the file
+            finally:
+                reader.close()           # idempotent; covers partial reads
             out.extend(self._aggregate(ctx, spilled, budget, depth + 1))
         return out
 

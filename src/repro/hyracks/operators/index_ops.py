@@ -8,7 +8,7 @@ rules emit them in place of scan+select.
 
 from __future__ import annotations
 
-from repro.adm.comparators import tuple_key
+from repro.adm.comparators import comparable_tuples, tuple_key
 from repro.adm.values import ARectangle
 from repro.hyracks.expressions import RuntimeExpr
 from repro.hyracks.job import OperatorDescriptor
@@ -38,11 +38,17 @@ class PrimaryKeySearchOp(OperatorDescriptor):
     def run(self, ctx, partition, inputs):
         storage = ctx.storage_partition(self.dataset, partition)
         before = ctx.node.io_snapshot()
+        lo, hi = self._bound(self.lo), self._bound(self.hi)
         out = []
         for pk, record in storage.scan(
-                self._bound(self.lo), self._bound(self.hi),
-                lo_inclusive=self.lo_inclusive,
+                lo, hi, lo_inclusive=self.lo_inclusive,
                 hi_inclusive=self.hi_inclusive):
+            # the consumed predicate is null on a key that is not
+            # type-comparable with its bound; match scan+select semantics
+            if lo is not None and not comparable_tuples(pk, lo):
+                continue
+            if hi is not None and not comparable_tuples(pk, hi):
+                continue
             out.append((*pk, record))
         ctx.node.charge_io_delta(ctx, before)
         ctx.charge_cpu(len(out))

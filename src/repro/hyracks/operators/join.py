@@ -44,19 +44,20 @@ class HybridHashJoinOp(OperatorDescriptor):
         self.right_width = right_width  # for outer padding
         self.spill_rounds = 0           # observability for E4
 
-    def _budget_tuples(self, ctx) -> int:
-        frames = (self.memory_frames if self.memory_frames is not None
-                  else ctx.config.node.join_memory_frames)
-        return max(2, frames * ctx.frame_size)
-
     @staticmethod
     def _key_of(tup, fields):
         return b"|".join(canonical_bytes(tup[i]) for i in fields)
 
     def run(self, ctx, partition, inputs):
         left, right = inputs
-        budget = self._budget_tuples(ctx)
-        out = self._join(ctx, left, right, budget, depth=0)
+        desired = (self.memory_frames if self.memory_frames is not None
+                   else ctx.config.node.join_memory_frames)
+        grant = ctx.acquire_memory(desired, label="join")
+        try:
+            budget = max(2, grant.frames * ctx.frame_size)
+            out = self._join(ctx, left, right, budget, depth=0)
+        finally:
+            ctx.release_memory(grant)
         ctx.cost.tuples_out += len(out)
         return out
 
@@ -82,9 +83,11 @@ class HybridHashJoinOp(OperatorDescriptor):
         out = []
         for lw, rw in zip(left_parts, right_parts):
             lr, rr = lw.finish(), rw.finish()
-            lpart, rpart = list(lr), list(rr)
-            lr.close()
-            rr.close()
+            try:
+                lpart, rpart = list(lr), list(rr)
+            finally:
+                lr.close()               # idempotent after exhaustion
+                rr.close()
             out.extend(self._join(ctx, lpart, rpart, budget, depth + 1))
         return out
 

@@ -19,6 +19,7 @@ import heapq
 from repro.adm.comparators import tuple_key
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks.runfile import RunFileWriter
+from repro.observability.metrics import get_registry
 
 
 class _Reversed:
@@ -58,15 +59,19 @@ class ExternalSortOp(OperatorDescriptor):
         self.descending = list(descending or [False] * len(fields))
         self.memory_frames = memory_frames
         self.last_run_counts: list[int] = []   # observability for E4
-
-    def _budget_tuples(self, ctx) -> int:
-        frames = (self.memory_frames if self.memory_frames is not None
-                  else ctx.config.node.sort_memory_frames)
-        return max(2, frames * ctx.frame_size)
+        self.last_merge_passes = 0             # read-back passes, incl. final
 
     def run(self, ctx, partition, inputs):
-        data = inputs[0]
-        budget = self._budget_tuples(ctx)
+        desired = (self.memory_frames if self.memory_frames is not None
+                   else ctx.config.node.sort_memory_frames)
+        grant = ctx.acquire_memory(desired, label="sort")
+        try:
+            return self._sort(ctx, inputs[0],
+                              max(2, grant.frames * ctx.frame_size))
+        finally:
+            ctx.release_memory(grant)
+
+    def _sort(self, ctx, data, budget):
         key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
         ctx.charge_cpu(len(data))
         if len(data) <= budget:
@@ -86,32 +91,65 @@ class ExternalSortOp(OperatorDescriptor):
                 writer.write(tup)
             runs.append(writer.finish())
         self.last_run_counts.append(len(runs))
-        # (recursive) k-way merge under the same budget, measured in runs
+        # k-way merge under the same budget, measured in runs: classic
+        # pass-structured merging — every pass sweeps the current run
+        # list once, merging groups of ``fan_in``, so each tuple is
+        # re-read/re-written at most ceil(log_fan_in(runs)) times.  (The
+        # old schedule *prepended* the merged run, re-merging the big
+        # accumulated run on every step — a quadratic read schedule.)
         fan_in = max(2, budget // ctx.frame_size)
+        passes = 0
         while len(runs) > fan_in:
-            merged_reader = self._merge_to_run(ctx, runs[:fan_in], key)
-            runs = [merged_reader] + runs[fan_in:]
+            passes += 1
+            next_runs = []
+            for i in range(0, len(runs), fan_in):
+                group = runs[i:i + fan_in]
+                if len(group) == 1:
+                    next_runs.append(group[0])
+                else:
+                    next_runs.append(self._merge_to_run(ctx, group, key))
+            runs = next_runs
+        passes += 1                      # the final merge into the output
+        self.last_merge_passes = passes
+        get_registry().counter("sort.merge_passes").inc(passes)
         out = list(self._merge_iter(ctx, runs, key))
         ctx.cost.tuples_out += len(out)
         return out
 
+    @staticmethod
+    def expected_merge_passes(num_runs: int, fan_in: int) -> int:
+        """ceil(log_fan_in(num_runs)), the textbook external-merge pass
+        count the implementation must match (asserted in tests).
+        Computed with integer ceil-division so exact powers of the
+        fan-in don't fall victim to float log rounding."""
+        passes, count = 0, max(1, num_runs)
+        while count > 1:
+            count = -(-count // fan_in)
+            passes += 1
+        return max(1, passes)
+
     def _merge_iter(self, ctx, runs, key):
-        iters = [iter(r) for r in runs]
-        heap = []
-        for rank, it in enumerate(iters):
-            for tup in it:
-                heap.append((key(tup), rank, id(tup), tup))
-                break
-        heapq.heapify(heap)
-        while heap:
-            _, rank, _, tup = heapq.heappop(heap)
-            ctx.charge_compare(1)
-            yield tup
-            for nxt in iters[rank]:
-                heapq.heappush(heap, (key(nxt), rank, id(nxt), nxt))
-                break
-        for r in runs:
-            r.close()
+        """Heap-merge ``runs``; every reader is closed in a ``finally``,
+        so an early-exiting consumer (LIMIT, a fault mid-merge) releases
+        every temp file instead of leaking it."""
+        try:
+            iters = [iter(r) for r in runs]
+            heap = []
+            for rank, it in enumerate(iters):
+                for tup in it:
+                    heap.append((key(tup), rank, id(tup), tup))
+                    break
+            heapq.heapify(heap)
+            while heap:
+                _, rank, _, tup = heapq.heappop(heap)
+                ctx.charge_compare(1)
+                yield tup
+                for nxt in iters[rank]:
+                    heapq.heappush(heap, (key(nxt), rank, id(nxt), nxt))
+                    break
+        finally:
+            for r in runs:
+                r.close()
 
     def _merge_to_run(self, ctx, runs, key):
         writer = RunFileWriter(ctx, "mergerun")

@@ -6,6 +6,14 @@ tuples to run files when their frame budget is exceeded (paper Fig. 2's
 file serializes tuples into real pages written sequentially through the
 node's file manager, so spill I/O shows up in the device counters like any
 other I/O.
+
+Lifecycle contract (enforced by ``tests/hyracks/test_runfile_lifecycle.py``
+and the ``temp-pairing`` lint rule): every temp file a writer creates is
+owned by exactly one :class:`RunFileReader` after :meth:`RunFileWriter.
+finish`, and that reader deletes it — either automatically when a full
+iteration exhausts it, or via :meth:`RunFileReader.close`, which consumers
+must call from a ``finally`` so an early-exiting iteration (a LIMIT that
+abandons a merge, an injected fault mid-pass) can never leak the file.
 """
 
 from __future__ import annotations
@@ -15,13 +23,26 @@ import struct
 from repro.adm.serializer import deserialize_tuple, serialize_tuple
 from repro.common.errors import StorageError
 
+#: Per-entry framing overhead: a big-endian uint32 length prefix; a page
+#: additionally ends with one zero length word as terminator, so the
+#: largest admissible entry is ``page_size - 8`` bytes of tuple data plus
+#: its own 4-byte prefix.
+_LEN = 4
+
 
 class RunFileWriter:
-    """Packs tuples into pages and writes them sequentially."""
+    """Packs tuples into pages and writes them sequentially.
+
+    Page layout: ``[len][entry]...[len][entry][0x00000000][zero pad]`` —
+    entries are length-prefixed serialized tuples, a zero length word
+    terminates the page, and the remainder is zero padding.
+    """
 
     def __init__(self, ctx, label: str = "run"):
         self.ctx = ctx
-        self.handle = ctx.make_temp_file(label)
+        # ownership transfers to the reader finish() returns, which
+        # releases the file on exhaustion/close
+        self.handle = ctx.make_temp_file(label)  # lint: allow-temp-pairing
         self.page_size = ctx.node.fm.page_size
         self._buffer = bytearray()
         self._page_no = 0
@@ -30,19 +51,16 @@ class RunFileWriter:
     def write(self, tup) -> None:
         data = serialize_tuple(tup)
         entry = struct.pack(">I", len(data)) + data
-        if len(entry) + 4 > self.page_size:
+        if len(entry) + _LEN > self.page_size:
             raise StorageError(
                 f"tuple of {len(entry)} bytes exceeds run-file page"
             )
-        if len(self._buffer) + len(entry) + 4 > self.page_size:
+        if len(self._buffer) + len(entry) + _LEN > self.page_size:
             self._flush_page()
         self._buffer.extend(entry)
         self.tuples_written += 1
 
     def _flush_page(self) -> None:
-        page = bytearray(self.page_size)
-        struct.pack_into(">I", page, 0, 0xFFFFFFFF)  # placeholder
-        # layout: [data...][last 4 bytes unused]; terminate with zero length
         page = self._buffer + b"\x00\x00\x00\x00"
         page = page.ljust(self.page_size, b"\x00")
         self.ctx.node.fm.write_page(self.handle, self._page_no, page,
@@ -59,27 +77,46 @@ class RunFileWriter:
 
 
 class RunFileReader:
-    """Sequentially reads a run file back; deletes it when exhausted."""
+    """Sequentially reads a run file back; deletes it when exhausted.
+
+    A completed iteration releases the temp file automatically; partial
+    consumers must :meth:`close` (idempotent) from a ``finally``.
+    Iterating after release raises :class:`StorageError` instead of
+    touching a freed handle.
+    """
 
     def __init__(self, ctx, handle, num_pages: int, num_tuples: int):
         self.ctx = ctx
         self.handle = handle
         self.num_pages = num_pages
         self.num_tuples = num_tuples
+        self.released = False
 
     def __iter__(self):
+        if self.released:
+            raise StorageError(
+                f"run file {self.handle.rel_path} iterated after release"
+            )
         for page_no in range(self.num_pages):
+            if self.released:
+                raise StorageError(
+                    f"run file {self.handle.rel_path} released mid-read"
+                )
             data = self.ctx.node.fm.read_page(self.handle, page_no,
                                               sequential=True)
             self.ctx.charge_io(0, 0, 1, 0)
             pos = 0
-            while pos + 4 <= len(data):
+            while pos + _LEN <= len(data):
                 (length,) = struct.unpack_from(">I", data, pos)
                 if length == 0:
                     break
-                pos += 4
+                pos += _LEN
                 yield deserialize_tuple(bytes(data[pos:pos + length]))
                 pos += length
+        self.close()    # exhausted: delete, as the class contract says
 
     def close(self) -> None:
+        if self.released:
+            return
+        self.released = True
         self.ctx.release_temp_file(self.handle)

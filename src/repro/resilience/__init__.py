@@ -19,6 +19,8 @@ from repro.resilience.faults import (
     FAULT_KINDS,
     DiskIOFault,
     FeedSourceFault,
+    MemoryBudgetFault,
+    MemoryPressureFault,
     NodeCrashFault,
     NodeState,
     OperatorFault,
@@ -42,6 +44,8 @@ __all__ = [
     "FaultSchedule",
     "FaultScheduleError",
     "FeedSourceFault",
+    "MemoryBudgetFault",
+    "MemoryPressureFault",
     "NO_FAULTS",
     "NodeCrashFault",
     "NodeState",

@@ -25,6 +25,14 @@ specifically and react per type:
 * :class:`FeedSourceFault` — the external source of a feed dropped; the
   feed layer backs off, re-pulls, and replays its pending batch with
   at-least-once, primary-key-deduplicated delivery.
+
+Two members of the band are *not* injectable — they surface naturally
+from the node-level memory governor (:mod:`repro.hyracks.memory`):
+
+* :class:`MemoryPressureFault` — an admission/feed memory request
+  queued past its capped wait; retried like any transient fault.
+* :class:`MemoryBudgetFault` — a minimum reservation larger than the
+  node's whole budget; rejected immediately, never queued.
 """
 
 from __future__ import annotations
@@ -102,6 +110,26 @@ class FeedSourceFault(ResilienceFault):
     """The external source behind a feed dropped its connection."""
 
     code = 3504
+    transient = False
+
+
+class MemoryPressureFault(ResilienceFault):
+    """A memory request queued against the node-level
+    :class:`~repro.hyracks.memory.MemoryGovernor` and the capped
+    admission wait expired before enough frames were released.  Unlike
+    the injectable faults above, this one arises *naturally* under
+    contention; it is transient — the job retry loop (or the feed
+    pump's backoff) re-requests once concurrent work has drained."""
+
+    code = 3505
+
+
+class MemoryBudgetFault(ResilienceFault):
+    """A memory request's *minimum* reservation exceeds the node's whole
+    ``query_memory_frames`` budget — no amount of waiting can ever admit
+    it, so the governor rejects immediately instead of queueing."""
+
+    code = 3506
     transient = False
 
 

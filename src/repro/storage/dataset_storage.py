@@ -287,8 +287,13 @@ class PartitionStorage:
         composite keys: a bound of ``("alice",)`` matches every entry whose
         secondary key equals "alice" regardless of primary key, which is why
         the upper bound cannot be passed to the raw scan directly (a longer
-        tuple sorts after its prefix)."""
-        from repro.adm.comparators import compare_tuples
+        tuple sorts after its prefix).
+
+        Entries whose key is not type-comparable with a bound are skipped:
+        the predicate this search stands in for evaluates to null on such
+        records (open fields may hold any type), so the scan+select plan
+        would drop them."""
+        from repro.adm.comparators import comparable_tuples, compare_tuples
 
         spec, index = self._index(index_name)
         if spec.kind != "btree":
@@ -302,6 +307,10 @@ class PartitionStorage:
                 c = compare_tuples(key[:len(hi)], hi)
                 if c > 0 or (c == 0 and not hi_inclusive):
                     return
+            if lo is not None and not comparable_tuples(key, lo):
+                continue
+            if hi is not None and not comparable_tuples(key, hi):
+                continue
             yield tuple(key[nfields:])
 
     def search_rtree(self, index_name: str, window: ARectangle):

@@ -100,6 +100,13 @@ class FileManager:
         handle.deleted = True
         self._files.pop(handle.file_id, None)
 
+    def handles_under(self, prefix: str) -> list[FileHandle]:
+        """Open handles whose ``rel_path`` starts with ``prefix`` (e.g.
+        ``"temp/"`` — the job retry loop purges those between attempts,
+        since an aborted attempt's spill files are garbage)."""
+        return [h for h in self._files.values()
+                if h.rel_path.startswith(prefix)]
+
     def get(self, file_id: int) -> FileHandle:
         try:
             return self._files[file_id]

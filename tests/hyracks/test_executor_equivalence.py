@@ -299,6 +299,46 @@ class TestStagePlanning:
         assert ProjectOp([0]).streaming
 
 
+class TestGovernorEquivalence:
+    """ISSUE-5 serial-equivalence guarantee: with one query at a time,
+    the memory governor — sized either amply or exactly to the old
+    per-operator defaults — must change nothing observable.  Grants
+    charge no simulated time and an uncontended request receives its
+    full ask, so results, tuple counts, and the simulated clock stay
+    byte-identical across every executor variant and both sizings."""
+
+    def _observe(self, tmp_path, name, executor, frames):
+        config = make_config(executor)
+        config.node.query_memory_frames = frames
+        data = [(i * 7919 % 500, i) for i in range(500)]
+        cluster = ClusterController(str(tmp_path / name), config)
+        try:
+            job = chain(
+                InMemorySourceOp(data),
+                (HashPartitionConnector([0]),
+                 ExternalSortOp([0], memory_frames=4)),
+                (MergeConnector([0]), ResultWriterOp()),
+            )
+            return observe(cluster.run_job(job))
+        finally:
+            cluster.close()
+
+    def test_governor_sizing_changes_nothing(self, tmp_path):
+        # tight = the admission floor (4) + the sort's 4-frame request
+        observations = {
+            (name, frames): self._observe(
+                tmp_path, f"{name}-{frames}", executor, frames)
+            for name, executor in VARIANTS
+            for frames in (4096, 8)
+        }
+        baseline = observations[("serial", 4096)]
+        keys = [t[0] for t in baseline["tuples"]]
+        assert keys == sorted(keys) and len(keys) == 500
+        for key, observation in observations.items():
+            assert observation == baseline, (
+                f"{key} diverged under the memory governor")
+
+
 class TestExecutorKnobs:
     def test_default_mode_is_parallel_pipelined(self):
         config = ClusterConfig()

@@ -1,0 +1,344 @@
+"""The node-level memory governor (ISSUE-5 tentpole).
+
+Unit coverage of :class:`repro.hyracks.memory.MemoryGovernor` — grants,
+reductions, reservation borrowing, admission queueing, crash reset — plus
+cluster-level contention tests: concurrent spilled queries must all
+complete with granted frames never exceeding ``query_memory_frames``,
+and over-capacity admission must fail with a typed 35xx error, never a
+hang.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.config import ClusterConfig, NodeConfig
+from repro.hyracks import (
+    ClusterController,
+    ColumnRef,
+    JobSpecification,
+    MemoryGovernor,
+    MergeConnector,
+    OneToOneConnector,
+)
+from repro.hyracks.operators import (
+    AggregateCall,
+    ExternalSortOp,
+    HashGroupByOp,
+    InMemorySourceOp,
+    ResultWriterOp,
+)
+from repro.hyracks.connectors import HashPartitionConnector
+from repro.observability.metrics import get_registry
+from repro.resilience import MemoryBudgetFault, MemoryPressureFault
+
+
+class TestGrants:
+    def test_uncontended_request_gets_everything(self):
+        gov = MemoryGovernor(64)
+        grant = gov.acquire(16, label="sort")
+        assert grant.frames == 16 and gov.used == 16
+        grant.release()
+        assert gov.used == 0
+
+    def test_contended_request_is_reduced_not_queued(self):
+        gov = MemoryGovernor(10)
+        first = gov.acquire(8)
+        started = time.perf_counter()
+        second = gov.acquire(8)
+        assert time.perf_counter() - started < 0.5   # never waits
+        assert second.frames == 2                     # reduced grant
+        assert gov.used == 10
+        first.release()
+        second.release()
+
+    def test_empty_pool_without_reservation_raises_typed(self):
+        gov = MemoryGovernor(4)
+        hog = gov.acquire(4)
+        with pytest.raises(MemoryPressureFault) as e:
+            gov.acquire(2)
+        assert e.value.code == 3505
+        hog.release()
+
+    def test_release_is_idempotent(self):
+        gov = MemoryGovernor(8)
+        grant = gov.acquire(4)
+        grant.release()
+        grant.release()
+        assert gov.used == 0
+
+    def test_grant_is_a_context_manager(self):
+        gov = MemoryGovernor(8)
+        with gov.acquire(4) as grant:
+            assert grant.frames == 4
+        assert gov.used == 0
+
+    def test_peak_tracks_high_water_mark(self):
+        gov = MemoryGovernor(32, node_id=77)
+        a = gov.acquire(10)
+        b = gov.acquire(12)
+        a.release()
+        b.release()
+        assert gov.peak == 22 and gov.used == 0
+        assert get_registry().gauge(
+            "memory.node77.peak_frames").value == 22
+
+
+class TestReservations:
+    def test_operator_borrows_reservation_floor_first(self):
+        gov = MemoryGovernor(10)
+        res = gov.admit(4)
+        hog = gov.acquire(6)              # drains the free pool
+        grant = gov.acquire(8, reservation=res)
+        # nothing free, but the admission floor guarantees progress
+        assert grant.frames == 4 and grant.borrowed == 4
+        assert res.available == 0
+        grant.release()
+        assert res.available == 4          # floor restored, not leaked
+        assert gov.used == 10              # hog + reservation still out
+        hog.release()
+        res.release()
+        assert gov.used == 0
+
+    def test_borrowed_frames_do_not_double_count(self):
+        gov = MemoryGovernor(10)
+        res = gov.admit(4)
+        grant = gov.acquire(10, reservation=res)
+        assert grant.borrowed == 4 and grant.frames == 10
+        assert gov.used == 10              # 4 reserved + 6 extra, once
+        grant.release()
+        res.release()
+        assert gov.used == 0
+
+
+class TestAdmission:
+    def test_over_capacity_rejected_immediately(self):
+        gov = MemoryGovernor(16)
+        started = time.perf_counter()
+        with pytest.raises(MemoryBudgetFault) as e:
+            gov.admit(17, timeout_ms=60_000)
+        assert time.perf_counter() - started < 1.0    # no queueing
+        assert e.value.code == 3506
+
+    def test_capped_wait_expires_as_pressure_fault(self):
+        gov = MemoryGovernor(8)
+        hog = gov.admit(8)
+        with pytest.raises(MemoryPressureFault) as e:
+            gov.admit(4, timeout_ms=50)
+        assert e.value.code == 3505
+        hog.release()
+
+    def test_queued_admission_completes_on_release(self):
+        gov = MemoryGovernor(8)
+        hog = gov.admit(8)
+        admitted = []
+
+        def waiter():
+            admitted.append(gov.admit(4, timeout_ms=5000))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not admitted                # genuinely queued
+        hog.release()
+        thread.join(timeout=5)
+        assert admitted and admitted[0].frames == 4
+        admitted[0].release()
+        assert gov.used == 0
+
+
+class TestCrashReset:
+    def test_stale_release_after_reset_is_dropped(self):
+        gov = MemoryGovernor(16)
+        grant = gov.acquire(8)
+        gov.reset()
+        assert gov.used == 0
+        grant.release()                    # pre-crash lease: no-op
+        assert gov.used == 0
+
+    def test_stale_reservation_not_borrowed_after_reset(self):
+        gov = MemoryGovernor(16)
+        res = gov.admit(4)
+        gov.reset()
+        grant = gov.acquire(8, reservation=res)
+        assert grant.borrowed == 0 and grant.frames == 8
+        grant.release()
+        assert gov.used == 0
+
+
+def contended_config(**node_overrides):
+    node = NodeConfig(buffer_cache_pages=128, memory_component_pages=64,
+                      sort_memory_frames=32, group_memory_frames=32,
+                      **node_overrides)
+    return ClusterConfig(num_nodes=2, partitions_per_node=2,
+                         frame_size=16, node=node)
+
+
+def sort_job(data):
+    job = JobSpecification()
+    src = job.add_operator(InMemorySourceOp(data))
+    sort = job.add_operator(ExternalSortOp([0]))
+    sink = job.add_operator(ResultWriterOp())
+    job.connect(HashPartitionConnector([0]), src, sort)
+    job.connect(MergeConnector([0]), sort, sink)
+    return job
+
+
+class TestClusterContention:
+    def test_concurrent_queries_stay_under_budget(self, tmp_path):
+        """Three spilled sorts race; every grant fits under
+        ``query_memory_frames``, at least one is reduced, and all three
+        queries complete correctly (reduced grants mean more spilling,
+        never failure).  Capacity 30 < admission floor + the sort's
+        32-frame request, so reduction is guaranteed even before the
+        concurrent admissions tighten the pool further."""
+        registry = get_registry()
+        registry.counter("memory.reduced_grants").reset()
+        config = contended_config(query_memory_frames=30,
+                                  query_admission_frames=4)
+        cluster = ClusterController(str(tmp_path / "c"), config)
+        try:
+            datasets = [
+                [(i * 7919 % 400, q) for i in range(400)]
+                for q in range(3)
+            ]
+            results: dict = {}
+            errors: list = []
+
+            def run(q):
+                try:
+                    results[q] = cluster.run_job(sort_job(datasets[q]))
+                except Exception as exc:          # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=run, args=(q,))
+                       for q in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for q in range(3):
+                keys = [t[0] for t in results[q].tuples]
+                assert keys == sorted(keys) and len(keys) == 400
+            for node in cluster.nodes:
+                assert node.memory.peak <= node.memory.capacity
+                assert node.memory.used == 0      # everything released
+                assert node.live_temp_files() == []
+            assert registry.counter("memory.reduced_grants").value >= 1
+        finally:
+            cluster.close()
+
+    def test_over_capacity_admission_fails_typed_not_hang(self, tmp_path):
+        config = contended_config(query_memory_frames=8,
+                                  query_admission_frames=16,
+                                  admission_timeout_ms=100.0)
+        cluster = ClusterController(str(tmp_path / "c"), config)
+        try:
+            started = time.perf_counter()
+            with pytest.raises(MemoryBudgetFault) as e:
+                cluster.run_job(sort_job([(i, i) for i in range(50)]))
+            assert e.value.code == 3506
+            # rejected immediately: no admission wait, no retry backoff
+            assert time.perf_counter() - started < 2.0
+            for node in cluster.nodes:
+                assert node.memory.used == 0       # rollback complete
+        finally:
+            cluster.close()
+
+    def test_saturated_pool_times_out_typed(self, tmp_path):
+        config = contended_config(query_memory_frames=16,
+                                  query_admission_frames=4,
+                                  admission_timeout_ms=50.0)
+        cluster = ClusterController(str(tmp_path / "c"), config)
+        try:
+            hogs = [node.memory.admit(16) for node in cluster.nodes]
+            with pytest.raises(MemoryPressureFault) as e:
+                cluster.run_job(sort_job([(i, i) for i in range(50)]))
+            assert e.value.code == 3505
+            for hog in hogs:
+                hog.release()
+            # pool drained: the same job is admitted and runs through
+            result = cluster.run_job(sort_job([(i, i) for i in range(50)]))
+            assert len(result.tuples) == 50
+        finally:
+            cluster.close()
+
+    def test_governor_sized_to_defaults_changes_nothing(self, tmp_path):
+        """Serial-equivalence: one query at a time, the governor sized
+        ample vs. exactly tight, must produce identical observations."""
+        data = [(i * 31 % 200, i) for i in range(300)]
+
+        def observed(name, frames):
+            config = contended_config(query_memory_frames=frames,
+                                      query_admission_frames=4)
+            cluster = ClusterController(str(tmp_path / name), config)
+            try:
+                job = JobSpecification()
+                src = job.add_operator(InMemorySourceOp(data))
+                grp = job.add_operator(HashGroupByOp(
+                    [0], [AggregateCall("count", ColumnRef(1))],
+                    memory_frames=2))
+                sink = job.add_operator(ResultWriterOp())
+                job.connect(HashPartitionConnector([0]), src, grp)
+                job.connect(OneToOneConnector(), grp, sink)
+                result = cluster.run_job(job)
+                return (sorted(result.tuples),
+                        result.profile.simulated_us)
+            finally:
+                cluster.close()
+
+        # tight = admission floor + the operator's 2-frame request
+        assert observed("ample", 4096) == observed("tight", 6)
+
+
+class TestFeedBackpressure:
+    def test_feed_batches_take_and_release_grants(self, tmp_path):
+        from repro import connect
+        from repro.feeds import FeedManager, GeneratorSource
+
+        with connect(str(tmp_path / "db")) as db:
+            db.execute("""
+                CREATE TYPE T AS { id: int };
+                CREATE DATASET D(T) PRIMARY KEY id;
+            """)
+            feeds = FeedManager(db)
+            feeds.create_feed(
+                "f", GeneratorSource({"id": i} for i in range(40)),
+                batch_size=16)
+            feeds.connect_feed("f", "D")
+            feeds.start_feed("f")
+            assert feeds.pump("f") == 40
+            for node in db.cluster.nodes:
+                assert node.memory.used == 0
+
+    def test_saturated_node_backpressures_feed(self, tmp_path):
+        from repro import connect
+        from repro.common.config import ClusterConfig, NodeConfig
+        from repro.feeds import FeedManager, GeneratorSource
+
+        config = ClusterConfig(
+            num_nodes=1, partitions_per_node=1,
+            node=NodeConfig(query_memory_frames=8, feed_memory_frames=4,
+                            admission_timeout_ms=50.0))
+        with connect(str(tmp_path / "db"), config) as db:
+            db.execute("""
+                CREATE TYPE T AS { id: int };
+                CREATE DATASET D(T) PRIMARY KEY id;
+            """)
+            feeds = FeedManager(db)
+            feeds.create_feed(
+                "f", GeneratorSource({"id": i} for i in range(10)),
+                batch_size=10)
+            feeds.connect_feed("f", "D")
+            feeds.start_feed("f")
+            hog = db.cluster.nodes[0].memory.admit(8)
+            with pytest.raises(MemoryPressureFault):
+                feeds.pump("f")
+            # the staged batch survived the backpressure fault ...
+            assert len(feeds.feeds["f"].pending) == 10
+            hog.release()
+            # ... and replays in full once the pool drains
+            assert feeds.pump("f") == 10
+            assert db.query("SELECT VALUE COUNT(*) FROM D d;") == [10]

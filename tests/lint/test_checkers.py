@@ -10,6 +10,7 @@ from tools.lint.checkers import (
     CHECKERS,
     check_node_lock,
     check_swallowed_faults,
+    check_temp_pairing,
     check_unused_imports,
     check_wallclock,
     lint_source,
@@ -334,9 +335,94 @@ class TestUnusedImports:
         assert rules(findings) == []
 
 
+class TestTempPairing:
+    OP_PATH = "src/repro/hyracks/operators/spiller.py"
+
+    def test_flags_unpaired_make_temp_file(self):
+        findings = lint(
+            """
+            def leaky(ctx):
+                handle = ctx.make_temp_file("x")
+                return handle
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == ["temp-pairing"]
+        assert "release_temp_file" in findings[0].message
+
+    def test_paired_release_passes(self):
+        findings = lint(
+            """
+            def careful(ctx):
+                handle = ctx.make_temp_file("x")
+                try:
+                    use(handle)
+                finally:
+                    ctx.release_temp_file(handle)
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == []
+
+    def test_flags_writer_without_finish(self):
+        findings = lint(
+            """
+            def leaky(ctx, data):
+                writer = RunFileWriter(ctx, "run")
+                for tup in data:
+                    writer.write(tup)
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == ["temp-pairing"]
+        assert "finish()" in findings[0].message
+
+    def test_writer_reaching_finish_passes(self):
+        findings = lint(
+            """
+            def careful(ctx, data):
+                writer = RunFileWriter(ctx, "run")
+                for tup in data:
+                    writer.write(tup)
+                return writer.finish()
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == []
+
+    def test_release_in_nested_function_does_not_count(self):
+        findings = lint(
+            """
+            def leaky(ctx):
+                handle = ctx.make_temp_file("x")
+
+                def later():
+                    ctx.release_temp_file(handle)
+                return later
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == ["temp-pairing"]
+
+    def test_suppression_comment(self):
+        findings = lint(
+            """
+            def transfer(ctx):
+                return ctx.make_temp_file("x")  # lint: allow-temp-pairing
+            """,
+            self.OP_PATH,
+        )
+        assert rules(findings) == []
+
+    def test_not_scoped_outside_runtime_paths(self):
+        source = "def f(ctx):\n    return ctx.make_temp_file('x')\n"
+        assert lint_source(source, "tools/bench_runner.py") == []
+
+
 class TestRegistry:
     def test_at_least_three_project_checkers(self):
-        project = {check_wallclock, check_node_lock, check_swallowed_faults}
+        project = {check_wallclock, check_node_lock, check_swallowed_faults,
+                   check_temp_pairing}
         registered = {checker for checker, _ in CHECKERS}
         assert project <= registered
         assert check_unused_imports in registered

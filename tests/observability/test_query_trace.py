@@ -59,8 +59,12 @@ class TestTracedExecution:
     def test_execute_span_has_operator_events(self, db):
         trace = db.execute(QUERY, trace=True).trace
         events = trace.find_phase("execute").events
-        assert events and all(e["name"] in ("operator", "stage")
-                              for e in events)
+        assert events and all(
+            e["name"] in ("operator", "stage",
+                          "memory_admission", "memory_grant")
+            for e in events)
+        # admission control reserved frames on every node for this query
+        assert sum(e["name"] == "memory_admission" for e in events) >= 1
         op_events = [e for e in events if e["name"] == "operator"]
         stage_events = [e for e in events if e["name"] == "stage"]
         assert op_events and stage_events

@@ -2,13 +2,16 @@
 """Benchmark runner: wall-clock + simulated time, serial vs parallel.
 
 Runs a small suite of end-to-end workloads against the embedded instance
-and writes a JSON report (default ``BENCH_PR3.json``) with, for each
+and writes a JSON report (default ``BENCH_PR5.json``) with, for each
 benchmark, wall-clock seconds and the simulated-clock microseconds, plus
 a head-to-head of the serial materialize-everything executor against the
-pipelined parallel one on a scan/sort-heavy multi-partition job, and a
+pipelined parallel one on a scan/sort-heavy multi-partition job, a
 fault-free vs fault-injected comparison of the same query+ingest
 workload (the resilience tax: retries, a node restart with WAL replay,
-and simulated backoff, with results verified identical).
+and simulated backoff, with results verified identical), and a
+memory-pressure sweep: concurrent spilled sorts under a shrinking
+node-level memory-governor budget (reduced grants, merge passes, spill
+volume, zero leaked run files).
 
 The head-to-head runs with ``NodeConfig.io_latency_us`` set, emulating a
 device where every page touch costs real microseconds (the sleep releases
@@ -218,6 +221,107 @@ def run_fault_overhead(base_dir: str, quick: bool) -> dict:
     }
 
 
+def run_memory_pressure(base_dir: str, quick: bool) -> dict:
+    """E4-style budget sweep under concurrency (ISSUE-5): the same
+    spilled-sort workload at a shrinking node budget, with several
+    concurrent queries arbitrated by the per-node memory governor.
+    Records reduced grants, merge passes, spill runs, and wall time per
+    budget; every query must complete with correct results and the
+    governor's peak must never exceed the budget."""
+    import threading
+
+    from repro.hyracks import ClusterController, JobSpecification
+    from repro.hyracks.connectors import (
+        HashPartitionConnector,
+        MergeConnector,
+    )
+    from repro.hyracks.operators import (
+        ExternalSortOp,
+        InMemorySourceOp,
+        ResultWriterOp,
+    )
+    from repro.observability.metrics import get_registry
+
+    n_tuples = 600 if quick else 3000
+    concurrency = 3
+    budgets = [4096, 64, 24, 12]
+    data = [(i * 7919 % n_tuples, i) for i in range(n_tuples)]
+    registry = get_registry()
+    rows = []
+    for budget in budgets:
+        config = ClusterConfig(
+            num_nodes=2, partitions_per_node=2, frame_size=16,
+            node=NodeConfig(buffer_cache_pages=128,
+                            memory_component_pages=64,
+                            sort_memory_frames=32,
+                            query_memory_frames=budget,
+                            query_admission_frames=2),
+        )
+        cluster = ClusterController(
+            os.path.join(base_dir, f"mem_{budget}"), config)
+        try:
+            sorts = [ExternalSortOp([0]) for _ in range(concurrency)]
+            jobs = []
+            for op in sorts:
+                job = JobSpecification()
+                src = job.add_operator(InMemorySourceOp(data))
+                sort = job.add_operator(op)
+                sink = job.add_operator(ResultWriterOp())
+                job.connect(HashPartitionConnector([0]), src, sort)
+                job.connect(MergeConnector([0]), sort, sink)
+                jobs.append(job)
+            results: dict = {}
+            errors: list = []
+
+            def run(q, job):
+                try:
+                    results[q] = cluster.run_job(job)
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            before = registry.snapshot()
+            started = time.perf_counter()
+            threads = [threading.Thread(target=run, args=(q, job))
+                       for q, job in enumerate(jobs)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - started
+            delta = registry.delta(before)
+            correct = not errors and all(
+                [t[0] for t in results[q].tuples]
+                == sorted(t[0] for t in results[q].tuples)
+                and len(results[q].tuples) == n_tuples
+                for q in range(concurrency)
+            )
+            peak = max(node.memory.peak for node in cluster.nodes)
+            rows.append({
+                "budget_frames": budget,
+                "concurrent_queries": concurrency,
+                "wall_seconds": round(wall, 6),
+                "completed": correct,
+                "peak_frames": peak,
+                "within_budget": peak <= budget,
+                "reduced_grants": delta.get("memory.reduced_grants", 0),
+                "merge_passes": delta.get("sort.merge_passes", 0),
+                "spill_runs": sum(sum(op.last_run_counts)
+                                  for op in sorts),
+                "admission_waits": delta.get(
+                    "memory.admission_waits", 0),
+                "leaked_temp_files": sum(
+                    len(node.live_temp_files())
+                    for node in cluster.nodes),
+            })
+        finally:
+            cluster.close()
+    return {
+        "workload": f"{concurrency} concurrent spilled sorts of "
+                    f"{n_tuples} tuples, budget sweep",
+        "sweep": rows,
+    }
+
+
 def main(argv=None) -> int:
     # verification is on for benchmarks too; its cost is part of the
     # compile phases the reports break out, not of operator runtime
@@ -227,8 +331,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small datasets / few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default="BENCH_PR3.json",
-                        help="report path (default: BENCH_PR3.json)")
+    parser.add_argument("-o", "--output", default="BENCH_PR5.json",
+                        help="report path (default: BENCH_PR5.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
@@ -237,11 +341,13 @@ def main(argv=None) -> int:
         benchmarks = run_query_benchmarks(base_dir, args.quick)
         comparison = run_serial_vs_parallel(base_dir, args.quick)
         fault_overhead = run_fault_overhead(base_dir, args.quick)
+        memory_pressure = run_memory_pressure(base_dir, args.quick)
         report = {
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
             "serial_vs_parallel": comparison,
             "fault_overhead": fault_overhead,
+            "memory_pressure": memory_pressure,
             "total_seconds": round(time.perf_counter() - started, 3),
         }
     finally:
@@ -263,16 +369,28 @@ def main(argv=None) -> int:
           f"{fault_overhead['fault_injected_wall_seconds']*1e3:.2f} ms "
           f"faulted ({fault_overhead['overhead_ratio']}x, "
           f"{fault_overhead['faults_injected']} faults)")
+    for row in memory_pressure["sweep"]:
+        print(f"  memory budget {row['budget_frames']:>5} frames: "
+              f"wall {row['wall_seconds']*1e3:8.2f} ms  "
+              f"spill runs {row['spill_runs']:>4}  "
+              f"reduced grants {row['reduced_grants']:>3}  "
+              f"peak {row['peak_frames']}")
 
+    sweep = memory_pressure["sweep"]
     ok = (comparison["identical_results"]
           and comparison["identical_simulated_us"]
           and comparison["speedup"] >= 1.5
           and fault_overhead["identical_state"]
-          and fault_overhead["faults_injected"] >= 3)
+          and fault_overhead["faults_injected"] >= 3
+          and all(row["completed"] and row["within_budget"]
+                  and row["leaked_temp_files"] == 0 for row in sweep)
+          and any(row["reduced_grants"] >= 1 for row in sweep))
     if not ok:
-        print("FAIL: parallel executor or resilience layer did not meet "
-              "the bar (identical results, >=1.5x wall-clock, identical "
-              "faulted state)", file=sys.stderr)
+        print("FAIL: parallel executor, resilience layer, or memory "
+              "governor did not meet the bar (identical results, >=1.5x "
+              "wall-clock, identical faulted state, all budget-sweep "
+              "queries completed within budget with zero leaked run "
+              "files and at least one reduced grant)", file=sys.stderr)
         return 1
     return 0
 

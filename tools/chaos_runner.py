@@ -11,7 +11,11 @@ boundary, operator failure, disk I/O error) — and asserts that:
   identical, digest included,
 * at least three distinct fault kinds actually fired,
 * the ``resilience.*`` metrics show at least one WAL replay and at least
-  one job retry, so the equivalence was earned, not vacuous.
+  one job retry, so the equivalence was earned, not vacuous,
+* zero run files remain on any node after either run — the workload's
+  sort budget is deliberately tiny so queries spill, and faults striking
+  mid-spill must not leak the abandoned runs (the retry loop purges
+  them between attempts).
 
 Writes a JSON report (default ``chaos_report.json``) and exits non-zero
 on any divergence or unexercised recovery path.
@@ -68,6 +72,9 @@ QUERIES = [
     "ORDER BY m.messageId;",
     "SELECT age, COUNT(*) AS n FROM Users u GROUP BY u.age AS age "
     "ORDER BY age;",
+    # a full sort of the fed messages: under the tiny sort budget this
+    # spills run files, so faults can strike mid-spill
+    "SELECT VALUE m.text FROM Msgs m ORDER BY m.text;",
 ]
 
 
@@ -102,9 +109,13 @@ def run_workload(base_dir: str, schedule: FaultSchedule | None) -> dict:
     injector = FaultInjector()
     config = ClusterConfig(
         num_nodes=2, partitions_per_node=2,
+        # small frames + tiny sort budget: the ORDER BY over the fed
+        # messages spills run files, exercising the leak-free lifecycle
+        frame_size=8,
         # tiny cache: query scans after the flush go to real pages, so
         # the disk.read_page site sees traffic
-        node=NodeConfig(buffer_cache_pages=8),
+        node=NodeConfig(buffer_cache_pages=8, sort_memory_frames=2,
+                        group_memory_frames=2),
     )
     db = connect(base_dir, config, injector=injector)
     try:
@@ -160,6 +171,8 @@ def run_workload(base_dir: str, schedule: FaultSchedule | None) -> dict:
                         if k.startswith("resilience.")},
             "fault_firings": list(injector.history),
             "simulated_clock_us": db.cluster.clock.now_us,
+            "leaked_temp_files": sum(
+                len(node.live_temp_files()) for node in db.cluster.nodes),
         }
     finally:
         injector.disarm()
@@ -201,6 +214,8 @@ def main(argv=None) -> int:
         "wal_replays_>=1": metrics.get("resilience.wal_replays", 0) >= 1,
         "job_retries_>=1": metrics.get("resilience.job_retries", 0) >= 1,
         "baseline_saw_no_faults": not baseline["fault_firings"],
+        "no_leaked_runfiles": (baseline["leaked_temp_files"] == 0
+                               and chaos["leaked_temp_files"] == 0),
     }
     report = {
         "seed": args.seed,

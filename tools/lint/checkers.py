@@ -201,6 +201,70 @@ def check_swallowed_faults(path: str, tree: ast.AST, source_lines) -> list:
     return findings
 
 
+# --- checker: temp files must be paired with their release ------------------
+
+def _function_calls(func: ast.AST):
+    """Attribute/Name call targets inside ``func``, excluding nested
+    function bodies (a release in a nested closure isn't a release on
+    this function's paths)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue                   # don't descend into nested scopes
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                yield node, node.func.attr
+            elif isinstance(node.func, ast.Name):
+                yield node, node.func.id
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check_temp_pairing(path: str, tree: ast.AST, source_lines) -> list:
+    """temp-pairing: in operator/runtime code, a function that creates a
+    temp file must also arrange its release on the same function's
+    paths — ``make_temp_file`` pairs with ``release_temp_file``, and a
+    ``RunFileWriter`` must reach ``finish()`` (which transfers ownership
+    to the reader that deletes the file).  The sanctioned
+    ownership-transfer points suppress with ``# lint: allow-temp-pairing``.
+    """
+    findings = []
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        makes, writers = [], []
+        names = set()
+        for call, name in _function_calls(func):
+            names.add(name)
+            if name == "make_temp_file":
+                makes.append(call)
+            elif name == "RunFileWriter":
+                writers.append(call)
+        for call in makes:
+            if "release_temp_file" in names:
+                continue
+            if _allowed(source_lines, call.lineno, "temp-pairing"):
+                continue
+            findings.append(Finding(
+                path, call.lineno, call.col_offset, "temp-pairing",
+                f"make_temp_file in `{func.name}` without a "
+                f"release_temp_file on the same function's paths; the "
+                f"file leaks if this function is the owner",
+            ))
+        for call in writers:
+            if "finish" in names:
+                continue
+            if _allowed(source_lines, call.lineno, "temp-pairing"):
+                continue
+            findings.append(Finding(
+                path, call.lineno, call.col_offset, "temp-pairing",
+                f"RunFileWriter in `{func.name}` never reaches finish(); "
+                f"the temp file has no reader to delete it",
+            ))
+    return findings
+
+
 # --- checker: unused module-level imports -----------------------------------
 
 def check_unused_imports(path: str, tree: ast.AST, source_lines) -> list:
@@ -253,6 +317,7 @@ def check_unused_imports(path: str, tree: ast.AST, source_lines) -> list:
 CHECKERS = (
     (check_wallclock, SIMULATED_CLOCK_PATHS),
     (check_node_lock, ("src/repro/hyracks/",)),
+    (check_temp_pairing, ("src/repro/hyracks/", "src/repro/storage/")),
     (check_swallowed_faults, ()),
     (check_unused_imports, ()),
 )
