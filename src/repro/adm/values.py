@@ -517,17 +517,24 @@ def tag_of(value) -> TypeTag:
     raise InvalidArgumentError(f"not an ADM value: {value!r} ({type(value)})")
 
 
+def fnv1a_bytes(data: bytes, seed: int = 0) -> int:
+    """FNV-1a over a byte string — the primitive under :func:`hash_value`.
+    Exposed so callers that already hold a value's canonical bytes (the
+    runtime key cache) can hash without re-canonicalizing."""
+    h = (0xCBF29CE484222325 ^ seed) & 0xFFFFFFFFFFFFFFFF
+    for b in data:
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
 def hash_value(value, seed: int = 0) -> int:
     """Deterministic 64-bit hash of an ADM value, used for hash partitioning
     (paper: 'primary key-based hash partitioning of all datasets') and hash
     joins/aggregation.  FNV-1a over the value's canonical byte string so it
     is stable across processes and runs.
     """
-    h = (0xCBF29CE484222325 ^ seed) & 0xFFFFFFFFFFFFFFFF
-    for b in _canonical_bytes(value):
-        h ^= b
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return h
+    return fnv1a_bytes(_canonical_bytes(value), seed)
 
 
 def canonical_bytes(value) -> bytes:

@@ -17,6 +17,7 @@ fixpoint.  The headline rewrites:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from repro.algebricks.expressions import (
@@ -175,6 +176,60 @@ def rule_selects_into_join_condition(op, ctx):
     parts.append(op.condition)
     child.condition = make_conjunction(parts)
     return child, True
+
+
+def rule_extract_join_keys(op, ctx):
+    """Computed equi-join keys — ``eq(f(left), g(right))`` conjuncts where
+    each side's free variables come wholly from one join input — are
+    assigned to fresh variables below the inputs and the conjunct is
+    rewritten to ``eq($$l, $$r)``, the only form jobgen's equi-split
+    recognizes.  Without this, ``ON m.authorId = u.id`` compiles to a
+    broadcast nested-loop join that evaluates the predicate |L|x|R|
+    times; with it, the join becomes a partitioned hash join (the 28x
+    join_groupby speedup in docs/PERFORMANCE.md is mostly this rule)."""
+    if not isinstance(op, Join) or ctx.next_var is None:
+        return op, False
+    left_schema = set(op.child_schema(0))
+    right_schema = set(op.child_schema(1))
+    new_parts = []
+    left_assigns: list = []
+    right_assigns: list = []
+    changed = False
+    for part in conjuncts(op.condition):
+        rewritten = None
+        if (isinstance(part, LCall) and part.name == "eq"
+                and len(part.args) == 2):
+            a, b = part.args
+            fa, fb = free_vars(a), free_vars(b)
+            if (fa and fb and fa <= right_schema and fb <= left_schema
+                    and not (fa <= left_schema and fb <= right_schema)):
+                a, b, fa, fb = b, a, fb, fa
+            if (fa and fb and fa <= left_schema and fb <= right_schema
+                    and not (isinstance(a, LVar) and isinstance(b, LVar))):
+                if isinstance(a, LVar):
+                    lv = a.var
+                else:
+                    lv = ctx.next_var()
+                    left_assigns.append((lv, a))
+                if isinstance(b, LVar):
+                    rv = b.var
+                else:
+                    rv = ctx.next_var()
+                    right_assigns.append((rv, b))
+                rewritten = LCall("eq", [LVar(lv), LVar(rv)])
+        if rewritten is None:
+            new_parts.append(part)
+        else:
+            changed = True
+            new_parts.append(rewritten)
+    if not changed:
+        return op, False
+    for var, expr in left_assigns:
+        op.inputs[0] = Assign(var=var, expr=expr, inputs=[op.inputs[0]])
+    for var, expr in right_assigns:
+        op.inputs[1] = Assign(var=var, expr=expr, inputs=[op.inputs[1]])
+    op.condition = make_conjunction(new_parts)
+    return op, True
 
 
 def rule_push_limit_into_order(op, ctx):
@@ -582,6 +637,7 @@ _NORMALIZE_RULES = [
     rule_remove_true_selects,
     rule_push_select_down,
     rule_selects_into_join_condition,
+    rule_extract_join_keys,
     rule_push_limit_into_order,
 ]
 
@@ -638,6 +694,22 @@ def _maybe_verify(op: LogicalOp, rule=None) -> None:
     verify_plan(op, rule=name)
 
 
+def _fresh_var_allocator(root: LogicalOp):
+    """A callable minting plan-variable ids strictly above every id the
+    plan already uses (schemas and referenced vars both count) — how
+    ``OptimizerContext.next_var`` gets populated."""
+    high = 0
+    for node in walk(root):
+        for v in node.schema():
+            if isinstance(v, int) and v > high:
+                high = v
+        for v in node.used_vars():
+            if isinstance(v, int) and v > high:
+                high = v
+    counter = itertools.count(high + 1)
+    return lambda: next(counter)
+
+
 def optimize(root: LogicalOp, metadata: MetadataView, *,
              enable_index_access: bool = True,
              max_passes: int = 12,
@@ -652,6 +724,7 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
     ctx = OptimizerContext(metadata=metadata,
                            enable_index_access=enable_index_access,
                            recorder=recorder)
+    ctx.next_var = _fresh_var_allocator(root)
     _maybe_verify(root)        # the translator's plan must be sound too
     for _ in range(max_passes):
         for _ in range(max_passes):

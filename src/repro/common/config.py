@@ -89,11 +89,20 @@ class ExecutorConfig:
     ``frame_size``-tuple frames through fused chains of streaming
     operators instead of materializing every operator's full output;
     turning it off reproduces the materialize-everything model.
+
+    ``compile_expressions`` makes the cluster compile every operator's
+    scalar expressions, predicates, and aggregate arguments into Python
+    closures once per job (``OperatorDescriptor.prepare``) instead of
+    interpreting expression trees per tuple.  Results, the simulated
+    clock, and per-operator tuple counts are byte-identical either way
+    (the equivalence suite asserts this); only wall-clock time differs.
+    See docs/PERFORMANCE.md.
     """
 
     mode: str = "parallel"            # "parallel" | "serial"
     workers: int | None = None        # None = one worker per node
     pipelining: bool = True
+    compile_expressions: bool = True
 
     @property
     def parallel(self) -> bool:

@@ -50,7 +50,7 @@ from dataclasses import dataclass, field
 from repro.common.config import ClusterConfig
 from repro.common.errors import MetadataError
 from repro.hyracks.executor import JobExecutor, make_worker_pool
-from repro.hyracks.job import JobSpecification
+from repro.hyracks.job import JobSpecification, prepare_job
 from repro.hyracks.memory import MemoryGovernor
 from repro.hyracks.profiler import JobProfile
 from repro.observability.metrics import get_registry
@@ -474,6 +474,11 @@ class ClusterController:
         exponential backoff — up to ``config.resilience.max_job_attempts``
         attempts total."""
         job.validate()
+        if self.config.executor.compile_expressions:
+            # compile every operator's expressions into closures once per
+            # job (see docs/PERFORMANCE.md); results and the simulated
+            # clock are byte-identical with the toggle off
+            prepare_job(job, self.config)
         attempt = 1
         while True:
             self.ensure_alive(span)

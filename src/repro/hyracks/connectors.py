@@ -54,13 +54,23 @@ class HashPartitionConnector(ConnectorDescriptor):
 
     def route(self, producer_outputs, num_consumers, ctx):
         outputs = [[] for _ in range(num_consumers)]
+        cols = tuple(self.key_fields)
+        # the job's shared key cache (when routing inside the executor):
+        # the hash computed here is reused byte-for-byte by the consuming
+        # join/group-by, which keys the very same tuple objects on the
+        # very same columns
+        cache = getattr(ctx, "key_cache", None)
+        num_producers = len(producer_outputs)
         for src, part in enumerate(producer_outputs):
             for tup in part:
-                key = tuple(tup[i] for i in self.key_fields)
-                target = hash_value(key) % num_consumers
+                if cache is not None:
+                    target = cache.key_hash(tup, cols) % num_consumers
+                else:
+                    key = tuple(tup[i] for i in cols)
+                    target = hash_value(key) % num_consumers
                 ctx.charge_hash(1)
-                if target != (src % num_consumers) or len(
-                        producer_outputs) != num_consumers:
+                if target != (src % num_consumers) \
+                        or num_producers != num_consumers:
                     ctx.charge_network(1)
                 outputs[target].append(tup)
         return outputs

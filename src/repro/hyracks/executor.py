@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 from repro.hyracks.connectors import OneToOneConnector
 from repro.hyracks.job import JobSpecification
+from repro.hyracks.keys import KeyCache
 from repro.hyracks.operators.base import TaskContext
 from repro.hyracks.operators.result import ResultWriterOp
 from repro.observability.metrics import get_registry
@@ -52,8 +53,9 @@ class _ConnCtx:
     """Cost sink for connector routing; the executor spreads the charge
     across the consuming partitions afterwards."""
 
-    def __init__(self, cost_model):
+    def __init__(self, cost_model, key_cache=None):
         self.cost = cost_model
+        self.key_cache = key_cache
         self.network_tuples = 0
         self.cpu_us = 0.0
 
@@ -151,6 +153,9 @@ class JobExecutor:
         self.reservations = reservations or {}
         self.config = cluster.config
         self.exec_config = cluster.config.executor
+        #: job-lifetime key-bytes/hash memo shared by partitioning
+        #: connectors, hash-join build/probe, group-by, and distinct
+        self.key_cache = KeyCache()
         registry = get_registry()
         self._m_stages = registry.counter("hyracks.executor.stages")
         self._m_tasks = registry.counter("hyracks.executor.tasks")
@@ -158,6 +163,7 @@ class JobExecutor:
         self._m_frames = registry.counter("hyracks.pipeline.frames")
         self._m_frame_tuples = registry.histogram(
             "hyracks.pipeline.frame_tuples")
+        self._m_batch_tuples = registry.counter("hyracks.batch.tuples")
 
     # -- coordinator ---------------------------------------------------------
 
@@ -207,6 +213,7 @@ class JobExecutor:
                     )
                 if isinstance(op, ResultWriterOp):
                     result_tuples = op.collected
+        self.key_cache.flush_metrics(get_registry())
         return result_tuples
 
     def _run_stage(self, stage: Stage, op_profiles, outputs) -> list:
@@ -217,7 +224,7 @@ class JobExecutor:
         # route each input edge of the stage head to its partitions
         routed_per_edge = []
         for edge in job.inputs_of(stage.head):
-            conn_ctx = _ConnCtx(self.config.cost)
+            conn_ctx = _ConnCtx(self.config.cost, key_cache=self.key_cache)
             routed = edge.connector.route(
                 outputs[edge.producer], width, conn_ctx
             )
@@ -289,7 +296,8 @@ class JobExecutor:
             reservation = self.reservations.get(node.node_id)
             head_ctx = TaskContext(
                 node, config, op_profiles[stage.head].cost(partition),
-                span=self.span, reservation=reservation)
+                span=self.span, reservation=reservation,
+                key_cache=self.key_cache)
             head_inputs = [routed[partition] for routed in routed_per_edge]
             head_ctx.cost.tuples_in += sum(len(x) for x in head_inputs)
             if not stage.pipelined:
@@ -298,7 +306,8 @@ class JobExecutor:
                 op.start(
                     TaskContext(node, config,
                                 op_profiles[op_id].cost(partition),
-                                span=self.span, reservation=reservation),
+                                span=self.span, reservation=reservation,
+                                key_cache=self.key_cache),
                     partition,
                 )
                 for op_id, op in zip(stage.op_ids[1:], ops[1:])
@@ -322,6 +331,7 @@ class JobExecutor:
     def _emit_frame(self, tasks, start: int, frame: list, sink: list):
         self._m_frames.inc()
         self._m_frame_tuples.observe(len(frame))
+        self._m_batch_tuples.inc(len(frame))
         self._push(tasks, start, frame, sink)
 
     @staticmethod

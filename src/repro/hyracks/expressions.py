@@ -1,4 +1,4 @@
-"""Runtime scalar expressions.
+"""Runtime scalar expressions: the interpreted IR and its compiler.
 
 The Algebricks job generator compiles each logical expression into this
 small IR, resolving variables to tuple field indexes.  Evaluation follows
@@ -9,6 +9,24 @@ MISSING, and quantified expressions short-circuit.
 ``env`` carries lambda-style bindings for variables introduced *inside* an
 expression (quantified variables, inline-collection iteration); ordinary
 query variables are compiled to :class:`ColumnRef` positions.
+
+Two evaluation strategies coexist:
+
+* ``expr.evaluate(tup, env)`` — tree interpretation, one Python-level
+  dispatch per IR node per tuple.  Always available; the reference
+  semantics.
+* :func:`compile_expr` — walks the tree **once per job** and emits nested
+  closures, so per-tuple evaluation pays no attribute lookups, no
+  registry indirection, and no argument-list building for the common
+  unary/binary shapes.  Operators compile their expressions in
+  ``prepare`` (see :meth:`repro.hyracks.job.OperatorDescriptor.prepare`),
+  gated by ``ExecutorConfig.compile_expressions``.
+
+Compiled closures MUST be deterministic and side-effect free, and must
+produce byte-identical results to ``evaluate`` on every input — the
+equivalence suite runs every query with compilation on and off and
+compares results and the simulated clock (docs/PERFORMANCE.md states the
+invariants).
 """
 
 from __future__ import annotations
@@ -25,6 +43,12 @@ class RuntimeExpr:
 
     def evaluate(self, tup, env=None):
         raise NotImplementedError
+
+    def _compile(self):
+        """Return a closure ``(tup, env=None) -> value`` equivalent to
+        ``evaluate``.  The default falls back to the interpreter so new
+        node types degrade gracefully instead of miscompiling."""
+        return self.evaluate
 
     def columns(self) -> set[int]:
         """All ColumnRef indexes under this expression (projection
@@ -44,6 +68,10 @@ class Const(RuntimeExpr):
     def evaluate(self, tup, env=None):
         return self.value
 
+    def _compile(self):
+        value = self.value
+        return lambda tup, env=None: value
+
     def __repr__(self):
         return f"Const({self.value!r})"
 
@@ -54,6 +82,10 @@ class ColumnRef(RuntimeExpr):
 
     def evaluate(self, tup, env=None):
         return tup[self.index]
+
+    def _compile(self):
+        index = self.index
+        return lambda tup, env=None: tup[index]
 
     def _collect_columns(self, out):
         out.add(self.index)
@@ -72,6 +104,16 @@ class VarRef(RuntimeExpr):
         if env is None or self.name not in env:
             raise CompilationError(f"unbound variable {self.name}")
         return env[self.name]
+
+    def _compile(self):
+        name = self.name
+
+        def lookup(tup, env=None):
+            if env is None or name not in env:
+                raise CompilationError(f"unbound variable {name}")
+            return env[name]
+
+        return lookup
 
     def __repr__(self):
         return f"VarRef({self.name})"
@@ -102,6 +144,88 @@ class FunctionCall(RuntimeExpr):
                 if v is None:
                     return None
         return self._func.impl(*values)
+
+    def _compile(self):
+        impl = self._func.impl
+        handles = self._func.handles_unknowns
+        arity = len(self.args)
+        # Binary calls over direct column/constant operands are the bulk
+        # of every predicate and key extractor (field_access($n, 'f'),
+        # eq($i, $j), lt($n, c)); fold the operand fetch into the call
+        # closure so each evaluation is one closure invocation total.
+        if arity == 2:
+            a, b = self.args
+            if isinstance(a, ColumnRef) and isinstance(b, Const):
+                i, c = a.index, b.value
+                if handles:
+                    return lambda tup, env=None: impl(tup[i], c)
+
+                def col_const(tup, env=None):
+                    v = tup[i]
+                    if v is MISSING or c is MISSING:
+                        return MISSING
+                    if v is None or c is None:
+                        return None
+                    return impl(v, c)
+
+                return col_const
+            if isinstance(a, ColumnRef) and isinstance(b, ColumnRef):
+                i, j = a.index, b.index
+                if handles:
+                    return lambda tup, env=None: impl(tup[i], tup[j])
+
+                def col_col(tup, env=None):
+                    va, vb = tup[i], tup[j]
+                    if va is MISSING or vb is MISSING:
+                        return MISSING
+                    if va is None or vb is None:
+                        return None
+                    return impl(va, vb)
+
+                return col_col
+            fa, fb = a._compile(), b._compile()
+            if handles:
+                return lambda tup, env=None: impl(fa(tup, env), fb(tup, env))
+
+            def binary(tup, env=None):
+                va = fa(tup, env)
+                vb = fb(tup, env)
+                if va is MISSING or vb is MISSING:
+                    return MISSING
+                if va is None or vb is None:
+                    return None
+                return impl(va, vb)
+
+            return binary
+        if arity == 1:
+            f0 = self.args[0]._compile()
+            if handles:
+                return lambda tup, env=None: impl(f0(tup, env))
+
+            def unary(tup, env=None):
+                v = f0(tup, env)
+                if v is MISSING:
+                    return MISSING
+                if v is None:
+                    return None
+                return impl(v)
+
+            return unary
+        fns = [a._compile() for a in self.args]
+        if handles:
+            return lambda tup, env=None: impl(*[f(tup, env) for f in fns])
+
+        def nary(tup, env=None):
+            values = [f(tup, env) for f in fns]
+            for v in values:
+                if v is MISSING:
+                    return MISSING
+            for v in values:
+                if v is None:
+                    return None
+            return impl(*values)
+
+        return nary
 
     def _collect_columns(self, out):
         for a in self.args:
@@ -144,6 +268,31 @@ class Quantified(RuntimeExpr):
                 return False
         return not self.some
 
+    def _compile(self):
+        coll_f = self.collection._compile()
+        pred_f = self.predicate._compile()
+        some, var = self.some, self.var
+
+        def quantify(tup, env=None):
+            coll = coll_f(tup, env)
+            if coll is MISSING:
+                return MISSING
+            if coll is None:
+                return None
+            if not isinstance(coll, (list, Multiset)):
+                return None
+            inner = dict(env) if env else {}
+            for item in coll:
+                inner[var] = item
+                result = pred_f(tup, inner)
+                if some and result is True:
+                    return True
+                if not some and result is not True:
+                    return False
+            return not some
+
+        return quantify
+
     def _collect_columns(self, out):
         self.collection._collect_columns(out)
         self.predicate._collect_columns(out)
@@ -168,6 +317,18 @@ class CaseExpr(RuntimeExpr):
             if cond.evaluate(tup, env) is True:
                 return result.evaluate(tup, env)
         return self.default.evaluate(tup, env)
+
+    def _compile(self):
+        whens = [(c._compile(), r._compile()) for c, r in self.whens]
+        default_f = self.default._compile()
+
+        def case(tup, env=None):
+            for cond_f, result_f in whens:
+                if cond_f(tup, env) is True:
+                    return result_f(tup, env)
+            return default_f(tup, env)
+
+        return case
 
     def _collect_columns(self, out):
         for cond, result in self.whens:
@@ -199,6 +360,23 @@ class ObjectConstructor(RuntimeExpr):
             out[name] = value
         return out
 
+    def _compile(self):
+        pairs = [(n._compile(), v._compile()) for n, v in self.pairs]
+
+        def construct(tup, env=None):
+            out = {}
+            for name_f, value_f in pairs:
+                name = name_f(tup, env)
+                if name is MISSING or name is None:
+                    continue
+                value = value_f(tup, env)
+                if value is MISSING:
+                    continue
+                out[name] = value
+            return out
+
+        return construct
+
     def _collect_columns(self, out):
         for name_expr, value_expr in self.pairs:
             name_expr._collect_columns(out)
@@ -220,6 +398,12 @@ class CollectionConstructor(RuntimeExpr):
     def evaluate(self, tup, env=None):
         values = [i.evaluate(tup, env) for i in self.items]
         return Multiset(values) if self.multiset else values
+
+    def _compile(self):
+        fns = [i._compile() for i in self.items]
+        if self.multiset:
+            return lambda tup, env=None: Multiset(f(tup, env) for f in fns)
+        return lambda tup, env=None: [f(tup, env) for f in fns]
 
     def _collect_columns(self, out):
         for i in self.items:
@@ -271,6 +455,37 @@ class Comprehension(RuntimeExpr):
                 out.append(value)
         return out
 
+    def _compile(self):
+        coll_f = self.collection._compile()
+        filter_f = None if self.filter is None else self.filter._compile()
+        body_f = self.body._compile()
+        var = self.var
+        nested = isinstance(self.body, Comprehension)
+
+        def comprehend(tup, env=None):
+            coll = coll_f(tup, env)
+            if coll is MISSING:
+                return MISSING
+            if coll is None:
+                return None
+            if not isinstance(coll, (list, Multiset)):
+                coll = [coll]
+            inner = dict(env) if env else {}
+            out = []
+            for item in coll:
+                inner[var] = item
+                if filter_f is not None and \
+                        filter_f(tup, inner) is not True:
+                    continue
+                value = body_f(tup, inner)
+                if nested:
+                    out.extend(value)
+                else:
+                    out.append(value)
+            return out
+
+        return comprehend
+
     def _collect_columns(self, out):
         self.collection._collect_columns(out)
         if self.filter is not None:
@@ -299,6 +514,9 @@ class InlineQuery(RuntimeExpr):
     def evaluate(self, tup, env=None):
         return self.closure(tup, env)
 
+    def _compile(self):
+        return self.closure
+
     def __repr__(self):
         return "inline-query"
 
@@ -306,3 +524,56 @@ class InlineQuery(RuntimeExpr):
 def evaluate_predicate(expr: RuntimeExpr, tup, env=None) -> bool:
     """WHERE/HAVING/join-condition semantics: only True passes."""
     return expr.evaluate(tup, env) is True
+
+
+# --- the compiler -------------------------------------------------------------
+
+def _subexprs(expr: RuntimeExpr):
+    if isinstance(expr, FunctionCall):
+        return expr.args
+    if isinstance(expr, Quantified):
+        return (expr.collection, expr.predicate)
+    if isinstance(expr, CaseExpr):
+        out = [e for pair in expr.whens for e in pair]
+        out.append(expr.default)
+        return out
+    if isinstance(expr, ObjectConstructor):
+        return [e for pair in expr.pairs for e in pair]
+    if isinstance(expr, CollectionConstructor):
+        return expr.items
+    if isinstance(expr, Comprehension):
+        out = [expr.collection, expr.body]
+        if expr.filter is not None:
+            out.append(expr.filter)
+        return out
+    return ()
+
+
+def expr_size(expr: RuntimeExpr) -> int:
+    """IR node count (the ``expr.compile_nodes`` metric's unit)."""
+    return 1 + sum(expr_size(child) for child in _subexprs(expr))
+
+
+def compile_expr(expr: RuntimeExpr):
+    """Compile ``expr`` into a closure ``(tup, env=None) -> ADM value``.
+
+    The closure is byte-identical to ``expr.evaluate`` on every input —
+    same values, same unknown propagation (all arguments evaluated, then
+    MISSING beats null), same errors.  Compilation happens once per job
+    (``OperatorDescriptor.prepare``), so its cost is amortized over every
+    tuple of every partition; metrics: ``expr.compile_exprs`` counts
+    top-level compilations, ``expr.compile_nodes`` the IR nodes visited.
+    """
+    from repro.observability.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("expr.compile_exprs").inc()
+    registry.counter("expr.compile_nodes").inc(expr_size(expr))
+    return expr._compile()
+
+
+def compile_predicate(expr: RuntimeExpr):
+    """Compile a WHERE/HAVING/join condition into ``(tup, env=None) ->
+    bool`` with :func:`evaluate_predicate` semantics (only True passes)."""
+    fn = compile_expr(expr)
+    return lambda tup, env=None: fn(tup, env) is True

@@ -90,6 +90,15 @@ class OperatorDescriptor:
     def run(self, ctx, partition: int, inputs: list) -> list:
         raise NotImplementedError
 
+    def prepare(self, config) -> None:
+        """Per-job compilation hook, called once before execution (when
+        ``config.executor.compile_expressions`` is on).  Operators that
+        carry scalar expressions override this to compile them into
+        closures via :func:`repro.hyracks.expressions.compile_expr`; the
+        compiled form must be byte-identical to interpretation.  The
+        default is a no-op, so expression-free operators (and operators
+        on jobs that skip preparation) always interpret."""
+
     def start(self, ctx, partition: int) -> OperatorTask:
         """Begin push-based execution; streaming operators override."""
         return BufferedOperatorTask(self, ctx, partition)
@@ -196,3 +205,18 @@ class JobSpecification:
             prefix = " ".join(feeds)
             lines.append(f"  [{op_id}] {prefix} {op!r}".rstrip())
         return "\n".join(lines)
+
+
+def prepare_job(job: JobSpecification, config) -> None:
+    """Compile every operator's expressions for one job execution.
+
+    Called by the cluster controller after ``validate()`` and before the
+    first attempt, gated by ``config.executor.compile_expressions`` —
+    compilation happens once per job, never per tuple, per partition, or
+    per retry (``prepare`` implementations are idempotent, so a re-run
+    job simply keeps its closures)."""
+    from repro.observability.metrics import get_registry
+
+    for op in job.operators:
+        op.prepare(config)
+    get_registry().counter("expr.compile_jobs").inc()

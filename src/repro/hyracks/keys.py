@@ -1,0 +1,100 @@
+"""Per-job key-bytes/hash cache.
+
+Every layer that keys tuples — hash-partitioning connectors, hash-join
+build/probe, group-by, distinct — needs the same derived quantity: the
+canonical bytes (and FNV hash) of a tuple's key columns.  Before this
+cache each layer recomputed them, so a tuple flowing through
+``hash-connector -> join probe`` paid for canonicalization twice (and a
+grouped tuple three times).
+
+:class:`KeyCache` memoizes ``(tuple identity, key columns) -> canonical
+bytes`` for the lifetime of one job execution.  Identity is ``id(tup)``
+with a strong reference kept to the tuple, so ids cannot be recycled
+while an entry lives.  The executor creates one cache per job run and
+hands it to connector routing (coordinator thread) and operator tasks
+(node workers); all mutation is single dict/list ops, safe under the GIL.
+
+The cache changes nothing observable except wall-clock time: simulated
+``charge_hash`` costs are charged by the *logical* operation count at
+each layer, exactly as before, so the simulated clock is identical with
+the cache hot or cold.  Hit/miss totals surface as the
+``hyracks.batch.key_cache_hits`` / ``hyracks.batch.key_cache_misses``
+counters when the executor flushes them after the run.
+"""
+
+from __future__ import annotations
+
+from repro.adm.values import canonical_bytes, fnv1a_bytes
+
+
+def plain_key_bytes(tup, cols) -> bytes:
+    """Canonical bytes of ``tup``'s key columns (``cols=None`` keys the
+    whole tuple) — the uncached reference computation.  Uses the composite
+    (field-sequence) form, so it agrees with ``hash_value`` over the same
+    key tuple and with primary-key routing in the cluster."""
+    if cols is None:
+        return canonical_bytes(tup)
+    return canonical_bytes(tuple(tup[i] for i in cols))
+
+
+class KeyCache:
+    """Job-lifetime memo of key bytes and key hashes per (tuple, columns).
+
+    Bounded: past ``max_entries`` the cache computes without storing, so a
+    pathological job degrades to the uncached behavior instead of holding
+    every intermediate tuple alive.
+    """
+
+    __slots__ = ("_entries", "max_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int = 1 << 20):
+        #: (id(tup), cols) -> [tup, key_bytes, key_hash | None]
+        self._entries: dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def key_bytes(self, tup, cols) -> bytes:
+        """Cached :func:`plain_key_bytes`.  ``cols`` must be hashable
+        (pass a tuple of column indexes, or None for the whole tuple)."""
+        ck = (id(tup), cols)
+        entry = self._entries.get(ck)
+        if entry is not None:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        kb = plain_key_bytes(tup, cols)
+        if len(self._entries) < self.max_entries:
+            self._entries[ck] = [tup, kb, None]
+        return kb
+
+    def key_hash(self, tup, cols) -> int:
+        """FNV-1a of :meth:`key_bytes` — equal to ``hash_value`` over the
+        key tuple, so connector routing agrees with primary-key routing
+        (``ClusterController.partition_of_key``)."""
+        ck = (id(tup), cols)
+        entry = self._entries.get(ck)
+        if entry is not None:
+            h = entry[2]
+            if h is None:
+                h = fnv1a_bytes(entry[1])
+                entry[2] = h
+            self.hits += 1
+            return h
+        self.misses += 1
+        kb = plain_key_bytes(tup, cols)
+        h = fnv1a_bytes(kb)
+        if len(self._entries) < self.max_entries:
+            self._entries[ck] = [tup, kb, h]
+        return h
+
+    def flush_metrics(self, registry) -> None:
+        """Fold accumulated hit/miss counts into the metrics registry (one
+        locked increment per job instead of two per tuple)."""
+        if self.hits:
+            registry.counter("hyracks.batch.key_cache_hits").inc(self.hits)
+        if self.misses:
+            registry.counter("hyracks.batch.key_cache_misses").inc(
+                self.misses)
+        self.hits = 0
+        self.misses = 0

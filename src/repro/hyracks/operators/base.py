@@ -23,6 +23,7 @@ from repro.hyracks.job import (  # noqa: F401  (re-exported protocol)
     BufferedOperatorTask,
     OperatorTask,
 )
+from repro.hyracks.keys import plain_key_bytes
 from repro.hyracks.profiler import PartitionCost
 
 #: Process-wide monotonic sequence for temp-file names.  ``id(self)`` was
@@ -43,12 +44,29 @@ class TaskContext:
     """
 
     def __init__(self, node, config: ClusterConfig, cost: PartitionCost,
-                 span=None, reservation=None):
+                 span=None, reservation=None, key_cache=None):
         self.node = node                  # NodeController hosting this task
         self.config = config
         self.cost = cost
         self.span = span
         self.reservation = reservation
+        #: the job's shared KeyCache (None when an operator runs outside
+        #: the executor, e.g. in a direct unit test)
+        self.key_cache = key_cache
+
+    # -- key extraction ----------------------------------------------------------
+
+    def key_bytes(self, tup, cols) -> bytes:
+        """Canonical bytes of ``tup``'s key columns (``cols`` a tuple of
+        indexes, or None for the whole tuple), via the job's shared
+        key cache when one is attached.  Join build/probe, group-by, and
+        distinct all key through here, so a tuple already keyed by the
+        partitioning connector reuses its bytes instead of
+        re-canonicalizing."""
+        cache = self.key_cache
+        if cache is not None:
+            return cache.key_bytes(tup, cols)
+        return plain_key_bytes(tup, cols)
 
     # -- cost charging ---------------------------------------------------------
 

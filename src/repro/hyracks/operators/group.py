@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.adm.values import canonical_bytes, hash_value
+from repro.adm.values import fnv1a_bytes
 from repro.functions.aggregates import AggregateState
 from repro.functions.registry import resolve_aggregate
-from repro.hyracks.expressions import RuntimeExpr
+from repro.hyracks.expressions import RuntimeExpr, compile_expr
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks.runfile import RunFileWriter
 
@@ -28,6 +28,17 @@ class AggregateCall:
 
     def __post_init__(self):
         self._func = resolve_aggregate(self.function)
+        self._eval = None      # compiled argument closure
+
+    def compile(self) -> None:
+        self._eval = compile_expr(self.argument)
+
+    @property
+    def evaluator(self):
+        """The per-tuple argument evaluator: the compiled closure when the
+        owning operator was prepared, the interpreter otherwise."""
+        return (self._eval if self._eval is not None
+                else self.argument.evaluate)
 
     def new_state(self) -> AggregateState:
         return AggregateState(self._func)
@@ -55,6 +66,10 @@ class HashGroupByOp(OperatorDescriptor):
         self.memory_frames = memory_frames
         self.spill_rounds = 0
 
+    def prepare(self, config):
+        for agg in self.aggregates:
+            agg.compile()
+
     def run(self, ctx, partition, inputs):
         desired = (self.memory_frames if self.memory_frames is not None
                    else ctx.config.node.group_memory_frames)
@@ -72,9 +87,11 @@ class HashGroupByOp(OperatorDescriptor):
         overflow: list[RunFileWriter] = []
         fan_out = 4
         seed = 0xA6A6 + depth
+        key_fields = self.key_fields
+        cols = tuple(key_fields)
+        evals = [a.evaluator for a in self.aggregates]
         for tup in data:
-            key = tuple(tup[i] for i in self.key_fields)
-            kb = b"|".join(canonical_bytes(v) for v in key)
+            kb = ctx.key_bytes(tup, cols)
             ctx.charge_hash(1)
             entry = groups.get(kb)
             if entry is None:
@@ -84,13 +101,14 @@ class HashGroupByOp(OperatorDescriptor):
                         self.spill_rounds += 1
                         overflow = [RunFileWriter(ctx, f"gb{depth}")
                                     for _ in range(fan_out)]
-                    h = hash_value(kb, seed=seed)
+                    h = fnv1a_bytes(kb, seed=seed)
                     overflow[h % fan_out].write(tup)
                     continue
+                key = tuple(tup[i] for i in key_fields)
                 entry = (key, [a.new_state() for a in self.aggregates])
                 groups[kb] = entry
-            for agg, state in zip(self.aggregates, entry[1]):
-                state.step(agg.argument.evaluate(tup))
+            for ev, state in zip(evals, entry[1]):
+                state.step(ev(tup))
         ctx.charge_cpu(len(data) * max(1, len(self.aggregates)))
         out = [_finish_group(key, states) for key, states in groups.values()]
         for writer in overflow:
@@ -118,22 +136,28 @@ class PreclusteredGroupByOp(OperatorDescriptor):
         self.key_fields = list(key_fields)
         self.aggregates = list(aggregates)
 
+    def prepare(self, config):
+        for agg in self.aggregates:
+            agg.compile()
+
     def run(self, ctx, partition, inputs):
         out = []
         current_kb = None
         current_key: tuple = ()
         states: list = []
+        cols = tuple(self.key_fields)
+        evals = [a.evaluator for a in self.aggregates]
         for tup in inputs[0]:
-            key = tuple(tup[i] for i in self.key_fields)
-            kb = b"|".join(canonical_bytes(v) for v in key)
+            kb = ctx.key_bytes(tup, cols)
             ctx.charge_compare(1)
             if kb != current_kb:
                 if current_kb is not None:
                     out.append(_finish_group(current_key, states))
-                current_kb, current_key = kb, key
+                current_kb = kb
+                current_key = tuple(tup[i] for i in self.key_fields)
                 states = [a.new_state() for a in self.aggregates]
-            for agg, state in zip(self.aggregates, states):
-                state.step(agg.argument.evaluate(tup))
+            for ev, state in zip(evals, states):
+                state.step(ev(tup))
         if current_kb is not None:
             out.append(_finish_group(current_key, states))
         ctx.charge_cpu(len(inputs[0]))
@@ -154,11 +178,16 @@ class AggregateOp(OperatorDescriptor):
     def __init__(self, aggregates: list[AggregateCall]):
         self.aggregates = list(aggregates)
 
+    def prepare(self, config):
+        for agg in self.aggregates:
+            agg.compile()
+
     def run(self, ctx, partition, inputs):
         states = [a.new_state() for a in self.aggregates]
+        evals = [a.evaluator for a in self.aggregates]
         for tup in inputs[0]:
-            for agg, state in zip(self.aggregates, states):
-                state.step(agg.argument.evaluate(tup))
+            for ev, state in zip(evals, states):
+                state.step(ev(tup))
         ctx.charge_cpu(len(inputs[0]) * max(1, len(self.aggregates)))
         ctx.cost.tuples_out += 1
         return [tuple(s.finish() for s in states)]

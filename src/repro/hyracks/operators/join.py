@@ -13,8 +13,12 @@ anti (NOT EXISTS).
 
 from __future__ import annotations
 
-from repro.adm.values import MISSING, canonical_bytes, hash_value
-from repro.hyracks.expressions import RuntimeExpr, evaluate_predicate
+from repro.adm.values import MISSING, fnv1a_bytes
+from repro.hyracks.expressions import (
+    RuntimeExpr,
+    compile_predicate,
+    evaluate_predicate,
+)
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks.runfile import RunFileWriter
 
@@ -22,7 +26,18 @@ JOIN_KINDS = ("inner", "leftouter", "leftsemi", "leftanti")
 
 
 class HybridHashJoinOp(OperatorDescriptor):
-    """Equi-join on key fields; port 0 = probe/left, port 1 = build/right."""
+    """Equi-join on key fields; port 0 = probe/left, port 1 = build/right.
+
+    Key matching follows SQL++ equality: a key containing MISSING or null
+    never matches anything (``a = b`` is unknown, and only True joins),
+    matching what the nested-loop join's interpreted ``eq`` predicate
+    does — important now that the optimizer rewrites computed equi-keys
+    (``ON m.authorId = u.id``) into hash joins via fresh key variables.
+    Unknown-keyed tuples are screened out before build/probe: build-side
+    ones are dropped (they can never appear in any output), probe-side
+    ones short-circuit to their unmatched outcome (padding for left
+    outer, pass-through for left anti).
+    """
 
     num_inputs = 2
     name = "hybrid-hash-join"
@@ -43,41 +58,78 @@ class HybridHashJoinOp(OperatorDescriptor):
         self.memory_frames = memory_frames
         self.right_width = right_width  # for outer padding
         self.spill_rounds = 0           # observability for E4
+        self._residual_pred = None      # compiled residual predicate
+
+    def prepare(self, config):
+        if self.residual is not None:
+            self._residual_pred = compile_predicate(self.residual)
+
+    def _residual_ok(self, joined) -> bool:
+        if self.residual is None:
+            return True
+        pred = self._residual_pred
+        if pred is not None:
+            return pred(joined)
+        return evaluate_predicate(self.residual, joined)
 
     @staticmethod
-    def _key_of(tup, fields):
-        return b"|".join(canonical_bytes(tup[i]) for i in fields)
+    def _has_unknown_key(tup, fields) -> bool:
+        for i in fields:
+            v = tup[i]
+            if v is MISSING or v is None:
+                return True
+        return False
 
     def run(self, ctx, partition, inputs):
         left, right = inputs
+        pad_width = (self.right_width if self.right_width is not None
+                     else (len(right[0]) if right else 0))
+        # screen unknown keys once, before spill partitioning, so the
+        # grace recursion only ever sees matchable tuples
+        out = []
+        if any(self._has_unknown_key(t, self.right_keys) for t in right):
+            right = [t for t in right
+                     if not self._has_unknown_key(t, self.right_keys)]
+        screened_left = [t for t in left
+                         if self._has_unknown_key(t, self.left_keys)]
+        if screened_left:
+            left = [t for t in left
+                    if not self._has_unknown_key(t, self.left_keys)]
+            if self.kind == "leftouter":
+                padding = (MISSING,) * pad_width
+                out.extend(t + padding for t in screened_left)
+            elif self.kind == "leftanti":
+                out.extend(screened_left)
         desired = (self.memory_frames if self.memory_frames is not None
                    else ctx.config.node.join_memory_frames)
         grant = ctx.acquire_memory(desired, label="join")
         try:
             budget = max(2, grant.frames * ctx.frame_size)
-            out = self._join(ctx, left, right, budget, depth=0)
+            out.extend(self._join(ctx, left, right, budget, depth=0,
+                                  pad_width=pad_width))
         finally:
             ctx.release_memory(grant)
         ctx.cost.tuples_out += len(out)
         return out
 
-    def _join(self, ctx, left, right, budget, depth):
+    def _join(self, ctx, left, right, budget, depth, pad_width):
         if len(right) <= budget or depth >= 8:
-            return self._in_memory_join(ctx, left, right)
+            return self._in_memory_join(ctx, left, right, pad_width)
         # grace partitioning: split both sides by key hash into fan-out
         # buckets spilled to run files, then recurse bucket by bucket
         self.spill_rounds += 1
         fan_out = max(2, min(16, (len(right) + budget - 1) // budget))
         seed = 0x5151 + depth
+        lk, rk = tuple(self.left_keys), tuple(self.right_keys)
         left_parts = [RunFileWriter(ctx, f"hj_l{depth}") for _ in range(fan_out)]
         right_parts = [RunFileWriter(ctx, f"hj_r{depth}")
                        for _ in range(fan_out)]
         for tup in left:
-            h = hash_value(self._key_of(tup, self.left_keys), seed=seed)
+            h = fnv1a_bytes(ctx.key_bytes(tup, lk), seed=seed)
             ctx.charge_hash(1)
             left_parts[h % fan_out].write(tup)
         for tup in right:
-            h = hash_value(self._key_of(tup, self.right_keys), seed=seed)
+            h = fnv1a_bytes(ctx.key_bytes(tup, rk), seed=seed)
             ctx.charge_hash(1)
             right_parts[h % fan_out].write(tup)
         out = []
@@ -88,40 +140,40 @@ class HybridHashJoinOp(OperatorDescriptor):
             finally:
                 lr.close()               # idempotent after exhaustion
                 rr.close()
-            out.extend(self._join(ctx, lpart, rpart, budget, depth + 1))
+            out.extend(self._join(ctx, lpart, rpart, budget, depth + 1,
+                                  pad_width))
         return out
 
-    def _in_memory_join(self, ctx, left, right):
+    def _in_memory_join(self, ctx, left, right, pad_width):
+        lk, rk = tuple(self.left_keys), tuple(self.right_keys)
         table: dict[bytes, list] = {}
         for tup in right:
-            key = self._key_of(tup, self.right_keys)
+            key = ctx.key_bytes(tup, rk)
             ctx.charge_hash(1)
             table.setdefault(key, []).append(tup)
         out = []
-        pad_width = (self.right_width if self.right_width is not None
-                     else (len(right[0]) if right else 0))
         padding = (MISSING,) * pad_width
+        kind = self.kind
         for tup in left:
-            key = self._key_of(tup, self.left_keys)
+            key = ctx.key_bytes(tup, lk)
             ctx.charge_hash(1)
             matched = False
             for rtup in table.get(key, ()):
                 joined = tup + rtup
-                if self.residual is not None and not evaluate_predicate(
-                        self.residual, joined):
+                if not self._residual_ok(joined):
                     continue
                 matched = True
-                if self.kind == "inner" or self.kind == "leftouter":
+                if kind == "inner" or kind == "leftouter":
                     out.append(joined)
-                elif self.kind == "leftsemi":
+                elif kind == "leftsemi":
                     out.append(tup)
                     break
-                elif self.kind == "leftanti":
+                elif kind == "leftanti":
                     break
             if not matched:
-                if self.kind == "leftouter":
+                if kind == "leftouter":
                     out.append(tup + padding)
-                elif self.kind == "leftanti":
+                elif kind == "leftanti":
                     out.append(tup)
         ctx.charge_cpu(len(left) + len(right))
         return out
@@ -145,6 +197,11 @@ class NestedLoopJoinOp(OperatorDescriptor):
         self.condition = condition
         self.kind = kind
         self.right_width = right_width
+        self._cond_pred = None          # compiled condition predicate
+
+    def prepare(self, config):
+        if self.condition is not None:
+            self._cond_pred = compile_predicate(self.condition)
 
     def run(self, ctx, partition, inputs):
         left, right = inputs
@@ -152,12 +209,15 @@ class NestedLoopJoinOp(OperatorDescriptor):
         pad_width = (self.right_width if self.right_width is not None
                      else (len(right[0]) if right else 0))
         padding = (MISSING,) * pad_width
+        pred = self._cond_pred
+        if pred is None and self.condition is not None:
+            cond = self.condition
+            pred = lambda joined: evaluate_predicate(cond, joined)  # noqa: E731
         for ltup in left:
             matched = False
             for rtup in right:
                 joined = ltup + rtup
-                if self.condition is not None and not evaluate_predicate(
-                        self.condition, joined):
+                if pred is not None and not pred(joined):
                     continue
                 matched = True
                 if self.kind in ("inner", "leftouter"):

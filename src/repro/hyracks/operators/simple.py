@@ -11,8 +11,13 @@ materialized or pipelined (see docs/ARCHITECTURE.md, "Job execution").
 
 from __future__ import annotations
 
-from repro.adm.values import MISSING, Multiset, canonical_bytes
-from repro.hyracks.expressions import RuntimeExpr, evaluate_predicate
+from repro.adm.values import MISSING, Multiset
+from repro.hyracks.expressions import (
+    RuntimeExpr,
+    compile_expr,
+    compile_predicate,
+    evaluate_predicate,
+)
 from repro.hyracks.job import OperatorDescriptor, OperatorTask
 
 
@@ -24,12 +29,26 @@ class AssignOp(OperatorDescriptor):
 
     def __init__(self, exprs: list[RuntimeExpr]):
         self.exprs = list(exprs)
+        self._evals = None     # compiled closures, set by prepare()
+
+    def prepare(self, config):
+        self._evals = [compile_expr(e) for e in self.exprs]
+
+    def _transform(self, batch: list) -> list:
+        """Batch-level projection of one frame (or full input) through
+        either the compiled closures or the interpreter."""
+        evals = self._evals
+        if evals is None:
+            exprs = self.exprs
+            return [tup + tuple(e.evaluate(tup) for e in exprs)
+                    for tup in batch]
+        if len(evals) == 1:
+            f = evals[0]
+            return [tup + (f(tup),) for tup in batch]
+        return [tup + tuple(f(tup) for f in evals) for tup in batch]
 
     def run(self, ctx, partition, inputs):
-        out = []
-        for tup in inputs[0]:
-            values = tuple(e.evaluate(tup) for e in self.exprs)
-            out.append(tup + values)
+        out = self._transform(inputs[0])
         ctx.charge_cpu(len(out) * max(1, len(self.exprs)))
         ctx.cost.tuples_out += len(out)
         return out
@@ -47,8 +66,7 @@ class _AssignTask(OperatorTask):
         self._count = 0
 
     def push(self, frame):
-        exprs = self.op.exprs
-        out = [tup + tuple(e.evaluate(tup) for e in exprs) for tup in frame]
+        out = self.op._transform(frame)
         self._count += len(out)
         return out
 
@@ -66,10 +84,21 @@ class SelectOp(OperatorDescriptor):
 
     def __init__(self, condition: RuntimeExpr):
         self.condition = condition
+        self._pred = None      # compiled predicate, set by prepare()
+
+    def prepare(self, config):
+        self._pred = compile_predicate(self.condition)
+
+    def _filter(self, batch: list) -> list:
+        pred = self._pred
+        if pred is None:
+            cond = self.condition
+            return [t for t in batch if evaluate_predicate(cond, t)]
+        return [t for t in batch if pred(t)]
 
     def run(self, ctx, partition, inputs):
         ctx.charge_cpu(len(inputs[0]))
-        out = [t for t in inputs[0] if evaluate_predicate(self.condition, t)]
+        out = self._filter(inputs[0])
         ctx.cost.tuples_out += len(out)
         return out
 
@@ -88,8 +117,7 @@ class _SelectTask(OperatorTask):
 
     def push(self, frame):
         self._seen += len(frame)
-        cond = self.op.condition
-        out = [t for t in frame if evaluate_predicate(cond, t)]
+        out = self.op._filter(frame)
         self._kept += len(out)
         return out
 
@@ -215,9 +243,14 @@ class UnnestOp(OperatorDescriptor):
         self.collection = collection
         self.outer = outer
         self.positional = positional
+        self._coll = None      # compiled collection closure
+
+    def prepare(self, config):
+        self._coll = compile_expr(self.collection)
 
     def _expand(self, tup) -> list:
-        coll = self.collection.evaluate(tup)
+        coll = (self._coll(tup) if self._coll is not None
+                else self.collection.evaluate(tup))
         items = coll if isinstance(coll, (list, Multiset)) else []
         if not items and self.outer:
             extra = (MISSING, 0) if self.positional else (MISSING,)
@@ -271,14 +304,15 @@ class DistinctOp(OperatorDescriptor):
 
     def __init__(self, fields: list[int] | None = None):
         self.fields = fields    # None = whole tuple
+        # key-column tuple for the job's key cache (None = whole tuple)
+        self._cols = None if fields is None else tuple(fields)
 
     def run(self, ctx, partition, inputs):
         seen = set()
         out = []
+        cols = self._cols
         for tup in inputs[0]:
-            key_parts = (tup if self.fields is None
-                         else tuple(tup[i] for i in self.fields))
-            key = b"|".join(canonical_bytes(v) for v in key_parts)
+            key = ctx.key_bytes(tup, cols)
             ctx.charge_hash(1)
             if key not in seen:
                 seen.add(key)
@@ -300,11 +334,9 @@ class _DistinctTask(OperatorTask):
 
     def push(self, frame):
         out = []
-        fields = self.op.fields
+        cols = self.op._cols
         for tup in frame:
-            key_parts = (tup if fields is None
-                         else tuple(tup[i] for i in fields))
-            key = b"|".join(canonical_bytes(v) for v in key_parts)
+            key = self.ctx.key_bytes(tup, cols)
             self.ctx.charge_hash(1)
             if key not in self._seen_keys:
                 self._seen_keys.add(key)

@@ -1,12 +1,17 @@
-"""Serial / parallel / pipelined executor equivalence (ISSUE-2).
+"""Serial / parallel / pipelined executor equivalence (ISSUE-2, ISSUE-6).
 
 The pipelined, parallel executor must be *observably identical* to the
 serial materialize-everything executor in every dimension except
 wall-clock time: result tuples (including order), the simulated clock
 (``profile.simulated_us``), and per-operator tuple counts.  Every job
-shape that exercises a distinct code path runs here under all four
-executor variants and is compared field by field against the serial,
+shape that exercises a distinct code path runs here under every executor
+variant and is compared field by field against the serial,
 non-pipelined baseline.
+
+ISSUE-6 adds per-job expression compilation
+(``ExecutorConfig.compile_expressions``); the interpreted variants here
+pin its invariant: compiled and interpreted execution are byte-identical
+in everything but wall-clock time.
 """
 
 from repro import connect
@@ -43,6 +48,12 @@ VARIANTS = [
     ("serial-pipelined", ExecutorConfig(mode="serial", pipelining=True)),
     ("parallel", ExecutorConfig(mode="parallel", pipelining=False)),
     ("parallel-pipelined", ExecutorConfig(mode="parallel", pipelining=True)),
+    ("serial-interpreted",
+     ExecutorConfig(mode="serial", pipelining=False,
+                    compile_expressions=False)),
+    ("parallel-interpreted",
+     ExecutorConfig(mode="parallel", pipelining=True,
+                    compile_expressions=False)),
 ]
 
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI's bench-smoke job.
+
+Compares a quick-mode ``bench_runner`` report against the committed
+baseline (``benchmarks/baseline_quick.json``) on the deterministic
+simulated clock — ``simulated_us`` is identical run to run on any
+machine, unlike wall-clock, so the gate never flakes on CI hardware.
+A benchmark fails the gate when its simulated time regresses more than
+``--tolerance`` (default 20%) over baseline; improvements always pass
+(refresh the baseline deliberately when a PR makes one permanent — the
+speedup trajectory lives in docs/PERFORMANCE.md).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runner.py --quick -o report.json
+    python tools/bench_gate.py report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "baseline_quick.json")
+
+
+def load_benchmarks(path: str) -> dict:
+    with open(path) as f:
+        report = json.load(f)
+    return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="quick-mode bench_runner report")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.report)
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from {args.report}")
+            continue
+        if cur.get("rows") != base.get("rows"):
+            failures.append(
+                f"{name}: row count changed "
+                f"({base.get('rows')} -> {cur.get('rows')})")
+            continue
+        base_us, cur_us = base["simulated_us"], cur["simulated_us"]
+        limit = base_us * (1.0 + args.tolerance)
+        status = "FAIL" if cur_us > limit else "ok"
+        print(f"  {status:<4} {name:<24} baseline {base_us:>10.0f} us"
+              f"   now {cur_us:>10.0f} us   limit {limit:>10.0f} us")
+        if cur_us > limit:
+            failures.append(
+                f"{name}: simulated_us {cur_us:.0f} exceeds "
+                f"{limit:.0f} (baseline {base_us:.0f} "
+                f"+{args.tolerance:.0%})")
+    if failures:
+        print("bench gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench gate passed ({len(baseline)} benchmarks within "
+          f"{args.tolerance:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

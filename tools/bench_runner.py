@@ -2,7 +2,7 @@
 """Benchmark runner: wall-clock + simulated time, serial vs parallel.
 
 Runs a small suite of end-to-end workloads against the embedded instance
-and writes a JSON report (default ``BENCH_PR5.json``) with, for each
+and writes a JSON report (default ``BENCH_PR6.json``) with, for each
 benchmark, wall-clock seconds and the simulated-clock microseconds, plus
 a head-to-head of the serial materialize-everything executor against the
 pipelined parallel one on a scan/sort-heavy multi-partition job, a
@@ -114,6 +114,46 @@ def run_query_benchmarks(base_dir: str, quick: bool) -> list:
                 "rows": rows,
             })
     return results
+
+
+def run_expression_compile(base_dir: str, quick: bool) -> dict:
+    """The join_groupby workload with per-job expression compilation on
+    vs off (``ExecutorConfig.compile_expressions``).  Results must be
+    identical — only wall-clock may differ (docs/PERFORMANCE.md)."""
+    n_users = 200 if quick else 1000
+    n_messages = 1000 if quick else 8000
+    repeats = 2 if quick else 3
+    _, query = QUERY_BENCHMARKS[-1]     # join_groupby
+    walls = {}
+    rows = {}
+    for label, toggle in (("compiled", True), ("interpreted", False)):
+        config = ClusterConfig(
+            num_nodes=2, partitions_per_node=2,
+            node=NodeConfig(buffer_cache_pages=256),
+            executor=ExecutorConfig(compile_expressions=toggle),
+        )
+        path = os.path.join(base_dir, f"exprc_{label}")
+        with connect(path, config) as db:
+            db.execute(SCHEMA)
+            load_data(db, n_users, n_messages)
+            best = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = db.execute(query)
+                wall = time.perf_counter() - started
+                best = wall if best is None else min(best, wall)
+            walls[label] = best
+            rows[label] = list(result.rows)
+    assert rows["compiled"] == rows["interpreted"], \
+        "compiled and interpreted runs disagree"
+    return {
+        "query": "join_groupby",
+        "compiled_wall_seconds": round(walls["compiled"], 6),
+        "interpreted_wall_seconds": round(walls["interpreted"], 6),
+        "speedup": round(walls["interpreted"] / max(walls["compiled"], 1e-9),
+                         3),
+        "results_identical": True,
+    }
 
 
 def run_serial_vs_parallel(base_dir: str, quick: bool) -> dict:
@@ -331,20 +371,22 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small datasets / few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default="BENCH_PR5.json",
-                        help="report path (default: BENCH_PR5.json)")
+    parser.add_argument("-o", "--output", default="BENCH_PR6.json",
+                        help="report path (default: BENCH_PR6.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
     try:
         started = time.perf_counter()
         benchmarks = run_query_benchmarks(base_dir, args.quick)
+        expression_compile = run_expression_compile(base_dir, args.quick)
         comparison = run_serial_vs_parallel(base_dir, args.quick)
         fault_overhead = run_fault_overhead(base_dir, args.quick)
         memory_pressure = run_memory_pressure(base_dir, args.quick)
         report = {
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
+            "expression_compile": expression_compile,
             "serial_vs_parallel": comparison,
             "fault_overhead": fault_overhead,
             "memory_pressure": memory_pressure,
@@ -361,6 +403,10 @@ def main(argv=None) -> int:
     for bench in benchmarks:
         print(f"  {bench['name']:<24} wall {bench['wall_seconds']*1e3:8.2f} ms"
               f"   simulated {bench['simulated_us']/1e3:10.2f} ms")
+    print(f"  expression compile: "
+          f"{expression_compile['compiled_wall_seconds']*1e3:.2f} ms compiled"
+          f" vs {expression_compile['interpreted_wall_seconds']*1e3:.2f} ms "
+          f"interpreted ({expression_compile['speedup']}x)")
     print(f"  serial vs parallel: {comparison['serial_wall_seconds']*1e3:.2f}"
           f" ms vs {comparison['parallel_wall_seconds']*1e3:.2f} ms"
           f"  (speedup {comparison['speedup']}x)")

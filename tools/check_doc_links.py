@@ -9,7 +9,10 @@ Scans ``docs/*.md`` (plus README.md) for
   and verifies the file or directory exists (``repro/...`` resolves
   under ``src/``);
 * relative markdown links (``[text](OBSERVABILITY.md)``) and verifies
-  the target exists relative to the citing document.
+  the target exists relative to the citing document;
+* inline (non-backticked) ``src/repro/...`` path references in prose —
+  the kind stale docs accumulate when a module moves — and verifies
+  each exists on disk.
 
 Exit status 0 when everything resolves, 1 otherwise (one line per
 broken reference).  Run from anywhere: paths resolve against the repo
@@ -30,6 +33,8 @@ ROOTS = ("src", "repro", "tests", "docs", "examples", "benchmarks",
 
 BACKTICK = re.compile(r"`([^`\n]+)`")
 MDLINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+#: bare src/repro/... references in prose (outside backticks/links)
+INLINE_SRC = re.compile(r"\bsrc/repro/[\w./-]*\w")
 
 
 def candidate_paths(text: str):
@@ -56,12 +61,24 @@ def resolve_repo_path(token: str) -> bool:
     return False
 
 
+def inline_src_paths(text: str):
+    """Bare ``src/repro/...`` references outside backticks — scan with
+    the backticked spans blanked so each reference is reported once."""
+    blanked = BACKTICK.sub(lambda m: " " * len(m.group(0)), text)
+    for match in INLINE_SRC.finditer(blanked):
+        yield match.group(0).rstrip(".,;:")
+
+
 def check_file(doc: Path) -> list[str]:
     text = doc.read_text()
     errors = []
     for token in candidate_paths(text):
         if not resolve_repo_path(token):
             errors.append(f"{doc.relative_to(REPO)}: broken path `{token}`")
+    for token in inline_src_paths(text):
+        if not resolve_repo_path(token):
+            errors.append(
+                f"{doc.relative_to(REPO)}: broken inline path {token}")
     for match in MDLINK.finditer(text):
         target = match.group(1)
         if "://" in target or target.startswith("mailto:"):
