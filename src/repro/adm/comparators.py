@@ -115,6 +115,71 @@ def tuple_key(values) -> tuple:
     return tuple(_Key(v) for v in values)
 
 
+# --- batched sort keys (ISSUE-7) ---------------------------------------------
+#
+# ``_Key`` calls :func:`compare` — a Python-level tree walk — on every
+# comparison, which a sort performs O(n log n) times.  ``order_part``
+# produces a ``(rank, payload)`` pair instead: the rank is the collapsed
+# TypeTag order (all numerics share one rank), and for plain scalars the
+# payload is the raw value, so the sort's comparisons run in the C tuple
+# comparator.  Parts order exactly like ``sort_key`` but the two key
+# kinds must not be mixed within one sort.
+
+_NUMERIC_PART_RANK = int(_NUMERIC_RANK)
+
+
+def order_part(value):
+    """One field's sort-key part: ``(rank, payload)`` ordered identically
+    to ``sort_key(value)`` (total ADM order, numerics by value), with
+    native payloads for plain scalars and a ``_Key`` fallback for
+    complex values."""
+    t = type(value)
+    if t is int or t is float:
+        return (_NUMERIC_PART_RANK, value)
+    if t is str:
+        return (int(TypeTag.STRING), value)
+    if value is MISSING:
+        return (int(TypeTag.MISSING), 0)   # all MISSINGs are equal
+    if value is None:
+        return (int(TypeTag.NULL), 0)      # all nulls are equal
+    if t is bool:
+        return (int(TypeTag.BOOLEAN), value)
+    tag = tag_of(value)
+    if is_numeric_tag(tag):
+        # numeric wrapper/subclass: compare by value against plain ints
+        # and floats at the shared numeric rank
+        return (_NUMERIC_PART_RANK, value)
+    return (int(tag), _Key(value))
+
+
+#: Exact payload type sets a whole key column may hold and still compare
+#: natively without the rank, because every pairwise ``<`` equals
+#: :func:`compare`: any mix of plain ints/floats, or one homogeneous
+#: scalar type.  bool only qualifies alone (True == 1 natively, but
+#: BOOLEAN ranks below the numerics in ADM order).
+_NATIVE_SCALAR_SETS = ({str}, {bytes}, {bool})
+_NATIVE_NUMERIC_SET = {int, float}
+
+
+def native_orderable(values) -> bool:
+    """True when raw ``values`` can serve directly as sort keys: native
+    ``<`` over every pair agrees with :func:`compare`."""
+    kinds = set(map(type, values))
+    return kinds <= _NATIVE_NUMERIC_SET or kinds in _NATIVE_SCALAR_SETS
+
+
+def tuple_key_many(tuples, fields=None) -> list:
+    """Batch composite keys for ``tuples`` (``fields`` selects and orders
+    the key columns; None keys the whole tuple).  Returns one key per
+    tuple, order-compatible with :func:`tuple_key` but built from
+    :func:`order_part` so comparisons stay in the C tuple comparator.
+    Keys from one call only compare against keys from ``order_part``
+    -based builders, never against ``tuple_key`` output."""
+    if fields is None:
+        return [tuple(order_part(v) for v in t) for t in tuples]
+    return [tuple(order_part(t[i]) for i in fields) for t in tuples]
+
+
 def compare_tuples(a, b) -> int:
     """Three-way comparison of composite keys (tuples of ADM values)."""
     for x, y in zip(a, b):

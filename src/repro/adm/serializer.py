@@ -141,25 +141,59 @@ def deserialize(buf: bytes, pos: int = 0):
     return value
 
 
+# byte-value dispatch constants: deserialize_at runs once per stored
+# value on every scan, and constructing the TypeTag enum member
+# (``TypeTag(buf[pos])``) costs more than the whole payload decode for
+# small scalars — so the hot tags compare the raw byte against plain
+# ints and only the rare tail resolves the enum member
+_B_MISSING = int(TypeTag.MISSING)
+_B_NULL = int(TypeTag.NULL)
+_B_BOOLEAN = int(TypeTag.BOOLEAN)
+_B_BIGINT = int(TypeTag.BIGINT)
+_B_DOUBLE = int(TypeTag.DOUBLE)
+_B_STRING = int(TypeTag.STRING)
+_B_OBJECT = int(TypeTag.OBJECT)
+_TAG_BY_BYTE = {int(t): t for t in TypeTag}
+
+
 def deserialize_at(buf: bytes, pos: int):
     """Deserialize one ADM value starting at ``pos``; returns
     ``(value, next_pos)``."""
-    tag = TypeTag(buf[pos])
+    b = buf[pos]
     pos += 1
-    if tag is TypeTag.MISSING:
-        return MISSING, pos
-    if tag is TypeTag.NULL:
-        return None, pos
-    if tag is TypeTag.BOOLEAN:
-        return bool(buf[pos]), pos + 1
-    if tag is TypeTag.BIGINT:
+    if b == _B_BIGINT:
         return _read_varint(buf, pos)
-    if tag is TypeTag.DOUBLE:
-        return struct.unpack_from(">d", buf, pos)[0], pos + 8
-    if tag is TypeTag.STRING:
+    if b == _B_STRING:
         (n,) = struct.unpack_from(">I", buf, pos)
         pos += 4
         return buf[pos:pos + n].decode("utf-8"), pos + n
+    if b == _B_OBJECT:
+        (n,) = struct.unpack_from(">I", buf, pos)
+        pos += 4
+        obj = {}
+        for _ in range(n):
+            (klen,) = struct.unpack_from(">I", buf, pos)
+            pos += 4
+            key = buf[pos:pos + klen].decode("utf-8")
+            pos += klen
+            obj[key], pos = deserialize_at(buf, pos)
+        return obj, pos
+    if b == _B_DOUBLE:
+        return struct.unpack_from(">d", buf, pos)[0], pos + 8
+    if b == _B_MISSING:
+        return MISSING, pos
+    if b == _B_NULL:
+        return None, pos
+    if b == _B_BOOLEAN:
+        return bool(buf[pos]), pos + 1
+    tag = _TAG_BY_BYTE.get(b)
+    if tag is None:
+        tag = TypeTag(b)   # unknown byte: same ValueError as before
+    return _deserialize_rare(tag, buf, pos)
+
+
+def _deserialize_rare(tag: TypeTag, buf: bytes, pos: int):
+    """The non-scalar / temporal / spatial tail of :func:`deserialize_at`."""
     if tag is TypeTag.BINARY:
         (n,) = struct.unpack_from(">I", buf, pos)
         pos += 4

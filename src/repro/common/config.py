@@ -97,12 +97,22 @@ class ExecutorConfig:
     clock, and per-operator tuple counts are byte-identical either way
     (the equivalence suite asserts this); only wall-clock time differs.
     See docs/PERFORMANCE.md.
+
+    ``batch_execution`` runs the operator hot loops over whole frames
+    instead of tuple-at-a-time: sorts compile their composite key once
+    per run and merge decorated (precomputed-key) streams, aggregates
+    evaluate their argument over the frame and fold it through
+    ``step_many``, and group-by batches key bytes through the job key
+    cache.  Same invariant as ``compile_expressions``: identical
+    results, simulated clock, and tuple counts with the toggle on or
+    off — only wall-clock time may differ.
     """
 
     mode: str = "parallel"            # "parallel" | "serial"
     workers: int | None = None        # None = one worker per node
     pipelining: bool = True
     compile_expressions: bool = True
+    batch_execution: bool = True
 
     @property
     def parallel(self) -> bool:

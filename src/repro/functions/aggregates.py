@@ -5,9 +5,20 @@ implicit group rewriting): nulls and missings are skipped; an empty or
 all-unknown input yields null — except COUNT, which yields 0.  ``listify``
 is the special aggregate behind GROUP AS and subquery collection: it gathers
 the group's items into an ordered list.
+
+Each builtin also registers a ``step_many`` bulk path (ISSUE-7): one call
+folds a whole value list, equal by construction to the sequential
+left-fold of ``step`` — counts add lengths, sums left-fold ``+`` via
+``reduce``, min/max take the builtin over the batch (ties keep the
+earliest value, exactly as the fold does) and then fold the prior state
+in.  :meth:`AggregateState.step_many` filters unknowns once per batch and
+dispatches to the bulk path when the function has one.
 """
 
 from __future__ import annotations
+
+from functools import reduce
+from operator import add
 
 from repro.adm.comparators import sort_key
 from repro.adm.values import MISSING
@@ -22,8 +33,12 @@ def _count_step(state, value):
     return state + 1
 
 
+def _count_step_many(state, values):
+    return state + len(values)
+
+
 register_aggregate("count", _count_init, _count_step, lambda s: s,
-                   aliases=("sql_count",))
+                   aliases=("sql_count",), step_many=_count_step_many)
 
 
 def _sum_init():
@@ -34,8 +49,16 @@ def _sum_step(state, value):
     return value if state is None else state + value
 
 
+def _sum_step_many(state, values):
+    # reduce is the same left fold step performs: ((v0 + v1) + v2) + ...
+    if state is None:
+        return reduce(add, values)
+    return reduce(add, values, state)
+
+
 register_aggregate("sum", _sum_init, _sum_step, lambda s: s,
-                   aliases=("sql_sum", "agg_sum"))
+                   aliases=("sql_sum", "agg_sum"),
+                   step_many=_sum_step_many)
 
 
 def _avg_init():
@@ -47,13 +70,19 @@ def _avg_step(state, value):
     return (total + value, n + 1)
 
 
+def _avg_step_many(state, values):
+    total, n = state
+    return (reduce(add, values, total), n + len(values))
+
+
 def _avg_finish(state):
     total, n = state
     return total / n if n else None
 
 
 register_aggregate("avg", _avg_init, _avg_step, _avg_finish,
-                   aliases=("sql_avg", "agg_avg"))
+                   aliases=("sql_avg", "agg_avg"),
+                   step_many=_avg_step_many)
 
 
 def _min_step(state, value):
@@ -62,8 +91,18 @@ def _min_step(state, value):
     return min(state, value, key=sort_key)
 
 
+def _min_step_many(state, values):
+    # builtin min keeps the earliest of tied values, as the fold does;
+    # the prior state was seen before every batch value, so it wins ties
+    best = min(values, key=sort_key)
+    if state is None:
+        return best
+    return min(state, best, key=sort_key)
+
+
 register_aggregate("min", lambda: None, _min_step, lambda s: s,
-                   aliases=("sql_min", "agg_min"))
+                   aliases=("sql_min", "agg_min"),
+                   step_many=_min_step_many)
 
 
 def _max_step(state, value):
@@ -72,8 +111,16 @@ def _max_step(state, value):
     return max(state, value, key=sort_key)
 
 
+def _max_step_many(state, values):
+    best = max(values, key=sort_key)
+    if state is None:
+        return best
+    return max(state, best, key=sort_key)
+
+
 register_aggregate("max", lambda: None, _max_step, lambda s: s,
-                   aliases=("sql_max", "agg_max"))
+                   aliases=("sql_max", "agg_max"),
+                   step_many=_max_step_many)
 
 
 def _listify_step(state, value):
@@ -81,9 +128,14 @@ def _listify_step(state, value):
     return state
 
 
+def _listify_step_many(state, values):
+    state.extend(values)
+    return state
+
+
 # listify keeps unknowns: a group's contents are whatever they are
 register_aggregate("listify", list, _listify_step, lambda s: s,
-                   skip_unknowns=False)
+                   skip_unknowns=False, step_many=_listify_step_many)
 
 
 def _count_star_step(state, value):
@@ -92,7 +144,8 @@ def _count_star_step(state, value):
 
 # count(*) counts tuples regardless of value
 register_aggregate("count_star", _count_init, _count_star_step,
-                   lambda s: s, skip_unknowns=False)
+                   lambda s: s, skip_unknowns=False,
+                   step_many=_count_step_many)
 
 
 class AggregateState:
@@ -108,6 +161,26 @@ class AggregateState:
         if self.func.skip_unknowns and (value is None or value is MISSING):
             return
         self.state = self.func.step(self.state, value)
+
+    def step_many(self, values) -> None:
+        """Fold a whole batch of values in one call: filter unknowns
+        once, then either the function's bulk ``step_many`` or a local
+        fold of ``step`` — final state identical to stepping the batch
+        one value at a time."""
+        func = self.func
+        if func.skip_unknowns:
+            values = [v for v in values
+                      if v is not None and v is not MISSING]
+        if not values:
+            return
+        bulk = func.step_many
+        if bulk is not None:
+            self.state = bulk(self.state, values)
+            return
+        state, step = self.state, func.step
+        for value in values:
+            state = step(state, value)
+        self.state = state
 
     def finish(self):
         return self.func.finish(self.state)

@@ -40,13 +40,21 @@ class ScalarFunction:
 @dataclass(frozen=True)
 class AggregateFunction:
     """(init, step, finish) with SQL semantics: nulls are skipped, an
-    all-null/empty input yields null (except count, which yields 0)."""
+    all-null/empty input yields null (except count, which yields 0).
+
+    ``step_many`` is an optional bulk fast path,
+    ``callable(state, values) -> state`` over a non-empty,
+    already-unknown-filtered value list.  It must return exactly what a
+    left fold of ``step`` over the same list would — the batched runtime
+    uses it when present and falls back to folding ``step`` otherwise.
+    """
 
     name: str
     init: object
     step: object              # callable(state, value) -> state
     finish: object            # callable(state) -> value
     skip_unknowns: bool = True
+    step_many: object = None  # optional callable(state, [values]) -> state
 
 
 _SCALARS: dict[str, ScalarFunction] = {}
@@ -69,8 +77,10 @@ def register(name: str, arity, *, handles_unknowns: bool = False,
 
 
 def register_aggregate(name: str, init, step, finish, *,
-                       skip_unknowns: bool = True, aliases: tuple = ()):
-    agg = AggregateFunction(name, init, step, finish, skip_unknowns)
+                       skip_unknowns: bool = True, aliases: tuple = (),
+                       step_many=None):
+    agg = AggregateFunction(name, init, step, finish, skip_unknowns,
+                            step_many)
     for alias in (name, *aliases):
         _AGGREGATES[_canonical(alias)] = agg
     return agg

@@ -118,11 +118,22 @@ class MergeConnector(ConnectorDescriptor):
         for i, part in enumerate(producer_outputs):
             if i != 0:
                 ctx.charge_network(len(part))
+        # batched (the default): compile the composite key once over all
+        # partitions' tuples, so heap pushes reuse one cheap closure
+        # instead of rebuilding per-field wrappers per push; same merge
+        # order, same per-pop compare charge
+        if getattr(ctx, "batch_execution", True):
+            key = self._compiled_key(
+                [t for part in producer_outputs for t in part])
+        else:
+            key = self._key_with_order
         iters = [iter(part) for part in producer_outputs]
         heap = []
+        pushes = 0
         for rank, it in enumerate(iters):
             for tup in it:
-                heap.append((self._key_with_order(tup), rank, id(tup), tup))
+                heap.append((key(tup), rank, id(tup), tup))
+                pushes += 1
                 break
         heapq.heapify(heap)
         merged = []
@@ -131,11 +142,20 @@ class MergeConnector(ConnectorDescriptor):
             merged.append(tup)
             ctx.charge_compare(1)
             for nxt in iters[rank]:
-                heapq.heappush(
-                    heap, (self._key_with_order(nxt), rank, id(nxt), nxt)
-                )
+                heapq.heappush(heap, (key(nxt), rank, id(nxt), nxt))
+                pushes += 1
                 break
+        if key is not self._key_with_order and pushes:
+            from repro.observability.metrics import get_registry
+
+            get_registry().counter("sort.key_cache_hits").inc(pushes)
         return [merged]
+
+    def _compiled_key(self, all_tuples):
+        from repro.hyracks.operators.sort import compile_order_key
+
+        return compile_order_key(self.key_fields, self.descending,
+                                 all_tuples)
 
     def _key_with_order(self, tup):
         from repro.hyracks.operators.sort import order_key

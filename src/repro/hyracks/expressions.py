@@ -577,3 +577,27 @@ def compile_predicate(expr: RuntimeExpr):
     bool`` with :func:`evaluate_predicate` semantics (only True passes)."""
     fn = compile_expr(expr)
     return lambda tup, env=None: fn(tup, env) is True
+
+
+def compile_expr_batch(expr: RuntimeExpr, fn=None):
+    """Compile ``expr`` into a frame-level evaluator ``(tuples) ->
+    [values]``, one value per tuple in order — what the batched
+    aggregate runtime feeds to ``AggregateState.step_many``.
+
+    The common aggregate-argument shapes skip per-tuple closure dispatch
+    entirely: a ``ColumnRef`` becomes a plain column extraction and a
+    ``Const`` a repeated value; everything else runs the per-tuple
+    closure inside one comprehension (pass the already-compiled closure
+    as ``fn`` to avoid compiling — and counting — the expression
+    twice).  Values are identical to evaluating per tuple (the closures
+    are deterministic and side-effect free by contract).
+    """
+    if isinstance(expr, ColumnRef):
+        index = expr.index
+        return lambda frame: [t[index] for t in frame]
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda frame: [value] * len(frame)
+    if fn is None:
+        fn = compile_expr(expr)
+    return lambda frame: [fn(t) for t in frame]

@@ -37,6 +37,13 @@ def plain_key_bytes(tup, cols) -> bytes:
     return canonical_bytes(tuple(tup[i] for i in cols))
 
 
+def plain_key_bytes_many(tuples, cols) -> list:
+    """Batch :func:`plain_key_bytes` over a frame, one bytes per tuple."""
+    if cols is None:
+        return [canonical_bytes(t) for t in tuples]
+    return [canonical_bytes(tuple(t[i] for i in cols)) for t in tuples]
+
+
 class KeyCache:
     """Job-lifetime memo of key bytes and key hashes per (tuple, columns).
 
@@ -67,6 +74,30 @@ class KeyCache:
         if len(self._entries) < self.max_entries:
             self._entries[ck] = [tup, kb, None]
         return kb
+
+    def key_bytes_many(self, tuples, cols) -> list:
+        """Batch :meth:`key_bytes` over a whole frame in one call (the
+        batched group-by/distinct entry point): one dict probe per
+        tuple, misses computed and stored under the same bounded-size
+        rule, hit/miss accounting identical to per-tuple calls."""
+        entries = self._entries
+        max_entries = self.max_entries
+        out = []
+        hits = 0
+        for tup in tuples:
+            ck = (id(tup), cols)
+            entry = entries.get(ck)
+            if entry is not None:
+                hits += 1
+                out.append(entry[1])
+                continue
+            kb = plain_key_bytes(tup, cols)
+            if len(entries) < max_entries:
+                entries[ck] = [tup, kb, None]
+            out.append(kb)
+        self.hits += hits
+        self.misses += len(tuples) - hits
+        return out
 
     def key_hash(self, tup, cols) -> int:
         """FNV-1a of :meth:`key_bytes` — equal to ``hash_value`` over the

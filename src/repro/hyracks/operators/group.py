@@ -5,6 +5,16 @@ it.  Two grouped implementations mirror AsterixDB's physical choices: hash
 group-by (with grace-style spilling under a frame budget) and pre-clustered
 group-by for inputs already sorted on the grouping keys; ``AggregateOp``
 is the global (single-group) variant.
+
+With ``ExecutorConfig.batch_execution`` on (the default) every operator
+here works frame-at-a-time: group keys batch through the job key cache
+(``TaskContext.key_bytes_many``), each group accumulates its tuples and
+folds them once through ``AggregateCall.evaluate_many`` +
+``AggregateState.step_many``.  The per-tuple loops remain as the
+reference semantics when the toggle is off; both paths issue the same
+simulated-clock charges and produce byte-identical output, groups in the
+same (first-seen / clustered) order.  ``agg.batched_steps`` counts the
+values that flowed through the bulk fold.
 """
 
 from __future__ import annotations
@@ -14,9 +24,14 @@ from dataclasses import dataclass
 from repro.adm.values import fnv1a_bytes
 from repro.functions.aggregates import AggregateState
 from repro.functions.registry import resolve_aggregate
-from repro.hyracks.expressions import RuntimeExpr, compile_expr
+from repro.hyracks.expressions import (
+    RuntimeExpr,
+    compile_expr,
+    compile_expr_batch,
+)
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks.runfile import RunFileWriter
+from repro.observability.metrics import get_registry
 
 
 @dataclass
@@ -28,10 +43,12 @@ class AggregateCall:
 
     def __post_init__(self):
         self._func = resolve_aggregate(self.function)
-        self._eval = None      # compiled argument closure
+        self._eval = None       # compiled argument closure
+        self._eval_many = None  # compiled frame-level evaluator
 
     def compile(self) -> None:
         self._eval = compile_expr(self.argument)
+        self._eval_many = compile_expr_batch(self.argument, self._eval)
 
     @property
     def evaluator(self):
@@ -39,6 +56,14 @@ class AggregateCall:
         owning operator was prepared, the interpreter otherwise."""
         return (self._eval if self._eval is not None
                 else self.argument.evaluate)
+
+    def evaluate_many(self, frame) -> list:
+        """The argument over a whole frame, one comprehension — identical
+        values to calling :attr:`evaluator` per tuple."""
+        if self._eval_many is not None:
+            return self._eval_many(frame)
+        evaluate = self.argument.evaluate
+        return [evaluate(t) for t in frame]
 
     def new_state(self) -> AggregateState:
         return AggregateState(self._func)
@@ -49,6 +74,14 @@ class AggregateCall:
 
 def _finish_group(key_values: tuple, states: list) -> tuple:
     return key_values + tuple(s.finish() for s in states)
+
+
+def _fold_group(aggregates, frame) -> list:
+    """Fresh states for ``aggregates``, bulk-folded over ``frame``."""
+    states = [a.new_state() for a in aggregates]
+    for call, state in zip(aggregates, states):
+        state.step_many(call.evaluate_many(frame))
+    return states
 
 
 class HashGroupByOp(OperatorDescriptor):
@@ -82,35 +115,70 @@ class HashGroupByOp(OperatorDescriptor):
         ctx.cost.tuples_out += len(out)
         return out
 
+    def _spill(self, ctx, overflow, kb, tup, depth, fan_out, seed):
+        """Route one tuple past a full group table into its overflow
+        partition (created lazily on the first spilled tuple)."""
+        if not overflow:
+            self.spill_rounds += 1
+            # ownership transfers to _aggregate, which finishes every
+            # writer this hands it
+            overflow.extend(
+                RunFileWriter(ctx, f"gb{depth}")   # lint: allow-temp-pairing
+                for _ in range(fan_out))
+        h = fnv1a_bytes(kb, seed=seed)
+        overflow[h % fan_out].write(tup)
+
     def _aggregate(self, ctx, data, budget, depth):
-        groups: dict[bytes, tuple] = {}
         overflow: list[RunFileWriter] = []
         fan_out = 4
         seed = 0xA6A6 + depth
         key_fields = self.key_fields
         cols = tuple(key_fields)
-        evals = [a.evaluator for a in self.aggregates]
-        for tup in data:
-            kb = ctx.key_bytes(tup, cols)
-            ctx.charge_hash(1)
-            entry = groups.get(kb)
-            if entry is None:
-                if len(groups) >= budget and depth < 8:
-                    # table full: spill this tuple by hash for a later pass
-                    if not overflow:
-                        self.spill_rounds += 1
-                        overflow = [RunFileWriter(ctx, f"gb{depth}")
-                                    for _ in range(fan_out)]
-                    h = fnv1a_bytes(kb, seed=seed)
-                    overflow[h % fan_out].write(tup)
-                    continue
-                key = tuple(tup[i] for i in key_fields)
-                entry = (key, [a.new_state() for a in self.aggregates])
-                groups[kb] = entry
-            for ev, state in zip(evals, entry[1]):
-                state.step(ev(tup))
+        ctx.charge_hash(len(data))
+        if ctx.config.executor.batch_execution:
+            # phase 1 routes tuples into per-group pending lists with the
+            # exact spill decisions of the per-tuple path (same key
+            # bytes, same first-seen order, same table-size threshold);
+            # phase 2 folds each group once
+            groups: dict[bytes, tuple] = {}
+            for tup, kb in zip(data, ctx.key_bytes_many(data, cols)):
+                entry = groups.get(kb)
+                if entry is None:
+                    if len(groups) >= budget and depth < 8:
+                        self._spill(ctx, overflow, kb, tup, depth,
+                                    fan_out, seed)
+                        continue
+                    entry = (tuple(tup[i] for i in key_fields), [])
+                    groups[kb] = entry
+                entry[1].append(tup)
+            aggregates = self.aggregates
+            out = [
+                _finish_group(key, _fold_group(aggregates, pending))
+                for key, pending in groups.values()
+            ]
+            grouped = sum(len(p) for _, p in groups.values())
+            if grouped:
+                get_registry().counter("agg.batched_steps").inc(
+                    grouped * max(1, len(aggregates)))
+        else:
+            evals = [a.evaluator for a in self.aggregates]
+            groups = {}
+            for tup in data:
+                kb = ctx.key_bytes(tup, cols)
+                entry = groups.get(kb)
+                if entry is None:
+                    if len(groups) >= budget and depth < 8:
+                        self._spill(ctx, overflow, kb, tup, depth,
+                                    fan_out, seed)
+                        continue
+                    key = tuple(tup[i] for i in key_fields)
+                    entry = (key, [a.new_state() for a in self.aggregates])
+                    groups[kb] = entry
+                for ev, state in zip(evals, entry[1]):
+                    state.step(ev(tup))   # lint: allow-per-tuple
+            out = [_finish_group(key, states)
+                   for key, states in groups.values()]
         ctx.charge_cpu(len(data) * max(1, len(self.aggregates)))
-        out = [_finish_group(key, states) for key, states in groups.values()]
         for writer in overflow:
             reader = writer.finish()
             try:
@@ -141,26 +209,45 @@ class PreclusteredGroupByOp(OperatorDescriptor):
             agg.compile()
 
     def run(self, ctx, partition, inputs):
+        data = inputs[0]
         out = []
-        current_kb = None
-        current_key: tuple = ()
-        states: list = []
         cols = tuple(self.key_fields)
-        evals = [a.evaluator for a in self.aggregates]
-        for tup in inputs[0]:
-            kb = ctx.key_bytes(tup, cols)
-            ctx.charge_compare(1)
-            if kb != current_kb:
-                if current_kb is not None:
-                    out.append(_finish_group(current_key, states))
-                current_kb = kb
-                current_key = tuple(tup[i] for i in self.key_fields)
-                states = [a.new_state() for a in self.aggregates]
-            for ev, state in zip(evals, states):
-                state.step(ev(tup))
-        if current_kb is not None:
-            out.append(_finish_group(current_key, states))
-        ctx.charge_cpu(len(inputs[0]))
+        ctx.charge_compare(len(data))
+        if ctx.config.executor.batch_execution:
+            # batch the key bytes, scan for group boundaries, fold each
+            # clustered slice once
+            kbs = ctx.key_bytes_many(data, cols)
+            aggregates = self.aggregates
+            start = 0
+            for idx in range(1, len(data) + 1):
+                if idx < len(data) and kbs[idx] == kbs[start]:
+                    continue
+                frame = data[start:idx]
+                key = tuple(frame[0][i] for i in self.key_fields)
+                out.append(_finish_group(key,
+                                         _fold_group(aggregates, frame)))
+                start = idx
+            if data:
+                get_registry().counter("agg.batched_steps").inc(
+                    len(data) * max(1, len(aggregates)))
+        else:
+            current_kb = None
+            current_key: tuple = ()
+            states: list = []
+            evals = [a.evaluator for a in self.aggregates]
+            for tup in data:
+                kb = ctx.key_bytes(tup, cols)
+                if kb != current_kb:
+                    if current_kb is not None:
+                        out.append(_finish_group(current_key, states))
+                    current_kb = kb
+                    current_key = tuple(tup[i] for i in self.key_fields)
+                    states = [a.new_state() for a in self.aggregates]
+                for ev, state in zip(evals, states):
+                    state.step(ev(tup))   # lint: allow-per-tuple
+            if current_kb is not None:
+                out.append(_finish_group(current_key, states))
+        ctx.charge_cpu(len(data))
         ctx.cost.tuples_out += len(out)
         return out
 
@@ -183,12 +270,19 @@ class AggregateOp(OperatorDescriptor):
             agg.compile()
 
     def run(self, ctx, partition, inputs):
-        states = [a.new_state() for a in self.aggregates]
-        evals = [a.evaluator for a in self.aggregates]
-        for tup in inputs[0]:
-            for ev, state in zip(evals, states):
-                state.step(ev(tup))
-        ctx.charge_cpu(len(inputs[0]) * max(1, len(self.aggregates)))
+        data = inputs[0]
+        if ctx.config.executor.batch_execution:
+            states = _fold_group(self.aggregates, data)
+            if data:
+                get_registry().counter("agg.batched_steps").inc(
+                    len(data) * max(1, len(self.aggregates)))
+        else:
+            states = [a.new_state() for a in self.aggregates]
+            evals = [a.evaluator for a in self.aggregates]
+            for tup in data:
+                for ev, state in zip(evals, states):
+                    state.step(ev(tup))   # lint: allow-per-tuple
+        ctx.charge_cpu(len(data) * max(1, len(self.aggregates)))
         ctx.cost.tuples_out += 1
         return [tuple(s.finish() for s in states)]
 

@@ -308,11 +308,13 @@ class DistinctOp(OperatorDescriptor):
         self._cols = None if fields is None else tuple(fields)
 
     def run(self, ctx, partition, inputs):
+        # key bytes batch through the job cache in one call; the hash
+        # charge stays per tuple so the float accumulation is identical
+        # to the pipelined task's per-frame pushes
         seen = set()
         out = []
-        cols = self._cols
-        for tup in inputs[0]:
-            key = ctx.key_bytes(tup, cols)
+        keys = ctx.key_bytes_many(inputs[0], self._cols)
+        for tup, key in zip(inputs[0], keys):
             ctx.charge_hash(1)
             if key not in seen:
                 seen.add(key)
@@ -334,12 +336,12 @@ class _DistinctTask(OperatorTask):
 
     def push(self, frame):
         out = []
-        cols = self.op._cols
-        for tup in frame:
-            key = self.ctx.key_bytes(tup, cols)
+        seen_keys = self._seen_keys
+        keys = self.ctx.key_bytes_many(frame, self.op._cols)
+        for tup, key in zip(frame, keys):
             self.ctx.charge_hash(1)
-            if key not in self._seen_keys:
-                self._seen_keys.add(key)
+            if key not in seen_keys:
+                seen_keys.add(key)
                 out.append(tup)
         self._seen += len(frame)
         self._kept += len(out)

@@ -10,13 +10,32 @@ are more runs than merge fan-in).  Experiment E4 sweeps the budget.
 The paper also credits university contributions with "much-improved
 parallel sorting" (§VII): the parallel plan sorts each partition locally
 with this operator and merges globally through a MergeConnector.
+
+Two key strategies coexist (ISSUE-7, ``ExecutorConfig.batch_execution``):
+
+* :func:`order_key` — the per-tuple reference: one ``_Key`` wrapper per
+  field per call, each comparison a Python-level :func:`compare` walk.
+* :func:`compile_order_key` — compiles fields+descending **once per
+  operator run** into a single closure over cheap ``order_part`` pairs
+  (raw values when a whole key column is natively orderable), so the
+  sort's O(n log n) comparisons run in the C tuple comparator.  The
+  external-merge path decorates run read-back streams with precomputed
+  keys (:meth:`ExternalSortOp._decorated`), so ``_merge_iter`` never
+  recomputes ``key(tup)`` on a heap push; the spill-file format is
+  unchanged, so page counts — and therefore simulated I/O — are
+  identical.  Both strategies issue the same simulated-clock charges.
 """
 
 from __future__ import annotations
 
 import heapq
 
-from repro.adm.comparators import tuple_key
+from repro.adm.comparators import (
+    native_orderable,
+    order_part,
+    tuple_key,
+    tuple_key_many,
+)
 from repro.hyracks.job import OperatorDescriptor
 from repro.hyracks.runfile import RunFileWriter
 from repro.observability.metrics import get_registry
@@ -46,6 +65,47 @@ def order_key(tup, fields: list[int], descending: list[bool]):
     return tuple(parts)
 
 
+def compile_order_key(fields: list[int], descending: list[bool], data=None):
+    """Compile fields+descending into one key closure ordering tuples
+    exactly like :func:`order_key` (min-first is output order).
+
+    When ``data`` — the full input the keys will be drawn from — is
+    supplied, a key column whose values are natively orderable (one
+    plain scalar type, or any mix of ints and floats) compiles to the
+    raw value, pushing those comparisons entirely into C.  Keys from one
+    compilation never compare against :func:`order_key` output.
+    """
+    parts = []
+    for f, desc in zip(fields, descending):
+        if data is not None and native_orderable([t[f] for t in data]):
+            def get(t, _f=f):
+                return t[_f]
+        else:
+            def get(t, _f=f):
+                return order_part(t[_f])
+        parts.append((get, desc))
+    if len(parts) == 1:
+        get, desc = parts[0]
+        if desc:
+            return lambda t: _Reversed(get(t))
+        return get
+    return lambda t: tuple(
+        _Reversed(g(t)) if d else g(t) for g, d in parts)
+
+
+def _compile_sort_plan(fields, descending, data):
+    """``(sorted_key, reverse, heap_key)`` for one sort run: pass the
+    first two to ``sorted`` (an all-DESC order sorts by the ascending
+    key with ``reverse=True`` — both orders break ties by input
+    position, so the results are identical to per-field ``_Reversed``
+    wrapping); ``heap_key`` orders min-first for merge heaps."""
+    if descending and all(descending):
+        asc = compile_order_key(fields, [False] * len(fields), data)
+        return asc, True, (lambda t: _Reversed(asc(t)))
+    key = compile_order_key(fields, descending, data)
+    return key, False, key
+
+
 class ExternalSortOp(OperatorDescriptor):
     """Budgeted external merge sort of one partition's stream."""
 
@@ -72,11 +132,19 @@ class ExternalSortOp(OperatorDescriptor):
             ctx.release_memory(grant)
 
     def _sort(self, ctx, data, budget):
-        key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
+        batched = ctx.config.executor.batch_execution
+        if batched:
+            sort_key, reverse, heap_key = _compile_sort_plan(
+                self.fields, self.descending, data)
+        else:
+            # per-tuple reference path: same comparisons, same charges
+            sort_key = heap_key = (
+                lambda t: order_key(t, self.fields, self.descending))
+            reverse = False
         ctx.charge_cpu(len(data))
         if len(data) <= budget:
             # fits in memory: one quicksort, no spill
-            out = sorted(data, key=key)
+            out = sorted(data, key=sort_key, reverse=reverse)
             ctx.charge_compare(len(data) * max(1, len(data).bit_length()))
             self.last_run_counts.append(0)
             ctx.cost.tuples_out += len(out)
@@ -84,7 +152,8 @@ class ExternalSortOp(OperatorDescriptor):
         # run generation
         runs = []
         for start in range(0, len(data), budget):
-            chunk = sorted(data[start:start + budget], key=key)
+            chunk = sorted(data[start:start + budget], key=sort_key,
+                           reverse=reverse)
             ctx.charge_compare(len(chunk) * max(1, len(chunk).bit_length()))
             writer = RunFileWriter(ctx, "sortrun")
             for tup in chunk:
@@ -107,12 +176,13 @@ class ExternalSortOp(OperatorDescriptor):
                 if len(group) == 1:
                     next_runs.append(group[0])
                 else:
-                    next_runs.append(self._merge_to_run(ctx, group, key))
+                    next_runs.append(
+                        self._merge_to_run(ctx, group, heap_key, batched))
             runs = next_runs
         passes += 1                      # the final merge into the output
         self.last_merge_passes = passes
         get_registry().counter("sort.merge_passes").inc(passes)
-        out = list(self._merge_iter(ctx, runs, key))
+        out = list(self._merge_iter(ctx, runs, heap_key, batched))
         ctx.cost.tuples_out += len(out)
         return out
 
@@ -128,32 +198,48 @@ class ExternalSortOp(OperatorDescriptor):
             passes += 1
         return max(1, passes)
 
-    def _merge_iter(self, ctx, runs, key):
+    @staticmethod
+    def _decorated(run, key):
+        """Decorate a run's read-back stream with its sort key, computed
+        exactly once per tuple at read time — the merge heap pushes the
+        precomputed key instead of recomputing ``key(tup)``.  The run
+        file itself stores only tuples (unchanged format), so page
+        counts — and therefore simulated I/O — are identical."""
+        for tup in run:
+            yield key(tup), tup
+
+    def _merge_iter(self, ctx, runs, key, batched=False):
         """Heap-merge ``runs``; every reader is closed in a ``finally``,
         so an early-exiting consumer (LIMIT, a fault mid-merge) releases
         every temp file instead of leaking it."""
+        pushes = 0
         try:
-            iters = [iter(r) for r in runs]
+            streams = [self._decorated(r, key) for r in runs]
             heap = []
-            for rank, it in enumerate(iters):
-                for tup in it:
-                    heap.append((key(tup), rank, id(tup), tup))
+            for rank, stream in enumerate(streams):
+                for k, tup in stream:
+                    heap.append((k, rank, id(tup), tup))
+                    pushes += 1
                     break
             heapq.heapify(heap)
             while heap:
                 _, rank, _, tup = heapq.heappop(heap)
                 ctx.charge_compare(1)
                 yield tup
-                for nxt in iters[rank]:
-                    heapq.heappush(heap, (key(nxt), rank, id(nxt), nxt))
+                for k, nxt in streams[rank]:
+                    heapq.heappush(heap, (k, rank, id(nxt), nxt))
+                    pushes += 1
                     break
         finally:
             for r in runs:
                 r.close()
+            if batched and pushes:
+                # heap pushes served from a batch-compiled precomputed key
+                get_registry().counter("sort.key_cache_hits").inc(pushes)
 
-    def _merge_to_run(self, ctx, runs, key):
+    def _merge_to_run(self, ctx, runs, key, batched=False):
         writer = RunFileWriter(ctx, "mergerun")
-        for tup in self._merge_iter(ctx, runs, key):
+        for tup in self._merge_iter(ctx, runs, key, batched):
             writer.write(tup)
         return writer.finish()
 
@@ -179,12 +265,41 @@ class TopKSortOp(OperatorDescriptor):
         self.descending = list(descending or [False] * len(fields))
 
     def run(self, ctx, partition, inputs):
-        key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
-        ctx.charge_cpu(len(inputs[0]))
-        ctx.charge_compare(len(inputs[0]))
-        out = heapq.nsmallest(self.k, inputs[0], key=key)
+        data = inputs[0]
+        ctx.charge_cpu(len(data))
+        # every input tuple sifts a k-bounded heap: n * ceil(log2 k)
+        # comparisons, not n (which undercounted the heap behavior)
+        ctx.charge_compare(len(data) * max(1, self.k.bit_length()))
+        if ctx.config.executor.batch_execution:
+            out = self._topk_batched(data)
+        else:
+            key = lambda t: order_key(t, self.fields, self.descending)  # noqa: E731
+            out = heapq.nsmallest(self.k, data, key=key)
         ctx.cost.tuples_out += len(out)
         return out
+
+    def _topk_batched(self, data):
+        """Decorate-select-undecorate: batch-build one key per tuple,
+        then let the heap compare ``(key, position, tuple)`` triples —
+        the position makes every triple distinct, so ties never reach
+        the tuples and stability matches ``nsmallest(key=...)``."""
+        if self.descending and all(self.descending):
+            # a uniformly-DESC top-k is the largest k under the
+            # ascending key; positions descend so earlier input wins ties
+            keyfn = compile_order_key(
+                self.fields, [False] * len(self.fields), data)
+            triples = zip([keyfn(t) for t in data],
+                          range(0, -len(data), -1), data)
+            best = heapq.nlargest(self.k, triples)
+        elif any(self.descending):
+            keyfn = compile_order_key(self.fields, self.descending, data)
+            triples = zip([keyfn(t) for t in data], range(len(data)), data)
+            best = heapq.nsmallest(self.k, triples)
+        else:
+            triples = zip(tuple_key_many(data, self.fields),
+                          range(len(data)), data)
+            best = heapq.nsmallest(self.k, triples)
+        return [t for _, _, t in best]
 
     def __repr__(self):
         return f"topk-sort(k={self.k}, {self.fields})"

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 
-from repro.adm.comparators import tuple_key
+from repro.adm.comparators import order_part
 from repro.common.errors import DuplicateKeyError
 from repro.storage.bloom import BloomFilter
 from repro.storage.btree import BTree
@@ -343,18 +343,24 @@ def _merge_newest_wins(iterators, *, keep_antimatter: bool = False):
     Antimatter records are dropped (the key is gone) unless
     ``keep_antimatter`` (merges that don't include the oldest component must
     retain tombstones)."""
+    # heap entries carry order_part pairs, not _Key wrappers: parts order
+    # and compare equal exactly like tuple_key but in the C tuple
+    # comparator, and this merge runs once per entry per scan
     heap = []
     for rank, it in enumerate(iterators):
         it = iter(it)
         for key, raw in it:
-            heapq.heappush(heap, (tuple_key(key), rank, key, raw, it))
+            heapq.heappush(
+                heap, (tuple(map(order_part, key)), rank, key, raw, it))
             break
     current_key_wrapped = None
     while heap:
         wrapped, rank, key, raw, it = heapq.heappop(heap)
         for next_key, next_raw in it:
             heapq.heappush(
-                heap, (tuple_key(next_key), rank, next_key, next_raw, it)
+                heap,
+                (tuple(map(order_part, next_key)), rank, next_key,
+                 next_raw, it),
             )
             break
         if current_key_wrapped is not None and wrapped == current_key_wrapped:

@@ -1,0 +1,294 @@
+"""Batched execution equivalence (ISSUE-7).
+
+``ExecutorConfig.batch_execution`` swaps per-tuple dispatch for
+frame-at-a-time folds (bulk aggregate stepping, compiled sort keys,
+batched key bytes).  The toggle must be invisible in everything but
+wall-clock time, which this suite pins at three levels:
+
+* **Value level** (hypothesis): ``AggregateState.step_many`` — whole or
+  chunked — finishes with exactly what the sequential ``step`` fold
+  produces, including tie-breaking (``1`` vs ``1.0`` in MIN/MAX);
+  ``order_part``/``compile_order_key`` order exactly like the ``_Key``
+  based ``order_key``.
+* **Operator level** (hypothesis): group-by/aggregate/top-k operators
+  run twice over random frames, batched on and off, and must agree on
+  output tuples *and* every simulated-clock charge.
+* **Observability**: the ``agg.batched_steps`` and
+  ``sort.key_cache_hits`` counters tick on the batched paths, and the
+  top-k cost model charges ``n * ceil(log2 k)`` comparisons.
+
+Executor-level coverage (serial/parallel/pipelined x batched on/off)
+lives in ``test_executor_equivalence.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm.comparators import (
+    compare,
+    order_part,
+    tuple_key,
+    tuple_key_many,
+)
+from repro.adm.values import MISSING
+from repro.common.config import ClusterConfig, ExecutorConfig, NodeConfig
+from repro.functions.aggregates import AggregateState
+from repro.functions.registry import resolve_aggregate
+from repro.hyracks.connectors import MergeConnector
+from repro.hyracks.expressions import ColumnRef
+from repro.hyracks.operators.base import TaskContext
+from repro.hyracks.operators.group import (
+    AggregateCall,
+    AggregateOp,
+    HashGroupByOp,
+    PreclusteredGroupByOp,
+)
+from repro.hyracks.operators.sort import (
+    TopKSortOp,
+    _compile_sort_plan,
+    compile_order_key,
+    order_key,
+)
+from repro.hyracks.profiler import PartitionCost
+from repro.observability.metrics import get_registry
+
+GENERAL_VALUES = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.floats(min_value=-20, max_value=20,
+              allow_nan=False, allow_infinity=False),
+    st.sampled_from(["", "a", "bb", "zz"]),
+    st.booleans(),
+    st.none(),
+    st.just(MISSING),
+    st.lists(st.integers(min_value=0, max_value=3), max_size=2),
+)
+
+NUMERIC_VALUES = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.floats(min_value=-20, max_value=20,
+              allow_nan=False, allow_infinity=False),
+    st.none(),
+    st.just(MISSING),
+)
+
+
+def canon(x):
+    """Strict equality token: distinguishes 1 / 1.0 / True, so the
+    tie-breaking of bulk folds is checked, not just ADM equality."""
+    return (type(x).__name__, repr(x))
+
+
+class TestStepManyAgreement:
+    def _check(self, name, values, chunk):
+        func = resolve_aggregate(name)
+        ref = AggregateState(func)
+        for v in values:
+            ref.step(v)
+        whole = AggregateState(func)
+        whole.step_many(list(values))
+        chunked = AggregateState(func)
+        for i in range(0, len(values), chunk):
+            chunked.step_many(values[i:i + chunk])
+        expected = canon(ref.finish())
+        assert canon(whole.finish()) == expected
+        assert canon(chunked.finish()) == expected
+
+    @settings(max_examples=150, deadline=None)
+    @given(name=st.sampled_from(
+               ["count", "count_star", "min", "max", "listify"]),
+           values=st.lists(GENERAL_VALUES, max_size=30),
+           chunk=st.integers(min_value=1, max_value=7))
+    def test_general_aggregates(self, name, values, chunk):
+        self._check(name, values, chunk)
+
+    @settings(max_examples=150, deadline=None)
+    @given(name=st.sampled_from(["sum", "avg"]),
+           values=st.lists(NUMERIC_VALUES, max_size=30),
+           chunk=st.integers(min_value=1, max_value=7))
+    def test_numeric_aggregates(self, name, values, chunk):
+        self._check(name, values, chunk)
+
+    def test_min_max_keep_earliest_of_ties(self):
+        for name in ("min", "max"):
+            state = AggregateState(resolve_aggregate(name))
+            state.step_many([1, 1.0])
+            assert canon(state.finish()) == canon(1)
+
+
+WIDTH = 3
+FRAMES = st.lists(
+    st.lists(GENERAL_VALUES, min_size=WIDTH, max_size=WIDTH).map(tuple),
+    max_size=25)
+FIELD_SPECS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=WIDTH - 1), st.booleans()),
+    min_size=1, max_size=WIDTH)
+
+
+class TestSortKeyAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(a=GENERAL_VALUES, b=GENERAL_VALUES)
+    def test_order_part_agrees_with_compare(self, a, b):
+        pa, pb = order_part(a), order_part(b)
+        c = compare(a, b)
+        assert (pa < pb) == (c < 0)
+        assert (pa == pb) == (c == 0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=FRAMES)
+    def test_tuple_key_many_orders_like_tuple_key(self, data):
+        ref = sorted(range(len(data)), key=lambda i: tuple_key(data[i]))
+        many = tuple_key_many(data)
+        assert sorted(range(len(data)), key=lambda i: many[i]) == ref
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=FRAMES, spec=FIELD_SPECS)
+    def test_compiled_key_sorts_like_order_key(self, data, spec):
+        fields = [f for f, _ in spec]
+        descending = [d for _, d in spec]
+        ref = sorted(data, key=lambda t: order_key(t, fields, descending))
+        compiled = compile_order_key(fields, descending, data)
+        assert sorted(data, key=compiled) == ref
+        sort_key, reverse, heap_key = _compile_sort_plan(
+            fields, descending, data)
+        assert sorted(data, key=sort_key, reverse=reverse) == ref
+        assert min(data, key=heap_key, default=None) == (
+            ref[0] if ref else None)
+
+
+def _config(batched: bool) -> ClusterConfig:
+    return ClusterConfig(num_nodes=1, partitions_per_node=1,
+                         node=NodeConfig(),
+                         executor=ExecutorConfig(batch_execution=batched))
+
+
+def _ctx(batched: bool) -> TaskContext:
+    # node=None: these operators never touch node services on the
+    # in-memory path exercised here
+    return TaskContext(None, _config(batched), PartitionCost())
+
+
+def _aggs():
+    return [AggregateCall("count", ColumnRef(0)),
+            AggregateCall("sum", ColumnRef(1)),
+            AggregateCall("min", ColumnRef(2))]
+
+
+def _run_both(runner):
+    """``runner(ctx)`` under batched off/on: identical output (strictly,
+    via :func:`canon`) and identical simulated-clock charges."""
+    results = []
+    for batched in (False, True):
+        ctx = _ctx(batched)
+        out = runner(ctx)
+        results.append((out, ctx.cost.cpu_us, ctx.cost.io_us,
+                        ctx.cost.network_us))
+    off, on = results
+    assert [canon(v) for t in off[0] for v in t] == \
+        [canon(v) for t in on[0] for v in t]
+    assert len(off[0]) == len(on[0])
+    assert off[1:] == on[1:]
+    return on[0]
+
+
+OP_FRAMES = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              NUMERIC_VALUES,
+              GENERAL_VALUES),
+    max_size=25)
+
+
+class TestOperatorEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=OP_FRAMES)
+    def test_global_aggregate(self, data):
+        def runner(ctx):
+            op = AggregateOp(_aggs())
+            op.prepare(ctx.config)
+            return op.run(ctx, 0, [list(data)])
+        out = _run_both(runner)
+        assert len(out) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=OP_FRAMES)
+    def test_hash_group_by(self, data):
+        def runner(ctx):
+            op = HashGroupByOp([0], _aggs())
+            op.prepare(ctx.config)
+            # budget too large to spill: the spill path needs node temp
+            # files and is covered by the executor-level suite
+            return op._aggregate(ctx, list(data), 10 ** 9, 0)
+        _run_both(runner)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=OP_FRAMES)
+    def test_preclustered_group_by(self, data):
+        clustered = sorted(data, key=lambda t: tuple_key((t[0],)))
+
+        def runner(ctx):
+            op = PreclusteredGroupByOp([0], _aggs())
+            op.prepare(ctx.config)
+            return op.run(ctx, 0, [clustered])
+        _run_both(runner)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=FRAMES, spec=FIELD_SPECS,
+           k=st.integers(min_value=1, max_value=8))
+    def test_topk_sort(self, data, spec, k):
+        fields = [f for f, _ in spec]
+        descending = [d for _, d in spec]
+
+        def runner(ctx):
+            return TopKSortOp(fields, k, descending).run(
+                ctx, 0, [list(data)])
+        out = _run_both(runner)
+        ref = sorted(data, key=lambda t: order_key(t, fields, descending))
+        assert out == ref[:k]
+
+
+class TestCostModelAndCounters:
+    def test_topk_charges_heap_sift_comparisons(self):
+        # satellite fix: n tuples through a k-bounded heap cost
+        # n * max(1, ceil(log2 k)) comparisons, not n
+        n, k = 100, 5
+        ctx = _ctx(True)
+        TopKSortOp([0], k).run(ctx, 0, [[(i,) for i in range(n)]])
+        cost = ctx.config.cost
+        expected = (n * cost.tuple_cpu_us
+                    + n * max(1, k.bit_length()) * cost.compare_us)
+        assert ctx.cost.cpu_us == expected
+
+    def test_batched_steps_counter(self):
+        counter = get_registry().counter("agg.batched_steps")
+        before = counter.value
+        ctx = _ctx(True)
+        op = AggregateOp(_aggs())
+        op.prepare(ctx.config)
+        op.run(ctx, 0, [[(i, i, i) for i in range(10)]])
+        assert counter.value - before == 10 * 3
+
+    def test_unbatched_does_not_tick_counter(self):
+        counter = get_registry().counter("agg.batched_steps")
+        before = counter.value
+        ctx = _ctx(False)
+        op = AggregateOp(_aggs())
+        op.prepare(ctx.config)
+        op.run(ctx, 0, [[(i, i, i) for i in range(10)]])
+        assert counter.value == before
+
+    def test_merge_connector_key_cache_hits(self):
+        class Ctx:
+            batch_execution = True
+
+            def charge_network(self, n):
+                pass
+
+            def charge_compare(self, n):
+                pass
+
+        counter = get_registry().counter("sort.key_cache_hits")
+        before = counter.value
+        parts = [[(0,), (2,)], [(1,), (3,)]]
+        merged = MergeConnector([0]).route(parts, 1, Ctx())
+        assert merged == [[(0,), (1,), (2,), (3,)]]
+        # every heap push reused a precomputed compiled key
+        assert counter.value - before == 4

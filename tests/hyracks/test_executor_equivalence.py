@@ -54,6 +54,14 @@ VARIANTS = [
     ("parallel-interpreted",
      ExecutorConfig(mode="parallel", pipelining=True,
                     compile_expressions=False)),
+    # ISSUE-7: batched frame-at-a-time execution off — the per-tuple
+    # reference paths must match the batched default byte for byte
+    ("serial-unbatched",
+     ExecutorConfig(mode="serial", pipelining=False,
+                    batch_execution=False)),
+    ("parallel-unbatched",
+     ExecutorConfig(mode="parallel", pipelining=True,
+                    batch_execution=False)),
 ]
 
 

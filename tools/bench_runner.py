@@ -2,7 +2,7 @@
 """Benchmark runner: wall-clock + simulated time, serial vs parallel.
 
 Runs a small suite of end-to-end workloads against the embedded instance
-and writes a JSON report (default ``BENCH_PR6.json``) with, for each
+and writes a JSON report (default ``BENCH_PR7.json``) with, for each
 benchmark, wall-clock seconds and the simulated-clock microseconds, plus
 a head-to-head of the serial materialize-everything executor against the
 pipelined parallel one on a scan/sort-heavy multi-partition job, a
@@ -82,6 +82,17 @@ QUERY_BENCHMARKS = [
      "SELECT age, COUNT(*) AS n "
      "FROM Users u JOIN Messages m ON m.authorId = u.id "
      "GROUP BY u.age AS age ORDER BY age;"),
+    # ISSUE-7 micro-benchmarks: a full (no-LIMIT) multi-field external
+    # sort and a multi-aggregate group-by, the two paths the batched
+    # execution layer rewrote
+    ("sort_heavy",
+     "SELECT VALUE m.messageId FROM Messages m "
+     "ORDER BY m.authorId, m.messageId DESC;"),
+    ("group_heavy",
+     "SELECT authorId, COUNT(*) AS n, MIN(m.messageId) AS lo, "
+     "MAX(m.messageId) AS hi, SUM(m.messageId) AS total "
+     "FROM Messages m GROUP BY m.authorId AS authorId "
+     "ORDER BY authorId;"),
 ]
 
 
@@ -154,6 +165,57 @@ def run_expression_compile(base_dir: str, quick: bool) -> dict:
                          3),
         "results_identical": True,
     }
+
+
+def run_batch_execution(base_dir: str, quick: bool) -> dict:
+    """The sort_heavy and group_heavy workloads with frame-at-a-time
+    batched execution on vs off (``ExecutorConfig.batch_execution``).
+    Results and the simulated clock must be identical — only wall-clock
+    may differ (docs/PERFORMANCE.md, "Batched execution")."""
+    n_users = 200 if quick else 1000
+    n_messages = 1000 if quick else 8000
+    repeats = 2 if quick else 3
+    queries = dict(QUERY_BENCHMARKS)
+    out = {}
+    observed: dict = {"batched": {}, "per_tuple": {}}
+    for label, toggle in (("batched", True), ("per_tuple", False)):
+        config = ClusterConfig(
+            num_nodes=2, partitions_per_node=2,
+            node=NodeConfig(buffer_cache_pages=256),
+            executor=ExecutorConfig(batch_execution=toggle),
+        )
+        path = os.path.join(base_dir, f"batch_{label}")
+        with connect(path, config) as db:
+            db.execute(SCHEMA)
+            load_data(db, n_users, n_messages)
+            for name in ("sort_heavy", "group_heavy"):
+                best = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = db.execute(queries[name])
+                    wall = time.perf_counter() - started
+                    best = wall if best is None else min(best, wall)
+                observed[label][name] = {
+                    "wall": best,
+                    "rows": list(result.rows),
+                    "simulated_us": result.profile.simulated_us,
+                }
+    for name in ("sort_heavy", "group_heavy"):
+        batched = observed["batched"][name]
+        per_tuple = observed["per_tuple"][name]
+        assert batched["rows"] == per_tuple["rows"], \
+            f"{name}: batched and per-tuple runs disagree"
+        assert batched["simulated_us"] == per_tuple["simulated_us"], \
+            f"{name}: batched run changed the simulated clock"
+        out[name] = {
+            "batched_wall_seconds": round(batched["wall"], 6),
+            "per_tuple_wall_seconds": round(per_tuple["wall"], 6),
+            "speedup": round(
+                per_tuple["wall"] / max(batched["wall"], 1e-9), 3),
+            "identical_results": True,
+            "identical_simulated_us": True,
+        }
+    return out
 
 
 def run_serial_vs_parallel(base_dir: str, quick: bool) -> dict:
@@ -371,8 +433,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small datasets / few repeats (CI smoke)")
-    parser.add_argument("-o", "--output", default="BENCH_PR6.json",
-                        help="report path (default: BENCH_PR6.json)")
+    parser.add_argument("-o", "--output", default="BENCH_PR7.json",
+                        help="report path (default: BENCH_PR7.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
@@ -380,6 +442,7 @@ def main(argv=None) -> int:
         started = time.perf_counter()
         benchmarks = run_query_benchmarks(base_dir, args.quick)
         expression_compile = run_expression_compile(base_dir, args.quick)
+        batch_execution = run_batch_execution(base_dir, args.quick)
         comparison = run_serial_vs_parallel(base_dir, args.quick)
         fault_overhead = run_fault_overhead(base_dir, args.quick)
         memory_pressure = run_memory_pressure(base_dir, args.quick)
@@ -387,6 +450,7 @@ def main(argv=None) -> int:
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
             "expression_compile": expression_compile,
+            "batch_execution": batch_execution,
             "serial_vs_parallel": comparison,
             "fault_overhead": fault_overhead,
             "memory_pressure": memory_pressure,
@@ -407,6 +471,11 @@ def main(argv=None) -> int:
           f"{expression_compile['compiled_wall_seconds']*1e3:.2f} ms compiled"
           f" vs {expression_compile['interpreted_wall_seconds']*1e3:.2f} ms "
           f"interpreted ({expression_compile['speedup']}x)")
+    for name, row in batch_execution.items():
+        print(f"  batch execution ({name}): "
+              f"{row['batched_wall_seconds']*1e3:.2f} ms batched vs "
+              f"{row['per_tuple_wall_seconds']*1e3:.2f} ms per-tuple "
+              f"({row['speedup']}x)")
     print(f"  serial vs parallel: {comparison['serial_wall_seconds']*1e3:.2f}"
           f" ms vs {comparison['parallel_wall_seconds']*1e3:.2f} ms"
           f"  (speedup {comparison['speedup']}x)")
