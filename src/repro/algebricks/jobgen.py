@@ -67,6 +67,7 @@ from repro.hyracks.operators import (
     HybridHashJoinOp,
     EmptyTupleSourceOp,
     InsertOp,
+    ArrayBTreeSearchOp,
     InvertedSearchOp,
     LimitOp,
     LoadOp,
@@ -216,6 +217,11 @@ class JobGenerator:
                             [to_runtime(e, {}) for e in es])
         if op.index_kind == "btree":
             search = SecondaryBTreeSearchOp(
+                op.dataset, op.index_name, lower(op.lo), lower(op.hi),
+                op.lo_inclusive, op.hi_inclusive,
+            )
+        elif op.index_kind == "array":
+            search = ArrayBTreeSearchOp(
                 op.dataset, op.index_name, lower(op.lo), lower(op.hi),
                 op.lo_inclusive, op.hi_inclusive,
             )

@@ -326,7 +326,7 @@ class SecondaryIndexSearch(LogicalOp):
 
     dataset: str
     index_name: str
-    index_kind: str                   # btree | rtree | keyword | ngram
+    index_kind: str                   # btree | rtree | keyword | ngram | array
     pk_vars: list = field(default_factory=list)
     record_var: int = 0
     lo: list | None = None            # btree bounds
@@ -341,7 +341,8 @@ class SecondaryIndexSearch(LogicalOp):
         return [*self.pk_vars, self.record_var]
 
     def describe(self):
-        detail = (f"[{self.lo!r}..{self.hi!r}]" if self.index_kind == "btree"
+        detail = (f"[{self.lo!r}..{self.hi!r}]"
+                  if self.index_kind in ("btree", "array")
                   else repr(self.window or self.text))
         return (f"{self.index_kind}-index-search "
                 f"{self.dataset}.{self.index_name} {detail}")

@@ -275,6 +275,41 @@ def _as_field_access(expr, env, record_var: int):
     return None
 
 
+def _field_path_from(expr, env, base_var: int):
+    """If expr is a chain of field accesses rooted at ``base_var``
+    (possibly via assigns), return the dotted path — ``""`` for the
+    variable itself, None if it is anything else."""
+    expr = _resolve(expr, env)
+    parts: list = []
+    while (isinstance(expr, LCall) and expr.name == "field_access"
+            and len(expr.args) == 2
+            and isinstance(expr.args[1], LConst)):
+        parts.append(expr.args[1].value)
+        expr = _resolve(expr.args[0], env)
+    if isinstance(expr, LVar) and expr.var == base_var:
+        return ".".join(reversed(parts))
+    return None
+
+
+def _sargable_path(cond, env, base_var):
+    """Match path CMP const (either side) where the path is rooted at
+    ``base_var``; returns (path, cmp, const).  The path may be ``""``
+    (the variable itself), so callers test ``is not None``."""
+    cond = _resolve(cond, env)
+    if not isinstance(cond, LCall) or cond.name not in _CMP_BOUNDS:
+        return None
+    a, b = cond.args
+    pa = _field_path_from(a, env, base_var)
+    rb = _resolve(b, env)
+    if pa is not None and isinstance(rb, LConst):
+        return pa, cond.name, rb.value
+    pb = _field_path_from(b, env, base_var)
+    ra = _resolve(a, env)
+    if pb is not None and isinstance(ra, LConst):
+        return pb, _CMP_SWAP[cond.name], ra.value
+    return None
+
+
 _CMP_BOUNDS = {
     "eq": ("lo", "hi", True, True),
     "lt": (None, "hi", True, False),
@@ -529,6 +564,124 @@ def rule_introduce_primary_index(op, ctx):
     return _rebuild_chain(op, selects, consumed, cursor, scan, search), True
 
 
+def rule_introduce_array_index(op, ctx):
+    """Selects over an UNNEST binding over (assigns over) a scan, with a
+    multi-valued (array) index on the unnested path -> swap the scan for
+    an array-index search and keep the *entire* Unnest+Select chain as
+    residual.
+
+    Consuming nothing is what makes the rewrite byte-identical to the
+    scan plan: the residual Unnest re-derives the exact per-element
+    multiplicity (a record matching via two elements emits two tuples)
+    and the residual selects re-check every predicate, including
+    null/MISSING and cross-type cases.  The index merely shrinks the set
+    of records fed into that chain, so it must be a *superset* of the
+    records the scan plan would keep — guaranteed by requiring a sargable
+    predicate on **every** element key field of the index (an element
+    with any key field MISSING has no index entry, and the same MISSING
+    field nulls that field's predicate under the scan plan)."""
+    if not ctx.enable_index_access or not isinstance(op, Select):
+        return op, False
+    selects = []
+    cursor = op
+    while isinstance(cursor, Select):
+        selects.append(cursor)
+        cursor = cursor.inputs[0]
+    above, env_above = _field_env(cursor)
+    if not isinstance(above, Unnest) or above.outer:
+        return op, False
+    unnest = above
+    below, env_below = _field_env(unnest.inputs[0])
+    if not isinstance(below, DataSourceScan):
+        return op, False
+    scan = below
+    array_path = _field_path_from(unnest.collection, env_below,
+                                  scan.record_var)
+    if not array_path:
+        return op, False
+    specs = [s for s in ctx.metadata.secondary_indexes(scan.dataset)
+             if s.kind == "array" and s.array_path == array_path]
+    if not specs:
+        return op, False
+
+    from repro.adm.comparators import comparable, compare as _cmp
+
+    env = {**env_below, **env_above}
+    bounds: dict = {}
+    for sel in selects:
+        hit = _sargable_path(sel.condition, env, unnest.var)
+        if hit is None:
+            continue
+        p, cmp_name, const = hit
+        entry = bounds.setdefault(
+            p, {"lo": None, "hi": None, "lo_inc": True, "hi_inc": True}
+        )
+        if any(v is not None and not comparable(const, v)
+               for v in (entry["lo"], entry["hi"])):
+            entry["invalid"] = True
+        if entry.get("invalid"):
+            continue
+        if cmp_name in ("eq", "ge", "gt"):
+            inclusive = cmp_name != "gt"
+            if (entry["lo"] is None or _cmp(const, entry["lo"]) > 0
+                    or (_cmp(const, entry["lo"]) == 0 and not inclusive)):
+                entry["lo"] = const
+                entry["lo_inc"] = inclusive
+        if cmp_name in ("eq", "le", "lt"):
+            inclusive = cmp_name != "lt"
+            if (entry["hi"] is None or _cmp(const, entry["hi"]) < 0
+                    or (_cmp(const, entry["hi"]) == 0 and not inclusive)):
+                entry["hi"] = const
+                entry["hi_inc"] = inclusive
+
+    best = None
+    for spec in specs:
+        key_paths = spec.fields or ("",)
+        if not all(
+            (b := bounds.get(p)) is not None and not b.get("invalid")
+            and (b["lo"] is not None or b["hi"] is not None)
+            for p in key_paths
+        ):
+            continue      # superset guarantee needs every key field bounded
+        lo_vals, hi_vals = [], []
+        lo_inc = hi_inc = True
+        for p in key_paths:
+            b = bounds[p]
+            is_eq = (b["lo"] is not None and b["hi"] is not None
+                     and _cmp(b["lo"], b["hi"]) == 0
+                     and b["lo_inc"] and b["hi_inc"])
+            if is_eq:
+                lo_vals.append(b["lo"])
+                hi_vals.append(b["hi"])
+                continue
+            # a range component ends the prefix (later fields can't bound)
+            if b["lo"] is not None:
+                lo_vals.append(b["lo"])
+                lo_inc = b["lo_inc"]
+            if b["hi"] is not None:
+                hi_vals.append(b["hi"])
+                hi_inc = b["hi_inc"]
+            break
+        if best is None or len(key_paths) > len(best[0].fields or ("",)):
+            best = (spec, lo_vals, hi_vals, lo_inc, hi_inc)
+    if best is None:
+        return op, False
+    spec, lo_vals, hi_vals, lo_inc, hi_inc = best
+    search = SecondaryIndexSearch(
+        dataset=scan.dataset, index_name=spec.name,
+        index_kind="array", pk_vars=list(scan.pk_vars),
+        record_var=scan.record_var,
+        lo=[LConst(v) for v in lo_vals] or None,
+        hi=[LConst(v) for v in hi_vals] or None,
+        lo_inclusive=lo_inc, hi_inclusive=hi_inc,
+    )
+    node = unnest
+    while node.inputs[0] is not scan:
+        node = node.inputs[0]
+    node.inputs[0] = search
+    return op, True
+
+
 def _rebuild_chain(top, selects, consumed, assign_top, scan, search):
     """Replace the scan with the index search and drop consumed selects.
 
@@ -647,6 +800,7 @@ _NORMALIZE_RULES = [
 _ACCESS_RULES = [
     rule_introduce_primary_index,
     rule_introduce_secondary_index,
+    rule_introduce_array_index,
 ]
 
 

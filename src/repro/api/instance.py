@@ -51,6 +51,7 @@ from repro.metadata.catalog import MetadataManager
 from repro.observability import (
     ExplainResult,
     QueryTrace,
+    access_methods,
     RewriteRecorder,
     Span,
     get_registry,
@@ -258,6 +259,7 @@ class AsterixInstance:
             fired_rules=recorder.fired_rules,
             rewrites=recorder.to_dict(),
             phases=phases,
+            access_methods=access_methods(optimized),
         )
 
     def execute_all(self, text: str, *, language: str = "sqlpp",

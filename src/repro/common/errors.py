@@ -102,6 +102,14 @@ class UnknownEntityError(MetadataError):
     code = 1102
 
 
+class InvalidIndexDDLError(MetadataError):
+    """A CREATE INDEX statement is structurally invalid: an UNNEST (array)
+    index declared with a non-btree TYPE, an array index without an UNNEST
+    path, or an element field list that is empty after parsing."""
+
+    code = 1103
+
+
 # --- runtime errors (2xxx) -----------------------------------------------
 
 class RuntimeError_(AsterixError):

@@ -1,6 +1,7 @@
 """Seeded synthetic data generators (Gleambook social network, access
-logs, multitasking-study activity logs)."""
+logs, multitasking-study activity logs, TPC-CH orders/orderlines)."""
 
 from repro.datagen.gleambook import GleambookGenerator, activity_log
+from repro.datagen.tpcch import TPCCHGenerator
 
-__all__ = ["GleambookGenerator", "activity_log"]
+__all__ = ["GleambookGenerator", "TPCCHGenerator", "activity_log"]

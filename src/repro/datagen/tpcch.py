@@ -1,0 +1,124 @@
+"""Deterministic TPC-CH(2)-style data: orders with nested orderlines.
+
+The aconitum study (ROADMAP item 2) benchmarks AsterixDB on CH-benCHmark
+queries whose defining feature is predicates on fields *inside* the
+``o_orderline`` array — the workload multi-valued (UNNEST) indexes exist
+for.  This generator reproduces that shape, not the full TPC-CH schema:
+warehouses, customers skewed across warehouses, items, and orders whose
+orderlines nest the delivery day, item id, quantity, and amount.
+
+Everything is seeded (per-table sub-seeds, gleambook-style) so tests and
+benchmarks see identical data; ``scale`` is the warehouse count and every
+table's cardinality derives from it.  Delivery days are plain ints (days
+since an epoch) so range predicates stay literal in SQL++.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Per-warehouse cardinalities at scale=1 (downscaled TPC-C ratios).
+CUSTOMERS_PER_WAREHOUSE = 30
+ORDERS_PER_WAREHOUSE = 100
+ITEM_COUNT = 100
+
+#: Delivery days span this closed range (days since the benchmark epoch);
+#: uniform, so a predicate ``ol_delivery_d < cutoff`` has selectivity
+#: ~ (cutoff - DELIVERY_DAY_LO) / (DELIVERY_DAY_HI - DELIVERY_DAY_LO).
+DELIVERY_DAY_LO = 1000
+DELIVERY_DAY_HI = 3000
+
+_DISTRICTS_PER_WAREHOUSE = 10
+
+
+class TPCCHGenerator:
+    """Seeded TPC-CH-style generator; ``scale`` = number of warehouses."""
+
+    def __init__(self, seed: int = 42, scale: int = 1):
+        self.seed = seed
+        self.scale = max(1, scale)
+
+    @property
+    def num_warehouses(self) -> int:
+        return self.scale
+
+    @property
+    def num_customers(self) -> int:
+        return self.scale * CUSTOMERS_PER_WAREHOUSE
+
+    @property
+    def num_orders(self) -> int:
+        return self.scale * ORDERS_PER_WAREHOUSE
+
+    def warehouses(self):
+        rng = random.Random(self.seed)
+        for w in range(1, self.num_warehouses + 1):
+            yield {
+                "w_id": w,
+                "w_name": f"W{w:03d}",
+                "w_state": rng.choice(["CA", "WA", "OR", "NV", "AZ"]),
+                "w_tax": round(rng.uniform(0.0, 0.2), 4),
+            }
+
+    def items(self):
+        rng = random.Random(self.seed + 1)
+        for i in range(1, ITEM_COUNT + 1):
+            yield {
+                "i_id": i,
+                "i_name": f"item-{i:04d}",
+                "i_price": round(rng.uniform(1.0, 100.0), 2),
+            }
+
+    def customers(self):
+        rng = random.Random(self.seed + 2)
+        for c in range(1, self.num_customers + 1):
+            yield {
+                "c_id": c,
+                "c_w_id": 1 + (c - 1) % self.num_warehouses,
+                "c_d_id": rng.randint(1, _DISTRICTS_PER_WAREHOUSE),
+                "c_last": f"CUST{c:05d}",
+                "c_balance": round(rng.uniform(-500.0, 5000.0), 2),
+            }
+
+    def orders(self):
+        """Orders with the nested ``o_orderline`` array (1-10 lines).
+
+        A small fraction of orders exercises the edge shapes array-index
+        maintenance must handle: empty orderline arrays and entirely
+        missing ``o_orderline`` fields."""
+        rng = random.Random(self.seed + 3)
+        for o in range(1, self.num_orders + 1):
+            record = {
+                "o_id": o,
+                "o_w_id": 1 + (o - 1) % self.num_warehouses,
+                "o_d_id": rng.randint(1, _DISTRICTS_PER_WAREHOUSE),
+                "o_c_id": rng.randint(1, self.num_customers),
+                "o_entry_d": rng.randint(DELIVERY_DAY_LO - 90,
+                                         DELIVERY_DAY_LO),
+            }
+            shape = rng.random()
+            if shape < 0.02:
+                pass                        # no o_orderline field at all
+            elif shape < 0.05:
+                record["o_orderline"] = []  # present but empty
+            else:
+                record["o_orderline"] = [
+                    {
+                        "ol_number": n,
+                        "ol_i_id": rng.randint(1, ITEM_COUNT),
+                        "ol_delivery_d": rng.randint(DELIVERY_DAY_LO,
+                                                     DELIVERY_DAY_HI),
+                        "ol_quantity": rng.randint(1, 10),
+                        "ol_amount": round(rng.uniform(1.0, 1000.0), 2),
+                    }
+                    for n in range(1, rng.randint(1, 10) + 1)
+                ]
+            record["o_ol_cnt"] = len(record.get("o_orderline") or ())
+            yield record
+
+    def delivery_day_cutoff(self, selectivity: float) -> int:
+        """The ``ol_delivery_d < cutoff`` bound whose *orderline*
+        selectivity is approximately ``selectivity`` (days are uniform)."""
+        span = DELIVERY_DAY_HI - DELIVERY_DAY_LO
+        return DELIVERY_DAY_LO + max(0, min(span + 1,
+                                            round(span * selectivity)))

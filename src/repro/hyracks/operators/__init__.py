@@ -9,6 +9,7 @@ from repro.hyracks.operators.group import (
     PreclusteredGroupByOp,
 )
 from repro.hyracks.operators.index_ops import (
+    ArrayBTreeSearchOp,
     InvertedSearchOp,
     PrimaryKeySearchOp,
     PrimaryLookupOp,
@@ -50,6 +51,7 @@ __all__ = [
     "HybridHashJoinOp",
     "InMemorySourceOp",
     "InsertOp",
+    "ArrayBTreeSearchOp",
     "InvertedSearchOp",
     "LimitOp",
     "LoadOp",

@@ -98,6 +98,65 @@ class SecondaryBTreeSearchOp(OperatorDescriptor):
         return f"btree-search({self.dataset}.{self.index_name})"
 
 
+class ArrayBTreeSearchOp(OperatorDescriptor):
+    """Multi-valued (array) index search: emits *deduplicated* primary-key
+    tuples.
+
+    The index holds one (element key..., pk...) entry per array element,
+    so a record whose array matches through several elements appears once
+    per element in the range scan.  The dedup (first occurrence wins; the
+    underlying scan is key-ordered, so output order is deterministic) is
+    what keeps the downstream primary lookup + residual UNNEST plan
+    byte-identical to the scan plan — the residual re-derives the exact
+    per-element multiplicity."""
+
+    num_inputs = 0
+    name = "array-search"
+
+    def __init__(self, dataset: str, index_name: str,
+                 lo: list | None, hi: list | None,
+                 lo_inclusive: bool = True, hi_inclusive: bool = True):
+        self.dataset = dataset
+        self.index_name = index_name
+        self.lo = lo
+        self.hi = hi
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+
+    def _bound(self, exprs):
+        if exprs is None:
+            return None
+        return tuple(e.evaluate(()) for e in exprs)
+
+    def run(self, ctx, partition, inputs):
+        from repro.observability.metrics import get_registry
+
+        registry = get_registry()
+        storage = ctx.storage_partition(self.dataset, partition)
+        before = ctx.node.io_snapshot()
+        seen = set()
+        out = []
+        postings = 0
+        for pk in storage.search_btree(
+                self.index_name, self._bound(self.lo), self._bound(self.hi),
+                lo_inclusive=self.lo_inclusive,
+                hi_inclusive=self.hi_inclusive):
+            postings += 1
+            if pk in seen:
+                continue
+            seen.add(pk)
+            out.append(pk)
+        registry.counter("index.array.lookups").inc()
+        registry.counter("index.array.postings").inc(postings)
+        ctx.node.charge_io_delta(ctx, before)
+        ctx.charge_cpu(postings)
+        ctx.cost.tuples_out += len(out)
+        return out
+
+    def __repr__(self):
+        return f"array-search({self.dataset}.{self.index_name})"
+
+
 class SecondaryRTreeSearchOp(OperatorDescriptor):
     """Secondary R-tree window search: emits primary-key tuples."""
 

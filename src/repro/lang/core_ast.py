@@ -221,10 +221,11 @@ class CreateExternalDataset(Statement):
 class CreateIndex(Statement):
     name: str
     dataset: str
-    fields: list
-    kind: str = "btree"               # btree | rtree | keyword | ngram
+    fields: list                      # element fields for an array index
+    kind: str = "btree"               # btree | rtree | keyword | ngram | array
     gram_length: int = 3
     if_not_exists: bool = False
+    array_path: str | None = None     # UNNEST path (kind == "array")
 
 
 @dataclass

@@ -168,15 +168,32 @@ class SQLPPParser(Parser):
             self.expect_kw("ON")
             dataset = self.expect_ident()
             self.expect_punct("(")
-            fields = [self._parse_field_path()]
-            while self.take_punct(","):
-                fields.append(self._parse_field_path())
+            array_path = None
+            if self.at_kw("UNNEST"):
+                # CREATE INDEX ix ON ds (UNNEST arr [SELECT f, ...])
+                self.expect_kw("UNNEST")
+                array_path = self._parse_field_path()
+                fields = []
+                if self.take_kw("SELECT"):
+                    fields.append(self._parse_field_path())
+                    while self.take_punct(","):
+                        fields.append(self._parse_field_path())
+            else:
+                fields = [self._parse_field_path()]
+                while self.take_punct(","):
+                    fields.append(self._parse_field_path())
             self.expect_punct(")")
-            kind = "btree"
+            kind = "array" if array_path is not None else "btree"
             gram = 3
             if self.take_kw("TYPE"):
                 kw = self.expect_ident().lower()
-                if kw in ("btree", "rtree", "keyword"):
+                if array_path is not None and kw != "btree":
+                    from repro.common.errors import InvalidIndexDDLError
+                    raise InvalidIndexDDLError(
+                        f"UNNEST index only supports TYPE btree, got {kw}")
+                if array_path is not None:
+                    pass                     # kind stays "array"
+                elif kw in ("btree", "rtree", "keyword"):
                     kind = kw
                 elif kw == "ngram":
                     kind = "ngram"
@@ -186,7 +203,8 @@ class SQLPPParser(Parser):
                 else:
                     raise self.error(f"unknown index type {kw}")
             ine = ine or self._if_not_exists()   # trailing form accepted
-            return ast.CreateIndex(name, dataset, fields, kind, gram, ine)
+            return ast.CreateIndex(name, dataset, fields, kind, gram, ine,
+                                   array_path=array_path)
         raise self.error("unknown CREATE statement")
 
     def _if_not_exists(self) -> bool:

@@ -137,6 +137,7 @@ class MetadataManager(MetadataView):
                     record["IndexStructure"].lower(),
                     tuple(record["SearchKey"]),
                     record.get("GramLength", 3),
+                    array_path=record.get("UnnestList", [""])[0],
                 )
             )
 
@@ -352,7 +353,8 @@ class MetadataManager(MetadataView):
                 return
             raise DuplicateError(f"index {stmt.name} exists")
         spec = SecondaryIndexSpec(stmt.name, stmt.kind,
-                                  tuple(stmt.fields), stmt.gram_length)
+                                  tuple(stmt.fields), stmt.gram_length,
+                                  array_path=stmt.array_path or "")
         self.cluster.create_index(entry.name, spec)
         entry.indexes[stmt.name] = spec
         dv_name, local = self._split(stmt.dataset)
@@ -363,6 +365,7 @@ class MetadataManager(MetadataView):
             "IndexStructure": stmt.kind.upper(),
             "SearchKey": list(stmt.fields),
             "GramLength": stmt.gram_length,
+            "UnnestList": [spec.array_path],
         })
 
     def drop_index(self, dataset: str, index_name: str,

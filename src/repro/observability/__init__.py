@@ -16,6 +16,7 @@ See docs/OBSERVABILITY.md for the naming contract.
 """
 
 from repro.observability.explain import (
+    access_methods,
     ExplainResult,
     job_to_dict,
     plan_to_dict,
@@ -50,6 +51,7 @@ __all__ = [
     "RuleFiring",
     "Span",
     "get_registry",
+    "access_methods",
     "job_to_dict",
     "maybe_phase",
     "plan_to_dict",

@@ -67,6 +67,31 @@ def job_to_dict(job) -> dict:
     }
 
 
+def access_methods(root) -> list:
+    """How each data source in an optimized plan is read: one dict per
+    scan/search operator, in plan (top-down) order.  This is the "why
+    didn't my index get picked" answer at a glance — ``method`` is
+    ``primary-scan``, ``primary-index``, or ``<kind>-index`` with the
+    index name attached."""
+    from repro.algebricks import logical as L
+
+    out = []
+    for op in L.walk(root):
+        if isinstance(op, L.DataSourceScan):
+            out.append({"dataset": op.dataset, "method": "primary-scan"})
+        elif isinstance(op, L.PrimaryIndexSearch):
+            out.append({"dataset": op.dataset, "method": "primary-index"})
+        elif isinstance(op, L.SecondaryIndexSearch):
+            out.append({
+                "dataset": op.dataset,
+                "method": f"{op.index_kind}-index",
+                "index": op.index_name,
+            })
+        elif isinstance(op, L.ExternalScan):
+            out.append({"dataset": op.dataset, "method": "external-scan"})
+    return out
+
+
 @dataclass
 class ExplainResult:
     """Both halves of the compiled query, structured and pretty."""
@@ -80,6 +105,7 @@ class ExplainResult:
     fired_rules: list = field(default_factory=list)
     rewrites: dict = field(default_factory=dict)
     phases: list = field(default_factory=list)       # [{name, duration_us}]
+    access_methods: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -90,6 +116,7 @@ class ExplainResult:
             "fired_rules": list(self.fired_rules),
             "rewrites": dict(self.rewrites),
             "phases": [dict(p) for p in self.phases],
+            "access_methods": [dict(m) for m in self.access_methods],
         }
 
     def pretty(self) -> str:
@@ -97,6 +124,11 @@ class ExplainResult:
                  self.logical_text,
                  "-- hyracks job --",
                  self.job_text]
+        if self.access_methods:
+            lines.append("-- access methods --")
+            for m in self.access_methods:
+                via = f" via {m['index']}" if "index" in m else ""
+                lines.append(f"  {m['dataset']}: {m['method']}{via}")
         if self.fired_rules:
             lines.append("-- fired rewrite rules --")
             lines.append("  " + ", ".join(self.fired_rules))

@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from repro.adm.comparators import tuple_key
 from repro.adm.serializer import deserialize, serialize
 from repro.adm.values import MISSING, APoint, ARectangle
-from repro.common.errors import InvalidArgumentError, MetadataError
+from repro.common.errors import (
+    InvalidArgumentError,
+    InvalidIndexDDLError,
+    MetadataError,
+)
+from repro.observability.metrics import get_registry
 from repro.storage.buffer_cache import BufferCache
 from repro.storage.file_manager import FileManager
 from repro.storage.lsm import (
@@ -32,25 +37,46 @@ from repro.storage.lsm import (
     MergePolicy,
 )
 
-SECONDARY_KINDS = ("btree", "rtree", "keyword", "ngram")
+SECONDARY_KINDS = ("btree", "rtree", "keyword", "ngram", "array")
 
 
 @dataclass(frozen=True)
 class SecondaryIndexSpec:
-    """A ``CREATE INDEX`` request: what to index and how (Fig. 3(a))."""
+    """A ``CREATE INDEX`` request: what to index and how (Fig. 3(a)).
+
+    ``kind == "array"`` is the multi-valued case ("AsterixDB: A Scalable,
+    Open Source BDMS"): ``array_path`` names the record field holding the
+    array, ``fields`` name fields *of each element* (empty = index the
+    element value itself), and every element contributes one
+    (element key..., pk...) entry to an LSM B+ tree."""
 
     name: str
-    kind: str                       # btree | rtree | keyword | ngram
-    fields: tuple                   # field names (composite for btree)
+    kind: str                       # btree | rtree | keyword | ngram | array
+    fields: tuple                   # field names (composite for btree/array)
     gram_length: int = 3
+    array_path: str = ""            # UNNEST path (array kind only)
 
     def __post_init__(self):
         if self.kind not in SECONDARY_KINDS:
             raise MetadataError(f"unknown index type {self.kind!r}")
-        if not self.fields:
+        if self.kind == "array":
+            if not self.array_path:
+                raise InvalidIndexDDLError(
+                    "array index needs an UNNEST path")
+        elif self.array_path:
+            raise InvalidIndexDDLError(
+                f"{self.kind} index cannot have an UNNEST path")
+        elif not self.fields:
             raise MetadataError("index needs at least one field")
-        if self.kind != "btree" and len(self.fields) != 1:
+        if self.kind not in ("btree", "array") and len(self.fields) != 1:
             raise MetadataError(f"{self.kind} index takes exactly one field")
+
+    @property
+    def key_width(self) -> int:
+        """Number of leading secondary-key parts in each stored entry."""
+        if self.kind == "array" and not self.fields:
+            return 1                # the element value itself is the key
+        return len(self.fields)
 
 
 def field_value(record: dict, path: str):
@@ -61,6 +87,31 @@ def field_value(record: dict, path: str):
             return MISSING
         value = value.get(part, MISSING)
     return value
+
+
+def array_element_keys(spec: SecondaryIndexSpec, record: dict):
+    """The secondary keys an array index derives from ``record``: one key
+    tuple per element of the array at ``spec.array_path``.
+
+    Mirrors UNNEST semantics exactly so index maintenance agrees with the
+    scan plan the index search replaces: a MISSING/null/non-array value
+    unnests to nothing, and elements whose key parts are MISSING/null are
+    skipped (the predicate would evaluate to null on them).  Duplicate
+    elements yield duplicate keys; the caller's (key, pk) composite upsert
+    collapses them, which is also what makes maintenance idempotent."""
+    array = field_value(record, spec.array_path)
+    if not isinstance(array, (list, tuple)):
+        return
+    for elem in array:
+        if spec.fields:
+            if not isinstance(elem, dict):
+                continue
+            key = tuple(field_value(elem, f) for f in spec.fields)
+        else:
+            key = (elem,)
+        if any(v is MISSING or v is None for v in key):
+            continue
+        yield key
 
 
 class PartitionStorage:
@@ -122,7 +173,7 @@ class PartitionStorage:
         storage.secondaries = {}
         for spec in specs:
             name = storage._storage_name(f"idx_{spec.name}")
-            if spec.kind == "btree":
+            if spec.kind in ("btree", "array"):
                 index = LSMBTree.recover(fm, cache, name, **common)
             elif spec.kind == "rtree":
                 index = LSMRTree.recover(fm, cache, name, **common)
@@ -158,7 +209,7 @@ class PartitionStorage:
             merge_policy=self.merge_policy,
             device_hint=self.device_hint,
         )
-        if spec.kind == "btree":
+        if spec.kind in ("btree", "array"):
             index = LSMBTree(self.fm, self.cache, name, **common)
         elif spec.kind == "rtree":
             index = LSMRTree(self.fm, self.cache, name, **common)
@@ -218,6 +269,12 @@ class PartitionStorage:
         return old
 
     def _secondary_insert(self, spec, index, record, pk, lsn):
+        if spec.kind == "array":
+            counter = get_registry().counter("index.array.maintenance.inserts")
+            for key in array_element_keys(spec, record):
+                index.upsert((*key, *pk), b"", lsn)
+                counter.inc()
+            return
         values = [field_value(record, f) for f in spec.fields]
         if any(v is MISSING or v is None for v in values):
             return  # null/missing keys are not indexed
@@ -236,6 +293,14 @@ class PartitionStorage:
             index.insert_document(str(values[0]), pk, lsn)
 
     def _secondary_delete(self, spec, index, record, pk, lsn):
+        if spec.kind == "array":
+            # keyed on the OLD record's elements, so entries for elements
+            # that a shrinking upsert removed are tombstoned too
+            counter = get_registry().counter("index.array.maintenance.deletes")
+            for key in array_element_keys(spec, record):
+                index.delete((*key, *pk), lsn)
+                counter.inc()
+            return
         values = [field_value(record, f) for f in spec.fields]
         if any(v is MISSING or v is None for v in values):
             return
@@ -296,9 +361,9 @@ class PartitionStorage:
         from repro.adm.comparators import comparable_tuples, compare_tuples
 
         spec, index = self._index(index_name)
-        if spec.kind != "btree":
+        if spec.kind not in ("btree", "array"):
             raise MetadataError(f"{index_name} is not a btree index")
-        nfields = len(spec.fields)
+        nfields = spec.key_width
         for key, _ in index.scan(lo, None):
             if lo is not None and not lo_inclusive:
                 if compare_tuples(key[:len(lo)], lo) == 0:

@@ -197,8 +197,15 @@ class LSMBTree:
             bloom=bloom,
         )
         self.components[selection] = [comp]
+        import os
+
         for old in merged:
             self.cache.evict_file(old.handle)
+            try:
+                os.remove(self._device().path_of(old.handle.rel_path
+                                                 + ".bloom"))
+            except FileNotFoundError:
+                pass
             self.fm.delete_file(old.handle)
         self.stats.merges += 1
         self.stats.merged_components += len(merged)
@@ -234,15 +241,18 @@ class LSMBTree:
         return out
 
     def drop(self) -> None:
-        """Delete all files backing this index."""
+        """Delete all files backing this index, bloom sidecars included."""
         import os
 
+        paths = [self._manifest_path()]
         for comp in self.components:
+            paths.append(self._device().path_of(comp.handle.rel_path
+                                                + ".bloom"))
             self.cache.evict_file(comp.handle)
             self.fm.delete_file(comp.handle)
         self.components.clear()
         self.memory.clear()
-        for path in (self._manifest_path(),):
+        for path in paths:
             try:
                 os.remove(path)
             except FileNotFoundError:

@@ -20,6 +20,7 @@ from repro.algebricks.logical import (
     PrimaryIndexSearch,
     SecondaryIndexSearch,
     Select,
+    Unnest,
 )
 from repro.storage.dataset_storage import SecondaryIndexSpec
 
@@ -339,3 +340,112 @@ class TestCompositeIndexMatching:
         search = next(op for op in _walk(optimized)
                       if isinstance(op, SecondaryIndexSearch))
         assert search.lo == [LConst(55)] and search.hi == [LConst(55)]
+
+
+class TestArrayIndexRule:
+    """rule_introduce_array_index: swap the scan under an Unnest for an
+    array-index search, keeping the whole Unnest+Select chain as the
+    residual (the rewrite consumes nothing)."""
+
+    DELIV = SecondaryIndexSpec("oDelivery", "array", ("ol_delivery_d",),
+                               array_path="o_orderline")
+
+    def unnest_plan(self, cond, outer=False, collection=None):
+        un = Unnest(3, collection or fa(2, "o_orderline"), outer=outer,
+                    inputs=[scan()])
+        return DistributeResult(LVar(3), inputs=[Select(cond,
+                                                        inputs=[un])])
+
+    def test_array_index_chosen_with_full_residual(self):
+        md = FakeMetadata([self.DELIV])
+        cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.index_kind == "array"
+        assert search.index_name == "oDelivery"
+        assert search.hi == [LConst(100)] and not search.hi_inclusive
+        # nothing consumed: the Unnest and the Select both survive, and
+        # the search sits *below* the Unnest
+        sig = plan_signature(optimized)
+        assert "Unnest" in sig and "Select" in sig
+        unnest = next(op for op in _walk(optimized)
+                      if isinstance(op, Unnest))
+        assert any(isinstance(op, SecondaryIndexSearch)
+                   for op in _walk(unnest))
+
+    def test_eq_bounds_both_sides(self):
+        md = FakeMetadata([self.DELIV])
+        cond = LCall("eq", [fa(3, "ol_delivery_d"), LConst(7)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.lo == [LConst(7)] and search.hi == [LConst(7)]
+
+    def test_elementwise_index_on_unnest_var(self):
+        md = FakeMetadata([SecondaryIndexSpec("byTag", "array", (),
+                                              array_path="tags")])
+        un = Unnest(3, fa(2, "tags"), inputs=[scan()])
+        cond = LCall("eq", [LVar(3), LConst("big data")])
+        plan = DistributeResult(LVar(1), inputs=[Select(cond,
+                                                        inputs=[un])])
+        optimized = optimize(plan, md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.index_kind == "array"
+        assert search.lo == [LConst("big data")]
+
+    def test_wrong_path_no_fire(self):
+        md = FakeMetadata([SecondaryIndexSpec("other", "array",
+                                              ("ol_delivery_d",),
+                                              array_path="items")])
+        cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+    def test_outer_unnest_no_fire(self):
+        md = FakeMetadata([self.DELIV])
+        cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond, outer=True), md)
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+    def test_unbounded_key_field_no_fire(self):
+        """Composite element keys need a bound on *every* field, or the
+        index may drop elements whose unbounded field is MISSING."""
+        md = FakeMetadata([SecondaryIndexSpec(
+            "byDayAmt", "array", ("ol_delivery_d", "ol_amount"),
+            array_path="o_orderline")])
+        cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+    def test_composite_fully_bounded_fires(self):
+        md = FakeMetadata([SecondaryIndexSpec(
+            "byDayAmt", "array", ("ol_delivery_d", "ol_amount"),
+            array_path="o_orderline")])
+        cond = LCall("and", [
+            LCall("eq", [fa(3, "ol_delivery_d"), LConst(7)]),
+            LCall("ge", [fa(3, "ol_amount"), LConst(5)]),
+        ])
+        optimized = optimize(self.unnest_plan(cond), md)
+        search = next(op for op in _walk(optimized)
+                      if isinstance(op, SecondaryIndexSearch))
+        assert search.lo == [LConst(7), LConst(5)]
+        assert search.hi == [LConst(7)]
+
+    def test_disabled_by_flag(self):
+        md = FakeMetadata([self.DELIV])
+        cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md,
+                             enable_index_access=False)
+        assert "SecondaryIndexSearch" not in plan_signature(optimized)
+
+    def test_predicate_on_record_not_element_no_fire(self):
+        """A bound on the *record* (not the unnested element) must not
+        drive the array index."""
+        md = FakeMetadata([self.DELIV])
+        cond = LCall("lt", [fa(2, "o_id"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        assert not any(isinstance(op, SecondaryIndexSearch)
+                       and op.index_kind == "array"
+                       for op in _walk(optimized))

@@ -91,3 +91,12 @@ def test_legacy_compatibility_inheritance():
 def test_catching_asterixerror_catches_everything():
     for cls in iter_error_classes():
         assert issubclass(cls, AsterixError)
+
+
+def test_index_ddl_error_registered():
+    from repro.common.errors import InvalidIndexDDLError, MetadataError
+
+    assert issubclass(InvalidIndexDDLError, MetadataError)
+    assert InvalidIndexDDLError.code == 1103
+    assert band_of(1103) is not None
+    assert str(InvalidIndexDDLError("bad")).startswith("ASX1103: ")

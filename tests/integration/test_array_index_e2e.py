@@ -1,0 +1,185 @@
+"""Array (UNNEST) secondary indexes end to end.
+
+The contract under test is *byte identity*: a query answered through an
+array index must return exactly what the forced-scan plan returns — per
+element multiplicity, duplicate elements, MISSING arrays and all — while
+EXPLAIN shows the access method actually changed.  Data is the TPC-CH
+order/orderline shape from :mod:`repro.datagen.tpcch`.
+"""
+
+import pytest
+
+from repro import connect
+from repro.common.errors import InvalidIndexDDLError
+from repro.datagen.tpcch import TPCCHGenerator
+from repro.observability.metrics import get_registry
+
+SCHEMA = """
+    CREATE TYPE OrderType AS { o_id: int };
+    CREATE DATASET Orders(OrderType) PRIMARY KEY o_id;
+    CREATE INDEX oDelivery ON Orders (UNNEST o_orderline
+                                      SELECT ol_delivery_d);
+"""
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    instance = connect(str(tmp_path_factory.mktemp("arr") / "db"))
+    instance.execute(SCHEMA)
+    gen = TPCCHGenerator(seed=7, scale=1)
+    for rec in gen.orders():
+        instance.cluster.insert_record("Default.Orders", rec)
+    instance.flush_dataset("Orders")
+    yield instance
+    instance.close()
+
+
+def both_ways(db, query):
+    """(index-path rows, scan-path rows, index actually used?)."""
+    via_index = db.query(query)
+    via_scan = db.query(query, enable_index_access=False)
+    methods = db.explain(query).access_methods
+    used = any(m["method"] == "array-index" for m in methods)
+    return via_index, via_scan, used
+
+
+class TestEquivalence:
+    CUTOFF = TPCCHGenerator().delivery_day_cutoff(0.25)
+
+    QUERIES = [
+        ("SELECT VALUE [o.o_id, ol.ol_number] FROM Orders o "
+         "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d < {c} "
+         "ORDER BY o.o_id, ol.ol_number;"),
+        ("SELECT VALUE o.o_id FROM Orders o UNNEST o.o_orderline ol "
+         "WHERE ol.ol_delivery_d = {c} ORDER BY o.o_id;"),
+        ("SELECT VALUE COUNT(*) FROM Orders o "
+         "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d >= {c};"),
+        ("SELECT VALUE [o.o_id, ol.ol_amount] FROM Orders o "
+         "UNNEST o.o_orderline ol "
+         "WHERE ol.ol_delivery_d > {c} AND ol.ol_delivery_d < {c2} "
+         "AND ol.ol_quantity > 5 ORDER BY o.o_id, ol.ol_number;"),
+    ]
+
+    @pytest.mark.parametrize("template", QUERIES)
+    def test_index_path_matches_scan_path(self, db, template):
+        query = template.format(c=self.CUTOFF, c2=self.CUTOFF + 400)
+        via_index, via_scan, used = both_ways(db, query)
+        assert used, "query should be answered through the array index"
+        assert via_index == via_scan
+
+    def test_duplicate_elements_keep_multiplicity(self, db):
+        # a record matching through two identical elements emits two
+        # tuples on both paths (the residual Unnest re-derives it)
+        db.execute('INSERT INTO Orders ({"o_id": 90001, "o_orderline": ['
+                   '{"ol_number": 1, "ol_delivery_d": 11, "ol_quantity": 1,'
+                   ' "ol_amount": 1.0, "ol_i_id": 1},'
+                   '{"ol_number": 2, "ol_delivery_d": 11, "ol_quantity": 1,'
+                   ' "ol_amount": 1.0, "ol_i_id": 1}]});')
+        q = ("SELECT VALUE ol.ol_number FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE o.o_id = 90001 AND "
+             "ol.ol_delivery_d = 11 ORDER BY ol.ol_number;")
+        via_index, via_scan, _ = both_ways(db, q)
+        assert via_index == via_scan == [1, 2]
+
+    def test_unindexed_field_predicate_stays_on_scan(self, db):
+        q = ("SELECT VALUE o.o_id FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE ol.ol_quantity = 3 "
+             "ORDER BY o.o_id;")
+        via_index, via_scan, used = both_ways(db, q)
+        assert not used
+        assert via_index == via_scan
+
+
+class TestMaintenance:
+    def test_dml_keeps_index_and_scan_identical(self, tmp_path):
+        inst = connect(str(tmp_path / "db"))
+        inst.execute(SCHEMA)
+        inst.execute('INSERT INTO Orders ({"o_id": 1, "o_orderline": ['
+                     '{"ol_number": 1, "ol_delivery_d": 10}, '
+                     '{"ol_number": 2, "ol_delivery_d": 20}]});')
+        inst.execute('INSERT INTO Orders ({"o_id": 2, "o_orderline": []});')
+        inst.execute('INSERT INTO Orders ({"o_id": 3});')
+        # shrink order 1's array, then delete order 3
+        inst.execute('UPSERT INTO Orders ({"o_id": 1, "o_orderline": ['
+                     '{"ol_number": 1, "ol_delivery_d": 20}]});')
+        inst.execute("DELETE FROM Orders o WHERE o.o_id = 3;")
+        q = ("SELECT VALUE [o.o_id, ol.ol_number] FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d < 50 "
+             "ORDER BY o.o_id, ol.ol_number;")
+        via_index, via_scan, used = both_ways(inst, q)
+        assert used
+        assert via_index == via_scan == [[1, 1]]
+        # the shrunk-away day-10 entry must be gone from the index path
+        q10 = ("SELECT VALUE o.o_id FROM Orders o "
+               "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d = 10;")
+        assert inst.query(q10) == inst.query(
+            q10, enable_index_access=False) == []
+        inst.close()
+
+
+class TestObservability:
+    def test_explain_names_index_and_counters_move(self, db):
+        q = ("SELECT VALUE o.o_id FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d < 1100;")
+        methods = db.explain(q).access_methods
+        assert {"dataset": "Default.Orders", "method": "array-index",
+                "index": "oDelivery"} in methods
+        reg = get_registry()
+        lookups = reg.counter("index.array.lookups").value
+        postings = reg.counter("index.array.postings").value
+        db.query(q)
+        assert reg.counter("index.array.lookups").value > lookups
+        assert reg.counter("index.array.postings").value >= postings
+
+    def test_forced_scan_explain_shows_primary_scan(self, db):
+        q = ("SELECT VALUE o.o_id FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d < 1100;")
+        methods = db.explain(q, enable_index_access=False).access_methods
+        assert methods == [{"dataset": "Default.Orders",
+                            "method": "primary-scan"}]
+
+
+class TestDDL:
+    def test_array_index_rejects_non_btree_type(self, tmp_path):
+        inst = connect(str(tmp_path / "db"))
+        inst.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+        """)
+        with pytest.raises(InvalidIndexDDLError):
+            inst.execute(
+                "CREATE INDEX bad ON D(UNNEST tags) TYPE KEYWORD;")
+        inst.close()
+
+    def test_aql_ddl_parity(self, tmp_path):
+        inst = connect(str(tmp_path / "db"))
+        inst.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byDay ON D(UNNEST lines SELECT day);
+        """, language="aql")
+        (spec,) = inst.metadata.secondary_indexes("D")
+        assert spec.kind == "array" and spec.array_path == "lines"
+        inst.close()
+
+
+class TestRestart:
+    def test_array_index_survives_restart(self, tmp_path):
+        path = str(tmp_path / "db")
+        inst = connect(path)
+        inst.execute(SCHEMA)
+        gen = TPCCHGenerator(seed=11, scale=1)
+        for rec in gen.orders():
+            inst.cluster.insert_record("Default.Orders", rec)
+        inst.flush_dataset("Orders")
+        q = ("SELECT VALUE [o.o_id, ol.ol_number] FROM Orders o "
+             "UNNEST o.o_orderline ol WHERE ol.ol_delivery_d < 1500 "
+             "ORDER BY o.o_id, ol.ol_number;")
+        expected = inst.query(q)
+        inst.close()
+
+        inst2 = connect(path)
+        via_index, via_scan, used = both_ways(inst2, q)
+        assert used, "recovered catalog should still expose the index"
+        assert via_index == via_scan == expected
+        inst2.close()

@@ -268,6 +268,32 @@ class TestDDL:
         stmt = one(ddl)
         assert stmt.kind == kind and stmt.gram_length == gram
 
+    def test_create_array_index(self):
+        stmt = one("CREATE INDEX oDel ON Orders "
+                   "(UNNEST o_orderline SELECT ol_delivery_d);")
+        assert stmt.kind == "array"
+        assert stmt.array_path == "o_orderline"
+        assert stmt.fields == ["ol_delivery_d"]
+
+    def test_create_array_index_composite_and_nested(self):
+        stmt = one("CREATE INDEX ix ON D "
+                   "(UNNEST a.b SELECT x, y.z) TYPE BTREE;")
+        assert stmt.kind == "array"
+        assert stmt.array_path == "a.b"
+        assert stmt.fields == ["x", "y.z"]
+
+    def test_create_array_index_element_itself(self):
+        stmt = one("CREATE INDEX ix ON D (UNNEST tags);")
+        assert stmt.kind == "array"
+        assert stmt.array_path == "tags"
+        assert stmt.fields == []
+
+    def test_array_index_rejects_non_btree_type(self):
+        from repro.common.errors import InvalidIndexDDLError
+
+        with pytest.raises(InvalidIndexDDLError):
+            one("CREATE INDEX ix ON D (UNNEST tags) TYPE KEYWORD;")
+
     def test_drop(self):
         assert one("DROP DATASET Users;").kind == "dataset"
         stmt = one("DROP INDEX Users.byAlias;")

@@ -126,6 +126,31 @@ class TestIndexes:
             db.execute("CREATE INDEX byX ON D(x);")
         db.execute("CREATE INDEX byX ON D(x) IF NOT EXISTS;")
 
+    def test_array_index_mirrored_with_unnest_list(self, db, md):
+        db.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byDay ON D(UNNEST lines SELECT day);
+        """)
+        rows = db.query("""
+            SELECT VALUE [i.IndexStructure, i.UnnestList, i.SearchKey]
+            FROM Metadata.`Index` i WHERE i.IndexName = 'byDay';
+        """)
+        assert rows == [["ARRAY", ["lines"], ["day"]]]
+        (spec,) = md.secondary_indexes("D")
+        assert spec.kind == "array"
+        assert spec.array_path == "lines"
+        assert spec.fields == ("day",)
+
+    def test_array_index_drop(self, db, md):
+        db.execute("""
+            CREATE TYPE T AS { id: int };
+            CREATE DATASET D(T) PRIMARY KEY id;
+            CREATE INDEX byDay ON D(UNNEST lines SELECT day);
+            DROP INDEX D.byDay;
+        """)
+        assert md.secondary_indexes("D") == []
+
 
 class TestQualification:
     def test_qualify(self, md):

@@ -1,0 +1,208 @@
+"""Multi-valued (array) secondary index: maintenance + file hygiene.
+
+One (element key..., pk...) entry per array element, upsert maintenance
+keyed on the OLD record (shrinking arrays included), and drop releasing
+every LSM file — the PR 5 temp-file hygiene applied to index DDL.
+"""
+
+import pytest
+
+from repro.adm import MISSING
+from repro.common.errors import InvalidIndexDDLError, MetadataError
+from repro.storage.dataset_storage import (
+    PartitionStorage,
+    SecondaryIndexSpec,
+    array_element_keys,
+)
+
+DELIV = SecondaryIndexSpec("byDeliv", "array", ("ol_delivery_d",),
+                           array_path="o_orderline")
+
+
+def order(o_id, days):
+    """An order whose orderlines carry the given delivery days; ``None``
+    means the o_orderline field is absent entirely."""
+    rec = {"o_id": o_id}
+    if days is not None:
+        rec["o_orderline"] = [
+            {"ol_number": n, "ol_delivery_d": d}
+            for n, d in enumerate(days, start=1)
+        ]
+    return rec
+
+
+@pytest.fixture
+def part(fm, cache):
+    storage = PartitionStorage(fm, cache, "Orders", 0, ("o_id",),
+                               memory_budget_bytes=1 << 20)
+    storage.create_secondary(DELIV)
+    return storage
+
+
+def pks(part, lo=None, hi=None, **kw):
+    return sorted(set(part.search_btree("byDeliv", lo, hi, **kw)))
+
+
+class TestSpecValidation:
+    def test_array_requires_path(self):
+        with pytest.raises(InvalidIndexDDLError):
+            SecondaryIndexSpec("bad", "array", ("f",))
+
+    def test_non_array_rejects_path(self):
+        with pytest.raises(InvalidIndexDDLError):
+            SecondaryIndexSpec("bad", "btree", ("f",), array_path="arr")
+
+    def test_elementwise_key_allowed(self):
+        spec = SecondaryIndexSpec("ok", "array", (), array_path="tags")
+        assert spec.key_width == 1
+
+    def test_composite_element_keys_allowed(self):
+        spec = SecondaryIndexSpec("ok", "array", ("a", "b"),
+                                  array_path="arr")
+        assert spec.key_width == 2
+
+
+class TestElementKeys:
+    def test_per_element(self):
+        keys = list(array_element_keys(DELIV, order(1, [10, 20])))
+        assert keys == [(10,), (20,)]
+
+    def test_missing_array_field(self):
+        assert list(array_element_keys(DELIV, order(1, None))) == []
+
+    def test_non_array_value(self):
+        assert list(array_element_keys(
+            DELIV, {"o_id": 1, "o_orderline": "oops"})) == []
+
+    def test_element_missing_key_field_skipped(self):
+        rec = {"o_id": 1, "o_orderline": [{"ol_number": 1},
+                                          {"ol_number": 2,
+                                           "ol_delivery_d": 5}]}
+        assert list(array_element_keys(DELIV, rec)) == [(5,)]
+
+    def test_scalar_elements_with_field_spec_skipped(self):
+        rec = {"o_id": 1, "o_orderline": [7, {"ol_delivery_d": 5}]}
+        assert list(array_element_keys(DELIV, rec)) == [(5,)]
+
+    def test_elementwise_spec_indexes_values(self):
+        spec = SecondaryIndexSpec("tags", "array", (), array_path="tags")
+        rec = {"id": 1, "tags": ["a", "b", None, "a"]}
+        assert list(array_element_keys(spec, rec)) == [("a",), ("b",),
+                                                       ("a",)]
+
+
+class TestMaintenance:
+    def test_insert_indexes_every_element(self, part):
+        part.insert(order(1, [10, 20]))
+        part.insert(order(2, [20, 30]))
+        assert pks(part, (20,), (20,)) == [(1,), (2,)]
+        assert pks(part, (10,), (10,)) == [(1,)]
+
+    def test_duplicate_elements_collapse(self, part):
+        part.insert(order(1, [10, 10, 10]))
+        assert list(part.search_btree("byDeliv", (10,), (10,))) == [(1,)]
+
+    def test_empty_and_missing_arrays(self, part):
+        part.insert(order(1, []))
+        part.insert(order(2, None))
+        assert pks(part) == []
+
+    def test_delete_removes_all_entries(self, part):
+        part.insert(order(1, [10, 20, 30]))
+        part.delete((1,))
+        assert pks(part) == []
+
+    def test_upsert_shrinking_array(self, part):
+        part.insert(order(1, [10, 20, 30]))
+        part.upsert(order(1, [20]))
+        assert pks(part, (10,), (10,)) == []
+        assert pks(part, (30,), (30,)) == []
+        assert pks(part, (20,), (20,)) == [(1,)]
+
+    def test_upsert_growing_array(self, part):
+        part.insert(order(1, [10]))
+        part.upsert(order(1, [10, 40]))
+        assert pks(part, (40,), (40,)) == [(1,)]
+
+    def test_upsert_to_empty_array(self, part):
+        part.insert(order(1, [10, 20]))
+        part.upsert(order(1, []))
+        assert pks(part) == []
+
+    def test_upsert_drops_array_field(self, part):
+        part.insert(order(1, [10]))
+        part.upsert(order(1, None))
+        assert pks(part) == []
+
+    def test_backfill_on_create(self, fm, cache):
+        storage = PartitionStorage(fm, cache, "Orders", 0, ("o_id",),
+                                   memory_budget_bytes=1 << 20)
+        storage.insert(order(1, [10]))
+        storage.insert(order(2, [20]))
+        storage.create_secondary(DELIV)
+        assert pks(storage, (10,), (25,)) == [(1,), (2,)]
+
+    def test_search_range_semantics(self, part):
+        for i, d in enumerate([5, 10, 15, 20]):
+            part.insert(order(i, [d]))
+        assert pks(part, (10,), (15,)) == [(1,), (2,)]
+        assert pks(part, (10,), (15,), lo_inclusive=False) == [(2,)]
+        assert pks(part, None, (10,), hi_inclusive=False) == [(0,)]
+
+    def test_search_skips_incomparable_keys(self, part):
+        part.insert(order(1, [10]))
+        part.insert({"o_id": 2,
+                     "o_orderline": [{"ol_number": 1,
+                                      "ol_delivery_d": "soon"}]})
+        assert pks(part, (5,), (15,)) == [(1,)]
+
+    def test_wrong_kind_rejected(self, part):
+        part.create_secondary(
+            SecondaryIndexSpec("loc", "rtree", ("where",)), build=False)
+        with pytest.raises(MetadataError):
+            list(part.search_btree("loc", (1,), (2,)))
+
+
+class TestRecovery:
+    def test_array_index_recovers_from_manifest(self, fm, cache, part):
+        part.insert(order(1, [10, 20]))
+        part.insert(order(2, [30]))
+        part.flush_all()
+        reopened = PartitionStorage.recover(
+            fm, cache, "Orders", 0, ("o_id",), specs=[DELIV],
+            memory_budget_bytes=1 << 20)
+        assert pks(reopened, (10,), (30,)) == [(1,), (2,)]
+
+
+class TestDropHygiene:
+    def test_drop_secondary_releases_all_handles(self, fm, part):
+        for i in range(40):
+            part.insert(order(i, [i % 7, (i * 3) % 11]))
+        part.flush_all()
+        prefix = "Orders/p0/idx_byDeliv"
+        assert fm.handles_under(prefix)
+        part.drop_secondary("byDeliv")
+        assert fm.handles_under(prefix) == []
+        with pytest.raises(MetadataError):
+            part.drop_secondary("byDeliv")
+
+    def test_dataset_drop_releases_all_handles(self, fm, part):
+        for i in range(40):
+            part.insert(order(i, [i % 7]))
+        part.flush_all()
+        part.drop()
+        assert fm.handles_under("Orders/") == []
+
+    def test_drop_removes_bloom_sidecars(self, fm, device, part):
+        import glob
+        import os
+
+        for i in range(40):
+            part.insert(order(i, [i % 7]))
+        part.flush_all()
+        pattern = os.path.join(device.root, "Orders", "p0", "idx_byDeliv*")
+        assert glob.glob(pattern)
+        part.drop_secondary("byDeliv")
+        leftovers = [p for p in glob.glob(pattern)
+                     if not os.path.isdir(p)]
+        assert leftovers == []

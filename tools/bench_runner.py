@@ -424,6 +424,85 @@ def run_memory_pressure(base_dir: str, quick: bool) -> dict:
     }
 
 
+TPCCH_SCHEMA = """
+CREATE TYPE TpcchOrderType AS { o_id: int };
+CREATE DATASET Orders(TpcchOrderType) PRIMARY KEY o_id;
+CREATE INDEX oDelivery ON Orders (UNNEST o_orderline SELECT ol_delivery_d);
+"""
+
+TPCCH_QUERY = ("SELECT VALUE [o.o_id, ol.ol_number] "
+               "FROM Orders o UNNEST o.o_orderline ol "
+               "WHERE ol.ol_delivery_d < {cutoff} "
+               "ORDER BY o.o_id, ol.ol_number;")
+
+
+def run_tpcch_sweep(base_dir: str, quick: bool) -> dict:
+    """aconitum-style selectivity sweep: the same nested-orderline range
+    query through the multi-valued (UNNEST) array index vs a forced full
+    scan, at rising selectivity.  Results must be byte-identical at every
+    point; the report captures the crossover shape (the index wins when
+    the predicate is selective and loses its lead as selectivity rises
+    and the random primary lookups approach scanning everything)."""
+    from repro.datagen.tpcch import TPCCHGenerator
+
+    scale = 2 if quick else 10
+    repeats = 2 if quick else 3
+    selectivities = ([0.01, 0.1, 0.5, 1.0] if quick
+                     else [0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0])
+    gen = TPCCHGenerator(seed=42, scale=scale)
+    config = ClusterConfig(num_nodes=2, partitions_per_node=2,
+                           node=NodeConfig(buffer_cache_pages=256))
+    points = []
+    with connect(os.path.join(base_dir, "tpcch"), config) as db:
+        db.execute(TPCCH_SCHEMA)
+        for order in gen.orders():
+            db.cluster.insert_record("Default.Orders", order)
+        db.flush_dataset("Orders")
+        for sel in selectivities:
+            cutoff = gen.delivery_day_cutoff(sel)
+            query = TPCCH_QUERY.format(cutoff=cutoff)
+            index_used = any(
+                m["method"] == "array-index"
+                for m in db.explain(query).access_methods)
+            observed = {}
+            for label, toggle in (("index", True), ("scan", False)):
+                best_wall = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = db.execute(query,
+                                        enable_index_access=toggle)
+                    wall = time.perf_counter() - started
+                    best_wall = (wall if best_wall is None
+                                 else min(best_wall, wall))
+                observed[label] = {
+                    "wall": best_wall,
+                    "simulated_us": result.profile.simulated_us,
+                    "rows": result.rows,
+                }
+            index, scan = observed["index"], observed["scan"]
+            points.append({
+                "selectivity": sel,
+                "cutoff": cutoff,
+                "rows": len(index["rows"]),
+                "index_used": index_used,
+                "index_wall_seconds": round(index["wall"], 6),
+                "scan_wall_seconds": round(scan["wall"], 6),
+                "index_simulated_us": round(index["simulated_us"], 3),
+                "scan_simulated_us": round(scan["simulated_us"], 3),
+                "index_vs_scan_ratio": round(
+                    index["simulated_us"]
+                    / max(scan["simulated_us"], 1e-9), 4),
+                "identical_results": index["rows"] == scan["rows"],
+            })
+    return {
+        "workload": f"TPC-CH orders scale={scale} "
+                    f"({gen.num_orders} orders, nested orderlines), "
+                    "range predicate on ol_delivery_d under UNNEST",
+        "query": TPCCH_QUERY,
+        "sweep": points,
+    }
+
+
 def main(argv=None) -> int:
     # verification is on for benchmarks too; its cost is part of the
     # compile phases the reports break out, not of operator runtime
@@ -435,6 +514,9 @@ def main(argv=None) -> int:
                         help="small datasets / few repeats (CI smoke)")
     parser.add_argument("-o", "--output", default="BENCH_PR7.json",
                         help="report path (default: BENCH_PR7.json)")
+    parser.add_argument("--tpcch-output", default="BENCH_PR8.json",
+                        help="TPC-CH sweep report path "
+                             "(default: BENCH_PR8.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
@@ -446,6 +528,7 @@ def main(argv=None) -> int:
         comparison = run_serial_vs_parallel(base_dir, args.quick)
         fault_overhead = run_fault_overhead(base_dir, args.quick)
         memory_pressure = run_memory_pressure(base_dir, args.quick)
+        tpcch = run_tpcch_sweep(base_dir, args.quick)
         report = {
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
@@ -454,6 +537,7 @@ def main(argv=None) -> int:
             "serial_vs_parallel": comparison,
             "fault_overhead": fault_overhead,
             "memory_pressure": memory_pressure,
+            "tpcch_sweep": tpcch,
             "total_seconds": round(time.perf_counter() - started, 3),
         }
     finally:
@@ -462,8 +546,12 @@ def main(argv=None) -> int:
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
+    with open(args.tpcch_output, "w") as f:
+        json.dump({"mode": report["mode"], "tpcch_sweep": tpcch}, f,
+                  indent=2)
+        f.write("\n")
 
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} and {args.tpcch_output}")
     for bench in benchmarks:
         print(f"  {bench['name']:<24} wall {bench['wall_seconds']*1e3:8.2f} ms"
               f"   simulated {bench['simulated_us']/1e3:10.2f} ms")
@@ -490,6 +578,27 @@ def main(argv=None) -> int:
               f"spill runs {row['spill_runs']:>4}  "
               f"reduced grants {row['reduced_grants']:>3}  "
               f"peak {row['peak_frames']}")
+
+    for row in tpcch["sweep"]:
+        print(f"  tpcch sel {row['selectivity']:<6} rows {row['rows']:>6}: "
+              f"index {row['index_simulated_us']/1e3:9.2f} ms vs scan "
+              f"{row['scan_simulated_us']/1e3:9.2f} ms simulated "
+              f"(ratio {row['index_vs_scan_ratio']})")
+
+    tp = tpcch["sweep"]
+    tpcch_ok = (all(row["identical_results"] and row["index_used"]
+                    for row in tp)
+                # the crossover shape: the index wins at the most
+                # selective point and its advantage erodes monotonically
+                # in the sweep's ratio ordering as selectivity rises
+                and tp[0]["index_vs_scan_ratio"] < 1.0
+                and tp[0]["index_vs_scan_ratio"]
+                < tp[-1]["index_vs_scan_ratio"])
+    if not tpcch_ok:
+        print("FAIL: TPC-CH sweep did not meet the bar (byte-identical "
+              "index vs scan results, array index chosen, and the "
+              "index-vs-scan crossover shape)", file=sys.stderr)
+        return 1
 
     sweep = memory_pressure["sweep"]
     ok = (comparison["identical_results"]
