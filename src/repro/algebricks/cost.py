@@ -1,0 +1,356 @@
+"""Cardinality estimation over logical plans (the cost side of the
+"data-partition-aware" claim).
+
+The estimator walks a logical tree bottom-up carrying two things:
+
+* an **estimate** of the operator's output cardinality, and
+* a **variable-origin environment** mapping plan variables to the
+  dataset field they carry (``var -> (kind, dataset, path)``), built
+  from scans and field-access assigns — the bridge between plan
+  variables and the per-dataset statistics rollup
+  (:meth:`MetadataManager.dataset_statistics`, harvested from LSM
+  component synopses).
+
+Selectivities come from the equi-depth histograms when a predicate is
+sargable on an origin-tracked field, and from the usual textbook
+defaults otherwise.  Every visited operator is annotated with
+``op.est_card``; EXPLAIN and the job generator surface it as
+estimated-vs-actual cardinality, and the three cost-based decisions
+(join reordering, hash-join build side, broadcast-vs-repartition) all
+read their inputs from here.
+
+The estimator never changes a plan and is deliberately cheap: one walk,
+one catalog rollup per dataset (cached), no I/O charges.
+"""
+
+from __future__ import annotations
+
+from repro.algebricks import logical as L
+from repro.algebricks.expressions import LCall, LConst, LVar, conjuncts
+from repro.common.errors import MetadataError
+from repro.observability.metrics import get_registry
+
+#: fallbacks when no statistics exist (the classic System-R constants)
+DEFAULT_SCAN_CARD = 1000.0
+DEFAULT_EQ_SEL = 0.1
+DEFAULT_RANGE_SEL = 0.3
+DEFAULT_OTHER_SEL = 0.25
+DEFAULT_UNNEST_FANOUT = 3.0
+
+_RANGE_CMPS = ("lt", "le", "gt", "ge")
+
+
+class CardinalityEstimator:
+    """Bottom-up cardinality estimation with per-subtree memoization."""
+
+    def __init__(self, metadata):
+        self.metadata = metadata
+        self._dataset_stats: dict = {}       # dataset -> synopsis | None
+        self._memo: dict = {}                # id(op) -> (est, origins)
+        self._registry = get_registry()
+
+    # -- statistics access ------------------------------------------------------
+
+    def stats(self, dataset: str):
+        if dataset not in self._dataset_stats:
+            getter = getattr(self.metadata, "dataset_statistics", None)
+            synopsis = getter(dataset) if getter is not None else None
+            self._dataset_stats[dataset] = synopsis
+            self._registry.counter(
+                "optimizer.stats_hits" if synopsis is not None
+                else "optimizer.stats_misses").inc()
+        return self._dataset_stats[dataset]
+
+    def field_stats(self, dataset: str, path: str):
+        synopsis = self.stats(dataset)
+        if synopsis is None:
+            return None
+        return synopsis.fields.get(path)
+
+    # -- public -----------------------------------------------------------------
+
+    def annotate(self, root) -> float:
+        """Estimate the whole tree, stamping ``est_card`` on every
+        operator; returns the root estimate."""
+        est, _ = self.subtree(root)
+        return est
+
+    def subtree(self, op) -> tuple:
+        """(estimated cardinality, variable-origin env) of one subtree."""
+        hit = self._memo.get(id(op))
+        if hit is not None:
+            return hit
+        children = [self.subtree(child) for child in op.inputs]
+        origins: dict = {}
+        for _, child_origins in children:
+            origins.update(child_origins)
+        est = self._estimate(op, [e for e, _ in children], origins)
+        est = max(est, 0.0)
+        op.est_card = round(est, 1)
+        result = (est, origins)
+        self._memo[id(op)] = result
+        return result
+
+    # -- per-operator estimates -------------------------------------------------
+
+    def _estimate(self, op, child_ests, origins) -> float:
+        if isinstance(op, L.EmptyTupleSource):
+            return 1.0
+        if isinstance(op, L.DataSourceScan):
+            return self._scan_estimate(op, origins)
+        if isinstance(op, L.ExternalScan):
+            origins[op.record_var] = ("record", op.dataset, "")
+            return DEFAULT_SCAN_CARD
+        if isinstance(op, L.PrimaryIndexSearch):
+            return self._primary_search_estimate(op, origins)
+        if isinstance(op, L.SecondaryIndexSearch):
+            return self._secondary_search_estimate(op, origins)
+        if isinstance(op, L.Assign):
+            self._assign_origin(op, origins)
+            return child_ests[0]
+        if isinstance(op, L.Select):
+            return child_ests[0] * self.selectivity(op.condition, origins)
+        if isinstance(op, (L.Project, L.Order)):
+            est = child_ests[0]
+            if isinstance(op, L.Order) and op.topk is not None:
+                est = min(est, float(op.topk))
+            return est
+        if isinstance(op, L.Limit):
+            if op.count is None:
+                return child_ests[0]
+            return min(child_ests[0], float(op.count + op.offset))
+        if isinstance(op, L.Unnest):
+            origins[op.var] = ("element", *self._collection_origin(
+                op.collection, origins))
+            return child_ests[0] * self._unnest_fanout(op, origins)
+        if isinstance(op, L.Join):
+            return self._join_estimate(op, child_ests, origins)
+        if isinstance(op, L.GroupBy):
+            return self._group_estimate(child_ests[0], op.keys, origins)
+        if isinstance(op, L.Distinct):
+            return self._group_estimate(child_ests[0], op.vars, origins)
+        if isinstance(op, L.Aggregate):
+            return 1.0
+        if isinstance(op, L.UnionAll):
+            return sum(child_ests)
+        if child_ests:
+            return child_ests[0]
+        return DEFAULT_SCAN_CARD
+
+    def _scan_estimate(self, op, origins) -> float:
+        origins[op.record_var] = ("record", op.dataset, "")
+        try:
+            pk_fields = self.metadata.pk_fields(op.dataset)
+        except (MetadataError, NotImplementedError):
+            pk_fields = ()
+        for var, name in zip(op.pk_vars, pk_fields):
+            origins[var] = ("field", op.dataset, name)
+        synopsis = self.stats(op.dataset)
+        if synopsis is not None and synopsis.record_count > 0:
+            return float(synopsis.record_count)
+        return DEFAULT_SCAN_CARD
+
+    def _bound_value(self, exprs, index: int):
+        if exprs is None or index >= len(exprs):
+            return None
+        expr = exprs[index]
+        return expr.value if isinstance(expr, LConst) else None
+
+    def _bounds_selectivity(self, dataset, paths, op) -> float:
+        """Product of per-field selectivities for an index search's
+        (lo, hi) prefix bounds."""
+        sel = 1.0
+        width = max(len(op.lo or ()), len(op.hi or ()))
+        for i, path in enumerate(paths[:width] if paths else []):
+            lo = self._bound_value(op.lo, i)
+            hi = self._bound_value(op.hi, i)
+            fs = self.field_stats(dataset, path)
+            if lo is not None and hi is not None and lo == hi:
+                sel *= (fs.selectivity_eq(lo) if fs is not None
+                        else DEFAULT_EQ_SEL)
+            elif fs is not None:
+                sel *= fs.selectivity_range(
+                    lo, hi, lo_inclusive=op.lo_inclusive,
+                    hi_inclusive=op.hi_inclusive)
+            else:
+                sel *= DEFAULT_RANGE_SEL
+        return sel
+
+    def _primary_search_estimate(self, op, origins) -> float:
+        base = self._scan_estimate(op, origins)
+        try:
+            pk_fields = self.metadata.pk_fields(op.dataset)
+        except (MetadataError, NotImplementedError):
+            pk_fields = ()
+        return base * self._bounds_selectivity(op.dataset, pk_fields, op)
+
+    def _secondary_search_estimate(self, op, origins) -> float:
+        base = self._scan_estimate(op, origins)
+        spec = None
+        try:
+            for cand in self.metadata.secondary_indexes(op.dataset):
+                if cand.name == op.index_name:
+                    spec = cand
+                    break
+        except (MetadataError, NotImplementedError):
+            pass
+        if op.index_kind == "btree" and spec is not None:
+            return base * self._bounds_selectivity(
+                op.dataset, spec.fields, op)
+        if op.index_kind == "array" and spec is not None:
+            fs = self.field_stats(op.dataset, spec.array_path)
+            fanout = (fs.avg_array_length
+                      if fs is not None and fs.array_count else
+                      DEFAULT_UNNEST_FANOUT)
+            # per-element bounds; element fields are untracked, so use
+            # defaults per bounded key column
+            width = max(len(op.lo or ()), len(op.hi or ()))
+            return base * fanout * (DEFAULT_RANGE_SEL ** max(1, width))
+        return base * DEFAULT_EQ_SEL
+
+    def _assign_origin(self, op, origins) -> None:
+        target = self._field_origin(op.expr, origins)
+        if target is not None:
+            origins[op.var] = ("field", *target)
+
+    def _field_origin(self, expr, origins):
+        """(dataset, dotted path) when ``expr`` is a field-access chain
+        rooted at an origin-tracked variable; else None."""
+        parts = []
+        while (isinstance(expr, LCall) and expr.name == "field_access"
+               and len(expr.args) == 2
+               and isinstance(expr.args[1], LConst)):
+            parts.append(expr.args[1].value)
+            expr = expr.args[0]
+        if not isinstance(expr, LVar):
+            return None
+        origin = origins.get(expr.var)
+        if origin is None:
+            return None
+        kind, dataset, base = origin
+        path = ".".join(str(p) for p in reversed(parts))
+        if kind == "record":
+            return (dataset, path) if path else None
+        if kind == "field":
+            return (dataset, f"{base}.{path}" if path else base)
+        return None       # array elements: per-field stats untracked
+
+    def _collection_origin(self, expr, origins):
+        target = self._field_origin(expr, origins)
+        return target if target is not None else (None, None)
+
+    def _unnest_fanout(self, op, origins) -> float:
+        target = self._field_origin(op.collection, origins)
+        if target is not None and target[0] is not None:
+            fs = self.field_stats(*target)
+            if fs is not None and fs.array_count:
+                return fs.avg_array_length
+        return DEFAULT_UNNEST_FANOUT
+
+    def _distinct_of(self, var, origins):
+        origin = origins.get(var)
+        if origin is None or origin[0] != "field":
+            return None
+        fs = self.field_stats(origin[1], origin[2])
+        if fs is None or fs.distinct <= 0:
+            return None
+        return float(fs.distinct)
+
+    def _group_estimate(self, child_est, key_vars, origins) -> float:
+        groups = 1.0
+        known = False
+        for var in key_vars:
+            ndv = self._distinct_of(var, origins)
+            if ndv is not None:
+                groups *= ndv
+                known = True
+        if not known:
+            groups = max(1.0, child_est ** 0.5)
+        return min(child_est, groups)
+
+    # -- predicates -------------------------------------------------------------
+
+    def selectivity(self, condition, origins) -> float:
+        """Estimated fraction of tuples satisfying ``condition``."""
+        sel = 1.0
+        for part in conjuncts(condition):
+            sel *= self._conjunct_selectivity(part, origins)
+        return max(0.0, min(1.0, sel))
+
+    def _conjunct_selectivity(self, part, origins) -> float:
+        if isinstance(part, LConst):
+            return 1.0 if part.value is True else 0.0
+        if not isinstance(part, LCall):
+            return DEFAULT_OTHER_SEL
+        name = part.name
+        if name not in ("eq", *_RANGE_CMPS) or len(part.args) != 2:
+            return DEFAULT_OTHER_SEL
+        a, b = part.args
+        target, const, cmp_name = None, None, name
+        swap = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le", "eq": "eq"}
+        if isinstance(b, LConst):
+            target = self._field_origin(a, origins)
+            const = b.value
+        elif isinstance(a, LConst):
+            target = self._field_origin(b, origins)
+            const = a.value
+            cmp_name = swap[name]
+        if target is None:
+            return DEFAULT_EQ_SEL if name == "eq" else DEFAULT_RANGE_SEL
+        fs = self.field_stats(*target)
+        if fs is None:
+            return DEFAULT_EQ_SEL if name == "eq" else DEFAULT_RANGE_SEL
+        if cmp_name == "eq":
+            return fs.selectivity_eq(const)
+        if cmp_name in ("lt", "le"):
+            return fs.selectivity_range(
+                None, const, hi_inclusive=(cmp_name == "le"))
+        return fs.selectivity_range(
+            const, None, lo_inclusive=(cmp_name == "ge"))
+
+    # -- joins ------------------------------------------------------------------
+
+    def equi_pair_selectivity(self, lvar, rvar, origins,
+                              left_est, right_est) -> float:
+        """1 / max(ndv) for one ``eq($$l, $$r)`` pair, with the input
+        cardinalities as the ndv fallback (right for key-foreign-key
+        joins, conservative otherwise)."""
+        ndv_l = self._distinct_of(lvar, origins) or max(left_est, 1.0)
+        ndv_r = self._distinct_of(rvar, origins) or max(right_est, 1.0)
+        return 1.0 / max(ndv_l, ndv_r, 1.0)
+
+    def join_output(self, left_est, right_est, condition, origins,
+                    left_vars=None, right_vars=None) -> float:
+        """Estimated output of an inner join of two inputs under
+        ``condition`` (var sets optional; they tighten equi detection)."""
+        est = left_est * right_est
+        for part in conjuncts(condition):
+            if (isinstance(part, LCall) and part.name == "eq"
+                    and len(part.args) == 2
+                    and isinstance(part.args[0], LVar)
+                    and isinstance(part.args[1], LVar)):
+                a, b = part.args[0].var, part.args[1].var
+                if left_vars is not None and right_vars is not None:
+                    if a in right_vars and b in left_vars:
+                        a, b = b, a
+                    if not (a in left_vars and b in right_vars):
+                        est *= DEFAULT_OTHER_SEL
+                        continue
+                est *= self.equi_pair_selectivity(
+                    a, b, origins, left_est, right_est)
+            else:
+                est *= self._conjunct_selectivity(part, origins)
+        return est
+
+    def _join_estimate(self, op, child_ests, origins) -> float:
+        left_est, right_est = child_ests
+        inner = self.join_output(
+            left_est, right_est, op.condition, origins,
+            set(op.child_schema(0)), set(op.child_schema(1)))
+        if op.kind == "inner":
+            return inner
+        if op.kind == "leftouter":
+            return max(inner, left_est)
+        if op.kind == "leftsemi":
+            return min(left_est, max(inner, 1.0))
+        return max(left_est - inner, 1.0)      # leftanti

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import CompilationError
+from repro.common.errors import (
+    CompilationError,
+    IdentifierError,
+    RuntimeError_,
+    TypeError_,
+)
 from repro.functions.registry import is_scalar
 from repro.hyracks import expressions as rt
 
@@ -233,8 +238,14 @@ def fold_constants(expr: LExpr) -> LExpr:
                 try:
                     return LConst(call(node.name,
                                        *[a.value for a in node.args]))
-                except Exception:
-                    return node  # leave runtime errors to runtime
+                except (RuntimeError_, TypeError_, IdentifierError,
+                        TypeError, ValueError, ArithmeticError,
+                        AttributeError, KeyError, IndexError):
+                    # leave evaluation errors to runtime -- but only
+                    # *evaluation* errors: injected faults (resilience,
+                    # memory pressure) and invariant violations must
+                    # propagate, not get folded away silently
+                    return node
         return node
 
     return transform(expr, fold)

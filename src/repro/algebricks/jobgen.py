@@ -54,6 +54,7 @@ from repro.hyracks import (
     OneToOneConnector,
 )
 from repro.hyracks.expressions import ColumnRef
+from repro.observability.metrics import get_registry
 from repro.hyracks.operators import (
     AggregateCall,
     AggregateOp,
@@ -183,6 +184,11 @@ class JobGenerator:
                 f"no physical translation for {type(op).__name__}"
             )
         stream = method(op)
+        est = getattr(op, "est_card", None)
+        if est is not None:
+            # estimated-vs-actual: the physical sink operator of this
+            # logical op carries the estimate into the job profile
+            self.job.operators[stream.op_id].estimated_cardinality = est
         if plan_verification_enabled():
             verify_stream(op, stream)
         return stream
@@ -299,13 +305,37 @@ class JobGenerator:
             right_keys = [right.col(rv) for _, rv in equi]
             residual_rt = (to_runtime(residual, joined_var_to_col)
                            if residual is not None else None)
+            left_est = getattr(op.inputs[0], "est_card", None)
+            right_est = getattr(op.inputs[1], "est_card", None)
+            # build-side selection: build the hash table on the input
+            # estimated smaller (output is byte-identical either way;
+            # the win is spill avoidance when only the smaller side
+            # fits the memory budget)
+            build_side = 1
+            if left_est is not None and right_est is not None \
+                    and left_est < right_est:
+                build_side = 0
+                get_registry().counter("optimizer.build_side_swaps").inc()
             join = HybridHashJoinOp(
                 left_keys, right_keys, kind=op.kind,
                 residual=residual_rt, right_width=len(right_schema),
+                build_side=build_side,
             )
             join_id = self._add(join)
             lconn = self._partition_connector(left, [lv for lv, _ in equi])
             rconn = self._partition_connector(right, [rv for _, rv in equi])
+            if self._broadcast_wins(left, right, lconn, rconn,
+                                    left_est, right_est):
+                # broadcast the (small) right side instead of hash-
+                # repartitioning both: every partition holds the full
+                # right input, the left stays exactly where it is, and
+                # the result keeps the left's partitioning — the same
+                # shape as the nested-loop join below
+                get_registry().counter("optimizer.broadcast_joins").inc()
+                self._connect(OneToOneConnector(), left.op_id, join_id, 0)
+                self._connect(BroadcastConnector(), right.op_id, join_id, 1)
+                return Stream(join_id, out_schema, max(left.width, 1),
+                              left.partitioning)
             self._connect(lconn, left.op_id, join_id, 0)
             self._connect(rconn, right.op_id, join_id, 1)
             return Stream(join_id, out_schema, self.width,
@@ -355,6 +385,28 @@ class JobGenerator:
                 and stream.width == self.width):
             return OneToOneConnector()
         return HashPartitionConnector([stream.col(v) for v in key_vars])
+
+    def _broadcast_wins(self, left, right, lconn, rconn,
+                        left_est, right_est) -> bool:
+        """Broadcast-vs-hash-repartition for an equi join: compare the
+        estimated tuples each strategy moves over the network.
+
+        Repartitioning moves ~(W-1)/W of every side that actually needs
+        a :class:`HashPartitionConnector` (a side already partitioned on
+        the join keys moves nothing); broadcasting replicates the right
+        input to the other W-1 partitions and moves nothing on the left.
+        Requires estimates from the cost pass — without statistics both
+        are None and the classic repartitioning plan stands."""
+        if left_est is None or right_est is None or self.width <= 1:
+            return False
+        w = self.width
+        repart = 0.0
+        if isinstance(lconn, HashPartitionConnector):
+            repart += left_est * (w - 1) / w
+        if isinstance(rconn, HashPartitionConnector):
+            repart += right_est * (w - 1) / w
+        broadcast = right_est * (w - 1)
+        return broadcast < repart
 
     def _compile_GroupBy(self, op) -> Stream:
         child = self.compile(op.inputs[0])

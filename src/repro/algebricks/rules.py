@@ -20,6 +20,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.observability.metrics import get_registry
+
 from repro.algebricks.expressions import (
     LCall,
     LConst,
@@ -51,6 +53,7 @@ class OptimizerContext:
 
     metadata: object                  # MetadataView protocol (see below)
     enable_index_access: bool = True
+    enable_cost_based: bool = True    # statistics-driven rewrites on/off
     next_var: object = None           # callable allocating fresh variables
     recorder: object = None           # observability.RewriteRecorder | None
 
@@ -69,6 +72,13 @@ class MetadataView:
 
     def is_external(self, dataset: str) -> bool:
         raise NotImplementedError
+
+    def dataset_statistics(self, dataset: str):
+        """Per-dataset statistics rollup (a
+        :class:`~repro.storage.lsm.synopsis.ComponentSynopsis`), or None
+        when unavailable.  Default None keeps plain catalog fakes
+        working; the cost-based rules degrade to syntactic behavior."""
+        return None
 
 
 # --- rule helpers -------------------------------------------------------------
@@ -576,10 +586,15 @@ def rule_introduce_array_index(op, ctx):
     and the residual selects re-check every predicate, including
     null/MISSING and cross-type cases.  The index merely shrinks the set
     of records fed into that chain, so it must be a *superset* of the
-    records the scan plan would keep — guaranteed by requiring a sargable
-    predicate on **every** element key field of the index (an element
-    with any key field MISSING has no index entry, and the same MISSING
-    field nulls that field's predicate under the scan plan)."""
+    records the scan plan would keep.  A sargable predicate on a
+    *prefix* of the element key fields suffices for that: maintenance
+    (:func:`repro.storage.dataset_storage.array_element_keys`) indexes
+    every element whose first key field is known, storing trailing
+    MISSING/null parts verbatim, so a prefix-bounded search sees every
+    element a matching record could contribute — an element whose first
+    key field is MISSING can't satisfy the (prefix-leading) predicate
+    under the scan plan either.  As in the B+ tree rule, the usable
+    prefix is a run of equality bounds optionally ended by one range."""
     if not ctx.enable_index_access or not isinstance(op, Select):
         return op, False
     selects = []
@@ -637,16 +652,24 @@ def rule_introduce_array_index(op, ctx):
     best = None
     for spec in specs:
         key_paths = spec.fields or ("",)
-        if not all(
-            (b := bounds.get(p)) is not None and not b.get("invalid")
-            and (b["lo"] is not None or b["hi"] is not None)
-            for p in key_paths
-        ):
-            continue      # superset guarantee needs every key field bounded
+        # the maximal bounded prefix: key fields with a valid bound,
+        # starting at field 0 (the leading field must be bounded — an
+        # unbounded prefix gives the search nothing to seek on)
+        usable = 0
+        for p in key_paths:
+            b = bounds.get(p)
+            if (b is None or b.get("invalid")
+                    or (b["lo"] is None and b["hi"] is None)):
+                break
+            usable += 1
+        if usable == 0:
+            continue
         lo_vals, hi_vals = [], []
         lo_inc = hi_inc = True
-        for p in key_paths:
+        used = 0
+        for p in key_paths[:usable]:
             b = bounds[p]
+            used += 1
             is_eq = (b["lo"] is not None and b["hi"] is not None
                      and _cmp(b["lo"], b["hi"]) == 0
                      and b["lo_inc"] and b["hi_inc"])
@@ -662,11 +685,11 @@ def rule_introduce_array_index(op, ctx):
                 hi_vals.append(b["hi"])
                 hi_inc = b["hi_inc"]
             break
-        if best is None or len(key_paths) > len(best[0].fields or ("",)):
-            best = (spec, lo_vals, hi_vals, lo_inc, hi_inc)
+        if best is None or used > best[5]:
+            best = (spec, lo_vals, hi_vals, lo_inc, hi_inc, used)
     if best is None:
         return op, False
-    spec, lo_vals, hi_vals, lo_inc, hi_inc = best
+    spec, lo_vals, hi_vals, lo_inc, hi_inc, _ = best
     search = SecondaryIndexSearch(
         dataset=scan.dataset, index_name=spec.name,
         index_kind="array", pk_vars=list(scan.pk_vars),
@@ -777,6 +800,208 @@ def rule_remove_dead_assigns(op, ctx):
     return new_root, changed[0]
 
 
+# --- cost-based rules -------------------------------------------------------------
+
+def _flatten_join_chain(op):
+    """Decompose a maximal inner-join tree into (relations, conjuncts,
+    floating assigns).  Assign nodes found between joins (the key
+    extractions of :func:`rule_extract_join_keys`) are collected for
+    re-placement; any other operator terminates the chain and becomes a
+    relation leaf.  Returns None if ``op`` heads fewer than three
+    relations or a non-inner join participates."""
+    relations: list = []
+    conjs: list = []
+    assigns: list = []
+
+    def visit(node):
+        if isinstance(node, Join) and node.kind == "inner":
+            for part in conjuncts(node.condition):
+                if not (isinstance(part, LConst) and part.value is True):
+                    conjs.append(part)
+            visit(node.inputs[0])
+            visit(node.inputs[1])
+            return
+        if isinstance(node, Assign):
+            inner = node
+            chain = []
+            while isinstance(inner, Assign):
+                chain.append(inner)
+                inner = inner.inputs[0]
+            if isinstance(inner, Join) and inner.kind == "inner":
+                assigns.extend(chain)
+                visit(inner)
+                return
+        relations.append(node)
+
+    visit(op)
+    if len(relations) < 3:
+        return None
+    return relations, conjs, assigns
+
+
+def _resolved_needs(expr, assign_env) -> set:
+    """Free variables of ``expr`` with floating-assign variables chased
+    down to relation variables (to fixpoint)."""
+    needs = set(free_vars(expr))
+    changed = True
+    while changed:
+        changed = False
+        for var in list(needs):
+            if var in assign_env:
+                needs.discard(var)
+                needs |= set(free_vars(assign_env[var]))
+                changed = True
+    return needs
+
+
+def rule_reorder_joins(op, ctx):
+    """Cost-based join reordering for chains of three or more inner
+    joins.
+
+    The chain is flattened into relations + condition conjuncts +
+    floating key-extraction assigns, relations are re-ordered greedily
+    by estimated intermediate size (smallest connected pair first, then
+    the relation minimizing the next intermediate, connected relations
+    preferred over cross products), and the chain is rebuilt left-deep
+    with each assign re-placed at the lowest point its inputs are in
+    scope and each conjunct at the lowest join that covers its
+    variables.  Fires only when statistics say the new order is strictly
+    cheaper (sum of estimated intermediates) than the written order —
+    with no statistics, estimates tie and the plan is left alone.
+    Inner-join reordering preserves the result *multiset*; row order may
+    change, as with any partitioned execution."""
+    if not ctx.enable_cost_based or not isinstance(op, Join) \
+            or op.kind != "inner":
+        return op, False
+    flat = _flatten_join_chain(op)
+    if flat is None:
+        return op, False
+    relations, conjs, assigns = flat
+    assign_env = {a.var: a.expr for a in assigns}
+
+    from repro.algebricks.cost import CardinalityEstimator
+
+    estimator = CardinalityEstimator(ctx.metadata)
+    rel_info = []                       # (est, origins, vars)
+    origins_all: dict = {}
+    for rel in relations:
+        est, origins = estimator.subtree(rel)
+        # floor at one row: a zero estimate would zero out every order's
+        # cost and make the cross-product penalty (a multiplier) moot
+        rel_info.append([max(est, 1.0), origins, set(rel.schema())])
+        origins_all.update(origins)
+    conj_needs = [_resolved_needs(c, assign_env) for c in conjs]
+
+    def order_cost(order):
+        """(total intermediate size, per-step join estimates) of a
+        left-deep execution in ``order``."""
+        est = rel_info[order[0]][0]
+        avail = set(rel_info[order[0]][2])
+        used = [False] * len(conjs)
+        total = 0.0
+        for idx in order[1:]:
+            r_est, _, r_vars = rel_info[idx]
+            est = est * r_est
+            avail |= r_vars
+            for ci, conj in enumerate(conjs):
+                if used[ci] or not conj_needs[ci] <= avail:
+                    continue
+                used[ci] = True
+                if (isinstance(conj, LCall) and conj.name == "eq"
+                        and len(conj.args) == 2
+                        and isinstance(conj.args[0], LVar)
+                        and isinstance(conj.args[1], LVar)):
+                    est *= estimator.equi_pair_selectivity(
+                        conj.args[0].var, conj.args[1].var,
+                        origins_all, est / max(r_est, 1e-9), r_est)
+                else:
+                    est *= estimator._conjunct_selectivity(
+                        conj, origins_all)
+            total += est
+        return total
+
+    n = len(relations)
+
+    def connected(avail_vars, idx):
+        return any(needs & rel_info[idx][2] and needs <= (
+            avail_vars | rel_info[idx][2]) for needs in conj_needs)
+
+    # greedy: cheapest connected first pair, then grow by minimum
+    # estimated intermediate (connected candidates preferred)
+    best_pair, best_pair_cost = None, None
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            cost = order_cost([i, j])
+            if not connected(rel_info[i][2], j):
+                # cross products only as a last resort; additive term so
+                # the penalty bites even when the estimate rounds to zero
+                cost = (cost + 1.0) * 1e6
+            if best_pair_cost is None or cost < best_pair_cost:
+                best_pair, best_pair_cost = [i, j], cost
+    order = best_pair
+    while len(order) < n:
+        avail = set().union(*(rel_info[i][2] for i in order))
+        best_next, best_cost = None, None
+        for idx in range(n):
+            if idx in order:
+                continue
+            cost = order_cost(order + [idx])
+            if not connected(avail, idx):
+                cost = (cost + 1.0) * 1e6
+            if best_cost is None or cost < best_cost:
+                best_next, best_cost = idx, cost
+        order.append(best_next)
+
+    original = list(range(n))
+    if order == original:
+        return op, False
+    if not order_cost(order) < order_cost(original) * 0.999:
+        return op, False             # no strict win: keep the written order
+
+    # rebuild left-deep, re-placing assigns and conjuncts bottom-most
+    floating = list(assigns)
+    conj_left = list(zip(conjs, conj_needs))
+
+    def place_assigns(tree, avail):
+        placed = True
+        while placed:
+            placed = False
+            for a in list(floating):
+                if set(free_vars(a.expr)) <= avail:
+                    a.inputs = [tree]
+                    tree = a
+                    avail.add(a.var)
+                    floating.remove(a)
+                    placed = True
+        return tree
+
+    tree = relations[order[0]]
+    avail = set(rel_info[order[0]][2])
+    tree = place_assigns(tree, avail)
+    for idx in order[1:]:
+        right = relations[idx]
+        r_avail = set(rel_info[idx][2])
+        right = place_assigns(right, r_avail)
+        avail |= r_avail
+        parts = []
+        for pair in list(conj_left):
+            conj, needs = pair
+            if set(free_vars(conj)) <= avail:
+                parts.append(conj)
+                conj_left.remove(pair)
+        cond = make_conjunction(parts) if parts else LConst(True)
+        tree = Join(cond, kind="inner", inputs=[tree, right])
+        tree = place_assigns(tree, avail)
+    if conj_left or floating:
+        # something could not be re-placed (shouldn't happen for plans
+        # the flattener accepted): keep the original plan
+        return op, False
+    get_registry().counter("optimizer.join_reorders").inc()
+    return tree, True
+
+
 # --- the driver -----------------------------------------------------------------
 
 # Rule *sets*, applied in sequence like real Algebricks: normalization
@@ -866,9 +1091,15 @@ def _fresh_var_allocator(root: LogicalOp):
 
 def optimize(root: LogicalOp, metadata: MetadataView, *,
              enable_index_access: bool = True,
+             enable_cost_based: bool = True,
              max_passes: int = 12,
              recorder: object = None) -> LogicalOp:
     """Apply the rule sets to fixpoint; returns the rewritten plan.
+
+    ``enable_cost_based=False`` turns off the statistics-driven rewrites
+    (join reordering here; build-side and broadcast selection in jobgen
+    read the estimates this pass leaves behind) — the syntactic plan the
+    equivalence suites compare against.
 
     Pass an :class:`repro.observability.RewriteRecorder` as ``recorder``
     to collect which rules fired, on what operator, and how long each
@@ -877,6 +1108,7 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
     """
     ctx = OptimizerContext(metadata=metadata,
                            enable_index_access=enable_index_access,
+                           enable_cost_based=enable_cost_based,
                            recorder=recorder)
     ctx.next_var = _fresh_var_allocator(root)
     _maybe_verify(root)        # the translator's plan must be sound too
@@ -889,12 +1121,22 @@ def optimize(root: LogicalOp, metadata: MetadataView, *,
                                              root, ctx)
             if not (changed or inlined or dead_changed):
                 break
+        if ctx.enable_cost_based:
+            # after normalization (selects merged into join conditions,
+            # computed keys extracted) and before access-method
+            # selection, so index rewrites see the final join shape
+            root, _ = _apply_bottom_up(root, ctx, [rule_reorder_joins])
         root, access_changed = _apply_access_top_down(root, ctx)
         if recorder is not None:
             recorder.end_pass(plan_signature(root))
         if not access_changed:
             break
     _maybe_verify(root)
+    if enable_cost_based:
+        from repro.algebricks.cost import CardinalityEstimator
+
+        CardinalityEstimator(metadata).annotate(root)
+        get_registry().counter("optimizer.estimated_plans").inc()
     return root
 
 

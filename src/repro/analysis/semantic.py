@@ -52,9 +52,11 @@ from repro.adm.types import (
 from repro.common.errors import (
     ArityError,
     DuplicateAliasError,
+    MetadataError,
     TypeMismatchError,
     UndefinedVariableError,
     UnknownDatasetError,
+    UnknownEntityError,
     UnknownFieldError,
     UnknownFunctionError,
 )
@@ -90,7 +92,7 @@ class _TypeInfo:
                 return None
             try:
                 t = self.registry.resolve(t.ref_name)
-            except Exception:
+            except UnknownEntityError:
                 return None
             hops += 1
         return t
@@ -159,7 +161,7 @@ class SemanticAnalyzer:
             entry = self.metadata.dataset_entry(name)
             registry = self.metadata.type_registry(entry.dataverse)
             return _TypeInfo(registry.resolve(entry.type_name), registry)
-        except Exception:
+        except MetadataError:
             return _TypeInfo(AnyType(), None)
 
     # ===== the select core ================================================

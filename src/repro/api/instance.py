@@ -175,6 +175,7 @@ class AsterixInstance:
     def execute(self, text: str, *, language: str = "sqlpp",
                 explain: bool = False,
                 enable_index_access: bool = True,
+                enable_cost_based: bool = True,
                 trace: bool = False) -> Result:
         """Execute a script; returns the LAST statement's result (the
         common REPL convention).  Use :meth:`execute_all` for all of them.
@@ -187,6 +188,7 @@ class AsterixInstance:
         results = self.execute_all(text, language=language,
                                    explain=explain,
                                    enable_index_access=enable_index_access,
+                                   enable_cost_based=enable_cost_based,
                                    trace=trace)
         return results[-1] if results else Result("ddl", message="empty")
 
@@ -195,7 +197,8 @@ class AsterixInstance:
         return self.execute(text, **kwargs).rows
 
     def explain(self, text: str, *, language: str = "sqlpp",
-                enable_index_access: bool = True) -> ExplainResult:
+                enable_index_access: bool = True,
+                enable_cost_based: bool = True) -> ExplainResult:
         """Compile (but do not run) the LAST statement of ``text``.
 
         Returns an :class:`~repro.observability.ExplainResult`: the
@@ -242,6 +245,7 @@ class AsterixInstance:
         started = time.perf_counter()
         optimized = optimize(plan, self.metadata,
                              enable_index_access=enable_index_access,
+                             enable_cost_based=enable_cost_based,
                              recorder=recorder)
         phases.append({"name": "optimize",
                        "duration_us": (time.perf_counter() - started) * 1e6})
@@ -265,6 +269,7 @@ class AsterixInstance:
     def execute_all(self, text: str, *, language: str = "sqlpp",
                     explain: bool = False,
                     enable_index_access: bool = True,
+                    enable_cost_based: bool = True,
                     trace: bool = False) -> list:
         parse_started = time.perf_counter()
         if language == "sqlpp":
@@ -290,7 +295,8 @@ class AsterixInstance:
                 span.duration_us = parse_us
                 qtrace.phases.append(span)
             result = self._execute_one(stmt, explain, enable_index_access,
-                                       qtrace)
+                                       qtrace,
+                                       enable_cost_based=enable_cost_based)
             result.warnings.extend(warnings)
             results.append(result)
         return results
@@ -299,7 +305,8 @@ class AsterixInstance:
 
     def _execute_one(self, stmt, explain: bool,
                      enable_index_access: bool,
-                     trace: QueryTrace | None = None) -> Result:
+                     trace: QueryTrace | None = None, *,
+                     enable_cost_based: bool = True) -> Result:
         registry = get_registry()
         registry.counter("api.statements").inc()
         translator = Translator(self.metadata)
@@ -313,7 +320,8 @@ class AsterixInstance:
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_insert(stmt)
             return self._run_plan(plan, "dml", explain,
-                                  enable_index_access, trace)
+                                  enable_index_access, trace,
+                                  enable_cost_based=enable_cost_based)
         if isinstance(stmt, ast.DeleteStatement):
             registry.counter("api.dml").inc()
             with maybe_phase(trace, "analyze"):
@@ -321,7 +329,8 @@ class AsterixInstance:
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_delete(stmt)
             return self._run_plan(plan, "dml", explain,
-                                  enable_index_access, trace)
+                                  enable_index_access, trace,
+                                  enable_cost_based=enable_cost_based)
         if isinstance(stmt, ast.QueryStatement):
             registry.counter("api.queries").inc()
             with maybe_phase(trace, "analyze"):
@@ -329,7 +338,8 @@ class AsterixInstance:
             with maybe_phase(trace, "translate"):
                 plan = translator.translate_query(stmt.query)
             return self._run_plan(plan, "query", explain,
-                                  enable_index_access, trace)
+                                  enable_index_access, trace,
+                                  enable_cost_based=enable_cost_based)
         # everything else is DDL against the catalog
         registry.counter("api.ddl").inc()
         if trace is not None:
@@ -414,13 +424,15 @@ class AsterixInstance:
 
     def _run_plan(self, plan, kind: str, explain: bool,
                   enable_index_access: bool,
-                  trace: QueryTrace | None = None) -> Result:
+                  trace: QueryTrace | None = None, *,
+                  enable_cost_based: bool = True) -> Result:
         registry = get_registry()
         metrics_before = registry.snapshot() if trace is not None else None
         recorder = trace.rewrites if trace is not None else None
         with maybe_phase(trace, "optimize"):
             optimized = optimize(plan, self.metadata,
                                  enable_index_access=enable_index_access,
+                                 enable_cost_based=enable_cost_based,
                                  recorder=recorder)
         plan_text = explain_plan(optimized)
         if trace is not None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import csv
 
 from repro.adm.parser import format_adm, parse_adm
+from repro.common.errors import SyntaxError_
 from repro.adm.values import (
     MISSING,
     ADate,
@@ -68,8 +69,8 @@ def _text_to_cell(text: str):
             text.startswith(("{", "[")):
         try:
             return parse_adm(text)
-        except Exception:
-            return text
+        except SyntaxError_:
+            return text      # not ADM after all: keep the raw string
     return text
 
 

@@ -177,7 +177,11 @@ class JobExecutor:
         # operator profiles are created in topological order, matching the
         # operator ordering the serial executor always reported
         op_profiles = {
-            op_id: profile.new_operator(repr(job.operators[op_id]))
+            op_id: profile.new_operator(
+                repr(job.operators[op_id]),
+                estimated_cardinality=getattr(
+                    job.operators[op_id], "estimated_cardinality", None),
+            )
             for op_id in job.topological_order()
         }
         outputs: dict = {}

@@ -41,22 +41,31 @@ class HybridHashJoinOp(OperatorDescriptor):
 
     num_inputs = 2
     name = "hybrid-hash-join"
-    streaming = False     # pipeline breaker: the build side (port 1) must
-                          # be complete before the probe can start
+    streaming = False     # pipeline breaker: the build side must be
+                          # complete before the probe can start
 
     def __init__(self, left_keys: list[int], right_keys: list[int],
                  kind: str = "inner",
                  residual: RuntimeExpr | None = None,
                  memory_frames: int | None = None,
-                 right_width: int | None = None):
+                 right_width: int | None = None,
+                 build_side: int = 1):
         if kind not in JOIN_KINDS:
             raise ValueError(f"unknown join kind {kind!r}")
+        if build_side not in (0, 1):
+            raise ValueError(f"build_side must be 0 or 1, got {build_side}")
         self.left_keys = list(left_keys)
         self.right_keys = list(right_keys)
         self.kind = kind
         self.residual = residual
         self.memory_frames = memory_frames
         self.right_width = right_width  # for outer padding
+        #: which input the hash table is built on (1 = the classic
+        #: build-on-right default; 0 = build on the left when the
+        #: optimizer estimates it is the smaller input).  Output is
+        #: byte-identical either way — only the spill threshold and
+        #: memory footprint change.
+        self.build_side = build_side
         self.spill_rounds = 0           # observability for E4
         self._residual_pred = None      # compiled residual predicate
 
@@ -113,7 +122,8 @@ class HybridHashJoinOp(OperatorDescriptor):
         return out
 
     def _join(self, ctx, left, right, budget, depth, pad_width):
-        if len(right) <= budget or depth >= 8:
+        build = left if self.build_side == 0 else right
+        if len(build) <= budget or depth >= 8:
             return self._in_memory_join(ctx, left, right, pad_width)
         # grace partitioning: split both sides by key hash into fan-out
         # buckets spilled to run files, then recurse bucket by bucket
@@ -145,6 +155,9 @@ class HybridHashJoinOp(OperatorDescriptor):
         return out
 
     def _in_memory_join(self, ctx, left, right, pad_width):
+        if self.build_side == 0:
+            return self._in_memory_join_build_left(ctx, left, right,
+                                                   pad_width)
         lk, rk = tuple(self.left_keys), tuple(self.right_keys)
         table: dict[bytes, list] = {}
         for tup in right:
@@ -178,8 +191,55 @@ class HybridHashJoinOp(OperatorDescriptor):
         ctx.charge_cpu(len(left) + len(right))
         return out
 
+    def _in_memory_join_build_left(self, ctx, left, right, pad_width):
+        """Build on the LEFT input, probe with the right — chosen by the
+        optimizer when the left is estimated smaller.  Matches are
+        gathered per left tuple (in right-input order) and emitted in a
+        final left-major pass, so the output — order included — is
+        byte-identical to the build-on-right path; only the hash-table
+        size (and with it the grace-spill threshold) differs.  Per-tuple
+        hash and CPU charges are symmetric with the default path, so
+        in-memory simulated cost is identical too."""
+        lk, rk = tuple(self.left_keys), tuple(self.right_keys)
+        table: dict[bytes, list] = {}
+        for i, tup in enumerate(left):
+            key = ctx.key_bytes(tup, lk)
+            ctx.charge_hash(1)
+            table.setdefault(key, []).append(i)
+        matches: list[list] = [[] for _ in left]
+        for rtup in right:
+            key = ctx.key_bytes(rtup, rk)
+            ctx.charge_hash(1)
+            for i in table.get(key, ()):
+                matches[i].append(rtup)
+        out = []
+        padding = (MISSING,) * pad_width
+        kind = self.kind
+        for i, tup in enumerate(left):
+            matched = False
+            for rtup in matches[i]:
+                joined = tup + rtup
+                if not self._residual_ok(joined):
+                    continue
+                matched = True
+                if kind == "inner" or kind == "leftouter":
+                    out.append(joined)
+                elif kind == "leftsemi":
+                    out.append(tup)
+                    break
+                elif kind == "leftanti":
+                    break
+            if not matched:
+                if kind == "leftouter":
+                    out.append(tup + padding)
+                elif kind == "leftanti":
+                    out.append(tup)
+        ctx.charge_cpu(len(left) + len(right))
+        return out
+
     def __repr__(self):
-        return (f"hash-join[{self.kind}]({self.left_keys}="
+        build = "" if self.build_side == 1 else ",build=left"
+        return (f"hash-join[{self.kind}{build}]({self.left_keys}="
                 f"{self.right_keys})")
 
 

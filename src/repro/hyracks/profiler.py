@@ -43,6 +43,10 @@ class PartitionCost:
 class OperatorProfile:
     name: str
     partitions: dict = field(default_factory=dict)   # partition -> cost
+    #: optimizer estimate for this operator's output cardinality (None
+    #: when the cost pass didn't run); paired with ``tuples_out`` this
+    #: is the estimated-vs-actual readout in EXPLAIN/traces
+    estimated_cardinality: float | None = None
 
     def cost(self, partition: int) -> PartitionCost:
         return self.partitions.setdefault(partition, PartitionCost())
@@ -59,7 +63,7 @@ class OperatorProfile:
 
     def to_dict(self) -> dict:
         """Structured form (one entry per partition) for query traces."""
-        return {
+        out = {
             "name": self.name,
             "elapsed_us": self.elapsed_us,
             "tuples_out": self.total_tuples_out,
@@ -68,6 +72,10 @@ class OperatorProfile:
                 for p, cost in sorted(self.partitions.items())
             },
         }
+        if self.estimated_cardinality is not None:
+            out["estimated_cardinality"] = self.estimated_cardinality
+            out["actual_cardinality"] = self.total_tuples_out
+        return out
 
 
 @dataclass
@@ -85,8 +93,11 @@ class JobProfile:
     simulated_us: float = 0.0
     wall_seconds: float = 0.0
 
-    def new_operator(self, name: str) -> OperatorProfile:
-        profile = OperatorProfile(name)
+    def new_operator(self, name: str,
+                     estimated_cardinality: float | None = None
+                     ) -> OperatorProfile:
+        profile = OperatorProfile(
+            name, estimated_cardinality=estimated_cardinality)
         self.operators.append(profile)
         return profile
 

@@ -416,6 +416,48 @@ class MetadataManager(MetadataView):
     def external_adapter(self, dataset: str):
         return self.dataset_entry(dataset).adapter
 
+    def dataset_statistics(self, dataset: str):
+        """Dataset-level statistics rollup for the cost-based optimizer:
+        the per-partition primary-index synopses (harvested at LSM
+        flush/merge time and recovered from the manifests after restart)
+        merged into one :class:`~repro.storage.lsm.synopsis
+        .ComponentSynopsis`.  Returns None for external datasets or when
+        no statistics exist yet.
+
+        The merge is cheap (a few dict folds per field) but not free, so
+        rollups are cached against a fingerprint of each partition's
+        component state; any flush, merge, or memory-component write
+        invalidates it."""
+        try:
+            entry = self.dataset_entry(dataset)
+        except UnknownEntityError:
+            return None
+        if entry.kind != "internal":
+            return None
+        qualified = entry.name
+        versions, partitions = [], []
+        try:
+            for p in range(self.cluster.num_partitions):
+                node = self.cluster.node_of_partition(p)
+                storage = node.get_partition(qualified, p)
+                versions.append(storage.statistics_version())
+                partitions.append(storage)
+        except (KeyError, AttributeError):
+            return None
+        cache = getattr(self, "_stats_cache", None)
+        if cache is None:
+            cache = self._stats_cache = {}
+        key = tuple(versions)
+        cached = cache.get(qualified)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        from repro.storage.lsm.synopsis import ComponentSynopsis
+
+        rollup = ComponentSynopsis.merge(
+            s.statistics() for s in partitions)
+        cache[qualified] = (key, rollup)
+        return rollup
+
     # -- mirrors ----------------------------------------------------------------------------------
 
     def _mirror_dataverse(self, name: str) -> None:

@@ -33,6 +33,9 @@ def _value_to_plain(value):
 def plan_to_dict(op) -> dict:
     """A logical operator tree as nested dicts (inputs recurse)."""
     out = {"operator": type(op).__name__, "label": op.describe()}
+    est = getattr(op, "est_card", None)
+    if est is not None:
+        out["estimated_cardinality"] = est
     if dataclasses.is_dataclass(op):
         for f in dataclasses.fields(op):
             if f.name == "inputs":
@@ -52,6 +55,9 @@ def job_to_dict(job) -> dict:
                 "partitions": (op.partition_count
                                if op.partition_count is not None
                                else "cluster-width"),
+                **({"estimated_cardinality": est}
+                   if (est := getattr(op, "estimated_cardinality",
+                                      None)) is not None else {}),
             }
             for op_id, op in enumerate(job.operators)
         ],

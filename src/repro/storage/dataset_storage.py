@@ -93,12 +93,21 @@ def array_element_keys(spec: SecondaryIndexSpec, record: dict):
     """The secondary keys an array index derives from ``record``: one key
     tuple per element of the array at ``spec.array_path``.
 
-    Mirrors UNNEST semantics exactly so index maintenance agrees with the
-    scan plan the index search replaces: a MISSING/null/non-array value
-    unnests to nothing, and elements whose key parts are MISSING/null are
-    skipped (the predicate would evaluate to null on them).  Duplicate
-    elements yield duplicate keys; the caller's (key, pk) composite upsert
-    collapses them, which is also what makes maintenance idempotent."""
+    Mirrors UNNEST semantics so index maintenance agrees with the scan
+    plan the index search replaces: a MISSING/null/non-array value
+    unnests to nothing, and an element whose *first* key field is
+    MISSING/null is skipped (no predicate prefix can match it).  Trailing
+    MISSING/null key parts are stored verbatim: the ADM comparators give
+    them a total order (so LSM merge and the B+ tree stay sorted) while
+    ``search_btree``'s band filter drops them from any search that bounds
+    those columns (``comparable(MISSING, const)`` is false — exactly the
+    null-predicate semantics of the scan plan), and prefix-bounded
+    searches never examine the padded columns at all.  That is what makes
+    prefix-bounded composite searches sound: every element with a known
+    first key field has an entry, so the index is a superset of any
+    prefix match.  Duplicate elements yield duplicate keys; the caller's
+    (key, pk) composite upsert collapses them, which is also what makes
+    maintenance idempotent."""
     array = field_value(record, spec.array_path)
     if not isinstance(array, (list, tuple)):
         return
@@ -109,9 +118,35 @@ def array_element_keys(spec: SecondaryIndexSpec, record: dict):
             key = tuple(field_value(elem, f) for f in spec.fields)
         else:
             key = (elem,)
-        if any(v is MISSING or v is None for v in key):
+        if key[0] is MISSING or key[0] is None:
             continue
         yield key
+
+
+def _trackable(value) -> bool:
+    return (isinstance(value, (int, float, str))
+            and not isinstance(value, bool))
+
+
+def _record_synopsis_fields(key, payload):
+    """Synopsis extractor for primary indexes: deserializes the stored
+    record and reports top-level scalar fields, one level of nested
+    scalar fields (dotted paths, so stats cover typical secondary-index
+    keys), and array-valued fields (tracked as Unnest fan-out).  Pure
+    Python outside the charged I/O path, so flush/merge simulated costs
+    are unchanged."""
+    record = deserialize(payload)
+    if not isinstance(record, dict):
+        return None
+    out = {}
+    for name, value in record.items():
+        if isinstance(value, dict):
+            for sub, sv in value.items():
+                if _trackable(sv):
+                    out[f"{name}.{sub}"] = sv
+        elif _trackable(value) or isinstance(value, (list, tuple)):
+            out[name] = value
+    return out
 
 
 class PartitionStorage:
@@ -137,6 +172,7 @@ class PartitionStorage:
             merge_policy=merge_policy,
             device_hint=self.device_hint,
         )
+        self.primary.synopsis_extractor = _record_synopsis_fields
         self.secondaries: dict[str, tuple] = {}   # name -> (spec, index)
         # optional record validator (the dataset's declared type check),
         # installed by the metadata manager at CREATE DATASET time
@@ -170,6 +206,7 @@ class PartitionStorage:
         )
         storage.primary = LSMBTree.recover(
             fm, cache, storage._storage_name("primary"), **common)
+        storage.primary.synopsis_extractor = _record_synopsis_fields
         storage.secondaries = {}
         for spec in specs:
             name = storage._storage_name(f"idx_{spec.name}")
@@ -415,6 +452,17 @@ class PartitionStorage:
 
     def count(self) -> int:
         return sum(1 for _ in self.primary.scan())
+
+    def statistics(self):
+        """This partition's primary-index synopsis (see
+        :mod:`repro.storage.lsm.synopsis`), or None."""
+        return self.primary.synopsis()
+
+    def statistics_version(self) -> tuple:
+        """A cheap fingerprint of the statistics-relevant state — used by
+        the catalog to cache dataset rollups between mutations."""
+        return (len(self.primary.components), len(self.primary.memory),
+                self.primary.stats.flushes, self.primary.stats.merges)
 
     def drop(self) -> None:
         self.primary.drop()

@@ -50,6 +50,7 @@ class DiskComponent:
     bloom: object = None          # BloomFilter | None
     deleted_keys: object = None   # companion deleted-key BTree (LSM R-tree)
     deleted_handle: object = None
+    synopsis: object = None       # ComponentSynopsis | None (cost stats)
 
     @property
     def min_seq(self) -> int:

@@ -31,6 +31,7 @@ from repro.storage.lsm.component import (
     encode_matter,
 )
 from repro.storage.lsm.merge_policy import MergePolicy, PrefixMergePolicy
+from repro.storage.lsm.synopsis import ComponentSynopsis, SynopsisBuilder
 from repro.storage.mem import MemBTree
 
 
@@ -54,6 +55,10 @@ class LSMBTree:
         self.components: list[DiskComponent] = []   # newest first
         self.stats = LSMStats()
         self._next_seq = 0
+        #: optional ``(key, payload_bytes) -> {path: value} | None`` hook;
+        #: when set, flush and merge build a per-component synopsis while
+        #: they stream entries (see :mod:`repro.storage.lsm.synopsis`)
+        self.synopsis_extractor = None
 
     # -- write path -----------------------------------------------------------
 
@@ -133,10 +138,16 @@ class LSMBTree:
         handle = self.fm.create_file(f"{self.name}_c{seq}.btree",
                                      self.device_hint)
         bloom = BloomFilter(len(self.memory), self.bloom_fpr)
+        builder = (SynopsisBuilder()
+                   if self.synopsis_extractor is not None else None)
         items = []
         for key, raw in self.memory.items():
             bloom.add(key)
             items.append((key, raw))
+            if builder is not None:
+                anti, payload = decode(raw)
+                if not anti:
+                    builder.add(self.synopsis_extractor(key, payload))
         tree = BTree.bulk_load(self.cache, handle, items)
         comp = DiskComponent(
             component_id=(seq, seq),
@@ -145,6 +156,7 @@ class LSMBTree:
             num_entries=len(items),
             lsn=self.memory_lsn,
             bloom=bloom,
+            synopsis=builder.build() if builder is not None else None,
         )
         self.components.insert(0, comp)
         self.memory.clear()
@@ -179,12 +191,17 @@ class LSMBTree:
         expected = sum(c.num_entries for c in merged)
         bloom = BloomFilter(expected, self.bloom_fpr)
 
+        builder = (SynopsisBuilder()
+                   if self.synopsis_extractor is not None else None)
+
         def merged_items():
             for key, raw in _merge_newest_wins(iterators, keep_antimatter=True):
-                anti, _ = decode(raw)
+                anti, payload = decode(raw)
                 if anti and includes_oldest:
                     continue  # nothing older left to annihilate
                 bloom.add(key)
+                if builder is not None and not anti:
+                    builder.add(self.synopsis_extractor(key, payload))
                 yield key, raw
 
         tree = BTree.bulk_load(self.cache, handle, merged_items())
@@ -195,6 +212,7 @@ class LSMBTree:
             num_entries=tree.count,
             lsn=max(c.lsn for c in merged),
             bloom=bloom,
+            synopsis=builder.build() if builder is not None else None,
         )
         self.components[selection] = [comp]
         import os
@@ -215,6 +233,23 @@ class LSMBTree:
         return comp
 
     # -- introspection ------------------------------------------------------------------
+
+    def synopsis(self) -> ComponentSynopsis | None:
+        """Whole-index statistics: merged disk-component synopses plus an
+        on-demand pass over the (byte-budgeted, hence small) memory
+        component, so statistics are available without forcing a flush.
+        Returns None when no extractor is installed."""
+        if self.synopsis_extractor is None:
+            return None
+        parts = [c.synopsis for c in self.components]
+        if len(self.memory):
+            builder = SynopsisBuilder()
+            for key, raw in self.memory.items():
+                anti, payload = decode(raw)
+                if not anti:
+                    builder.add(self.synopsis_extractor(key, payload))
+            parts.append(builder.build())
+        return ComponentSynopsis.merge(parts)
 
     @property
     def num_disk_components(self) -> int:
@@ -284,6 +319,8 @@ class LSMBTree:
                 "id": list(comp.component_id),
                 "entries": comp.num_entries,
                 "lsn": comp.lsn,
+                "synopsis": (comp.synopsis.to_dict()
+                             if comp.synopsis is not None else None),
             }
             for comp in self.components
         ]
@@ -340,6 +377,7 @@ class LSMBTree:
                 num_entries=entry["entries"],
                 lsn=entry["lsn"],
                 bloom=lsm._load_bloom(entry["file"]),
+                synopsis=ComponentSynopsis.from_dict(entry.get("synopsis")),
             )
             lsm.components.append(comp)
             max_seq = max(max_seq, comp.max_seq)

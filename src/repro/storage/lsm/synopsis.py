@@ -1,0 +1,371 @@
+"""Per-component statistics synopses for cost-based optimization.
+
+The paper's Algebricks layer is "data-partition-aware": join orders,
+build sides, and connector strategies come from *data properties*, not
+query syntax.  The data properties have to come from somewhere, and in
+an LSM system the natural harvest point is component construction: flush
+and merge both stream every record of the component exactly once, in key
+order, so building a synopsis there is nearly free (PAPERS.md, LSM
+storage management).
+
+A :class:`ComponentSynopsis` records, per disk component:
+
+* the record count;
+* per tracked field: value count, min/max, an (approximate) distinct
+  count, and a fixed-width **equi-depth histogram** over numeric values
+  (every bucket holds ~the same number of records, so skewed data gets
+  fine boundaries where the data is dense — the classic choice for
+  selectivity estimation);
+* for array-valued fields: element totals, so the optimizer can
+  estimate Unnest fan-out.
+
+Synopses are plain JSON-able dicts end to end: they persist inside the
+LSM manifest (surviving restart via ``LSMBTree.recover``) and merge
+cheaply at query-optimization time into a per-dataset rollup
+(:meth:`MetadataManager.dataset_statistics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_BUCKETS = 16
+
+#: scalar types histograms are built over (ADM ints/floats; bools are
+#: min/max-only, strings get min/max + distinct but no histogram)
+_NUMERIC = (int, float)
+
+
+# -- equi-depth histogram -----------------------------------------------------
+
+
+@dataclass
+class EquiDepthHistogram:
+    """Equi-depth histogram over numeric values.
+
+    ``bounds`` has ``len(counts) + 1`` entries; bucket ``i`` covers
+    ``(bounds[i], bounds[i+1]]`` except bucket 0 which is inclusive on
+    the left.  ``counts[i]`` is the number of values in bucket ``i``.
+    """
+
+    bounds: list = field(default_factory=list)
+    counts: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @classmethod
+    def build(cls, values, buckets: int = DEFAULT_BUCKETS):
+        """Build from an iterable of numeric values (need not be sorted)."""
+        vals = sorted(v for v in values
+                      if isinstance(v, _NUMERIC) and not isinstance(v, bool))
+        if not vals:
+            return None
+        n = len(vals)
+        buckets = max(1, min(buckets, n))
+        bounds = [vals[0]]
+        counts = []
+        prev = 0
+        for b in range(1, buckets + 1):
+            # equi-depth boundary: the value at the b/buckets quantile
+            cut = (n * b) // buckets
+            if cut <= prev:
+                continue
+            bounds.append(vals[cut - 1])
+            counts.append(cut - prev)
+            prev = cut
+        return cls(bounds, counts)
+
+    # -- estimation ------------------------------------------------------------
+
+    def _fraction_below(self, x, inclusive: bool) -> float:
+        """Fraction of values <= x (inclusive) or < x (exclusive),
+        interpolating linearly inside the containing bucket."""
+        if not self.counts:
+            return 0.0
+        total = self.total
+        if x < self.bounds[0]:
+            return 0.0
+        if x >= self.bounds[-1]:
+            if inclusive or x > self.bounds[-1]:
+                return 1.0
+        seen = 0
+        for i, count in enumerate(self.counts):
+            lo, hi = self.bounds[i], self.bounds[i + 1]
+            # a degenerate bucket (hi == lo) has all its mass AT hi, so
+            # an exclusive bound x == hi must not count it; continuous
+            # buckets put negligible mass at the exact boundary
+            if x > hi or (x == hi and (inclusive or hi > lo)):
+                seen += count
+                continue
+            width = hi - lo
+            if width <= 0:           # degenerate bucket: one repeated value
+                frac = 0.0           # x <= hi here, and exclusive at hi
+            else:
+                frac = (x - lo) / width
+            return (seen + count * max(0.0, min(1.0, frac))) / total
+        return seen / total
+
+    def estimate_range(self, lo=None, hi=None, *, lo_inclusive=True,
+                       hi_inclusive=True) -> float:
+        """Estimated fraction of values in [lo, hi] (bounds optional)."""
+        above = (self._fraction_below(hi, hi_inclusive)
+                 if hi is not None else 1.0)
+        below = (self._fraction_below(lo, not lo_inclusive)
+                 if lo is not None else 0.0)
+        return max(0.0, above - below)
+
+    def estimate_eq(self, value, distinct: int = 0) -> float:
+        """Estimated fraction of values equal to ``value``: uniform over
+        the distinct values of the containing bucket when a distinct
+        count is known, else the bucket-interpolated point mass."""
+        if not self.counts:
+            return 0.0
+        if distinct > 0:
+            in_range = self.estimate_range(value, value)
+            return max(in_range, 1.0 / distinct) if in_range > 0 else 0.0
+        return self.estimate_range(value, value)
+
+    # -- persistence / merge ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts)}
+
+    @classmethod
+    def from_dict(cls, d):
+        if not d:
+            return None
+        return cls(list(d["bounds"]), list(d["counts"]))
+
+    @classmethod
+    def merge(cls, histograms, buckets: int = DEFAULT_BUCKETS):
+        """Merge several histograms by weighted-point resampling: each
+        bucket contributes its upper bound with its count as weight, and
+        an equi-depth partition is rebuilt over the combined points.
+        Cheap (no raw values needed) and bounded error: boundaries can
+        be off by at most one source bucket's width."""
+        points = []                       # (value, weight)
+        for h in histograms:
+            if h is None or not h.counts:
+                continue
+            points.append((h.bounds[0], 0))
+            for i, count in enumerate(h.counts):
+                points.append((h.bounds[i + 1], count))
+        if not points:
+            return None
+        points.sort(key=lambda p: p[0])
+        total = sum(w for _, w in points)
+        if total == 0:
+            return None
+        buckets = max(1, min(buckets, sum(1 for _, w in points if w)))
+        bounds = [points[0][0]]
+        counts = []
+        acc = 0
+        target_idx = 1
+        carried = 0
+        for value, weight in points:
+            acc += weight
+            carried += weight
+            while target_idx <= buckets and \
+                    acc >= (total * target_idx) // buckets and carried:
+                bounds.append(value)
+                counts.append(carried)
+                carried = 0
+                target_idx += 1
+        if carried:
+            bounds.append(points[-1][0])
+            counts.append(carried)
+        return cls(bounds, counts)
+
+
+# -- per-field and per-component synopses -------------------------------------
+
+
+@dataclass
+class FieldSynopsis:
+    """Statistics for one tracked field of a component."""
+
+    count: int = 0                  # records with a known value
+    min: object = None
+    max: object = None
+    distinct: int = 0               # exact at build time, approx on merge
+    histogram: EquiDepthHistogram | None = None
+    array_count: int = 0            # records where the value is an array
+    array_elements: int = 0         # total elements across those arrays
+
+    @property
+    def avg_array_length(self) -> float:
+        if self.array_count == 0:
+            return 0.0
+        return self.array_elements / self.array_count
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "distinct": self.distinct,
+            "histogram": (self.histogram.to_dict()
+                          if self.histogram is not None else None),
+            "array_count": self.array_count,
+            "array_elements": self.array_elements,
+        }
+
+    @classmethod
+    def from_dict(cls, d) -> "FieldSynopsis":
+        return cls(
+            count=d.get("count", 0),
+            min=d.get("min"),
+            max=d.get("max"),
+            distinct=d.get("distinct", 0),
+            histogram=EquiDepthHistogram.from_dict(d.get("histogram")),
+            array_count=d.get("array_count", 0),
+            array_elements=d.get("array_elements", 0),
+        )
+
+    # -- estimation (what the optimizer asks) ---------------------------------
+
+    def selectivity_eq(self, value) -> float:
+        if self.count == 0:
+            return 0.0
+        if self.histogram is not None and isinstance(value, _NUMERIC) \
+                and not isinstance(value, bool):
+            return self.histogram.estimate_eq(value, self.distinct)
+        if self.distinct > 0:
+            return 1.0 / self.distinct
+        return 0.1
+
+    def selectivity_range(self, lo=None, hi=None, *, lo_inclusive=True,
+                          hi_inclusive=True) -> float:
+        if self.histogram is not None:
+            numeric = all(
+                b is None or (isinstance(b, _NUMERIC)
+                              and not isinstance(b, bool))
+                for b in (lo, hi))
+            if numeric:
+                return self.histogram.estimate_range(
+                    lo, hi, lo_inclusive=lo_inclusive,
+                    hi_inclusive=hi_inclusive)
+        return 0.3
+
+
+def merge_field_synopses(parts) -> FieldSynopsis:
+    """Roll several component-level field synopses into one.
+
+    min/max combine exactly; counts add; the distinct count is
+    approximated as ``min(sum of parts, total count)`` — exact for
+    unique keys (each component's values are disjoint-ish) and an
+    overestimate for low-cardinality fields, which errs toward smaller
+    join-output estimates (the safe direction for build-side and
+    broadcast choices)."""
+    out = FieldSynopsis()
+    comparable = []
+    for p in parts:
+        if p is None:
+            continue
+        out.count += p.count
+        out.distinct += p.distinct
+        out.array_count += p.array_count
+        out.array_elements += p.array_elements
+        for bound, pick in (("min", min), ("max", max)):
+            value = getattr(p, bound)
+            if value is None:
+                continue
+            current = getattr(out, bound)
+            try:
+                setattr(out, bound,
+                        value if current is None else pick(current, value))
+            except TypeError:        # cross-type min/max: keep first seen
+                pass
+        if p.histogram is not None:
+            comparable.append(p.histogram)
+    out.distinct = min(out.distinct, out.count)
+    out.histogram = EquiDepthHistogram.merge(comparable)
+    return out
+
+
+@dataclass
+class ComponentSynopsis:
+    """Statistics for one LSM disk component: record count plus a
+    :class:`FieldSynopsis` per tracked field path."""
+
+    record_count: int = 0
+    fields: dict = field(default_factory=dict)    # path -> FieldSynopsis
+
+    def to_dict(self) -> dict:
+        return {
+            "record_count": self.record_count,
+            "fields": {p: f.to_dict() for p, f in self.fields.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d):
+        if not d:
+            return None
+        return cls(
+            record_count=d.get("record_count", 0),
+            fields={p: FieldSynopsis.from_dict(f)
+                    for p, f in d.get("fields", {}).items()},
+        )
+
+    @classmethod
+    def merge(cls, parts) -> "ComponentSynopsis":
+        parts = list(parts)          # iterated twice; accept generators
+        out = cls()
+        paths = set()
+        for p in parts:
+            if p is None:
+                continue
+            out.record_count += p.record_count
+            paths.update(p.fields)
+        for path in paths:
+            out.fields[path] = merge_field_synopses(
+                p.fields.get(path) for p in parts if p is not None)
+        return out
+
+
+class SynopsisBuilder:
+    """Accumulates field values while a flush/merge streams records,
+    then builds the :class:`ComponentSynopsis` in one pass."""
+
+    def __init__(self, buckets: int = DEFAULT_BUCKETS):
+        self.buckets = buckets
+        self.record_count = 0
+        self._values: dict = {}      # path -> list of scalar values
+        self._arrays: dict = {}      # path -> (array_count, element_count)
+
+    def add(self, fields: dict | None) -> None:
+        """Record one record's extracted ``{path: value}`` mapping.
+        Lists are tracked as array fan-out; scalars feed min/max,
+        distinct, and the histogram.  ``None``/unknown values are simply
+        absent from ``fields``."""
+        self.record_count += 1
+        if not fields:
+            return
+        for path, value in fields.items():
+            if isinstance(value, (list, tuple)):
+                count, elements = self._arrays.get(path, (0, 0))
+                self._arrays[path] = (count + 1, elements + len(value))
+            elif isinstance(value, (int, float, str)) \
+                    and not isinstance(value, bool):
+                self._values.setdefault(path, []).append(value)
+
+    def build(self) -> ComponentSynopsis:
+        synopsis = ComponentSynopsis(record_count=self.record_count)
+        for path, values in self._values.items():
+            fs = FieldSynopsis(
+                count=len(values),
+                distinct=len(set(values)),
+                histogram=EquiDepthHistogram.build(values, self.buckets),
+            )
+            try:
+                fs.min, fs.max = min(values), max(values)
+            except TypeError:        # mixed types (int + str): skip bounds
+                pass
+            synopsis.fields[path] = fs
+        for path, (count, elements) in self._arrays.items():
+            fs = synopsis.fields.setdefault(path, FieldSynopsis())
+            fs.array_count = count
+            fs.array_elements = elements
+        return synopsis

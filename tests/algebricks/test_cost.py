@@ -1,0 +1,192 @@
+"""Cost-based optimization: the cardinality estimator, join reordering,
+build-side selection, and broadcast-vs-repartition connector choice."""
+
+from repro.algebricks import LCall, LConst, LVar, MetadataView, optimize
+from repro.algebricks.cost import CardinalityEstimator
+from repro.algebricks.jobgen import compile_plan
+from repro.algebricks.logical import (
+    DataSourceScan,
+    DistributeResult,
+    Join,
+    Select,
+    walk,
+)
+from repro.hyracks.connectors import BroadcastConnector
+from repro.hyracks.operators.join import HybridHashJoinOp
+from repro.storage.lsm.synopsis import ComponentSynopsis, FieldSynopsis
+
+
+class StatsMetadata(MetadataView):
+    """Metadata with canned per-dataset synopses: ``sizes`` maps dataset
+    name -> record count; every dataset has a unique-ish ``id`` field."""
+
+    def __init__(self, sizes):
+        self.sizes = dict(sizes)
+
+    def pk_fields(self, dataset):
+        return ("id",)
+
+    def secondary_indexes(self, dataset):
+        return []
+
+    def is_external(self, dataset):
+        return False
+
+    def dataset_statistics(self, dataset):
+        n = self.sizes.get(dataset)
+        if n is None:
+            return None
+        return ComponentSynopsis(record_count=n, fields={
+            "id": FieldSynopsis(count=n, min=0, max=n - 1, distinct=n),
+        })
+
+
+def eq(a, b):
+    return LCall("eq", [LVar(a), LVar(b)])
+
+
+def three_way_plan():
+    """big JOIN mid JOIN small, written worst-first: the syntactic order
+    joins the two largest relations before the small filter arrives."""
+    big = DataSourceScan("big", [1], 2)
+    mid = DataSourceScan("mid", [3], 4)
+    small = DataSourceScan("small", [5], 6)
+    j1 = Join(eq(1, 3), inputs=[big, mid])
+    j2 = Join(eq(3, 5), inputs=[j1, small])
+    return DistributeResult(LVar(2), inputs=[j2])
+
+
+def scan_order(root):
+    return [op.dataset for op in walk(root)
+            if isinstance(op, DataSourceScan)]
+
+
+class TestEstimator:
+    def test_scan_estimate_from_stats(self):
+        meta = StatsMetadata({"big": 5000})
+        est = CardinalityEstimator(meta)
+        plan = DistributeResult(LVar(2),
+                                inputs=[DataSourceScan("big", [1], 2)])
+        est.annotate(plan)
+        assert plan.inputs[0].est_card == 5000
+
+    def test_scan_estimate_default_without_stats(self):
+        est = CardinalityEstimator(StatsMetadata({}))
+        plan = DistributeResult(LVar(2),
+                                inputs=[DataSourceScan("ds", [1], 2)])
+        est.annotate(plan)
+        assert plan.inputs[0].est_card == 1000.0
+
+    def test_pk_equality_select_estimates_one(self):
+        meta = StatsMetadata({"big": 5000})
+        sel = Select(LCall("eq", [LVar(1), LConst(7)]),
+                     inputs=[DataSourceScan("big", [1], 2)])
+        plan = DistributeResult(LVar(2), inputs=[sel])
+        CardinalityEstimator(meta).annotate(plan)
+        assert sel.est_card <= 2
+
+    def test_join_estimate_uses_ndv(self):
+        meta = StatsMetadata({"big": 1000, "small": 10})
+        join = Join(eq(1, 3), inputs=[DataSourceScan("big", [1], 2),
+                                      DataSourceScan("small", [3], 4)])
+        plan = DistributeResult(LVar(2), inputs=[join])
+        CardinalityEstimator(meta).annotate(plan)
+        # |big x small| / max(ndv) = 1000*10/1000
+        assert join.est_card == 10.0
+
+
+class TestJoinReorder:
+    SIZES = {"big": 2000, "mid": 400, "small": 5}
+
+    def test_reorders_to_smallest_first(self):
+        optimized = optimize(three_way_plan(), StatsMetadata(self.SIZES))
+        order = scan_order(optimized)
+        # the small relation must participate in the first (deepest) join
+        assert "small" in order[:2], order
+
+    def test_no_fire_without_stats(self):
+        optimized = optimize(three_way_plan(), StatsMetadata({}))
+        assert scan_order(optimized) == ["big", "mid", "small"]
+
+    def test_no_fire_when_disabled(self):
+        optimized = optimize(three_way_plan(), StatsMetadata(self.SIZES),
+                             enable_cost_based=False)
+        assert scan_order(optimized) == ["big", "mid", "small"]
+        assert all(getattr(op, "est_card", None) is None
+                   for op in walk(optimized))
+
+    def test_annotation_runs_even_without_reorder(self):
+        optimized = optimize(three_way_plan(), StatsMetadata({}))
+        assert all(getattr(op, "est_card", None) is not None
+                   for op in walk(optimized))
+
+    def test_no_cross_product_introduced(self):
+        optimized = optimize(three_way_plan(), StatsMetadata(self.SIZES))
+        for op in walk(optimized):
+            if isinstance(op, Join):
+                assert op.condition != LConst(True)
+
+
+class TestPhysicalChoices:
+    def compile(self, sizes, swap=True):
+        plan = DistributeResult(LVar(2), inputs=[
+            Join(eq(1, 3), inputs=[DataSourceScan("left", [1], 2),
+                                   DataSourceScan("right", [3], 4)])])
+        meta = StatsMetadata(sizes)
+        optimized = optimize(plan, meta, enable_cost_based=swap)
+        return compile_plan(optimized, meta, 4)
+
+    def test_build_side_swaps_to_smaller_left(self):
+        job, _ = self.compile({"left": 10, "right": 9000})
+        hj = next(op for op in job.operators
+                  if isinstance(op, HybridHashJoinOp))
+        assert hj.build_side == 0
+
+    def test_build_side_default_when_right_smaller(self):
+        job, _ = self.compile({"left": 9000, "right": 10})
+        hj = next(op for op in job.operators
+                  if isinstance(op, HybridHashJoinOp))
+        assert hj.build_side == 1
+
+    def test_build_side_default_without_stats(self):
+        job, _ = self.compile({})
+        hj = next(op for op in job.operators
+                  if isinstance(op, HybridHashJoinOp))
+        assert hj.build_side == 1
+
+    def compile_computed_keys(self, sizes):
+        """Join on non-pk computed keys, so both sides would need a
+        hash repartition — the broadcast-vs-repartition decision point."""
+        fa = lambda v, n: LCall("field_access", [LVar(v), LConst(n)])
+        plan = DistributeResult(LVar(2), inputs=[
+            Join(LCall("eq", [fa(2, "x"), fa(4, "y")]),
+                 inputs=[DataSourceScan("left", [1], 2),
+                         DataSourceScan("right", [3], 4)])])
+        meta = StatsMetadata(sizes)
+        optimized = optimize(plan, meta)
+        return compile_plan(optimized, meta, 4)
+
+    def test_broadcast_chosen_for_tiny_build_side(self):
+        job, _ = self.compile_computed_keys({"left": 9000, "right": 10})
+        assert any(isinstance(e.connector, BroadcastConnector)
+                   for e in job.edges)
+
+    def test_no_broadcast_for_balanced_sides(self):
+        job, _ = self.compile_computed_keys({"left": 9000,
+                                             "right": 9000})
+        assert not any(isinstance(e.connector, BroadcastConnector)
+                       for e in job.edges)
+
+    def test_no_broadcast_when_keys_already_partitioned(self):
+        # pk = pk join: both inputs are already hash-partitioned on the
+        # join key, repartition is free, broadcast would only add cost
+        job, _ = self.compile({"left": 9000, "right": 10})
+        assert not any(isinstance(e.connector, BroadcastConnector)
+                       for e in job.edges)
+
+    def test_estimates_stamped_on_physical_operators(self):
+        job, _ = self.compile({"left": 100, "right": 100})
+        stamped = [op for op in job.operators
+                   if getattr(op, "estimated_cardinality", None)
+                   is not None]
+        assert stamped

@@ -409,13 +409,29 @@ class TestArrayIndexRule:
         optimized = optimize(self.unnest_plan(cond, outer=True), md)
         assert "SecondaryIndexSearch" not in plan_signature(optimized)
 
-    def test_unbounded_key_field_no_fire(self):
-        """Composite element keys need a bound on *every* field, or the
-        index may drop elements whose unbounded field is MISSING."""
+    def test_prefix_bounded_composite_fires(self):
+        """A bound on a *prefix* of a composite element key is enough:
+        maintenance indexes every element whose first key field is
+        known (trailing MISSING parts stored verbatim), so a prefix
+        search still sees a superset and the residual chain re-checks
+        everything."""
         md = FakeMetadata([SecondaryIndexSpec(
             "byDayAmt", "array", ("ol_delivery_d", "ol_amount"),
             array_path="o_orderline")])
         cond = LCall("lt", [fa(3, "ol_delivery_d"), LConst(100)])
+        optimized = optimize(self.unnest_plan(cond), md)
+        sig = plan_signature(optimized)
+        assert "SecondaryIndexSearch" in sig
+        assert "Unnest" in sig          # residual chain kept intact
+
+    def test_suffix_only_bound_no_fire(self):
+        """A bound on a trailing key field alone gives the search
+        nothing to seek on (elements with a MISSING first field have
+        entries the bound can't reach in order): no fire."""
+        md = FakeMetadata([SecondaryIndexSpec(
+            "byDayAmt", "array", ("ol_delivery_d", "ol_amount"),
+            array_path="o_orderline")])
+        cond = LCall("lt", [fa(3, "ol_amount"), LConst(100)])
         optimized = optimize(self.unnest_plan(cond), md)
         assert "SecondaryIndexSearch" not in plan_signature(optimized)
 

@@ -209,7 +209,7 @@ class TestClusterContention:
             def run(q):
                 try:
                     results[q] = cluster.run_job(sort_job(datasets[q]))
-                except Exception as exc:          # pragma: no cover
+                except Exception as exc:  # lint: allow-swallow
                     errors.append(exc)
 
             threads = [threading.Thread(target=run, args=(q,))

@@ -197,6 +197,59 @@ class TestSwallowedFaults:
         assert "swallowed-fault" in rules(findings)
         assert "bare `except:`" in findings[0].message
 
+    def test_except_exception_flagged_everywhere(self):
+        findings = lint(
+            """
+            def guard(fn, log):
+                try:
+                    return fn()
+                except Exception as exc:
+                    log.append(exc)
+            """,
+            PLAIN_PATH,
+        )
+        assert rules(findings) == ["swallowed-fault"]
+        assert "`except Exception`" in findings[0].message
+
+    def test_except_exception_in_tuple_flagged(self):
+        findings = lint(
+            """
+            def guard(fn):
+                try:
+                    return fn()
+                except (ValueError, Exception):
+                    raise
+            """,
+            PLAIN_PATH,
+        )
+        assert rules(findings) == ["swallowed-fault"]
+
+    def test_except_exception_suppression_comment(self):
+        findings = lint(
+            """
+            def guard(fn, log):
+                try:
+                    return fn()
+                except Exception as exc:  # lint: allow-swallow
+                    log.append(exc)
+            """,
+            PLAIN_PATH,
+        )
+        assert rules(findings) == []
+
+    def test_narrow_handler_not_flagged(self):
+        findings = lint(
+            """
+            def guard(fn, log):
+                try:
+                    return fn()
+                except (ValueError, KeyError) as exc:
+                    log.append(exc)
+            """,
+            PLAIN_PATH,
+        )
+        assert rules(findings) == []
+
     def test_silent_handler_flagged_in_retry_path(self):
         findings = lint(
             """

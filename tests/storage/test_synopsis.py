@@ -1,0 +1,244 @@
+"""LSM statistics synopses: histogram math, flush/merge harvest,
+manifest persistence, and the per-dataset rollup the optimizer reads."""
+
+import pytest
+
+from repro.storage.dataset_storage import PartitionStorage
+from repro.storage.lsm import LSMBTree, NoMergePolicy
+from repro.storage.lsm.synopsis import (
+    ComponentSynopsis,
+    EquiDepthHistogram,
+    FieldSynopsis,
+    SynopsisBuilder,
+    merge_field_synopses,
+)
+
+
+class TestEquiDepthHistogram:
+    def test_build_uniform(self):
+        h = EquiDepthHistogram.build(range(100), buckets=4)
+        assert h.total == 100
+        assert len(h.counts) == 4
+        # equi-depth: every bucket holds the same number of values
+        assert h.counts == [25, 25, 25, 25]
+        assert h.bounds[0] == 0 and h.bounds[-1] == 99
+
+    def test_build_skewed_refines_dense_region(self):
+        # 90 values at 0..9, 10 values spread over 1000..1009: most
+        # bucket boundaries should land inside the dense region
+        values = list(range(10)) * 9 + list(range(1000, 1010))
+        h = EquiDepthHistogram.build(values, buckets=10)
+        dense_bounds = sum(1 for b in h.bounds if b < 100)
+        assert dense_bounds >= 8
+
+    def test_build_empty_and_non_numeric(self):
+        assert EquiDepthHistogram.build([]) is None
+        assert EquiDepthHistogram.build(["a", "b"]) is None
+        assert EquiDepthHistogram.build([True, False]) is None
+
+    def test_range_estimate_uniform(self):
+        h = EquiDepthHistogram.build(range(1000), buckets=16)
+        est = h.estimate_range(100, 299)
+        assert est == pytest.approx(0.2, abs=0.05)
+        assert h.estimate_range(None, None) == pytest.approx(1.0)
+        assert h.estimate_range(2000, None) == 0.0
+        assert h.estimate_range(None, -5) == 0.0
+
+    def test_range_estimate_open_bounds(self):
+        h = EquiDepthHistogram.build(range(1000), buckets=16)
+        assert h.estimate_range(None, 499) == pytest.approx(0.5, abs=0.05)
+        assert h.estimate_range(500, None) == pytest.approx(0.5, abs=0.05)
+
+    def test_eq_estimate_uses_distinct(self):
+        h = EquiDepthHistogram.build(range(100), buckets=4)
+        est = h.estimate_eq(42, distinct=100)
+        assert est == pytest.approx(1 / 100, abs=0.02)
+        # values outside the domain estimate to zero
+        assert h.estimate_eq(5000, distinct=100) == 0.0
+
+    def test_degenerate_single_value(self):
+        h = EquiDepthHistogram.build([7] * 50, buckets=8)
+        assert h.estimate_range(7, 7) == pytest.approx(1.0)
+        assert h.estimate_range(0, 6) == 0.0
+
+    def test_round_trip_dict(self):
+        h = EquiDepthHistogram.build(range(40), buckets=4)
+        again = EquiDepthHistogram.from_dict(h.to_dict())
+        assert again.bounds == h.bounds
+        assert again.counts == h.counts
+        assert EquiDepthHistogram.from_dict(None) is None
+
+    def test_merge_preserves_total_and_bounds(self):
+        h1 = EquiDepthHistogram.build(range(0, 500), buckets=8)
+        h2 = EquiDepthHistogram.build(range(500, 1000), buckets=8)
+        merged = EquiDepthHistogram.merge([h1, h2], buckets=8)
+        assert merged.total == 1000
+        assert merged.bounds[0] == 0
+        assert merged.bounds[-1] == 999
+        # the merged estimate should still see ~half below 500
+        assert merged.estimate_range(None, 499) == pytest.approx(0.5,
+                                                                 abs=0.15)
+
+    def test_merge_with_none_parts(self):
+        h = EquiDepthHistogram.build(range(10), buckets=2)
+        merged = EquiDepthHistogram.merge([None, h, None])
+        assert merged.total == 10
+        assert EquiDepthHistogram.merge([None, None]) is None
+
+
+class TestFieldSynopsis:
+    def test_builder_scalars(self):
+        b = SynopsisBuilder()
+        for v in [5, 1, 3, 3, 9]:
+            b.add({"x": v})
+        syn = b.build()
+        assert syn.record_count == 5
+        fs = syn.fields["x"]
+        assert (fs.count, fs.min, fs.max, fs.distinct) == (5, 1, 9, 4)
+        assert fs.histogram is not None
+
+    def test_builder_arrays_and_missing(self):
+        b = SynopsisBuilder()
+        b.add({"tags": [1, 2, 3]})
+        b.add({"tags": [4]})
+        b.add({})                      # record without the field
+        b.add(None)                    # extractor returned nothing
+        syn = b.build()
+        assert syn.record_count == 4
+        fs = syn.fields["tags"]
+        assert fs.array_count == 2
+        assert fs.array_elements == 4
+        assert fs.avg_array_length == 2.0
+
+    def test_builder_strings_no_histogram(self):
+        b = SynopsisBuilder()
+        for s in ["b", "a", "c", "a"]:
+            b.add({"name": s})
+        fs = b.build().fields["name"]
+        assert (fs.min, fs.max, fs.distinct) == ("a", "c", 3)
+        assert fs.histogram is None
+        assert fs.selectivity_eq("a") == pytest.approx(1 / 3)
+
+    def test_merge_field_synopses(self):
+        b1, b2 = SynopsisBuilder(), SynopsisBuilder()
+        for v in range(100):
+            b1.add({"x": v})
+        for v in range(100, 200):
+            b2.add({"x": v})
+        merged = merge_field_synopses(
+            [b1.build().fields["x"], b2.build().fields["x"], None])
+        assert merged.count == 200
+        assert (merged.min, merged.max) == (0, 199)
+        assert merged.distinct == 200
+        assert merged.selectivity_range(None, 99) == pytest.approx(0.5,
+                                                                   abs=0.15)
+
+    def test_merge_distinct_clamped_to_count(self):
+        parts = [FieldSynopsis(count=10, distinct=10),
+                 FieldSynopsis(count=10, distinct=10)]
+        # same 10 values in both parts: sum overestimates, clamp to count
+        assert merge_field_synopses(parts).distinct == 20
+        parts[1].count = 2
+        assert merge_field_synopses(parts).distinct == 12
+
+
+class TestLSMHarvest:
+    """Synopses are built where the data streams by: flush and merge."""
+
+    @pytest.fixture
+    def lsm(self, fm, cache):
+        tree = LSMBTree(fm, cache, "t", memory_budget_bytes=4096,
+                        merge_policy=NoMergePolicy())
+        tree.synopsis_extractor = lambda key, payload: {"pk": key[0]}
+        return tree
+
+    def test_flush_builds_component_synopsis(self, lsm):
+        for k in range(50):
+            lsm.upsert((k,), b"v")
+        comp = lsm.flush()
+        assert comp.synopsis.record_count == 50
+        assert comp.synopsis.fields["pk"].min == 0
+        assert comp.synopsis.fields["pk"].max == 49
+
+    def test_memory_component_counted_without_flush(self, lsm):
+        for k in range(10):
+            lsm.upsert((k,), b"v")
+        syn = lsm.synopsis()
+        assert syn.record_count == 10
+
+    def test_merge_rebuilds_synopsis_excluding_antimatter(self, lsm):
+        for k in range(30):
+            lsm.upsert((k,), b"v")
+        lsm.flush()
+        for k in range(10):            # delete 0..9 -> antimatter
+            lsm.delete((k,))
+        lsm.flush()
+        comp = lsm.merge()
+        assert comp.synopsis.record_count == 20
+        assert comp.synopsis.fields["pk"].min == 10
+
+    def test_synopsis_survives_restart(self, fm, cache, lsm):
+        for k in range(25):
+            lsm.upsert((k,), b"v")
+        lsm.flush()
+        again = LSMBTree.recover(fm, cache, "t",
+                                 memory_budget_bytes=4096,
+                                 merge_policy=NoMergePolicy())
+        again.synopsis_extractor = lsm.synopsis_extractor
+        syn = again.synopsis()
+        assert syn.record_count == 25
+        assert syn.fields["pk"].max == 24
+
+    def test_no_extractor_no_synopsis(self, fm, cache):
+        tree = LSMBTree(fm, cache, "bare", memory_budget_bytes=4096)
+        tree.upsert((1,), b"v")
+        assert tree.flush().synopsis is None
+        assert tree.synopsis() is None
+
+
+class TestPartitionStatistics:
+    """The dataset-level view: record extractor + rollup + versioning."""
+
+    @pytest.fixture
+    def part(self, fm, cache):
+        return PartitionStorage(fm, cache, "dv.ds", 0, ("id",),
+                                merge_policy=NoMergePolicy())
+
+    def test_record_fields_tracked(self, part):
+        for i in range(20):
+            part.upsert({"id": i, "amount": i * 10,
+                         "meta": {"depth": i % 3},
+                         "tags": list(range(i % 4))})
+        syn = part.statistics()
+        assert syn.record_count == 20
+        assert syn.fields["amount"].max == 190
+        assert syn.fields["meta.depth"].distinct == 3
+        assert syn.fields["tags"].array_count > 0
+
+    def test_rollup_across_flush_and_memory(self, part):
+        for i in range(15):
+            part.upsert({"id": i})
+        part.primary.flush()
+        for i in range(15, 20):
+            part.upsert({"id": i})
+        syn = part.statistics()
+        assert syn.record_count == 20
+        assert (syn.fields["id"].min, syn.fields["id"].max) == (0, 19)
+
+    def test_statistics_version_changes_on_writes(self, part):
+        v0 = part.statistics_version()
+        part.upsert({"id": 1})
+        v1 = part.statistics_version()
+        assert v1 != v0
+        part.primary.flush()
+        assert part.statistics_version() != v1
+
+    def test_component_synopsis_merge_multi_partition(self, part):
+        for i in range(10):
+            part.upsert({"id": i})
+        other = ComponentSynopsis(
+            record_count=5, fields={"id": FieldSynopsis(
+                count=5, min=100, max=104, distinct=5)})
+        rolled = ComponentSynopsis.merge([part.statistics(), other, None])
+        assert rolled.record_count == 15
+        assert rolled.fields["id"].max == 104

@@ -378,8 +378,8 @@ def run_memory_pressure(base_dir: str, quick: bool) -> dict:
             def run(q, job):
                 try:
                     results[q] = cluster.run_job(job)
-                except Exception as exc:
-                    errors.append(repr(exc))
+                except Exception as exc:  # lint: allow-swallow
+                    errors.append(repr(exc))   # thread boundary: surfaced below
 
             before = registry.snapshot()
             started = time.perf_counter()
@@ -503,6 +503,111 @@ def run_tpcch_sweep(base_dir: str, quick: bool) -> dict:
     }
 
 
+
+JOINORDER_SCHEMA = """
+CREATE TYPE TpcchWType AS { w_id: int };
+CREATE TYPE TpcchCType AS { c_id: int };
+CREATE TYPE TpcchO2Type AS { o_id: int };
+CREATE DATASET Warehouses(TpcchWType) PRIMARY KEY w_id;
+CREATE DATASET Customers(TpcchCType) PRIMARY KEY c_id;
+CREATE DATASET TOrders(TpcchO2Type) PRIMARY KEY o_id;
+"""
+
+#: Adversarial written order: Customers and TOrders share no direct join
+#: condition (they connect only through Warehouses), so the syntactic
+#: left-deep plan starts with their cross product.  The cost-based
+#: reorder joins each through the (filtered) warehouse instead.
+JOINORDER_QUERY = (
+    "SELECT VALUE [c.c_id, o.o_id, w.w_name] "
+    "FROM Customers c, TOrders o, Warehouses w "
+    "WHERE c.c_w_id = w.w_id AND o.o_w_id = w.w_id "
+    "AND w.w_name = 'W001' "
+    "ORDER BY c.c_id, o.o_id;")
+
+#: A moderate case for the same machinery: a pure fk chain written
+#: worst-first (fact table first, selective dimension last).
+JOINORDER_CHAIN_QUERY = (
+    "SELECT VALUE [o.o_id, c.c_last, w.w_name] "
+    "FROM TOrders o, Customers c, Warehouses w "
+    "WHERE o.o_c_id = c.c_id AND c.c_w_id = w.w_id "
+    "AND w.w_state = 'CA' "
+    "ORDER BY o.o_id;")
+
+
+def run_join_order(base_dir: str, quick: bool) -> dict:
+    """3-way TPC-CH join in an adversarial written order, stats-driven
+    cost-based optimization on vs off.  Results must be byte-identical
+    (both queries ORDER BY a unique key); the report carries the
+    estimated-vs-actual cardinality per operator from the stats-on run
+    and the simulated-clock ratio (the paper's data-partition-aware
+    optimizer argument, quantified)."""
+    from repro.datagen.tpcch import TPCCHGenerator
+
+    scale = 4 if quick else 10
+    repeats = 2 if quick else 3
+    gen = TPCCHGenerator(seed=42, scale=scale)
+    config = ClusterConfig(num_nodes=2, partitions_per_node=2,
+                           node=NodeConfig(buffer_cache_pages=256))
+    queries = [("cross_product_trap", JOINORDER_QUERY),
+               ("fk_chain_worst_first", JOINORDER_CHAIN_QUERY)]
+    points = []
+    with connect(os.path.join(base_dir, "joinorder"), config) as db:
+        db.execute(JOINORDER_SCHEMA)
+        for w in gen.warehouses():
+            db.cluster.insert_record("Default.Warehouses", w)
+        for c in gen.customers():
+            db.cluster.insert_record("Default.Customers", c)
+        for o in gen.orders():
+            o = dict(o)
+            o.pop("o_orderline", None)   # joins only; drop nested lines
+            db.cluster.insert_record("Default.TOrders", o)
+        for ds in ("Warehouses", "Customers", "TOrders"):
+            db.flush_dataset(ds)
+        for name, query in queries:
+            observed = {}
+            for label, toggle in (("stats_on", True), ("stats_off", False)):
+                best_wall = None
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    result = db.execute(query, enable_cost_based=toggle)
+                    wall = time.perf_counter() - started
+                    best_wall = (wall if best_wall is None
+                                 else min(best_wall, wall))
+                observed[label] = {
+                    "wall": best_wall,
+                    "simulated_us": result.profile.simulated_us,
+                    "rows": result.rows,
+                }
+            traced = db.execute(query, trace=True)
+            est_vs_actual = [
+                {"operator": op["name"],
+                 "estimated": op["estimated_cardinality"],
+                 "actual": op["actual_cardinality"]}
+                for op in traced.trace.operators
+                if "estimated_cardinality" in op
+            ]
+            on, off = observed["stats_on"], observed["stats_off"]
+            points.append({
+                "query": name,
+                "sql": query,
+                "rows": len(on["rows"]),
+                "identical_results": on["rows"] == off["rows"],
+                "stats_on_wall_seconds": round(on["wall"], 6),
+                "stats_off_wall_seconds": round(off["wall"], 6),
+                "stats_on_simulated_us": round(on["simulated_us"], 3),
+                "stats_off_simulated_us": round(off["simulated_us"], 3),
+                "off_vs_on_ratio": round(
+                    off["simulated_us"] / max(on["simulated_us"], 1e-9), 4),
+                "est_vs_actual": est_vs_actual,
+            })
+    return {
+        "workload": f"TPC-CH warehouses/customers/orders scale={scale}: "
+                    "3-way joins in adversarial written order, "
+                    "cost-based optimization on vs off",
+        "points": points,
+    }
+
+
 def main(argv=None) -> int:
     # verification is on for benchmarks too; its cost is part of the
     # compile phases the reports break out, not of operator runtime
@@ -517,6 +622,9 @@ def main(argv=None) -> int:
     parser.add_argument("--tpcch-output", default="BENCH_PR8.json",
                         help="TPC-CH sweep report path "
                              "(default: BENCH_PR8.json)")
+    parser.add_argument("--joinorder-output", default="BENCH_PR10.json",
+                        help="join-order benchmark report path "
+                             "(default: BENCH_PR10.json)")
     args = parser.parse_args(argv)
 
     base_dir = tempfile.mkdtemp(prefix="bench_runner_")
@@ -529,6 +637,7 @@ def main(argv=None) -> int:
         fault_overhead = run_fault_overhead(base_dir, args.quick)
         memory_pressure = run_memory_pressure(base_dir, args.quick)
         tpcch = run_tpcch_sweep(base_dir, args.quick)
+        join_order = run_join_order(base_dir, args.quick)
         report = {
             "mode": "quick" if args.quick else "full",
             "benchmarks": benchmarks,
@@ -538,6 +647,7 @@ def main(argv=None) -> int:
             "fault_overhead": fault_overhead,
             "memory_pressure": memory_pressure,
             "tpcch_sweep": tpcch,
+            "join_order": join_order,
             "total_seconds": round(time.perf_counter() - started, 3),
         }
     finally:
@@ -550,8 +660,13 @@ def main(argv=None) -> int:
         json.dump({"mode": report["mode"], "tpcch_sweep": tpcch}, f,
                   indent=2)
         f.write("\n")
+    with open(args.joinorder_output, "w") as f:
+        json.dump({"mode": report["mode"], "join_order": join_order}, f,
+                  indent=2)
+        f.write("\n")
 
-    print(f"wrote {args.output} and {args.tpcch_output}")
+    print(f"wrote {args.output}, {args.tpcch_output}, "
+          f"and {args.joinorder_output}")
     for bench in benchmarks:
         print(f"  {bench['name']:<24} wall {bench['wall_seconds']*1e3:8.2f} ms"
               f"   simulated {bench['simulated_us']/1e3:10.2f} ms")
@@ -584,6 +699,27 @@ def main(argv=None) -> int:
               f"index {row['index_simulated_us']/1e3:9.2f} ms vs scan "
               f"{row['scan_simulated_us']/1e3:9.2f} ms simulated "
               f"(ratio {row['index_vs_scan_ratio']})")
+
+    for row in join_order["points"]:
+        print(f"  join order {row['query']:<22} rows {row['rows']:>6}: "
+              f"stats-on {row['stats_on_simulated_us']/1e3:9.2f} ms vs "
+              f"stats-off {row['stats_off_simulated_us']/1e3:9.2f} ms "
+              f"simulated (off/on {row['off_vs_on_ratio']}x)")
+
+    headline = join_order["points"][0]
+    join_order_ok = (
+        all(row["identical_results"] for row in join_order["points"])
+        # the cost-based order must beat the adversarial written order
+        # by >= 2x on the simulated clock (the acceptance bar)
+        and headline["off_vs_on_ratio"] >= 2.0
+        and all(row["off_vs_on_ratio"] >= 1.0
+                for row in join_order["points"])
+        and all(row["est_vs_actual"] for row in join_order["points"]))
+    if not join_order_ok:
+        print("FAIL: join-order benchmark did not meet the bar "
+              "(byte-identical results, >= 2x simulated win on the "
+              "adversarial order, estimates attached)", file=sys.stderr)
+        return 1
 
     tp = tpcch["sweep"]
     tpcch_ok = (all(row["identical_results"] and row["index_used"]

@@ -174,10 +174,20 @@ def _swallows(handler: ast.ExceptHandler) -> bool:
     return True
 
 
+def _catches_broad_exception(node: ast.ExceptHandler) -> bool:
+    """True when the handler names ``Exception`` (alone or in a tuple) —
+    broad enough to absorb injected resilience/memory-pressure faults."""
+    types = (node.type.elts if isinstance(node.type, ast.Tuple)
+             else [node.type])
+    return any(isinstance(t, ast.Name) and t.id == "Exception"
+               for t in types)
+
+
 def check_swallowed_faults(path: str, tree: ast.AST, source_lines) -> list:
-    """swallowed-fault: bare ``except:`` anywhere; in retry paths, any
-    handler that silently discards the exception (body of pass/continue
-    only) — injected faults must surface or be deliberately re-raised."""
+    """swallowed-fault: bare ``except:`` and ``except Exception``
+    anywhere; in retry paths, any handler that silently discards the
+    exception (body of pass/continue only) — injected faults must
+    surface or be deliberately re-raised."""
     findings = []
     in_retry_path = any(p in path for p in RETRY_PATHS)
     for node in ast.walk(tree):
@@ -190,6 +200,13 @@ def check_swallowed_faults(path: str, tree: ast.AST, source_lines) -> list:
                 path, node.lineno, node.col_offset, "swallowed-fault",
                 "bare `except:` catches injected faults and "
                 "KeyboardInterrupt alike; name the exception type",
+            ))
+        elif _catches_broad_exception(node):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "swallowed-fault",
+                "`except Exception` absorbs injected faults (resilience, "
+                "memory pressure) alongside real errors; narrow to the "
+                "specific types or annotate `# lint: allow-swallow`",
             ))
         elif in_retry_path and _swallows(node):
             caught = ast.unparse(node.type)
